@@ -1,0 +1,60 @@
+//! Criterion benches of the *real* LBM kernels on this machine: the
+//! measured counterpart of the paper's Fig. 4 kernel-variant scan
+//! (AA/AB propagation × SoA/AoS layout × rolled/unrolled loops), plus the
+//! HARVEY-style sparse solver step (serial and rayon-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hemocloud_geometry::anatomy::CylinderSpec;
+use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
+use hemocloud_lbm::mesh::FluidMesh;
+use hemocloud_lbm::proxy::ProxyApp;
+use hemocloud_lbm::solver::{Solver, SolverConfig};
+
+fn proxy_variants(c: &mut Criterion) {
+    let diameter = 24;
+    let length = 32;
+    let mut group = c.benchmark_group("proxy_step");
+    group.sample_size(10);
+    for prop in [Propagation::Aa, Propagation::Ab] {
+        for layout in [Layout::Soa, Layout::Aos] {
+            for unrolled in [true, false] {
+                let cfg = KernelConfig::proxy(layout, prop, unrolled);
+                let mut app = ProxyApp::new(diameter, length, cfg, 0.8, 1e-6);
+                app.run(4); // warm
+                group.throughput(Throughput::Elements(app.fluid_count() as u64));
+                let label = format!(
+                    "{}{}",
+                    cfg.name().replace("/dense/f64", ""),
+                    if unrolled { "+unroll" } else { "" }
+                );
+                group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                    b.iter(|| app.step());
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn harvey_solver_step(c: &mut Criterion) {
+    let grid = CylinderSpec::default().with_resolution(20).build();
+    let mesh = FluidMesh::build(&grid);
+    let mut group = c.benchmark_group("harvey_step");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(mesh.len() as u64));
+    for (name, parallel) in [("serial", false), ("rayon", true)] {
+        let mut solver = Solver::new(
+            mesh.clone(),
+            SolverConfig {
+                parallel,
+                ..Default::default()
+            },
+        );
+        solver.run(2);
+        group.bench_function(name, |b| b.iter(|| solver.step()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, proxy_variants, harvey_solver_step);
+criterion_main!(benches);

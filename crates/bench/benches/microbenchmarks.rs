@@ -1,0 +1,65 @@
+//! Criterion benches of the real host microbenchmarks: the STREAM kernels
+//! (the paper's Fig. 5 methodology on this machine) and the thread-pair
+//! PingPong.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hemocloud_microbench::pingpong::pingpong_sweep;
+use hemocloud_microbench::stream::{stream_kernel, StreamKernel};
+
+/// Array length: 8 M doubles = 64 MB per array, beyond any host L3.
+const ELEMENTS: usize = 8 * 1024 * 1024;
+
+fn stream_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    for kernel in [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ] {
+        group.throughput(Throughput::Bytes(
+            (kernel.bytes_per_element() * ELEMENTS) as u64,
+        ));
+        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+            b.iter(|| stream_kernel(kernel, 2, ELEMENTS, 1));
+        });
+    }
+    group.finish();
+}
+
+fn stream_thread_sweep(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut group = c.benchmark_group("stream_copy_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((16 * ELEMENTS) as u64));
+    let mut threads = vec![1usize];
+    if cores >= 2 {
+        threads.push(2);
+    }
+    if cores >= 4 {
+        threads.push(cores / 2);
+        threads.push(cores);
+    }
+    threads.dedup();
+    for t in threads {
+        group.bench_function(BenchmarkId::from_parameter(t), |b| {
+            b.iter(|| stream_kernel(StreamKernel::Copy, t, ELEMENTS, 1));
+        });
+    }
+    group.finish();
+}
+
+fn pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pingpong");
+    group.sample_size(10);
+    for bytes in [0usize, 4096, 1 << 20] {
+        group.bench_function(BenchmarkId::from_parameter(bytes), |b| {
+            b.iter(|| pingpong_sweep(&[bytes], 50));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stream_kernels, stream_thread_sweep, pingpong);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates paper **Fig. 10**: composition of maximum task runtimes per
+//! core count as predicted by the **generalized** model — memory access
+//! vs. communication bandwidth vs. communication latency — for HARVEY's
+//! cylinder on CSP-2 (without EC).
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig10_composition_general`
+
+use hemocloud_bench::print_table;
+use hemocloud_bench::workloads::quick_mode;
+use hemocloud_cluster::platform::Platform;
+use hemocloud_core::characterize::characterize;
+use hemocloud_core::general::GeneralModel;
+use hemocloud_core::workload::Workload;
+use hemocloud_geometry::anatomy::CylinderSpec;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    let platform = Platform::csp2();
+    let character = characterize(&platform, SEED);
+    let resolution = if quick_mode() { 16 } else { 48 };
+    let cylinder = CylinderSpec::default().with_resolution(resolution).build();
+    let workload = Workload::harvey(&cylinder, 100);
+    let model = GeneralModel::from_characterization(&character, &workload);
+
+    let mut rows = Vec::new();
+    for ranks in [4usize, 8, 16, 36, 72, 108, 144] {
+        let p = model.predict(ranks);
+        let c = p.composition;
+        let total = c.total_s();
+        rows.push(vec![
+            ranks.to_string(),
+            format!("{:.1}", c.mem_s * 1e6),
+            format!("{:.1}", c.comm_bandwidth_s * 1e6),
+            format!("{:.1}", c.comm_latency_s * 1e6),
+            format!("{:.1}", total * 1e6),
+            format!("{:.0}%", 100.0 * c.comm_latency_s / total),
+        ]);
+    }
+    print_table(
+        "Fig. 10: generalized-model runtime composition, HARVEY cylinder on CSP-2",
+        &[
+            "Ranks",
+            "Memory (µs)",
+            "Comm bandwidth (µs)",
+            "Comm latency (µs)",
+            "Total (µs)",
+            "Latency %",
+        ],
+        &rows,
+    );
+    println!("\nExpected shape: the bulk of internodal communication time is due to");
+    println!("latency, not insufficient bandwidth — the paper's CSP-2 conclusion.");
+}

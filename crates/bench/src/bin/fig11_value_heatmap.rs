@@ -1,0 +1,100 @@
+//! Regenerates paper **Fig. 11**: heatmap of the relative value r_{B,A}
+//! (Eq. 17) of computing infrastructures, using generalized-model
+//! predictions of HARVEY running the aorta geometry on 2048 cores.
+//!
+//! 2048 cores exceeds every cloud allocation the paper tested — this is
+//! exactly the generalized model's extrapolation role. The aorta census is
+//! scaled to the paper's "high-resolution" regime (tens of millions of
+//! fluid points) where memory time and latency trade off as in Fig. 11.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig11_value_heatmap`
+
+use hemocloud_bench::print_table;
+use hemocloud_bench::workloads::quick_mode;
+use hemocloud_cluster::platform::Platform;
+use hemocloud_core::characterize::characterize;
+use hemocloud_core::general::GeneralModel;
+use hemocloud_core::value::{cost_weighted_matrix, relative_value_matrix};
+use hemocloud_core::workload::Workload;
+use hemocloud_geometry::anatomy::AortaSpec;
+
+const SEED: u64 = 2023;
+const RANKS: usize = 2048;
+/// Target fluid points for the extrapolated high-resolution aorta.
+const TARGET_POINTS: f64 = 2.75e7;
+
+fn main() {
+    let resolution = if quick_mode() { 12 } else { 28 };
+    let aorta = AortaSpec::default().with_resolution(resolution).build();
+    let base = Workload::harvey(&aorta, 100);
+    let factor = (TARGET_POINTS / base.points() as f64).cbrt();
+    let workload = base.scaled(factor);
+    println!(
+        "Aorta census: {} points voxelized, scaled x{:.2} linear -> {} points",
+        base.points(),
+        factor,
+        workload.points()
+    );
+
+    let platforms = Platform::fig11_platforms();
+    let mut entries = Vec::new();
+    let mut cost_entries = Vec::new();
+    for p in &platforms {
+        let character = characterize(p, SEED);
+        // Calibrate the empirical fits on the voxelized grid, then predict
+        // with the scaled census.
+        let calibrated = GeneralModel::from_characterization(&character, &base);
+        let model = GeneralModel::with_models(
+            &character,
+            &workload,
+            *calibrated.imbalance_model(),
+            *calibrated.event_model(),
+        );
+        let prediction = model.predict(RANKS);
+        let nodes = p.nodes_for_ranks(RANKS);
+        let dollars_per_hour = nodes as f64 * p.price_per_node_hour;
+        entries.push((p.abbrev.to_string(), prediction.mflups));
+        cost_entries.push((p.abbrev.to_string(), prediction.mflups, dollars_per_hour));
+        println!(
+            "{:>9}: {:.1} MFLUPS predicted on {} nodes (${:.2}/h)",
+            p.abbrev, prediction.mflups, nodes, dollars_per_hour
+        );
+    }
+
+    let matrix = relative_value_matrix(&entries);
+    let mut rows = Vec::new();
+    for (b, label) in matrix.labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        for a in 0..matrix.labels.len() {
+            row.push(format!("{:.4}", matrix.get(b, a)));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = vec!["2048 Cores - Aorta"];
+    header.extend(matrix.labels.iter().map(|s| s.as_str()));
+    print_table(
+        "Fig. 11: relative value r_{B,A} (row B vs column A), generalized model",
+        &header,
+        &rows,
+    );
+    println!("\nPaper reference: r(CSP-2, TRC)=1.2323, r(EC, TRC)=1.3733, r(EC, CSP-2)=1.1144");
+    println!("Expected shape: CSP-2 EC > CSP-2 > TRC in raw throughput at this scale.");
+
+    // Extension: the cost-weighted view the paper's Discussion proposes.
+    let weighted = cost_weighted_matrix(&cost_entries);
+    let mut rows = Vec::new();
+    for (b, label) in weighted.labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        for a in 0..weighted.labels.len() {
+            row.push(format!("{:.4}", weighted.get(b, a)));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<&str> = vec!["Cost-weighted"];
+    header.extend(weighted.labels.iter().map(|s| s.as_str()));
+    print_table(
+        "Extension: cost-weighted relative value (throughput per dollar; synthetic prices)",
+        &header,
+        &rows,
+    );
+}

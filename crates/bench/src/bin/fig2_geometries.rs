@@ -1,0 +1,42 @@
+//! Regenerates paper **Fig. 2**: the three arterial geometries, reported
+//! as voxel censuses (we print the statistics that drive the performance
+//! model rather than rendering meshes).
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig2_geometries`
+//! (set `HEMOCLOUD_QUICK=1` for reduced resolutions)
+
+use hemocloud_bench::print_table;
+use hemocloud_bench::workloads::geometries;
+use hemocloud_geometry::stats::GeometryStats;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, grid) in geometries() {
+        let s = GeometryStats::measure(&grid);
+        let (nx, ny, nz) = grid.dims();
+        rows.push(vec![
+            name.to_string(),
+            format!("{nx}x{ny}x{nz}"),
+            s.fluid_points.to_string(),
+            s.bulk_points.to_string(),
+            s.wall_points.to_string(),
+            format!("{:.3}", s.fluid_fraction),
+            format!("{:.2}", s.bulk_wall_ratio),
+            format!("{:.3}", s.wall_fraction()),
+        ]);
+    }
+    print_table(
+        "Fig. 2: arterial geometry census (cylinder = dense/high-comm, aorta = typical, cerebral = wall-heavy/low-comm)",
+        &[
+            "Geometry",
+            "Grid",
+            "Fluid pts",
+            "Bulk",
+            "Wall",
+            "Fluid frac",
+            "Bulk/Wall",
+            "Wall frac",
+        ],
+        &rows,
+    );
+}

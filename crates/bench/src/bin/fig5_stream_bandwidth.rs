@@ -1,0 +1,65 @@
+//! Regenerates paper **Fig. 5**: STREAM Copy bandwidth vs. OpenMP thread
+//! count with two-line fits (Eq. 8) for every platform, including the
+//! hyperthreaded CSP-2 instance.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig5_stream_bandwidth`
+
+use hemocloud_bench::{print_series, print_table, Series};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_cluster::stream_bench::{stream_sweep, to_fit_arrays};
+use hemocloud_fitting::metrics::r_squared;
+use hemocloud_fitting::two_line::fit_two_line;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    let mut platforms = Platform::all();
+    platforms.push(Platform::csp2_hyperthreaded());
+
+    let mut measured = Vec::new();
+    let mut fitted = Vec::new();
+    let mut rows = Vec::new();
+    for p in &platforms {
+        let sweep = stream_sweep(p, SEED);
+        let (ns, bs) = to_fit_arrays(&sweep);
+        let fit = fit_two_line(&ns, &bs).expect("fittable sweep");
+        let preds: Vec<f64> = ns.iter().map(|&n| fit.eval(n)).collect();
+        let r2 = r_squared(&preds, &bs).unwrap_or(f64::NAN);
+        measured.push(Series::new(
+            p.abbrev,
+            sweep
+                .iter()
+                .map(|s| (s.threads as f64, s.bandwidth_mb_s))
+                .collect(),
+        ));
+        fitted.push(Series::new(
+            format!("{} fit", p.abbrev),
+            ns.iter().map(|&n| (n, fit.eval(n))).collect(),
+        ));
+        rows.push(vec![
+            p.abbrev.to_string(),
+            format!("{:.2}", fit.a1),
+            format!("{:.2}", fit.a2),
+            format!("{:.2}", fit.a3),
+            format!("{:.4}", r2),
+        ]);
+    }
+
+    print_series(
+        "Fig. 5: STREAM Copy bandwidth vs OpenMP threads (measured)",
+        "threads",
+        "MB/s",
+        &measured,
+    );
+    print_series(
+        "Fig. 5: two-line fits (Eq. 8)",
+        "threads",
+        "MB/s",
+        &fitted,
+    );
+    print_table(
+        "Fig. 5 fit parameters",
+        &["System", "a1 (MB/s/thr)", "a2 (MB/s/thr)", "a3 (thr)", "R^2"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates paper **Fig. 6**: PingPong communication times over a
+//! message-size sweep with linear fits (Eq. 12) — latency pinned to the
+//! zero-byte time, bandwidth fit over all points.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig6_pingpong`
+
+use hemocloud_bench::{print_series, print_table, Series};
+use hemocloud_cluster::network::LinkKind;
+use hemocloud_cluster::pingpong::{default_message_sizes, fit_pingpong, pingpong_sweep};
+use hemocloud_cluster::platform::Platform;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    let platforms = [Platform::trc(), Platform::csp2(), Platform::csp2_ec()];
+    let sizes = default_message_sizes();
+
+    let mut measured = Vec::new();
+    let mut fit_rows = Vec::new();
+    for p in &platforms {
+        for (kind, kname) in [
+            (LinkKind::Internodal, "inter"),
+            (LinkKind::Intranodal, "intra"),
+        ] {
+            let sweep = pingpong_sweep(p, kind, &sizes, SEED);
+            let fit = fit_pingpong(&sweep).expect("fittable sweep");
+            measured.push(Series::new(
+                format!("{} {kname}", p.abbrev),
+                sweep.iter().map(|s| (s.bytes as f64, s.time_us)).collect(),
+            ));
+            fit_rows.push(vec![
+                p.abbrev.to_string(),
+                kname.to_string(),
+                format!("{:.2}", fit.bandwidth_mb_s),
+                format!("{:.2}", fit.latency_us),
+            ]);
+        }
+    }
+
+    print_series(
+        "Fig. 6: PingPong one-way times (µs) vs message size (bytes)",
+        "bytes",
+        "µs",
+        &measured,
+    );
+    print_table(
+        "Fig. 6 linear fits (Eq. 12; latency = zero-byte time)",
+        &["System", "Link", "b (MB/s)", "l (µs)"],
+        &fit_rows,
+    );
+    println!("\nPaper reference (internodal): TRC b=5066.57 l=2.01; CSP-2 b=1804.84 l=23.59; CSP-2 EC b=2016.77 l=20.94");
+}

@@ -1,0 +1,60 @@
+//! Regenerates paper **Fig. 8**: model predictions vs actual performance
+//! for the lbm-proxy-app SoA kernels — AA and AB propagation, rolled and
+//! unrolled inner loops — on CSP-2 (without EC).
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin fig8_model_vs_actual_proxy`
+
+use hemocloud_bench::workloads::quick_mode;
+use hemocloud_bench::{print_series, Series};
+use hemocloud_cluster::exec::{simulate_geometry, Overheads};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_core::characterize::characterize;
+use hemocloud_core::direct::DirectModel;
+use hemocloud_core::general::GeneralModel;
+use hemocloud_core::workload::Workload;
+use hemocloud_lbm::kernel::KernelConfig;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    let platform = Platform::csp2();
+    let character = characterize(&platform, SEED);
+    let resolution = if quick_mode() { 16 } else { 48 };
+    let cylinder = hemocloud_geometry::anatomy::CylinderSpec::default()
+        .with_resolution(resolution)
+        .build();
+    let ranks = [4usize, 8, 16, 36, 72, 108, 144];
+    let overheads = Overheads::default();
+
+    for (vname, cfg) in KernelConfig::fig8_variants() {
+        let workload = Workload::proxy(&cylinder, cfg, 100);
+        let direct = DirectModel::new(character.clone(), workload.clone());
+        let general = GeneralModel::from_characterization(&character, &workload);
+
+        let mut actual = Vec::new();
+        let mut direct_pts = Vec::new();
+        let mut general_pts = Vec::new();
+        for &r in &ranks {
+            if let Some(run) =
+                simulate_geometry(&platform, &cylinder, &cfg, r, 100, &overheads, SEED, 0.0)
+            {
+                actual.push((r as f64, run.mflups));
+            }
+            if let Some(p) = direct.predict(r) {
+                direct_pts.push((r as f64, p.mflups));
+            }
+            general_pts.push((r as f64, general.predict(r).mflups));
+        }
+        print_series(
+            &format!("Fig. 8: proxy {vname} on CSP-2 — predictions vs actual"),
+            "ranks",
+            "MFLUPS",
+            &[
+                Series::new("actual", actual),
+                Series::new("direct model", direct_pts),
+                Series::new("general model", general_pts),
+            ],
+        );
+    }
+    println!("\nExpected shape: consistent overprediction; AA above AB.");
+}

@@ -1,0 +1,49 @@
+//! Regenerates paper **Table I**: hardware details for all tested
+//! instances.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin table1_hardware`
+
+use hemocloud_bench::print_table;
+use hemocloud_cluster::platform::Platform;
+
+fn main() {
+    let platforms = Platform::all();
+    let rows: Vec<Vec<String>> = vec![
+        row("Abbreviation", &platforms, |p| p.abbrev.to_string()),
+        row("CPU", &platforms, |p| p.cpu.to_string()),
+        row("CPU Clock (GHz)", &platforms, |p| format!("{:.2}", p.clock_ghz)),
+        row("Core Count", &platforms, |p| p.total_cores.to_string()),
+        row("Cores per Node", &platforms, |p| p.cores_per_node.to_string()),
+        row("Memory per Node (GB)", &platforms, |p| {
+            format!("{:.0}", p.memory_per_node_gb)
+        }),
+        row("Interconnect (Gbit/s)", &platforms, |p| {
+            format!("{:.0}", p.interconnect_gbit)
+        }),
+        row("Price ($/node-h, synthetic)", &platforms, |p| {
+            format!("{:.2}", p.price_per_node_hour)
+        }),
+    ];
+    let mut header: Vec<&str> = vec!["System"];
+    let names: Vec<&str> = platforms.iter().map(|p| p.name).collect();
+    header.extend(names);
+    print_table(
+        "Table I: hardware details for all tested instances",
+        &header,
+        &rows,
+    );
+    println!(
+        "\nNote: CSP-2 and CSP-2 EC report ~3.0 GHz per hardware hyperthread and"
+    );
+    println!("~3.4 GHz single-core with TurboBoost, as in the paper's footnote.");
+}
+
+fn row(
+    label: &str,
+    platforms: &[Platform],
+    f: impl Fn(&Platform) -> String,
+) -> Vec<String> {
+    let mut r = vec![label.to_string()];
+    r.extend(platforms.iter().map(f));
+    r
+}

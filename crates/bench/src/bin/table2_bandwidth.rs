@@ -1,0 +1,44 @@
+//! Regenerates paper **Table II**: STREAM-fit sustainable memory
+//! bandwidths at one thread per physical core vs. published node maxima,
+//! and the percentage difference.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin table2_bandwidth`
+
+use hemocloud_bench::print_table;
+use hemocloud_cluster::platform::Platform;
+use hemocloud_cluster::stream_bench::{stream_sweep, to_fit_arrays};
+use hemocloud_fitting::two_line::fit_two_line;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    // The paper's Table II columns: TRC, CSP-1, CSP-2, CSP-2 EC.
+    let platforms = [
+        Platform::trc(),
+        Platform::csp1(),
+        Platform::csp2(),
+        Platform::csp2_ec(),
+    ];
+    let mut published = vec!["Published (MB/s)".to_string()];
+    let mut fitted = vec!["STREAM fit (MB/s)".to_string()];
+    let mut diff = vec!["Difference".to_string()];
+    for p in &platforms {
+        let (ns, bs) = to_fit_arrays(&stream_sweep(p, SEED));
+        let fit = fit_two_line(&ns, &bs).expect("fittable sweep");
+        let sustained = fit.eval(p.cores_per_node as f64);
+        published.push(format!("{:.0}", p.published_bandwidth_mb_s));
+        fitted.push(format!("~{sustained:.0}"));
+        diff.push(format!(
+            "{:+.2}%",
+            100.0 * (sustained - p.published_bandwidth_mb_s) / p.published_bandwidth_mb_s
+        ));
+    }
+    let mut header = vec!["Bandwidth Type"];
+    header.extend(platforms.iter().map(|p| p.abbrev));
+    print_table(
+        "Table II: fitted sustainable vs published node memory bandwidth",
+        &header,
+        &[published, fitted, diff],
+    );
+    println!("\nPaper reference: TRC -27.57%, CSP-1 +9.23%, CSP-2 -35.92%, CSP-2 EC -29.07%");
+}

@@ -1,0 +1,84 @@
+//! Regenerates paper **Table IV**: HARVEY aorta performance statistics
+//! from measurements at 6-hour intervals over 7 days — noise variability
+//! on the dedicated (CSP-1) and on-demand (CSP-2 Small) clouds.
+//!
+//! Run: `cargo run --release -p hemocloud-bench --bin table4_noise`
+
+use hemocloud_bench::print_table;
+use hemocloud_bench::workloads::quick_mode;
+use hemocloud_cluster::exec::{simulate, Overheads, WorkloadTiming};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_fitting::metrics::{coefficient_of_variation, mean, std_dev};
+use hemocloud_geometry::anatomy::AortaSpec;
+use hemocloud_lbm::access_profile::AccessProfile;
+use hemocloud_lbm::kernel::KernelConfig;
+
+const SEED: u64 = 2023;
+
+fn main() {
+    let resolution = if quick_mode() { 14 } else { 40 };
+    let aorta = AortaSpec::default().with_resolution(resolution).build();
+    let cfg = KernelConfig::harvey();
+    let overheads = Overheads::default();
+    let avg_links = hemocloud_cluster::exec::measured_avg_solid_links(&aorta);
+    let profile = AccessProfile::for_kernel(&cfg, avg_links);
+
+    // 7 days at 6-hour intervals = 28 samples, as in the paper.
+    let times: Vec<f64> = (0..28).map(|i| i as f64 * 6.0).collect();
+
+    let cases: Vec<(Platform, Vec<usize>)> = vec![
+        (Platform::csp1(), vec![16, 32, 48]),
+        (Platform::csp2_small(), vec![16, 32, 64, 128]),
+    ];
+
+    let mut rows = Vec::new();
+    for (platform, rank_list) in &cases {
+        for &ranks in rank_list {
+            // Decompose once; only the noise varies across the 7 days.
+            let partition = hemocloud_decomp::rcb::RcbPartition::new(&aorta, ranks);
+            let analysis =
+                hemocloud_decomp::halo::DecompAnalysis::analyze(&aorta, &partition);
+            let placement = hemocloud_decomp::placement::Placement::contiguous(
+                ranks,
+                platform.cores_per_node,
+            );
+            let task_bytes = hemocloud_decomp::halo::bytes_per_task(
+                &aorta,
+                &partition,
+                profile.bulk_bytes,
+                profile.wall_bytes,
+            );
+            let workload = WorkloadTiming {
+                analysis: &analysis,
+                placement: &placement,
+                task_bytes: &task_bytes,
+                comm_bytes_per_point: profile.boundary_point_bytes,
+                steps: 100,
+            };
+            let samples: Vec<f64> = times
+                .iter()
+                .map(|&t| simulate(platform, &workload, &overheads, SEED, t).mflups)
+                .collect();
+            rows.push(vec![
+                platform.abbrev.to_string(),
+                ranks.to_string(),
+                format!("{:.2}", mean(&samples)),
+                format!("{:.2}", std_dev(&samples)),
+                format!("{:.3}", coefficient_of_variation(&samples)),
+            ]);
+        }
+    }
+    print_table(
+        "Table IV: HARVEY aorta performance, 6-hour intervals over 7 days (28 samples)",
+        &[
+            "System",
+            "MPI Ranks",
+            "Mean MFLUPS",
+            "Standard Deviation",
+            "Variation Coefficient",
+        ],
+        &rows,
+    );
+    println!("\nPaper reference CVs: 0.004-0.02 — noise variability is small and");
+    println!("not significantly greater on the cloud than on a dedicated cluster.");
+}

@@ -1,0 +1,107 @@
+//! Plain-text table and series rendering for the regeneration binaries.
+
+/// A named series of `(x, y)` points — one curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label (e.g. a platform abbreviation).
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Print a figure as aligned columns: the x values in the first column and
+/// one column per series.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    println!("({y_label} vs {x_label})");
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    print!("{:>12}", x_label);
+    for s in series {
+        print!("{:>18}", s.label);
+    }
+    println!();
+    for &x in &xs {
+        print!("{x:>12.0}");
+        for s in series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => print!("{y:>18.3}"),
+                None => print!("{:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print a table from a header row and string rows, aligned.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            print!("{:>w$}  ", cell, w = widths[i]);
+        }
+        println!();
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    print_row(
+        &widths
+            .iter()
+            .map(|&w| "-".repeat(w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        print_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_construction() {
+        let s = Series::new("TRC", vec![(1.0, 2.0)]);
+        assert_eq!(s.label, "TRC");
+        assert_eq!(s.points.len(), 1);
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        print_series(
+            "t",
+            "x",
+            "y",
+            &[
+                Series::new("a", vec![(1.0, 2.0), (2.0, 3.0)]),
+                Series::new("b", vec![(2.0, 4.0)]),
+            ],
+        );
+        print_table(
+            "t",
+            &["col1", "c2"],
+            &[vec!["x".into(), "yyyy".into()], vec!["1".into(), "2".into()]],
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The standard workloads the regeneration binaries share.
+//!
+//! The paper runs "identical, high-resolution steady bulk flow simulations
+//! ... in each geometry with the same number of cores on all computational
+//! platforms"; these constructors pin the geometry resolutions and rank
+//! sweeps used across the figure binaries so every experiment sees the
+//! same inputs.
+
+use hemocloud_geometry::anatomy::{AortaSpec, CerebralSpec, CylinderSpec};
+use hemocloud_geometry::voxel::VoxelGrid;
+
+/// The evaluation geometries at matched (figure-scale) point counts.
+///
+/// Resolutions are chosen so each geometry lands near 300k fluid points —
+/// matched closely enough that the per-geometry differences in the figures
+/// come from geometry *structure* (communication surface, wall fraction,
+/// balance difficulty), not raw size.
+pub fn evaluation_geometries() -> Vec<(&'static str, VoxelGrid)> {
+    vec![
+        ("Cylinder", CylinderSpec::default().with_resolution(40).build()),
+        ("Aorta", AortaSpec::default().with_resolution(40).build()),
+        (
+            "Cerebral",
+            CerebralSpec::default()
+                .with_generations(6)
+                .with_resolution(28)
+                .build(),
+        ),
+    ]
+}
+
+/// Smaller variants for quick runs and tests.
+pub fn quick_geometries() -> Vec<(&'static str, VoxelGrid)> {
+    vec![
+        ("Cylinder", CylinderSpec::default().with_resolution(16).build()),
+        ("Aorta", AortaSpec::default().with_resolution(12).build()),
+        (
+            "Cerebral",
+            CerebralSpec::default()
+                .with_generations(4)
+                .with_resolution(8)
+                .build(),
+        ),
+    ]
+}
+
+/// The rank sweep used by the strong-scaling figures.
+pub fn rank_sweep() -> Vec<usize> {
+    vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+}
+
+/// Whether the environment asked for quick (reduced) workloads via
+/// `HEMOCLOUD_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("HEMOCLOUD_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Evaluation geometries, honoring quick mode.
+pub fn geometries() -> Vec<(&'static str, VoxelGrid)> {
+    if quick_mode() {
+        quick_geometries()
+    } else {
+        evaluation_geometries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_geometry::stats::GeometryStats;
+
+    #[test]
+    fn quick_geometries_have_expected_ordering() {
+        let geos = quick_geometries();
+        assert_eq!(geos.len(), 3);
+        let stats: Vec<GeometryStats> =
+            geos.iter().map(|(_, g)| GeometryStats::measure(g)).collect();
+        // Cylinder densest, cerebral most wall-heavy.
+        assert!(stats[0].fluid_fraction > stats[1].fluid_fraction);
+        assert!(stats[2].wall_fraction() > stats[0].wall_fraction());
+    }
+
+    #[test]
+    fn rank_sweep_reaches_2048() {
+        assert_eq!(*rank_sweep().last().unwrap(), 2048);
+    }
+}

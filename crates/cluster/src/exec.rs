@@ -1,0 +1,551 @@
+//! The workload timing engine: "running" a decomposed LBM simulation on a
+//! simulated platform.
+//!
+//! This is the measurement side of every model-vs-actual experiment
+//! (paper Figs. 3, 4, 7, 8 and Table IV). Per timestep, each task pays
+//!
+//! * a **memory** term: its Eq. 9 byte count — inflated by a traffic
+//!   factor for effects byte-counting misses (write-allocate, partial
+//!   lines) — divided by its even share of the node's two-line bandwidth
+//!   at an LBM-vs-STREAM efficiency < 1;
+//! * a **communication** term: its halo messages over the intranodal or
+//!   internodal link, each carrying a software overhead beyond wire
+//!   latency, serialized per task;
+//! * a per-step **synchronization overhead**; and the step time is the
+//!   maximum over tasks, scaled by temporally correlated noise.
+//!
+//! The traffic factor, efficiency, software overhead and sync cost are the
+//! *deliberately unmodeled* terms ([`Overheads`]): the performance model
+//! divides plain byte counts by STREAM bandwidth and PingPong-fit link
+//! parameters, so it consistently overpredicts these simulated
+//! measurements — reproducing the paper's central observation.
+
+use crate::memory;
+use crate::network::{message_time_s, LinkKind};
+use crate::noise::NoiseProcess;
+use crate::platform::Platform;
+use hemocloud_decomp::halo::{bytes_per_task, DecompAnalysis};
+use hemocloud_decomp::placement::Placement;
+use hemocloud_decomp::rcb::RcbPartition;
+use hemocloud_geometry::voxel::VoxelGrid;
+use hemocloud_lbm::access_profile::AccessProfile;
+use hemocloud_lbm::kernel::KernelConfig;
+
+/// Real-machine effects the performance model does not know about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overheads {
+    /// Fraction of STREAM-copy bandwidth LBM kernels sustain (< 1: gather
+    /// access patterns, TLB pressure).
+    pub lbm_bandwidth_efficiency: f64,
+    /// Actual memory traffic relative to counted bytes (> 1:
+    /// write-allocate fills, partial cache lines on wall points).
+    pub memory_traffic_factor: f64,
+    /// Per-message MPI software cost beyond wire latency, µs.
+    pub message_software_overhead_us: f64,
+    /// Per-step synchronization/imbalance cost, µs.
+    pub step_sync_overhead_us: f64,
+    /// Cores per node assumed busy with *other tenants'* work — the
+    /// shared-node scenario of the paper's Discussion ("memory bandwidth
+    /// usage by other users on the node ... may be an assumption of full
+    /// or partial usage of the other cores"). 0 = node-exclusive
+    /// allocation, the paper's default.
+    pub cotenant_cores_per_node: usize,
+}
+
+impl Default for Overheads {
+    fn default() -> Self {
+        Self {
+            lbm_bandwidth_efficiency: 0.80,
+            memory_traffic_factor: 1.30,
+            message_software_overhead_us: 1.5,
+            step_sync_overhead_us: 8.0,
+            cotenant_cores_per_node: 0,
+        }
+    }
+}
+
+impl Overheads {
+    /// An idealized machine with none of the unmodeled effects — useful in
+    /// tests to verify the engine converges to the model's own arithmetic.
+    pub fn none() -> Self {
+        Self {
+            lbm_bandwidth_efficiency: 1.0,
+            memory_traffic_factor: 1.0,
+            message_software_overhead_us: 0.0,
+            step_sync_overhead_us: 0.0,
+            cotenant_cores_per_node: 0,
+        }
+    }
+}
+
+/// Layout/loop-structure efficiency of a kernel variant on CPUs, relative
+/// to the best variant. Another *unmodeled* effect: byte counting cannot
+/// see it, but measurements can — the paper observes AoS beating SoA for
+/// the AB pattern ("expected ... for CPUs") yet not for AA, and the AA
+/// advantage appearing "only for the unrolled kernels". Constants are
+/// empirical, in line with the CPU layout studies the paper cites.
+pub fn kernel_cpu_efficiency(config: &KernelConfig) -> f64 {
+    use hemocloud_lbm::kernel::{Layout, Propagation};
+    let layout = match (config.propagation, config.layout) {
+        // AB streams strided gathers: AoS keeps each cell's 19 values on
+        // adjacent lines, SoA scatters them across 19 pages — a large
+        // enough gap that AoS wins even without unrolling (paper Fig. 4b).
+        (Propagation::Ab, Layout::Aos) => 1.0,
+        (Propagation::Ab, Layout::Soa) => 0.80,
+        // AA's even step is purely cell-local, which suits SoA's
+        // vectorization; the layouts roughly tie (paper Fig. 4a).
+        (Propagation::Aa, Layout::Soa) => 1.0,
+        (Propagation::Aa, Layout::Aos) => 0.96,
+    };
+    let loop_structure = if config.unrolled { 1.0 } else { 0.90 };
+    layout * loop_structure
+}
+
+/// A fully described workload ready for timing.
+#[derive(Debug, Clone)]
+pub struct WorkloadTiming<'a> {
+    /// Communication census of the decomposition.
+    pub analysis: &'a DecompAnalysis,
+    /// Task-to-node placement.
+    pub placement: &'a Placement,
+    /// Counted (model-level) bytes per task per step (Eq. 9).
+    pub task_bytes: &'a [f64],
+    /// Bytes exchanged per boundary point per message (profile's
+    /// `n_point_comm_bytes`).
+    pub comm_bytes_per_point: f64,
+    /// Timesteps to run.
+    pub steps: u64,
+}
+
+/// The outcome of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedRun {
+    /// Seconds per timestep (after noise).
+    pub step_time_s: f64,
+    /// Total wall-clock seconds.
+    pub total_time_s: f64,
+    /// Throughput in millions of fluid-point updates per second (Eq. 7).
+    pub mflups: f64,
+    /// Memory time of the critical (slowest) task, seconds/step.
+    pub critical_mem_s: f64,
+    /// Intranodal communication time of the critical task, seconds/step.
+    pub critical_intra_s: f64,
+    /// Internodal communication time of the critical task, seconds/step.
+    pub critical_inter_s: f64,
+    /// Nodes occupied.
+    pub nodes_used: usize,
+    /// The noise factor applied.
+    pub noise_factor: f64,
+}
+
+/// Time a workload on a platform.
+///
+/// `time_h` is the wall-clock hour of the run (temporally correlated noise
+/// — the Table IV study samples every 6 hours); `seed` fixes the noise
+/// stream.
+///
+/// # Panics
+/// Panics if the placement spans more nodes than the platform has, or if
+/// array lengths disagree.
+pub fn simulate(
+    platform: &Platform,
+    workload: &WorkloadTiming<'_>,
+    overheads: &Overheads,
+    seed: u64,
+    time_h: f64,
+) -> SimulatedRun {
+    let n_tasks = workload.analysis.n_tasks;
+    assert_eq!(workload.task_bytes.len(), n_tasks, "task_bytes length");
+    assert_eq!(workload.placement.n_tasks(), n_tasks, "placement size");
+    let nodes_used = workload.placement.n_nodes();
+    assert!(
+        nodes_used <= platform.max_nodes(),
+        "{} nodes requested, platform {} has {}",
+        nodes_used,
+        platform.abbrev,
+        platform.max_nodes()
+    );
+
+    let tasks_per_node = workload.placement.tasks_per_node();
+
+    let mut worst_total = 0.0f64;
+    let mut critical = (0.0, 0.0, 0.0);
+    for task in 0..n_tasks {
+        let node = workload.placement.node_of(task);
+        // Co-tenants saturate memory channels alongside our ranks: the
+        // node curve is evaluated at the total active core count and our
+        // task gets one even share of it.
+        let on_node = (tasks_per_node[node] + overheads.cotenant_cores_per_node)
+            .min(platform.cores_per_node)
+            .max(1);
+        let t_mem = memory::memory_time_s(
+            platform,
+            on_node,
+            workload.task_bytes[task] * overheads.memory_traffic_factor,
+            overheads.lbm_bandwidth_efficiency,
+        );
+
+        let mut t_intra = 0.0;
+        let mut t_inter = 0.0;
+        for (&peer, &points) in &workload.analysis.messages[task] {
+            let bytes = points as f64 * workload.comm_bytes_per_point;
+            let kind = if workload.placement.is_internodal(task, peer) {
+                LinkKind::Internodal
+            } else {
+                LinkKind::Intranodal
+            };
+            // Send and matching receive, serialized per task (the paper's
+            // factor of two in Eq. 13).
+            let t = 2.0 * message_time_s(
+                platform,
+                kind,
+                bytes,
+                overheads.message_software_overhead_us,
+            );
+            match kind {
+                LinkKind::Intranodal => t_intra += t,
+                LinkKind::Internodal => t_inter += t,
+            }
+        }
+
+        let total = t_mem + t_intra + t_inter;
+        if total > worst_total {
+            worst_total = total;
+            critical = (t_mem, t_intra, t_inter);
+        }
+    }
+
+    let mut noise = NoiseProcess::new(platform.noise_cv, seed);
+    let noise_factor = noise.factor_at(time_h);
+    let step_time_s =
+        (worst_total + overheads.step_sync_overhead_us * 1e-6) * noise_factor;
+    let total_time_s = step_time_s * workload.steps as f64;
+    let updates = workload.analysis.total_points as f64 * workload.steps as f64;
+
+    SimulatedRun {
+        step_time_s,
+        total_time_s,
+        mflups: if total_time_s > 0.0 {
+            updates / total_time_s / 1e6
+        } else {
+            0.0
+        },
+        critical_mem_s: critical.0,
+        critical_intra_s: critical.1,
+        critical_inter_s: critical.2,
+        nodes_used,
+        noise_factor,
+    }
+}
+
+/// Convenience wrapper: decompose `grid` into `ranks` fluid-balanced RCB
+/// subdomains at one rank per core (HARVEY's load-balancing style), derive
+/// byte counts from the kernel's access profile, and time `steps`
+/// timesteps on `platform`.
+///
+/// Returns `None` when the rank count exceeds the platform's cores or the
+/// geometry's fluid-point count.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment's free variables
+pub fn simulate_geometry(
+    platform: &Platform,
+    grid: &VoxelGrid,
+    config: &KernelConfig,
+    ranks: usize,
+    steps: u64,
+    overheads: &Overheads,
+    seed: u64,
+    time_h: f64,
+) -> Option<SimulatedRun> {
+    if ranks == 0 || ranks > platform.total_cores || ranks > grid.fluid_count() {
+        return None;
+    }
+    let partition = RcbPartition::new(grid, ranks);
+    let analysis = DecompAnalysis::analyze(grid, &partition);
+    let placement = Placement::contiguous(ranks, platform.cores_per_node);
+    let avg_links = measured_avg_solid_links(grid);
+    let profile = AccessProfile::for_kernel(config, avg_links);
+    let task_bytes = bytes_per_task(grid, &partition, profile.bulk_bytes, profile.wall_bytes);
+    let workload = WorkloadTiming {
+        analysis: &analysis,
+        placement: &placement,
+        task_bytes: &task_bytes,
+        comm_bytes_per_point: profile.boundary_point_bytes,
+        steps,
+    };
+    let variant_overheads = Overheads {
+        lbm_bandwidth_efficiency: overheads.lbm_bandwidth_efficiency
+            * kernel_cpu_efficiency(config),
+        ..*overheads
+    };
+    Some(simulate(platform, &workload, &variant_overheads, seed, time_h))
+}
+
+/// Average solid-link count over wall cells of a grid (see
+/// `hemocloud_lbm::access_profile::average_solid_links` for the mesh-side
+/// equivalent).
+pub fn measured_avg_solid_links(grid: &VoxelGrid) -> f64 {
+    use hemocloud_geometry::classify::solid_link_count;
+    use hemocloud_geometry::voxel::CellType;
+    let mut total = 0usize;
+    let mut walls = 0usize;
+    for (x, y, z, c) in grid.iter_cells() {
+        if c == CellType::Wall {
+            total += solid_link_count(grid, x, y, z);
+            walls += 1;
+        }
+    }
+    if walls == 0 {
+        0.0
+    } else {
+        total as f64 / walls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+    use hemocloud_geometry::voxel::CellType;
+
+    fn cylinder() -> VoxelGrid {
+        CylinderSpec::default().with_resolution(10).build()
+    }
+
+    #[test]
+    fn more_ranks_run_faster_on_large_workloads() {
+        // Strong scaling pays off only while per-task memory time dominates
+        // message latency, so use a workload large enough for 64 ranks.
+        let g = CylinderSpec::default().with_resolution(36).build();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let r8 = simulate_geometry(&p, &g, &cfg, 8, 100, &oh, 1, 0.0).unwrap();
+        let r64 = simulate_geometry(&p, &g, &cfg, 64, 100, &oh, 1, 0.0).unwrap();
+        assert!(
+            r64.mflups > r8.mflups,
+            "64 ranks {} !> 8 ranks {}",
+            r64.mflups,
+            r8.mflups
+        );
+    }
+
+    #[test]
+    fn tiny_workloads_roll_over_at_high_rank_counts() {
+        // The flip side: on a small domain, internodal latency beats the
+        // shrinking memory share and scaling inverts — the accelerated
+        // drop the paper sees at high MPI ranks (its Figs. 7-8).
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let r8 = simulate_geometry(&p, &g, &cfg, 8, 100, &oh, 1, 0.0).unwrap();
+        let r64 = simulate_geometry(&p, &g, &cfg, 64, 100, &oh, 1, 0.0).unwrap();
+        assert!(
+            r8.mflups > r64.mflups,
+            "expected rollover: 8 ranks {} vs 64 ranks {}",
+            r8.mflups,
+            r64.mflups
+        );
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let g = cylinder();
+        let r = simulate_geometry(
+            &Platform::trc(),
+            &g,
+            &KernelConfig::harvey(),
+            1,
+            10,
+            &Overheads::default(),
+            1,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(r.critical_intra_s, 0.0);
+        assert_eq!(r.critical_inter_s, 0.0);
+        assert!(r.critical_mem_s > 0.0);
+        assert_eq!(r.nodes_used, 1);
+    }
+
+    #[test]
+    fn internodal_comm_appears_past_one_node() {
+        let g = cylinder();
+        let p = Platform::csp1(); // 16 cores/node
+        let r = simulate_geometry(
+            &p,
+            &g,
+            &KernelConfig::harvey(),
+            32,
+            10,
+            &Overheads::default(),
+            1,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(r.nodes_used, 2);
+        assert!(r.critical_inter_s > 0.0);
+    }
+
+    #[test]
+    fn overheads_slow_the_machine_down() {
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let ideal = simulate_geometry(&p, &g, &cfg, 16, 10, &Overheads::none(), 1, 0.0).unwrap();
+        let real =
+            simulate_geometry(&p, &g, &cfg, 16, 10, &Overheads::default(), 1, 0.0).unwrap();
+        assert!(
+            real.mflups < ideal.mflups,
+            "real {} !< ideal {}",
+            real.mflups,
+            ideal.mflups
+        );
+        // The gap is the consistent overprediction the models will show:
+        // between ~1.2x and ~2.5x in the memory-bound regime.
+        let ratio = ideal.mflups / real.mflups;
+        assert!((1.2..2.5).contains(&ratio), "overprediction ratio {ratio}");
+    }
+
+    #[test]
+    fn noise_varies_across_time_but_not_across_reruns() {
+        let g = cylinder();
+        let p = Platform::csp2_small();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let a = simulate_geometry(&p, &g, &cfg, 16, 10, &oh, 7, 0.0).unwrap();
+        let b = simulate_geometry(&p, &g, &cfg, 16, 10, &oh, 7, 0.0).unwrap();
+        assert_eq!(a, b, "same seed and time must reproduce");
+        let c = simulate_geometry(&p, &g, &cfg, 16, 10, &oh, 7, 6.0).unwrap();
+        assert_ne!(a.mflups, c.mflups, "different time should move noise");
+    }
+
+    #[test]
+    fn oversubscription_returns_none() {
+        let g = cylinder();
+        // CSP-1 has 48 cores total.
+        assert!(simulate_geometry(
+            &Platform::csp1(),
+            &g,
+            &KernelConfig::harvey(),
+            4096,
+            10,
+            &Overheads::default(),
+            1,
+            0.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn ec_beats_non_ec_at_scale() {
+        // The interconnect study: with 4 nodes' worth of ranks, the EC
+        // instance should outperform the plain one on the
+        // communication-heavy cylinder.
+        let g = cylinder();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let ec =
+            simulate_geometry(&Platform::csp2_ec(), &g, &cfg, 144, 10, &oh, 3, 0.0).unwrap();
+        let no_ec =
+            simulate_geometry(&Platform::csp2(), &g, &cfg, 144, 10, &oh, 3, 0.0).unwrap();
+        assert!(
+            ec.mflups > no_ec.mflups,
+            "EC {} !> no-EC {}",
+            ec.mflups,
+            no_ec.mflups
+        );
+    }
+
+    #[test]
+    fn layout_efficiency_matches_paper_observations() {
+        use hemocloud_lbm::kernel::{Layout, Propagation};
+        // AoS beats SoA for AB on CPUs...
+        let ab_aos = kernel_cpu_efficiency(&KernelConfig::proxy(Layout::Aos, Propagation::Ab, true));
+        let ab_soa = kernel_cpu_efficiency(&KernelConfig::proxy(Layout::Soa, Propagation::Ab, true));
+        assert!(ab_aos > ab_soa);
+        // ...but not for AA.
+        let aa_aos = kernel_cpu_efficiency(&KernelConfig::proxy(Layout::Aos, Propagation::Aa, true));
+        let aa_soa = kernel_cpu_efficiency(&KernelConfig::proxy(Layout::Soa, Propagation::Aa, true));
+        assert!(aa_soa >= aa_aos);
+        // Rolled loops always cost.
+        let rolled = kernel_cpu_efficiency(&KernelConfig::proxy(Layout::Soa, Propagation::Ab, false));
+        assert!(rolled < ab_soa);
+    }
+
+    #[test]
+    fn simulated_ab_layouts_differ_but_aa_nearly_tie() {
+        let g = cylinder();
+        use hemocloud_lbm::kernel::{Layout, Propagation};
+        let run = |layout, prop| {
+            simulate_geometry(
+                &Platform::csp2(),
+                &g,
+                &KernelConfig::proxy(layout, prop, true),
+                16,
+                10,
+                &Overheads::default(),
+                1,
+                0.0,
+            )
+            .unwrap()
+            .mflups
+        };
+        assert!(run(Layout::Aos, Propagation::Ab) > run(Layout::Soa, Propagation::Ab));
+        assert!(run(Layout::Soa, Propagation::Aa) >= run(Layout::Aos, Propagation::Aa));
+    }
+
+    #[test]
+    fn cotenants_slow_shared_nodes_down() {
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let exclusive = simulate_geometry(&p, &g, &cfg, 8, 10, &Overheads::default(), 1, 0.0)
+            .unwrap();
+        let shared = simulate_geometry(
+            &p,
+            &g,
+            &cfg,
+            8,
+            10,
+            &Overheads {
+                cotenant_cores_per_node: 28, // rest of the 36-core node busy
+                ..Default::default()
+            },
+            1,
+            0.0,
+        )
+        .unwrap();
+        assert!(
+            shared.mflups < exclusive.mflups,
+            "shared {} !< exclusive {}",
+            shared.mflups,
+            exclusive.mflups
+        );
+        // A full node of our own ranks sees no co-tenant effect (the node
+        // has no spare cores to share).
+        let full = simulate_geometry(&p, &g, &cfg, 36, 10, &Overheads::default(), 1, 0.0)
+            .unwrap();
+        let full_shared = simulate_geometry(
+            &p,
+            &g,
+            &cfg,
+            36,
+            10,
+            &Overheads {
+                cotenant_cores_per_node: 28,
+                ..Default::default()
+            },
+            1,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(full.mflups, full_shared.mflups);
+    }
+
+    #[test]
+    fn avg_solid_links_zero_for_all_bulk() {
+        let g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
+        assert_eq!(measured_avg_solid_links(&g), 0.0);
+    }
+}

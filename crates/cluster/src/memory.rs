@@ -1,0 +1,76 @@
+//! Node memory-subsystem model.
+//!
+//! Wraps a platform's ground-truth two-line curve with the sharing rule
+//! the paper assumes ("available memory bandwidth is linearly dependent on
+//! the number of tasks per node") and the measurement noise the simulated
+//! STREAM benchmark exhibits.
+
+use crate::platform::Platform;
+
+/// Node bandwidth (MB/s) with `threads` active threads — the quantity
+/// STREAM measures.
+pub fn node_bandwidth(platform: &Platform, threads: usize) -> f64 {
+    platform.memory.bandwidth(threads as f64)
+}
+
+/// Bandwidth available to *one* of `tasks_on_node` equal tasks saturating
+/// the node together: the paper's even-share assumption.
+pub fn per_task_bandwidth(platform: &Platform, tasks_on_node: usize) -> f64 {
+    assert!(tasks_on_node > 0);
+    node_bandwidth(platform, tasks_on_node) / tasks_on_node as f64
+}
+
+/// Seconds to move `bytes` from memory for one task sharing a node with
+/// `tasks_on_node - 1` peers, at `efficiency` of STREAM-copy bandwidth.
+pub fn memory_time_s(
+    platform: &Platform,
+    tasks_on_node: usize,
+    bytes: f64,
+    efficiency: f64,
+) -> f64 {
+    assert!(efficiency > 0.0 && efficiency <= 1.0);
+    let bw = per_task_bandwidth(platform, tasks_on_node) * efficiency;
+    bytes / (bw * 1e6) // MB/s → bytes/s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_task_share_splits_evenly() {
+        let p = Platform::csp2();
+        let full = node_bandwidth(&p, 36);
+        let share = per_task_bandwidth(&p, 36);
+        assert!((share * 36.0 - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_tasks_get_more_each() {
+        let p = Platform::trc();
+        assert!(per_task_bandwidth(&p, 4) > per_task_bandwidth(&p, 40));
+    }
+
+    #[test]
+    fn memory_time_scales_inverse_with_efficiency() {
+        let p = Platform::trc();
+        let t_full = memory_time_s(&p, 40, 1e9, 1.0);
+        let t_half = memory_time_s(&p, 40, 1e9, 0.5);
+        assert!((t_half / t_full - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_time_magnitude_is_sane() {
+        // 1 GB at ~55.6 GB/s node bandwidth over 40 tasks: each task gets
+        // ~1.39 GB/s, so 1 GB per task takes ~0.72 s.
+        let p = Platform::trc();
+        let t = memory_time_s(&p, 40, 1e9, 1.0);
+        assert!((0.5..1.0).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tasks_rejected() {
+        let _ = per_task_bandwidth(&Platform::trc(), 0);
+    }
+}

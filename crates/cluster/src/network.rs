@@ -1,0 +1,72 @@
+//! Interconnect timing helpers.
+//!
+//! Thin wrappers over the platform link ground truth that choose the right
+//! link for a message (intranodal vs. internodal) and convert units. The
+//! message-size sweep generator for the PingPong benchmark lives in
+//! [`crate::pingpong`].
+
+use crate::platform::{LinkTruth, Platform};
+
+/// Which fabric a message crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Both endpoints on one node (shared memory).
+    Intranodal,
+    /// Endpoints on different nodes (interconnect).
+    Internodal,
+}
+
+/// The ground-truth link of a platform for a message kind.
+pub fn link_of(platform: &Platform, kind: LinkKind) -> &LinkTruth {
+    match kind {
+        LinkKind::Intranodal => &platform.intranodal,
+        LinkKind::Internodal => &platform.internodal,
+    }
+}
+
+/// One-way transfer time in **seconds** for `bytes` over the given link
+/// kind, including a per-message software overhead (MPI stack costs beyond
+/// wire latency — one of the deliberately unmodeled terms; see
+/// [`crate::exec`]).
+pub fn message_time_s(
+    platform: &Platform,
+    kind: LinkKind,
+    bytes: f64,
+    software_overhead_us: f64,
+) -> f64 {
+    (link_of(platform, kind).transfer_time_us(bytes) + software_overhead_us) * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intranodal_beats_internodal() {
+        let p = Platform::csp2();
+        for bytes in [0.0, 1e3, 1e6] {
+            assert!(
+                message_time_s(&p, LinkKind::Intranodal, bytes, 0.0)
+                    < message_time_s(&p, LinkKind::Internodal, bytes, 0.0),
+                "bytes = {bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_adds_linearly() {
+        let p = Platform::trc();
+        let base = message_time_s(&p, LinkKind::Internodal, 1000.0, 0.0);
+        let with = message_time_s(&p, LinkKind::Internodal, 1000.0, 1.5);
+        assert!((with - base - 1.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trc_latency_advantage_over_csp2() {
+        // The paper: traditional clusters have far lower internodal latency
+        // than CSPs (2.01 µs vs 23.59 µs).
+        let trc = message_time_s(&Platform::trc(), LinkKind::Internodal, 0.0, 0.0);
+        let csp2 = message_time_s(&Platform::csp2(), LinkKind::Internodal, 0.0, 0.0);
+        assert!(csp2 / trc > 10.0, "ratio {}", csp2 / trc);
+    }
+}

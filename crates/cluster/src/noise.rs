@@ -1,0 +1,160 @@
+//! Temporally correlated performance noise.
+//!
+//! Cloud (and cluster) throughput varies run to run; the paper measures
+//! this over 7 days at 6-hour intervals (its Table IV) and finds small
+//! coefficients of variation (0.004-0.02). [`NoiseProcess`] generates a
+//! multiplicative slowdown factor with a target CV and AR(1) temporal
+//! correlation, so closely spaced samples co-vary (the "drift" visible in
+//! the paper's Fig. 3a) while the long-run spread matches the target.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An AR(1) lognormal-ish multiplicative noise process on a 6-hour grid.
+///
+/// The latent state evolves on fixed 6-hour grid steps from a seeded
+/// stream, so the *sample path is a deterministic function of the seed*:
+/// two processes with the same seed asked for times on the same path give
+/// consistent, correlated values — which lets independently constructed
+/// simulator runs (one per measurement) share one platform noise history.
+#[derive(Debug, Clone)]
+pub struct NoiseProcess {
+    rng: StdRng,
+    /// Target coefficient of variation of the factor.
+    cv: f64,
+    /// Correlation between consecutive grid samples.
+    rho_per_step: f64,
+    /// Grid spacing, hours.
+    step_h: f64,
+    /// Current latent state (standard normal marginally).
+    state: f64,
+    /// Grid steps taken so far.
+    steps_taken: u64,
+}
+
+impl NoiseProcess {
+    /// Create a process with the platform's CV, seeded deterministically.
+    pub fn new(cv: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&cv), "cv out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = gaussian(&mut rng);
+        Self {
+            rng,
+            cv,
+            rho_per_step: 0.6,
+            step_h: 6.0,
+            state,
+            steps_taken: 0,
+        }
+    }
+
+    /// Multiplicative slowdown factor (median 1) at absolute time
+    /// `time_h` hours. The state advances along the seeded grid path to
+    /// the requested time; equal or earlier times reuse the current state.
+    pub fn factor_at(&mut self, time_h: f64) -> f64 {
+        let target = (time_h.max(0.0) / self.step_h).floor() as u64;
+        while self.steps_taken < target {
+            let innovation = gaussian(&mut self.rng);
+            self.state = self.rho_per_step * self.state
+                + (1.0 - self.rho_per_step * self.rho_per_step).sqrt() * innovation;
+            self.steps_taken += 1;
+        }
+        // Lognormal with median 1: CV ≈ sigma for small sigma.
+        (self.cv * self.state).exp()
+    }
+
+    /// An independent draw ignoring temporal correlation (for one-off
+    /// runs).
+    pub fn independent_factor(&mut self) -> f64 {
+        (self.cv * gaussian(&mut self.rng)).exp()
+    }
+}
+
+/// Standard normal via Box-Muller (keeps the dependency set to `rand`
+/// itself; `rand_distr` would be overkill for one distribution).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = NoiseProcess::new(0.01, 7);
+        let mut b = NoiseProcess::new(0.01, 7);
+        for t in 1..20 {
+            assert_eq!(a.factor_at(t as f64), b.factor_at(t as f64));
+        }
+    }
+
+    #[test]
+    fn factors_are_near_one() {
+        let mut p = NoiseProcess::new(0.01, 3);
+        for t in 1..100 {
+            let f = p.factor_at(t as f64 * 6.0);
+            assert!((0.9..1.1).contains(&f), "factor {f}");
+        }
+    }
+
+    #[test]
+    fn empirical_cv_matches_target() {
+        let mut p = NoiseProcess::new(0.015, 11);
+        let samples: Vec<f64> = (1..2000).map(|t| p.factor_at(t as f64 * 24.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        let cv = var.sqrt() / mean;
+        assert!(
+            (cv - 0.015).abs() < 0.004,
+            "empirical CV {cv} vs target 0.015"
+        );
+    }
+
+    #[test]
+    fn nearby_samples_are_correlated() {
+        // Consecutive 1-hour samples should move together more than
+        // samples 10 days apart.
+        let mut p = NoiseProcess::new(0.02, 5);
+        let mut near_diffs = Vec::new();
+        let mut prev = p.factor_at(0.0);
+        for t in 1..400 {
+            let f = p.factor_at(t as f64);
+            near_diffs.push((f - prev).abs());
+            prev = f;
+        }
+        let mut q = NoiseProcess::new(0.02, 5);
+        let mut far_diffs = Vec::new();
+        let mut prev = q.factor_at(0.0);
+        for t in 1..400 {
+            let f = q.factor_at(t as f64 * 240.0);
+            far_diffs.push((f - prev).abs());
+            prev = f;
+        }
+        let near: f64 = near_diffs.iter().sum::<f64>() / near_diffs.len() as f64;
+        let far: f64 = far_diffs.iter().sum::<f64>() / far_diffs.len() as f64;
+        assert!(near < far, "near {near} !< far {far}");
+    }
+
+    #[test]
+    fn time_does_not_go_backwards() {
+        let mut p = NoiseProcess::new(0.01, 9);
+        let f1 = p.factor_at(12.0);
+        let f2 = p.factor_at(6.0); // earlier: reuse state
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cv out of range")]
+    fn absurd_cv_rejected() {
+        let _ = NoiseProcess::new(1.5, 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! The evaluated platforms (paper Table I) and their ground truth.
+//!
+//! Numbers sourced from the paper wherever it reports them:
+//!
+//! * topology, clocks, memory, interconnect line rate — Table I;
+//! * published and sustained node memory bandwidths — Table II;
+//! * two-line STREAM fit parameters `a1, a2, a3` and internodal PingPong
+//!   `b, l` — Table III.
+//!
+//! Quantities the paper does not report are synthetic and documented
+//! inline: intranodal link parameters, CSP-1 / CSP-2 Small interconnect
+//! parameters (Table III lists them as N/A), noise magnitudes (chosen to
+//! reproduce Table IV's variation coefficients) and prices (the paper
+//! never states rates; these are plausible on-demand numbers used only for
+//! *relative* cost comparisons).
+
+/// Ground-truth two-line memory-bandwidth curve (the generative model
+/// behind simulated STREAM measurements; same form as paper Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryTruth {
+    /// Core-limited slope, MB/s per thread.
+    pub a1: f64,
+    /// Subsystem-limited slope, MB/s per thread.
+    pub a2: f64,
+    /// Breakpoint, threads.
+    pub a3: f64,
+}
+
+impl MemoryTruth {
+    /// Node bandwidth (MB/s) at `threads` active threads.
+    #[inline]
+    pub fn bandwidth(&self, threads: f64) -> f64 {
+        if threads < self.a3 {
+            self.a1 * threads
+        } else {
+            self.a2 * threads + self.a3 * (self.a1 - self.a2)
+        }
+    }
+}
+
+/// Ground-truth point-to-point link: linear latency/bandwidth plus a mild
+/// convexity that large messages exhibit in practice (the measured
+/// "nonlinearity" the paper notes around its Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTruth {
+    /// Sustained bandwidth, MB/s.
+    pub bandwidth_mb_s: f64,
+    /// Zero-byte latency, microseconds.
+    pub latency_us: f64,
+    /// Convexity coefficient: extra time `nonlinearity_us_per_sqrt_byte *
+    /// sqrt(bytes)` µs — zero for an ideally linear link.
+    pub nonlinearity_us_per_sqrt_byte: f64,
+}
+
+impl LinkTruth {
+    /// One-way transfer time for a message of `bytes`, in microseconds.
+    #[inline]
+    pub fn transfer_time_us(&self, bytes: f64) -> f64 {
+        self.latency_us
+            + bytes / self.bandwidth_mb_s // MB/s == bytes/µs
+            + self.nonlinearity_us_per_sqrt_byte * bytes.max(0.0).sqrt()
+    }
+}
+
+/// A complete platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Full display name.
+    pub name: &'static str,
+    /// Paper abbreviation (TRC, CSP-1, ...).
+    pub abbrev: &'static str,
+    /// CPU model string (Table I).
+    pub cpu: &'static str,
+    /// Clock, GHz (Table I).
+    pub clock_ghz: f64,
+    /// Total cores available on the instance/allocation (Table I).
+    pub total_cores: usize,
+    /// Physical cores per node (Table I).
+    pub cores_per_node: usize,
+    /// Hardware threads per core exposed to the scheduler (1 unless the
+    /// instance is used hyperthreaded).
+    pub vcpus_per_core: usize,
+    /// Memory per node, GB (Table I).
+    pub memory_per_node_gb: f64,
+    /// Interconnect line rate, Gbit/s (Table I).
+    pub interconnect_gbit: f64,
+    /// Vendor-published maximum node memory bandwidth, MB/s (Table II).
+    pub published_bandwidth_mb_s: f64,
+    /// Ground-truth memory curve (Table III).
+    pub memory: MemoryTruth,
+    /// Ground-truth internodal link.
+    pub internodal: LinkTruth,
+    /// Ground-truth intranodal (shared-memory MPI) link. Synthetic: the
+    /// paper measures but does not tabulate intranodal parameters.
+    pub intranodal: LinkTruth,
+    /// Run-to-run multiplicative noise (coefficient of variation),
+    /// calibrated against Table IV.
+    pub noise_cv: f64,
+    /// Extra bandwidth variance past the memory knee, as a fraction —
+    /// models the paper's observation that CSP-2 shows "large variance
+    /// after its inflection point".
+    pub shared_channel_variance: f64,
+    /// On-demand price, $/node-hour. **Synthetic**; used for relative
+    /// comparisons only.
+    pub price_per_node_hour: f64,
+}
+
+impl Platform {
+    /// Traditional compute cluster: dual-socket Broadwell, InfiniBand.
+    pub fn trc() -> Self {
+        Self {
+            name: "Traditional Compute Cluster",
+            abbrev: "TRC",
+            cpu: "Intel Xeon E5-2699 v4",
+            clock_ghz: 2.19,
+            total_cores: 2000,
+            cores_per_node: 40,
+            vcpus_per_core: 1,
+            memory_per_node_gb: 471.0,
+            interconnect_gbit: 56.0,
+            published_bandwidth_mb_s: 76_800.0,
+            memory: MemoryTruth {
+                a1: 6768.24,
+                a2: 369.16,
+                a3: 6.39,
+            },
+            internodal: LinkTruth {
+                bandwidth_mb_s: 5066.57,
+                latency_us: 2.01,
+                nonlinearity_us_per_sqrt_byte: 0.002,
+            },
+            intranodal: LinkTruth {
+                bandwidth_mb_s: 8000.0,
+                latency_us: 0.6,
+                nonlinearity_us_per_sqrt_byte: 0.001,
+            },
+            noise_cv: 0.006,
+            shared_channel_variance: 0.01,
+            price_per_node_hour: 2.50,
+        }
+    }
+
+    /// Cloud 1: dedicated 16-core nodes.
+    pub fn csp1() -> Self {
+        Self {
+            name: "Cloud 1 - Dedicated",
+            abbrev: "CSP-1",
+            cpu: "Intel Xeon E5-2667 v3",
+            clock_ghz: 3.19,
+            total_cores: 48,
+            cores_per_node: 16,
+            vcpus_per_core: 1,
+            memory_per_node_gb: 16.0,
+            interconnect_gbit: 10.0,
+            published_bandwidth_mb_s: 68_000.0,
+            memory: MemoryTruth {
+                a1: 18_092.64,
+                a2: -62.79,
+                a3: 4.15,
+            },
+            // Table III lists CSP-1's link as N/A; synthetic values for a
+            // dedicated 10 Gbit/s InfiniBand-class fabric.
+            internodal: LinkTruth {
+                bandwidth_mb_s: 1100.0,
+                latency_us: 3.5,
+                nonlinearity_us_per_sqrt_byte: 0.004,
+            },
+            intranodal: LinkTruth {
+                bandwidth_mb_s: 9000.0,
+                latency_us: 0.5,
+                nonlinearity_us_per_sqrt_byte: 0.001,
+            },
+            noise_cv: 0.014,
+            shared_channel_variance: 0.02,
+            price_per_node_hour: 1.75,
+        }
+    }
+
+    /// Cloud 2, small nodes (8 cores / 16 vCPUs).
+    pub fn csp2_small() -> Self {
+        Self {
+            name: "Cloud 2 - Small",
+            abbrev: "CSP-2 Small",
+            cpu: "Intel Xeon E5-2666 v3",
+            clock_ghz: 2.42,
+            total_cores: 128,
+            cores_per_node: 8,
+            vcpus_per_core: 2,
+            memory_per_node_gb: 30.0,
+            interconnect_gbit: 10.0,
+            // Not in Table II; synthetic (share of a 4-channel DDR4-1866
+            // host seen by an 8-core instance slice).
+            published_bandwidth_mb_s: 40_000.0,
+            // Not in Table III; synthetic two-line curve saturating near
+            // 27 GB/s at the 8-core node — deliberately below CSP-1's
+            // per-core bandwidth so the Table IV ordering (CSP-1 faster
+            // than CSP-2 Small at matched ranks) is preserved.
+            memory: MemoryTruth {
+                a1: 6500.0,
+                a2: 300.0,
+                a3: 4.0,
+            },
+            internodal: LinkTruth {
+                bandwidth_mb_s: 900.0,
+                latency_us: 32.0,
+                nonlinearity_us_per_sqrt_byte: 0.006,
+            },
+            intranodal: LinkTruth {
+                bandwidth_mb_s: 7000.0,
+                latency_us: 0.7,
+                nonlinearity_us_per_sqrt_byte: 0.001,
+            },
+            noise_cv: 0.012,
+            shared_channel_variance: 0.03,
+            price_per_node_hour: 0.40,
+        }
+    }
+
+    /// Cloud 2, large nodes without the Enhanced Communicator.
+    pub fn csp2() -> Self {
+        Self {
+            name: "Cloud 2 - No EC",
+            abbrev: "CSP-2",
+            cpu: "Intel Xeon Platinum 8124M",
+            clock_ghz: 3.41,
+            total_cores: 144,
+            cores_per_node: 36,
+            vcpus_per_core: 2,
+            memory_per_node_gb: 144.0,
+            interconnect_gbit: 25.0,
+            published_bandwidth_mb_s: 162_720.0,
+            memory: MemoryTruth {
+                a1: 7790.02,
+                a2: 1264.80,
+                a3: 9.00,
+            },
+            internodal: LinkTruth {
+                bandwidth_mb_s: 1804.84,
+                latency_us: 23.59,
+                nonlinearity_us_per_sqrt_byte: 0.005,
+            },
+            intranodal: LinkTruth {
+                bandwidth_mb_s: 10_000.0,
+                latency_us: 0.5,
+                nonlinearity_us_per_sqrt_byte: 0.001,
+            },
+            noise_cv: 0.012,
+            shared_channel_variance: 0.06,
+            price_per_node_hour: 3.06,
+        }
+    }
+
+    /// Cloud 2, large nodes with the Enhanced Communicator interconnect.
+    pub fn csp2_ec() -> Self {
+        Self {
+            name: "Cloud 2 - With EC",
+            abbrev: "CSP-2 EC",
+            cpu: "Intel Xeon Platinum 8124M",
+            clock_ghz: 3.40,
+            total_cores: 144,
+            cores_per_node: 36,
+            vcpus_per_core: 2,
+            memory_per_node_gb: 192.0,
+            interconnect_gbit: 100.0,
+            published_bandwidth_mb_s: 162_720.0,
+            memory: MemoryTruth {
+                a1: 7605.85,
+                a2: 1269.95,
+                a3: 11.00,
+            },
+            internodal: LinkTruth {
+                bandwidth_mb_s: 2016.77,
+                latency_us: 20.94,
+                nonlinearity_us_per_sqrt_byte: 0.004,
+            },
+            intranodal: LinkTruth {
+                bandwidth_mb_s: 10_000.0,
+                latency_us: 0.5,
+                nonlinearity_us_per_sqrt_byte: 0.001,
+            },
+            noise_cv: 0.010,
+            shared_channel_variance: 0.05,
+            price_per_node_hour: 3.89,
+        }
+    }
+
+    /// The hyperthreaded CSP-2 instance (one OpenMP thread per vCPU, two
+    /// vCPUs per core) used in the paper's Fig. 5 / Table III. Memory
+    /// bandwidth *declines* past the knee (`a2 < 0`): hyperthreads add no
+    /// bandwidth, only contention.
+    pub fn csp2_hyperthreaded() -> Self {
+        Self {
+            name: "Cloud 2 - Hyperthreaded",
+            abbrev: "CSP-2 Hyp.",
+            cores_per_node: 72, // threads exposed; 36 physical cores
+            vcpus_per_core: 1,  // already counted as threads here
+            memory: MemoryTruth {
+                a1: 8629.29,
+                a2: -93.43,
+                a3: 9.87,
+            },
+            ..Self::csp2()
+        }
+    }
+
+    /// All platforms of the paper's Table I, in its column order.
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Self::trc(),
+            Self::csp1(),
+            Self::csp2_small(),
+            Self::csp2_ec(),
+            Self::csp2(),
+        ]
+    }
+
+    /// The three platforms compared in the paper's Fig. 11 heatmap.
+    pub fn fig11_platforms() -> Vec<Platform> {
+        vec![Self::trc(), Self::csp2(), Self::csp2_ec()]
+    }
+
+    /// Maximum whole nodes this allocation provides.
+    pub fn max_nodes(&self) -> usize {
+        self.total_cores / self.cores_per_node
+    }
+
+    /// Nodes needed to host `ranks` tasks at one rank per core (the
+    /// paper's node-based allocation assumption).
+    pub fn nodes_for_ranks(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Ground-truth sustained node bandwidth with every core active
+    /// (the "STREAM (MB/s)" row of Table II).
+    pub fn full_node_bandwidth(&self) -> f64 {
+        self.memory.bandwidth(self.cores_per_node as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_sustained_bandwidths_match_paper() {
+        // Table II: TRC ~55,625; CSP-1 ~74,273; CSP-2 ~104,259;
+        // CSP-2 EC ~115,413 MB/s. The ground-truth curves must reproduce
+        // them within rounding.
+        let cases = [
+            (Platform::trc(), 55_625.0),
+            (Platform::csp1(), 74_273.0),
+            (Platform::csp2(), 104_259.0),
+            (Platform::csp2_ec(), 115_413.0),
+        ];
+        for (p, expect) in cases {
+            let got = p.full_node_bandwidth();
+            assert!(
+                (got - expect).abs() / expect < 0.005,
+                "{}: {got} vs {expect}",
+                p.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn table2_percentage_differences_have_paper_signs() {
+        // The paper reports TRC, CSP-2, CSP-2 EC sustaining *below*
+        // published (−27.6%, −35.9%, −29.1%) and CSP-1 *above* (+9.2%).
+        for p in Platform::all() {
+            let diff = (p.full_node_bandwidth() - p.published_bandwidth_mb_s)
+                / p.published_bandwidth_mb_s;
+            match p.abbrev {
+                "TRC" => assert!((diff - (-0.2757)).abs() < 0.01, "TRC {diff}"),
+                "CSP-1" => assert!((diff - 0.0923).abs() < 0.01, "CSP-1 {diff}"),
+                "CSP-2" => assert!((diff - (-0.3592)).abs() < 0.01, "CSP-2 {diff}"),
+                "CSP-2 EC" => assert!((diff - (-0.2907)).abs() < 0.01, "EC {diff}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ec_link_beats_non_ec_by_paper_margins() {
+        // Paper: EC is 2.65 µs lower latency and 211.93 MB/s higher
+        // bandwidth than CSP-2 without EC.
+        let ec = Platform::csp2_ec().internodal;
+        let no_ec = Platform::csp2().internodal;
+        assert!((no_ec.latency_us - ec.latency_us - 2.65).abs() < 1e-9);
+        assert!((ec.bandwidth_mb_s - no_ec.bandwidth_mb_s - 211.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperthreaded_bandwidth_declines_past_knee() {
+        let hyp = Platform::csp2_hyperthreaded();
+        let at_knee = hyp.memory.bandwidth(hyp.memory.a3);
+        let at_full = hyp.memory.bandwidth(72.0);
+        assert!(at_full < at_knee, "{at_full} !< {at_knee}");
+    }
+
+    #[test]
+    fn link_time_is_latency_plus_linear_term() {
+        let l = LinkTruth {
+            bandwidth_mb_s: 2000.0,
+            latency_us: 20.0,
+            nonlinearity_us_per_sqrt_byte: 0.0,
+        };
+        assert!((l.transfer_time_us(0.0) - 20.0).abs() < 1e-12);
+        // 2 MB at 2000 MB/s = 1000 µs plus latency.
+        assert!((l.transfer_time_us(2_000_000.0) - 1020.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonlinearity_is_convex_but_mild() {
+        let l = Platform::csp2().internodal;
+        let t1 = l.transfer_time_us(1_000_000.0);
+        let linear = l.latency_us + 1_000_000.0 / l.bandwidth_mb_s;
+        assert!(t1 > linear);
+        assert!(t1 < 1.2 * linear, "nonlinearity too strong: {t1} vs {linear}");
+    }
+
+    #[test]
+    fn node_math() {
+        let p = Platform::trc();
+        assert_eq!(p.max_nodes(), 50);
+        assert_eq!(p.nodes_for_ranks(40), 1);
+        assert_eq!(p.nodes_for_ranks(41), 2);
+        assert_eq!(p.nodes_for_ranks(2048), 52);
+    }
+
+    #[test]
+    fn all_platforms_have_sane_parameters() {
+        for p in Platform::all().into_iter().chain([Platform::csp2_hyperthreaded()]) {
+            assert!(p.cores_per_node > 0, "{}", p.abbrev);
+            assert!(p.memory.a1 > 0.0, "{}", p.abbrev);
+            assert!(p.memory.a3 > 0.0, "{}", p.abbrev);
+            assert!(p.internodal.bandwidth_mb_s > 0.0, "{}", p.abbrev);
+            assert!(p.internodal.latency_us >= 0.0, "{}", p.abbrev);
+            assert!(p.noise_cv > 0.0 && p.noise_cv < 0.1, "{}", p.abbrev);
+            assert!(p.price_per_node_hour > 0.0, "{}", p.abbrev);
+            assert!(p.full_node_bandwidth() > 0.0, "{}", p.abbrev);
+        }
+    }
+}

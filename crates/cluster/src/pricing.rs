@@ -1,0 +1,118 @@
+//! Instance pricing and run-cost accounting.
+//!
+//! The paper's framework weighs throughput against cost ("one could weight
+//! these ratios by the relative cost of each instance") but never states
+//! rates; the per-platform `price_per_node_hour` values are **synthetic**
+//! plausible on-demand rates (documented in [`crate::platform`]) and all
+//! conclusions drawn from them are relative.
+
+use crate::exec::SimulatedRun;
+use crate::platform::Platform;
+
+/// Billing granularity of the provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Billing {
+    /// Pay for exact seconds used (modern cloud default).
+    PerSecond,
+    /// Round each node's usage up to whole hours (legacy cloud / typical
+    /// cluster accounting).
+    PerHour,
+}
+
+/// A pricing view over a set of platforms.
+#[derive(Debug, Clone)]
+pub struct PriceSheet {
+    /// Billing granularity applied to every platform.
+    pub billing: Billing,
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        Self {
+            billing: Billing::PerSecond,
+        }
+    }
+}
+
+impl PriceSheet {
+    /// Dollar cost of occupying `nodes` nodes for `seconds` on `platform`.
+    pub fn cost(&self, platform: &Platform, nodes: usize, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0);
+        let hours = match self.billing {
+            Billing::PerSecond => seconds / 3600.0,
+            Billing::PerHour => (seconds / 3600.0).ceil().max(1.0),
+        };
+        platform.price_per_node_hour * nodes as f64 * hours
+    }
+
+    /// Cost of a simulated run.
+    pub fn run_cost(&self, platform: &Platform, run: &SimulatedRun) -> f64 {
+        self.cost(platform, run.nodes_used, run.total_time_s)
+    }
+
+    /// Throughput per dollar: MFLUPS-seconds of work per dollar spent —
+    /// the paper's "flops/dollar"-style decision metric.
+    pub fn updates_per_dollar(&self, platform: &Platform, run: &SimulatedRun) -> f64 {
+        let cost = self.run_cost(platform, run);
+        if cost == 0.0 {
+            return f64::INFINITY;
+        }
+        run.mflups * run.total_time_s * 1e6 / cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_run(nodes: usize, seconds: f64, mflups: f64) -> SimulatedRun {
+        SimulatedRun {
+            step_time_s: seconds,
+            total_time_s: seconds,
+            mflups,
+            critical_mem_s: 0.0,
+            critical_intra_s: 0.0,
+            critical_inter_s: 0.0,
+            nodes_used: nodes,
+            noise_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn per_second_is_proportional() {
+        let sheet = PriceSheet::default();
+        let p = Platform::csp2();
+        let c1 = sheet.cost(&p, 2, 1800.0);
+        let c2 = sheet.cost(&p, 2, 3600.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
+        assert!((c2 - 2.0 * p.price_per_node_hour).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_hour_rounds_up() {
+        let sheet = PriceSheet {
+            billing: Billing::PerHour,
+        };
+        let p = Platform::csp1();
+        // 30 minutes bills as a full hour.
+        assert!((sheet.cost(&p, 1, 1800.0) - p.price_per_node_hour).abs() < 1e-9);
+        // 61 minutes bills as two hours.
+        assert!((sheet.cost(&p, 1, 3660.0) - 2.0 * p.price_per_node_hour).abs() < 1e-9);
+    }
+
+    #[test]
+    fn updates_per_dollar_favors_cheap_equal_throughput() {
+        let sheet = PriceSheet::default();
+        let run = dummy_run(1, 3600.0, 100.0);
+        let cheap = Platform::csp2_small();
+        let pricey = Platform::csp2_ec();
+        assert!(sheet.updates_per_dollar(&cheap, &run) > sheet.updates_per_dollar(&pricey, &run));
+    }
+
+    #[test]
+    fn zero_time_run_is_free() {
+        let sheet = PriceSheet::default();
+        let run = dummy_run(4, 0.0, 0.0);
+        assert_eq!(sheet.run_cost(&Platform::trc(), &run), 0.0);
+    }
+}

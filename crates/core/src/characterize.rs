@@ -1,0 +1,159 @@
+//! Platform characterization: microbenchmark → fit (the top half of the
+//! paper's Fig. 1 framework, producing the "CSP Option Dashboard" inputs
+//! and the Table III parameters).
+
+use hemocloud_cluster::network::LinkKind;
+use hemocloud_cluster::pingpong::{
+    default_message_sizes, fit_pingpong, pingpong_sweep, CommFit,
+};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_cluster::stream_bench::{stream_sweep, to_fit_arrays};
+use hemocloud_fitting::two_line::{fit_two_line, TwoLineFit};
+
+/// Fitted hardware parameters of one platform — a row of the paper's
+/// Table III.
+#[derive(Debug, Clone)]
+pub struct PlatformCharacterization {
+    /// The platform measured.
+    pub platform: Platform,
+    /// Two-line STREAM fit (`a1, a2, a3` of Eq. 8).
+    pub memory_fit: TwoLineFit,
+    /// Internodal PingPong fit (`b, l` of Eq. 12).
+    pub internodal_fit: CommFit,
+    /// Intranodal PingPong fit.
+    pub intranodal_fit: CommFit,
+}
+
+impl PlatformCharacterization {
+    /// Fitted node bandwidth (MB/s) with `threads` active.
+    pub fn node_bandwidth(&self, threads: usize) -> f64 {
+        self.memory_fit.eval(threads as f64)
+    }
+
+    /// Fitted per-task bandwidth share with `tasks_on_node` tasks
+    /// saturating the node (the paper's even-split assumption), MB/s.
+    pub fn per_task_bandwidth(&self, tasks_on_node: usize) -> f64 {
+        assert!(tasks_on_node > 0);
+        self.node_bandwidth(tasks_on_node) / tasks_on_node as f64
+    }
+
+    /// Communication fit for a link kind.
+    pub fn link_fit(&self, kind: LinkKind) -> &CommFit {
+        match kind {
+            LinkKind::Internodal => &self.internodal_fit,
+            LinkKind::Intranodal => &self.intranodal_fit,
+        }
+    }
+
+    /// Seconds to move `bytes` through a link per the fitted model:
+    /// `m/b + l` (Eq. 12).
+    pub fn message_time_s(&self, kind: LinkKind, bytes: f64) -> f64 {
+        let fit = self.link_fit(kind);
+        (bytes / fit.bandwidth_mb_s + fit.latency_us) * 1e-6
+    }
+}
+
+/// Characterize a platform by running its (simulated) microbenchmarks and
+/// fitting the paper's models. `seed` controls the measurement-noise
+/// streams, making characterizations reproducible.
+///
+/// # Panics
+/// Panics if any fit fails — on these platforms the sweeps are always
+/// fittable, so a failure indicates a broken measurement pipeline.
+pub fn characterize(platform: &Platform, seed: u64) -> PlatformCharacterization {
+    let (threads, bandwidths) = to_fit_arrays(&stream_sweep(platform, seed));
+    let memory_fit = fit_two_line(&threads, &bandwidths).expect("STREAM sweep is fittable");
+
+    let sizes = default_message_sizes();
+    let internodal_fit = fit_pingpong(&pingpong_sweep(
+        platform,
+        LinkKind::Internodal,
+        &sizes,
+        seed ^ 0x1e7e,
+    ))
+    .expect("internodal PingPong is fittable");
+    let intranodal_fit = fit_pingpong(&pingpong_sweep(
+        platform,
+        LinkKind::Intranodal,
+        &sizes,
+        seed ^ 0x17a4,
+    ))
+    .expect("intranodal PingPong is fittable");
+
+    PlatformCharacterization {
+        platform: platform.clone(),
+        memory_fit,
+        internodal_fit,
+        intranodal_fit,
+    }
+}
+
+/// Characterize every Table I platform.
+pub fn characterize_all(seed: u64) -> Vec<PlatformCharacterization> {
+    Platform::all()
+        .iter()
+        .map(|p| characterize(p, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_recovers_table3_parameters() {
+        // The full pipeline must land near the paper's Table III values
+        // for CSP-2: a1 ≈ 7790, a3 ≈ 9, b ≈ 1805 MB/s, l ≈ 23.6 µs.
+        let c = characterize(&Platform::csp2(), 42);
+        assert!(
+            (c.memory_fit.a1 - 7790.0).abs() / 7790.0 < 0.15,
+            "a1 = {}",
+            c.memory_fit.a1
+        );
+        assert!((c.memory_fit.a3 - 9.0).abs() < 3.0, "a3 = {}", c.memory_fit.a3);
+        assert!(
+            (c.internodal_fit.bandwidth_mb_s - 1804.84).abs() / 1804.84 < 0.15,
+            "b = {}",
+            c.internodal_fit.bandwidth_mb_s
+        );
+        assert!(
+            (c.internodal_fit.latency_us - 23.59).abs() / 23.59 < 0.2,
+            "l = {}",
+            c.internodal_fit.latency_us
+        );
+    }
+
+    #[test]
+    fn per_task_bandwidth_shrinks_with_contention() {
+        let c = characterize(&Platform::trc(), 7);
+        assert!(c.per_task_bandwidth(4) > c.per_task_bandwidth(40));
+    }
+
+    #[test]
+    fn intranodal_messages_are_cheaper() {
+        let c = characterize(&Platform::csp2(), 11);
+        for bytes in [0.0, 1e4, 1e6] {
+            assert!(
+                c.message_time_s(LinkKind::Intranodal, bytes)
+                    < c.message_time_s(LinkKind::Internodal, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn characterize_all_covers_table1() {
+        let all = characterize_all(3);
+        assert_eq!(all.len(), 5);
+        let abbrevs: Vec<_> = all.iter().map(|c| c.platform.abbrev).collect();
+        assert!(abbrevs.contains(&"TRC"));
+        assert!(abbrevs.contains(&"CSP-2 EC"));
+    }
+
+    #[test]
+    fn characterization_is_deterministic_per_seed() {
+        let a = characterize(&Platform::csp1(), 5);
+        let b = characterize(&Platform::csp1(), 5);
+        assert_eq!(a.memory_fit, b.memory_fit);
+        assert_eq!(a.internodal_fit, b.internodal_fit);
+    }
+}

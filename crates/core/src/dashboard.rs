@@ -1,0 +1,212 @@
+//! The CSP Option Dashboard (paper Fig. 1, Discussion §IV).
+//!
+//! For a given workload, the dashboard tabulates every (platform, rank
+//! count) option with its predicted throughput, time-to-solution and
+//! dollar cost, then recommends an option under a user-chosen objective:
+//! maximum throughput, minimum cost, or cheapest-within-deadline —
+//! "it is ultimately up to the end user to determine what is important to
+//! them and define an appropriate cost metric to fit".
+
+use crate::characterize::PlatformCharacterization;
+use crate::general::GeneralModel;
+use crate::workload::Workload;
+use hemocloud_cluster::pricing::PriceSheet;
+
+/// The user's optimization objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Fastest time to solution regardless of cost.
+    MaxThroughput,
+    /// Cheapest total cost regardless of time.
+    MinCost,
+    /// Cheapest option that finishes within the deadline (seconds).
+    Deadline(f64),
+}
+
+/// One row of the dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardEntry {
+    /// Platform abbreviation.
+    pub platform: String,
+    /// Ranks (one per core).
+    pub ranks: usize,
+    /// Whole nodes billed.
+    pub nodes: usize,
+    /// Predicted throughput, MFLUPS.
+    pub predicted_mflups: f64,
+    /// Predicted wall-clock seconds for the whole campaign.
+    pub time_to_solution_s: f64,
+    /// Predicted total cost, dollars.
+    pub cost_dollars: f64,
+    /// Work per dollar: fluid-point updates per dollar.
+    pub updates_per_dollar: f64,
+}
+
+/// The dashboard: all options for one workload.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    /// Workload the options were computed for.
+    pub workload_name: String,
+    /// All feasible options.
+    pub entries: Vec<DashboardEntry>,
+}
+
+impl Dashboard {
+    /// Build the dashboard from characterized platforms.
+    ///
+    /// Each platform contributes one entry per rank option that fits its
+    /// allocation (rank counts above `total_cores` are skipped — unlike
+    /// pure prediction, the dashboard only offers options the user can
+    /// actually buy).
+    pub fn build(
+        characterizations: &[PlatformCharacterization],
+        workload: &Workload,
+        rank_options: &[usize],
+        prices: &PriceSheet,
+    ) -> Self {
+        let mut entries = Vec::new();
+        for character in characterizations {
+            let platform = &character.platform;
+            let model = GeneralModel::from_characterization(character, workload);
+            for &ranks in rank_options {
+                if ranks == 0 || ranks > platform.total_cores {
+                    continue;
+                }
+                let prediction = model.predict(ranks);
+                if prediction.mflups <= 0.0 {
+                    continue;
+                }
+                let time = prediction.time_for_steps(workload.steps);
+                let nodes = platform.nodes_for_ranks(ranks);
+                let cost = prices.cost(platform, nodes, time);
+                entries.push(DashboardEntry {
+                    platform: platform.abbrev.to_string(),
+                    ranks,
+                    nodes,
+                    predicted_mflups: prediction.mflups,
+                    time_to_solution_s: time,
+                    cost_dollars: cost,
+                    updates_per_dollar: if cost > 0.0 {
+                        workload.total_updates() / cost
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+            }
+        }
+        Self {
+            workload_name: workload.name.clone(),
+            entries,
+        }
+    }
+
+    /// Recommend an option under an objective. Returns `None` when no
+    /// entry qualifies (e.g. an unmeetable deadline).
+    pub fn recommend(&self, objective: Objective) -> Option<&DashboardEntry> {
+        match objective {
+            Objective::MaxThroughput => self
+                .entries
+                .iter()
+                .min_by(|a, b| a.time_to_solution_s.total_cmp(&b.time_to_solution_s)),
+            Objective::MinCost => self
+                .entries
+                .iter()
+                .min_by(|a, b| a.cost_dollars.total_cmp(&b.cost_dollars)),
+            Objective::Deadline(seconds) => self
+                .entries
+                .iter()
+                .filter(|e| e.time_to_solution_s <= seconds)
+                .min_by(|a, b| a.cost_dollars.total_cmp(&b.cost_dollars)),
+        }
+    }
+
+    /// All entries for one platform, sorted by rank count.
+    pub fn for_platform(&self, abbrev: &str) -> Vec<&DashboardEntry> {
+        let mut v: Vec<&DashboardEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.platform == abbrev)
+            .collect();
+        v.sort_by_key(|e| e.ranks);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use hemocloud_cluster::platform::Platform;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+
+    fn dashboard() -> Dashboard {
+        let grid = CylinderSpec::default().with_resolution(12).build();
+        let workload = Workload::harvey(&grid, 10_000);
+        let characterizations: Vec<_> = [Platform::trc(), Platform::csp2(), Platform::csp2_small()]
+            .iter()
+            .map(|p| characterize(p, 42))
+            .collect();
+        Dashboard::build(
+            &characterizations,
+            &workload,
+            &[16, 32, 64, 128, 512],
+            &PriceSheet::default(),
+        )
+    }
+
+    #[test]
+    fn respects_platform_allocations() {
+        let d = dashboard();
+        // CSP-2 offers 144 cores: no 512-rank entry; CSP-2 Small offers
+        // 128: the 128-rank option exists.
+        assert!(d.for_platform("CSP-2").iter().all(|e| e.ranks <= 144));
+        assert!(d
+            .for_platform("CSP-2 Small")
+            .iter()
+            .any(|e| e.ranks == 128));
+        // TRC has 2000 cores: 512 ranks present.
+        assert!(d.for_platform("TRC").iter().any(|e| e.ranks == 512));
+    }
+
+    #[test]
+    fn throughput_recommendation_is_fastest() {
+        let d = dashboard();
+        let best = d.recommend(Objective::MaxThroughput).unwrap();
+        for e in &d.entries {
+            assert!(best.time_to_solution_s <= e.time_to_solution_s);
+        }
+    }
+
+    #[test]
+    fn cost_recommendation_is_cheapest() {
+        let d = dashboard();
+        let best = d.recommend(Objective::MinCost).unwrap();
+        for e in &d.entries {
+            assert!(best.cost_dollars <= e.cost_dollars);
+        }
+    }
+
+    #[test]
+    fn deadline_filters_then_minimizes_cost() {
+        let d = dashboard();
+        let fastest = d.recommend(Objective::MaxThroughput).unwrap();
+        let within = d
+            .recommend(Objective::Deadline(fastest.time_to_solution_s * 4.0))
+            .unwrap();
+        assert!(within.time_to_solution_s <= fastest.time_to_solution_s * 4.0);
+        // Impossible deadline yields no recommendation.
+        assert!(d
+            .recommend(Objective::Deadline(fastest.time_to_solution_s * 1e-6))
+            .is_none());
+    }
+
+    #[test]
+    fn entries_have_consistent_cost_metrics() {
+        let d = dashboard();
+        for e in &d.entries {
+            assert!(e.cost_dollars > 0.0);
+            assert!(e.updates_per_dollar.is_finite());
+            assert!(e.nodes >= 1);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Model-driven job limits: protection against inadvertent cost overruns.
+//!
+//! The paper: "the user could allow a 10% tolerance on the prediction and
+//! set a hard stop on the number of CPU hours allowed for that job or
+//! dollars spent ... A performance model-driven limit would help flag
+//! simulations that are vastly out of line with the prediction."
+//! [`JobGuard`] turns a prediction plus tolerance into those hard limits
+//! and classifies observed usage against them.
+
+use crate::composition::Prediction;
+use hemocloud_cluster::platform::Platform;
+
+/// Hard limits derived from a prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobGuard {
+    /// Predicted wall-clock seconds for the full job.
+    pub predicted_seconds: f64,
+    /// Tolerance fraction on top of the prediction (0.10 = 10%).
+    pub tolerance: f64,
+    /// Hard wall-clock stop, seconds.
+    pub max_seconds: f64,
+    /// Hard CPU-hours stop.
+    pub max_cpu_hours: f64,
+    /// Hard dollar stop.
+    pub max_dollars: f64,
+    /// Ranks (cores) the job uses.
+    pub ranks: usize,
+    /// Nodes the job occupies.
+    pub nodes: usize,
+}
+
+/// Outcome of checking observed usage against a guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    /// Usage is within every limit.
+    WithinLimits,
+    /// A limit was crossed: the job should be stopped and flagged.
+    Exceeded {
+        /// Elapsed seconds over the wall-clock limit (0 if within).
+        seconds_over: f64,
+        /// Dollars over the cost limit (0 if within).
+        dollars_over: f64,
+    },
+}
+
+impl JobGuard {
+    /// Build a guard from a model prediction for a `steps`-step job on
+    /// `platform`, with a fractional `tolerance`.
+    ///
+    /// # Panics
+    /// Panics on a negative tolerance.
+    pub fn from_prediction(
+        prediction: &Prediction,
+        steps: u64,
+        platform: &Platform,
+        tolerance: f64,
+    ) -> Self {
+        assert!(tolerance >= 0.0, "negative tolerance");
+        let predicted_seconds = prediction.time_for_steps(steps);
+        let max_seconds = predicted_seconds * (1.0 + tolerance);
+        let nodes = platform.nodes_for_ranks(prediction.ranks);
+        let cores = nodes * platform.cores_per_node;
+        let max_cpu_hours = max_seconds / 3600.0 * cores as f64;
+        let max_dollars = max_seconds / 3600.0 * nodes as f64 * platform.price_per_node_hour;
+        Self {
+            predicted_seconds,
+            tolerance,
+            max_seconds,
+            max_cpu_hours,
+            max_dollars,
+            ranks: prediction.ranks,
+            nodes,
+        }
+    }
+
+    /// Check observed elapsed time and spend against the limits.
+    pub fn check(&self, elapsed_seconds: f64, dollars_spent: f64) -> GuardVerdict {
+        let seconds_over = (elapsed_seconds - self.max_seconds).max(0.0);
+        let dollars_over = (dollars_spent - self.max_dollars).max(0.0);
+        if seconds_over > 0.0 || dollars_over > 0.0 {
+            GuardVerdict::Exceeded {
+                seconds_over,
+                dollars_over,
+            }
+        } else {
+            GuardVerdict::WithinLimits
+        }
+    }
+
+    /// Remaining wall-clock budget after `elapsed_seconds`.
+    pub fn remaining_seconds(&self, elapsed_seconds: f64) -> f64 {
+        (self.max_seconds - elapsed_seconds).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::{Composition, Prediction};
+
+    fn prediction() -> Prediction {
+        Prediction::from_composition(
+            72,
+            1_000_000,
+            Composition {
+                mem_s: 0.001,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn limits_scale_with_tolerance() {
+        let p = prediction();
+        let platform = Platform::csp2();
+        let tight = JobGuard::from_prediction(&p, 1000, &platform, 0.0);
+        let loose = JobGuard::from_prediction(&p, 1000, &platform, 0.10);
+        assert!((loose.max_seconds / tight.max_seconds - 1.10).abs() < 1e-9);
+        assert!((tight.max_seconds - 1.0).abs() < 1e-9); // 1000 × 1 ms
+    }
+
+    #[test]
+    fn verdict_boundaries() {
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.10);
+        assert_eq!(guard.check(1.0, 0.0), GuardVerdict::WithinLimits);
+        assert_eq!(guard.check(guard.max_seconds, 0.0), GuardVerdict::WithinLimits);
+        match guard.check(guard.max_seconds + 0.5, 0.0) {
+            GuardVerdict::Exceeded { seconds_over, .. } => {
+                assert!((seconds_over - 0.5).abs() < 1e-9)
+            }
+            v => panic!("expected exceed, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_limit_trips_independently() {
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.10);
+        match guard.check(0.1, guard.max_dollars * 2.0) {
+            GuardVerdict::Exceeded {
+                seconds_over,
+                dollars_over,
+            } => {
+                assert_eq!(seconds_over, 0.0);
+                assert!(dollars_over > 0.0);
+            }
+            v => panic!("expected exceed, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cpu_hours_account_whole_nodes() {
+        let p = prediction(); // 72 ranks on CSP-2 = 2 × 36-core nodes
+        let guard = JobGuard::from_prediction(&p, 3_600_000, &Platform::csp2(), 0.0);
+        // 3.6M steps × 1 ms = 3600 s = 1 h on 72 cores -> 72 CPU-hours.
+        assert!((guard.max_cpu_hours - 72.0).abs() < 1e-6);
+        assert_eq!(guard.nodes, 2);
+    }
+
+    #[test]
+    fn remaining_budget_floors_at_zero() {
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.0);
+        assert_eq!(guard.remaining_seconds(guard.max_seconds * 3.0), 0.0);
+    }
+}

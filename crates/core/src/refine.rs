@@ -1,0 +1,154 @@
+//! Iterative model refinement from observed runs.
+//!
+//! The paper: "Storing all measured performance along with the estimated
+//! performance model prediction will be critical to iteratively refining
+//! the performance models to correctly capture retrospective values as
+//! well as predict future behavior with sufficient accuracy."
+//!
+//! [`ModelCalibrator`] is that store plus the simplest useful refinement:
+//! a multiplicative efficiency factor fit by least squares through the
+//! origin (measured time ≈ factor × predicted time). Because the
+//! simulator's unmodeled overheads are *consistent* — the paper's own
+//! observation — one scalar recovers most of the bias; the residual MAPE
+//! quantifies what a richer model would have to explain.
+
+use hemocloud_fitting::linear::fit_proportional;
+use hemocloud_fitting::metrics::mape;
+
+/// One observation: a model prediction and the measured outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Ranks the run used.
+    pub ranks: usize,
+    /// Predicted step time, seconds.
+    pub predicted_step_s: f64,
+    /// Measured step time, seconds.
+    pub measured_step_s: f64,
+}
+
+/// A store of observations and the calibration fit over them.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCalibrator {
+    observations: Vec<Observation>,
+}
+
+impl ModelCalibrator {
+    /// An empty calibrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation.
+    ///
+    /// # Panics
+    /// Panics on non-positive times.
+    pub fn record(&mut self, ranks: usize, predicted_step_s: f64, measured_step_s: f64) {
+        assert!(
+            predicted_step_s > 0.0 && measured_step_s > 0.0,
+            "non-positive step time"
+        );
+        self.observations.push(Observation {
+            ranks,
+            predicted_step_s,
+            measured_step_s,
+        });
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The stored observations.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The fitted efficiency factor `measured ≈ factor × predicted`.
+    /// Returns 1 (identity) with no data.
+    pub fn correction_factor(&self) -> f64 {
+        if self.observations.is_empty() {
+            return 1.0;
+        }
+        let xs: Vec<f64> = self.observations.iter().map(|o| o.predicted_step_s).collect();
+        let ys: Vec<f64> = self.observations.iter().map(|o| o.measured_step_s).collect();
+        fit_proportional(&xs, &ys).map(|f| f.slope).unwrap_or(1.0)
+    }
+
+    /// Apply the calibration to a raw predicted step time.
+    pub fn corrected_step_s(&self, predicted_step_s: f64) -> f64 {
+        predicted_step_s * self.correction_factor()
+    }
+
+    /// MAPE (%) of the raw model over the stored observations.
+    pub fn raw_error_pct(&self) -> f64 {
+        let pred: Vec<f64> = self.observations.iter().map(|o| o.predicted_step_s).collect();
+        let meas: Vec<f64> = self.observations.iter().map(|o| o.measured_step_s).collect();
+        mape(&pred, &meas)
+    }
+
+    /// MAPE (%) of the calibrated model over the stored observations.
+    pub fn calibrated_error_pct(&self) -> f64 {
+        let k = self.correction_factor();
+        let pred: Vec<f64> = self
+            .observations
+            .iter()
+            .map(|o| o.predicted_step_s * k)
+            .collect();
+        let meas: Vec<f64> = self.observations.iter().map(|o| o.measured_step_s).collect();
+        mape(&pred, &meas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_calibrator_is_identity() {
+        let c = ModelCalibrator::new();
+        assert_eq!(c.correction_factor(), 1.0);
+        assert_eq!(c.corrected_step_s(2.0), 2.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn recovers_constant_bias_exactly() {
+        // Measurements exactly 1.6x the predictions: calibration should
+        // drive the error to ~0.
+        let mut c = ModelCalibrator::new();
+        for (ranks, pred) in [(8usize, 0.010), (16, 0.006), (32, 0.004)] {
+            c.record(ranks, pred, pred * 1.6);
+        }
+        assert!((c.correction_factor() - 1.6).abs() < 1e-9);
+        assert!(c.raw_error_pct() > 30.0);
+        assert!(c.calibrated_error_pct() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_reduces_error_under_noise() {
+        let mut c = ModelCalibrator::new();
+        let biases = [1.5, 1.7, 1.6, 1.55, 1.65];
+        for (i, &b) in biases.iter().enumerate() {
+            let pred = 0.01 / (i + 1) as f64;
+            c.record(8 << i, pred, pred * b);
+        }
+        assert!(
+            c.calibrated_error_pct() < c.raw_error_pct(),
+            "calibrated {} !< raw {}",
+            c.calibrated_error_pct(),
+            c.raw_error_pct()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive step time")]
+    fn rejects_zero_times() {
+        ModelCalibrator::new().record(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! FLOP-roofline extension (paper Discussion §IV).
+//!
+//! The base model assumes LBM is purely bandwidth-bound and "ignores costs
+//! including time for floating point operations". The paper proposes
+//! extending it "by adding the theoretical runtime predicted by the
+//! roofline model" for other hardware limits. This module does that for
+//! floating-point throughput:
+//!
+//! * [`FlopProfile`] counts the arithmetic per fluid-point update;
+//! * [`Roofline`] holds a platform's per-core peak FLOP rate;
+//! * [`roofline_prediction`] augments a prediction with the compute term
+//!   and reports the arithmetic intensity vs. machine balance — which
+//!   *confirms* the memory-bound premise (D3Q19 BGK sits far left of the
+//!   ridge on every Table I platform) rather than assuming it.
+
+use crate::characterize::PlatformCharacterization;
+use crate::composition::{Composition, Prediction};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_lbm::access_profile::AccessProfile;
+
+/// Floating-point work per fluid-point update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlopProfile {
+    /// Floating-point operations per point per timestep.
+    pub flops_per_point: f64,
+}
+
+impl FlopProfile {
+    /// D3Q19 BGK: per direction ~3 FMAs for `c·u`, ~4 ops for the
+    /// quadratic equilibrium, 3 for the relaxation, plus the moment sums —
+    /// ≈ 260 flops per point in our kernels (counted from
+    /// `equilibrium_d3q19` + `collide`).
+    pub fn d3q19_bgk() -> Self {
+        Self {
+            flops_per_point: 260.0,
+        }
+    }
+}
+
+/// A platform's floating-point ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak double-precision GFLOP/s per core.
+    pub gflops_per_core: f64,
+}
+
+impl Roofline {
+    /// Conservative peak from the clock: 8 DP flops/cycle (one 256-bit FMA
+    /// unit) — the right order for the paper's Haswell/Broadwell/Skylake
+    /// parts without crediting unsustainable dual-issue peaks.
+    pub fn from_platform(platform: &Platform) -> Self {
+        Self {
+            gflops_per_core: platform.clock_ghz * 8.0,
+        }
+    }
+
+    /// Seconds for one task to execute `flops` floating-point operations.
+    pub fn compute_time_s(&self, flops: f64) -> f64 {
+        flops / (self.gflops_per_core * 1e9)
+    }
+}
+
+/// Arithmetic intensity of a kernel on a geometry: flops per byte moved.
+pub fn arithmetic_intensity(
+    profile: &AccessProfile,
+    flop: &FlopProfile,
+    stats: &hemocloud_geometry::stats::GeometryStats,
+) -> f64 {
+    let bytes = profile.bytes_per_point(stats);
+    if bytes == 0.0 {
+        0.0
+    } else {
+        flop.flops_per_point / bytes
+    }
+}
+
+/// Machine balance at a given per-task bandwidth share: the intensity at
+/// which compute and memory times are equal (the roofline ridge point).
+pub fn machine_balance(roofline: &Roofline, per_task_bandwidth_mb_s: f64) -> f64 {
+    roofline.gflops_per_core * 1e9 / (per_task_bandwidth_mb_s * 1e6)
+}
+
+/// Augment a generalized/direct prediction with the FLOP-roofline term:
+/// the compute time of the slowest task is *added* to the step (the
+/// paper's "adding the theoretical runtime" approximation). Returns the
+/// augmented prediction and whether the workload is memory-bound at this
+/// configuration (intensity below the ridge).
+pub fn roofline_prediction(
+    base: &Prediction,
+    character: &PlatformCharacterization,
+    flop: &FlopProfile,
+    points: usize,
+    profile: &AccessProfile,
+    stats: &hemocloud_geometry::stats::GeometryStats,
+) -> (Prediction, bool) {
+    let roofline = Roofline::from_platform(&character.platform);
+    let tasks_per_node = base.ranks.min(character.platform.cores_per_node);
+    let per_task_bw = character.per_task_bandwidth(tasks_per_node.max(1));
+
+    let points_per_task = points as f64 / base.ranks as f64;
+    let compute_s = roofline.compute_time_s(points_per_task * flop.flops_per_point);
+
+    let intensity = arithmetic_intensity(profile, flop, stats);
+    let balance = machine_balance(&roofline, per_task_bw);
+    let memory_bound = intensity < balance;
+
+    let composition = Composition {
+        compute_s,
+        ..base.composition
+    };
+    (
+        Prediction::from_composition(base.ranks, points, composition),
+        memory_bound,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use crate::general::GeneralModel;
+    use crate::workload::Workload;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+
+    fn setup() -> (PlatformCharacterization, Workload) {
+        let grid = CylinderSpec::default().with_resolution(12).build();
+        (
+            characterize(&Platform::csp2(), 42),
+            Workload::harvey(&grid, 100),
+        )
+    }
+
+    #[test]
+    fn d3q19_bgk_is_memory_bound_on_every_platform() {
+        // The paper's premise ("LBM is known to be bandwidth-bound"),
+        // checked instead of assumed: intensity << machine balance at full
+        // node occupancy everywhere.
+        let (_, workload) = setup();
+        let flop = FlopProfile::d3q19_bgk();
+        let intensity = arithmetic_intensity(&workload.profile, &flop, &workload.stats);
+        for p in Platform::all() {
+            let roofline = Roofline::from_platform(&p);
+            let c = characterize(&p, 42);
+            let balance = machine_balance(&roofline, c.per_task_bandwidth(p.cores_per_node));
+            assert!(
+                intensity < 0.5 * balance,
+                "{}: intensity {intensity} vs balance {balance}",
+                p.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn roofline_term_changes_prediction_only_modestly() {
+        // Because the kernel is memory-bound, adding the compute term must
+        // not move the prediction much (< 25%).
+        let (character, workload) = setup();
+        let model = GeneralModel::from_characterization(&character, &workload);
+        let base = model.predict(36);
+        let (augmented, memory_bound) = roofline_prediction(
+            &base,
+            &character,
+            &FlopProfile::d3q19_bgk(),
+            workload.points(),
+            &workload.profile,
+            &workload.stats,
+        );
+        assert!(memory_bound);
+        assert!(augmented.mflups < base.mflups, "compute time adds");
+        assert!(
+            augmented.mflups > 0.75 * base.mflups,
+            "roofline term too large: {} vs {}",
+            augmented.mflups,
+            base.mflups
+        );
+        assert!(augmented.composition.compute_s > 0.0);
+    }
+
+    #[test]
+    fn compute_time_scales_with_clock() {
+        let fast = Roofline::from_platform(&Platform::csp2()); // 3.41 GHz
+        let slow = Roofline::from_platform(&Platform::trc()); // 2.19 GHz
+        assert!(fast.compute_time_s(1e9) < slow.compute_time_s(1e9));
+    }
+}

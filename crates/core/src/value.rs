@@ -1,0 +1,150 @@
+//! Relative value of computing infrastructures (paper Eq. 17 / Fig. 11).
+//!
+//! `r_{B,A} = T_sim-A / T_sim-B = MFLUPS_B / MFLUPS_A`: how much faster
+//! platform B runs the workload than platform A. Plotted as a heatmap (B
+//! on rows, A on columns) it makes the optimal hardware visible at a
+//! glance; weighting by cost turns it into a price/performance decision.
+
+/// A labeled relative-value matrix: `values[b][a] = r_{B,A}`.
+#[derive(Debug, Clone)]
+pub struct ValueMatrix {
+    /// Row/column labels (platform abbreviations), in input order.
+    pub labels: Vec<String>,
+    /// The matrix, rows = B, columns = A.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl ValueMatrix {
+    /// Entry `r_{B,A}` by index.
+    pub fn get(&self, b: usize, a: usize) -> f64 {
+        self.values[b][a]
+    }
+
+    /// Index of the best (fastest) platform: the row whose minimum entry
+    /// is largest (it dominates every comparison).
+    pub fn best(&self) -> usize {
+        (0..self.labels.len())
+            .max_by(|&i, &j| {
+                let min_i = self.values[i].iter().cloned().fold(f64::INFINITY, f64::min);
+                let min_j = self.values[j].iter().cloned().fold(f64::INFINITY, f64::min);
+                min_i.total_cmp(&min_j)
+            })
+            .expect("non-empty matrix")
+    }
+}
+
+/// Build the Eq. 17 matrix from `(label, mflups)` pairs.
+///
+/// # Panics
+/// Panics on empty input or non-positive throughputs.
+pub fn relative_value_matrix(entries: &[(String, f64)]) -> ValueMatrix {
+    assert!(!entries.is_empty(), "empty matrix");
+    assert!(
+        entries.iter().all(|&(_, m)| m > 0.0),
+        "non-positive throughput"
+    );
+    let labels: Vec<String> = entries.iter().map(|(l, _)| l.clone()).collect();
+    let values = entries
+        .iter()
+        .map(|&(_, mb)| entries.iter().map(|&(_, ma)| mb / ma).collect())
+        .collect();
+    ValueMatrix { labels, values }
+}
+
+/// Cost-weighted relative value: `r_{B,A} · (cost_A / cost_B)` — platform
+/// B's advantage per dollar relative to A. Entries > 1 mean B does more
+/// work per dollar.
+pub fn cost_weighted_matrix(entries: &[(String, f64, f64)]) -> ValueMatrix {
+    assert!(!entries.is_empty(), "empty matrix");
+    assert!(
+        entries.iter().all(|&(_, m, c)| m > 0.0 && c > 0.0),
+        "non-positive throughput or cost"
+    );
+    let labels: Vec<String> = entries.iter().map(|(l, _, _)| l.clone()).collect();
+    let values = entries
+        .iter()
+        .map(|&(_, mb, cb)| {
+            entries
+                .iter()
+                .map(|&(_, ma, ca)| (mb / ma) * (ca / cb))
+                .collect()
+        })
+        .collect();
+    ValueMatrix { labels, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<(String, f64)> {
+        vec![
+            ("TRC".into(), 100.0),
+            ("CSP-2".into(), 123.23),
+            ("CSP-2 EC".into(), 137.33),
+        ]
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let m = relative_value_matrix(&entries());
+        for i in 0..3 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproduces_fig11_structure() {
+        // With throughputs in the paper's ratios, the matrix reproduces
+        // Fig. 11's cells: r_{CSP-2, TRC} = 1.2323, r_{EC, TRC} = 1.3733,
+        // r_{EC, CSP-2} = 1.1144.
+        let m = relative_value_matrix(&entries());
+        assert!((m.get(1, 0) - 1.2323).abs() < 1e-3);
+        assert!((m.get(2, 0) - 1.3733).abs() < 1e-3);
+        assert!((m.get(2, 1) - 1.1144).abs() < 1e-3);
+        // Transposed cells are reciprocals.
+        assert!((m.get(0, 1) - 1.0 / 1.2323).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reciprocity_holds() {
+        let m = relative_value_matrix(&entries());
+        for b in 0..3 {
+            for a in 0..3 {
+                assert!((m.get(b, a) * m.get(a, b) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_fastest() {
+        let m = relative_value_matrix(&entries());
+        assert_eq!(m.best(), 2);
+        assert_eq!(m.labels[m.best()], "CSP-2 EC");
+    }
+
+    #[test]
+    fn cost_weighting_can_flip_the_winner() {
+        // EC is fastest but much pricier: per dollar, the cheap platform
+        // wins.
+        let m = cost_weighted_matrix(&[
+            ("cheap".into(), 100.0, 1.0),
+            ("fast".into(), 130.0, 2.0),
+        ]);
+        // cheap vs fast per dollar: (100/130)·(2/1) ≈ 1.54 > 1.
+        assert!(m.get(0, 1) > 1.0);
+        assert_eq!(m.best(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty matrix")]
+    fn empty_input_panics() {
+        let _ = relative_value_matrix(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_throughput_panics() {
+        let _ = relative_value_matrix(&[("x".into(), 0.0)]);
+    }
+}

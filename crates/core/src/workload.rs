@@ -1,0 +1,170 @@
+//! Workload descriptors: everything a performance model needs to know
+//! about a simulation before it runs.
+
+use hemocloud_geometry::stats::GeometryStats;
+use hemocloud_geometry::voxel::VoxelGrid;
+use hemocloud_lbm::access_profile::AccessProfile;
+use hemocloud_lbm::kernel::KernelConfig;
+
+/// A fully described LBM simulation campaign input.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (geometry + code).
+    pub name: String,
+    /// Point-type census of the geometry.
+    pub stats: GeometryStats,
+    /// Kernel variant to run.
+    pub kernel: KernelConfig,
+    /// Byte costs of that kernel on this geometry.
+    pub profile: AccessProfile,
+    /// Timesteps the campaign needs.
+    pub steps: u64,
+    /// Total bytes a serial run accesses per timestep — the
+    /// `n_bytes_serial` of paper Eq. 10.
+    pub serial_bytes: f64,
+    /// The voxel grid, retained for the direct model's exact
+    /// decomposition analysis.
+    pub grid: VoxelGrid,
+}
+
+impl Workload {
+    /// Describe a workload for a kernel configuration.
+    pub fn new(
+        name: impl Into<String>,
+        grid: &VoxelGrid,
+        kernel: KernelConfig,
+        steps: u64,
+    ) -> Self {
+        let stats = GeometryStats::measure(grid);
+        let avg_links = hemocloud_cluster::exec::measured_avg_solid_links(grid);
+        let profile = AccessProfile::for_kernel(&kernel, avg_links);
+        let serial_bytes = profile.mesh_bytes(&stats);
+        Self {
+            name: name.into(),
+            stats,
+            kernel,
+            profile,
+            steps,
+            serial_bytes,
+            grid: grid.clone(),
+        }
+    }
+
+    /// A HARVEY-style workload (indirect AoS/AB, double precision).
+    pub fn harvey(grid: &VoxelGrid, steps: u64) -> Self {
+        Self::new("HARVEY", grid, KernelConfig::harvey(), steps)
+    }
+
+    /// A proxy-app workload with an explicit kernel variant.
+    pub fn proxy(grid: &VoxelGrid, kernel: KernelConfig, steps: u64) -> Self {
+        Self::new(format!("lbm-proxy-app {}", kernel.name()), grid, kernel, steps)
+    }
+
+    /// Total fluid points.
+    pub fn points(&self) -> usize {
+        self.stats.fluid_points
+    }
+
+    /// A resolution-scaled copy for generalized-model extrapolation: bulk
+    /// points scale with the cube of the linear `factor`, wall/inlet/outlet
+    /// points with its square (they are surfaces). The grid is **not**
+    /// rescaled — the direct model (which reads the grid) must not be used
+    /// on a scaled workload; the generalized model and dashboard (which
+    /// read only the census) are the intended consumers. This mirrors the
+    /// paper's "high-resolution" evaluation geometries, whose censuses are
+    /// extrapolated here rather than voxelized at full size.
+    ///
+    /// # Panics
+    /// Panics for a non-positive factor.
+    pub fn scaled(&self, factor: f64) -> Workload {
+        assert!(factor > 0.0, "non-positive scale factor");
+        let f2 = factor * factor;
+        let f3 = f2 * factor;
+        let mut stats = self.stats;
+        stats.bulk_points = (stats.bulk_points as f64 * f3).round() as usize;
+        stats.wall_points = (stats.wall_points as f64 * f2).round() as usize;
+        stats.inlet_points = (stats.inlet_points as f64 * f2).round() as usize;
+        stats.outlet_points = (stats.outlet_points as f64 * f2).round() as usize;
+        stats.fluid_points =
+            stats.bulk_points + stats.wall_points + stats.inlet_points + stats.outlet_points;
+        stats.total_voxels = (stats.total_voxels as f64 * f3).round() as usize;
+        stats.fluid_fraction = stats.fluid_points as f64 / stats.total_voxels.max(1) as f64;
+        stats.bulk_wall_ratio = if stats.wall_points == 0 {
+            f64::INFINITY
+        } else {
+            stats.bulk_points as f64 / stats.wall_points as f64
+        };
+        let serial_bytes = self.profile.mesh_bytes(&stats);
+        Workload {
+            name: format!("{} (census x{factor:.2} linear)", self.name),
+            stats,
+            serial_bytes,
+            ..self.clone()
+        }
+    }
+
+    /// Total fluid-point updates of the whole campaign.
+    pub fn total_updates(&self) -> f64 {
+        self.points() as f64 * self.steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+    use hemocloud_lbm::kernel::{Layout, Propagation};
+
+    #[test]
+    fn harvey_workload_census() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let w = Workload::harvey(&g, 500);
+        assert_eq!(w.points(), g.fluid_count());
+        assert!(w.serial_bytes > 0.0);
+        assert_eq!(w.total_updates(), w.points() as f64 * 500.0);
+    }
+
+    #[test]
+    fn serial_bytes_consistent_with_profile() {
+        let g = CylinderSpec::default().with_resolution(8).build();
+        let w = Workload::harvey(&g, 1);
+        let expect = w.profile.mesh_bytes(&w.stats);
+        assert_eq!(w.serial_bytes, expect);
+    }
+
+    #[test]
+    fn scaled_census_grows_bulk_faster_than_wall() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let w = Workload::harvey(&g, 1);
+        let s = w.scaled(3.0);
+        let bulk_ratio = s.stats.bulk_points as f64 / w.stats.bulk_points as f64;
+        let wall_ratio = s.stats.wall_points as f64 / w.stats.wall_points as f64;
+        assert!((bulk_ratio - 27.0).abs() < 0.1, "bulk {bulk_ratio}");
+        assert!((wall_ratio - 9.0).abs() < 0.1, "wall {wall_ratio}");
+        // Serial bytes grow between the wall (×9) and bulk (×27) factors —
+        // at this coarse resolution wall points carry much of the census.
+        assert!(s.serial_bytes > w.serial_bytes * 9.0);
+        assert!(s.serial_bytes < w.serial_bytes * 27.0);
+        assert_eq!(
+            s.stats.fluid_points,
+            s.stats.bulk_points + s.stats.wall_points + s.stats.inlet_points
+                + s.stats.outlet_points
+        );
+    }
+
+    #[test]
+    fn aa_workload_reads_fewer_bytes_than_ab() {
+        let g = CylinderSpec::default().with_resolution(8).build();
+        let ab = Workload::proxy(
+            &g,
+            KernelConfig::proxy(Layout::Soa, Propagation::Ab, true),
+            1,
+        );
+        let aa = Workload::proxy(
+            &g,
+            KernelConfig::proxy(Layout::Soa, Propagation::Aa, true),
+            1,
+        );
+        assert!(aa.serial_bytes < ab.serial_bytes);
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-task communication structure of a decomposed geometry.
+//!
+//! For a given partition of a voxel grid, this module measures everything
+//! the *direct* performance model needs (paper §II-D):
+//!
+//! * fluid points per task (memory-side load, Eq. 9's outer sum);
+//! * boundary points per task and the exact message graph — for every
+//!   ordered task pair, how many boundary points' distributions cross it
+//!   (halo message sizes, Eq. 5);
+//! * the per-task message count (communication events, the measured
+//!   counterpart of Eq. 15).
+//!
+//! A fluid point is a *boundary point toward task B* if any of its D3Q19
+//! neighbors is a fluid point owned by B. Each such point contributes
+//! `n_point_comm_bytes` to the A→B message, sent once per timestep.
+
+use crate::partition::Ownership;
+use hemocloud_geometry::classify::D3Q19_DIRECTIONS;
+use hemocloud_geometry::voxel::VoxelGrid;
+use std::collections::BTreeMap;
+
+/// Full communication census of one decomposition.
+#[derive(Debug, Clone)]
+pub struct DecompAnalysis {
+    /// Number of tasks in the partition.
+    pub n_tasks: usize,
+    /// Fluid points owned by each task.
+    pub points_per_task: Vec<usize>,
+    /// Points on each task that border at least one other task.
+    pub boundary_points_per_task: Vec<usize>,
+    /// `messages[a]` maps peer task `b` to the number of boundary points
+    /// task `a` sends to `b` each step.
+    pub messages: Vec<BTreeMap<usize, usize>>,
+    /// Total fluid points in the geometry.
+    pub total_points: usize,
+}
+
+impl DecompAnalysis {
+    /// Analyze `grid` under `partition`.
+    pub fn analyze<P: Ownership>(grid: &VoxelGrid, partition: &P) -> Self {
+        let n_tasks = partition.task_count();
+        let mut points = vec![0usize; n_tasks];
+        let mut boundary = vec![0usize; n_tasks];
+        let mut messages: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_tasks];
+        let mut total = 0usize;
+
+        for (x, y, z, c) in grid.iter_cells() {
+            if !c.is_fluid() {
+                continue;
+            }
+            total += 1;
+            let me = partition.owner(x, y, z);
+            points[me] += 1;
+
+            // Which foreign tasks does this point border?
+            let mut peers: Vec<usize> = Vec::new();
+            for &(dx, dy, dz) in &D3Q19_DIRECTIONS {
+                if grid.get_offset(x, y, z, dx, dy, dz).is_fluid() {
+                    let nx = (x as i64 + dx as i64) as usize;
+                    let ny = (y as i64 + dy as i64) as usize;
+                    let nz = (z as i64 + dz as i64) as usize;
+                    let owner = partition.owner(nx, ny, nz);
+                    if owner != me && !peers.contains(&owner) {
+                        peers.push(owner);
+                    }
+                }
+            }
+            if !peers.is_empty() {
+                boundary[me] += 1;
+                for peer in peers {
+                    *messages[me].entry(peer).or_insert(0) += 1;
+                }
+            }
+        }
+
+        Self {
+            n_tasks,
+            points_per_task: points,
+            boundary_points_per_task: boundary,
+            messages,
+            total_points: total,
+        }
+    }
+
+    /// Load-imbalance factor `z`: the maximum per-task point count divided
+    /// by the perfectly balanced share (paper Eq. 10 rearranged). Tasks
+    /// owning no fluid still count toward the denominator — an empty task
+    /// is wasted capacity, exactly what `z` measures.
+    pub fn z_factor(&self) -> f64 {
+        let max = *self.points_per_task.iter().max().unwrap_or(&0);
+        if self.total_points == 0 {
+            return 1.0;
+        }
+        let ideal = self.total_points as f64 / self.n_tasks as f64;
+        max as f64 / ideal
+    }
+
+    /// Maximum number of boundary points on any task.
+    pub fn max_boundary_points(&self) -> usize {
+        *self
+            .boundary_points_per_task
+            .iter()
+            .max()
+            .unwrap_or(&0)
+    }
+
+    /// Maximum number of messages sent by any task (its neighbor count).
+    pub fn max_messages(&self) -> usize {
+        self.messages.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+
+    /// Maximum total points any task sends per step (sum over its
+    /// messages): the halo volume of the worst task.
+    pub fn max_send_points(&self) -> usize {
+        self.messages
+            .iter()
+            .map(|m| m.values().sum::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Check the message graph is symmetric in peers: A sends to B iff B
+    /// sends to A (sizes may differ at ragged fluid boundaries only by the
+    /// points each side counts; peer sets must match exactly).
+    pub fn is_peer_symmetric(&self) -> bool {
+        for (a, msgs) in self.messages.iter().enumerate() {
+            for &b in msgs.keys() {
+                if !self.messages[b].contains_key(&a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Per-task memory-access byte totals (the direct model's Eq. 9 sums):
+/// every fluid point contributes `bulk_bytes` or `wall_bytes` depending on
+/// whether it touches solid. Inlet/outlet cells count as wall points (they
+/// also skip remote reads).
+pub fn bytes_per_task<P: Ownership>(
+    grid: &VoxelGrid,
+    partition: &P,
+    bulk_bytes: f64,
+    wall_bytes: f64,
+) -> Vec<f64> {
+    use hemocloud_geometry::voxel::CellType;
+    let mut bytes = vec![0.0; partition.task_count()];
+    for (x, y, z, c) in grid.iter_cells() {
+        if !c.is_fluid() {
+            continue;
+        }
+        let task = partition.owner(x, y, z);
+        bytes[task] += match c {
+            CellType::Bulk => bulk_bytes,
+            _ => wall_bytes,
+        };
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{BlockPartition, SlabPartition};
+    use hemocloud_geometry::anatomy::CylinderSpec;
+    use hemocloud_geometry::voxel::{CellType, VoxelGrid};
+
+    fn full_box(n: usize) -> VoxelGrid {
+        VoxelGrid::filled(n, n, n, 1.0, CellType::Bulk)
+    }
+
+    #[test]
+    fn single_task_has_no_messages() {
+        let g = full_box(6);
+        let p = BlockPartition::new(g.dims(), 1);
+        let a = DecompAnalysis::analyze(&g, &p);
+        assert_eq!(a.max_messages(), 0);
+        assert_eq!(a.max_boundary_points(), 0);
+        assert_eq!(a.z_factor(), 1.0);
+        assert_eq!(a.points_per_task, vec![216]);
+    }
+
+    #[test]
+    fn two_slabs_exchange_one_face() {
+        let g = full_box(8);
+        let p = SlabPartition::new(g.dims(), 2);
+        let a = DecompAnalysis::analyze(&g, &p);
+        assert_eq!(a.n_tasks, 2);
+        assert_eq!(a.points_per_task, vec![256, 256]);
+        // Each slab's boundary is one 8×8 face.
+        assert_eq!(a.boundary_points_per_task, vec![64, 64]);
+        assert_eq!(a.messages[0][&1], 64);
+        assert_eq!(a.messages[1][&0], 64);
+        assert_eq!(a.max_messages(), 1);
+    }
+
+    #[test]
+    fn eight_blocks_have_seven_peers_each() {
+        // 2×2×2 blocks of a full cube: every block touches the other 7
+        // (faces, edges and corners all carry D3Q19 edge directions —
+        // corners only via shared edge-diagonal paths, so check ≥3).
+        let g = full_box(8);
+        let p = BlockPartition::new(g.dims(), 8);
+        let a = DecompAnalysis::analyze(&g, &p);
+        for m in &a.messages {
+            assert!(m.len() >= 3, "block with {} peers", m.len());
+        }
+        assert!(a.is_peer_symmetric());
+    }
+
+    #[test]
+    fn message_totals_are_pairwise_equal_on_uniform_cube() {
+        let g = full_box(8);
+        let p = BlockPartition::new(g.dims(), 8);
+        let a = DecompAnalysis::analyze(&g, &p);
+        for (t, msgs) in a.messages.iter().enumerate() {
+            for (&peer, &pts) in msgs {
+                assert_eq!(
+                    a.messages[peer][&t], pts,
+                    "asymmetric exchange {t} <-> {peer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_grows_on_sparse_geometry() {
+        // A cylinder split into blocks: corner blocks catch little fluid,
+        // so z > 1.
+        let g = CylinderSpec::default().with_resolution(12).build();
+        let p = BlockPartition::new(g.dims(), 8);
+        let a = DecompAnalysis::analyze(&g, &p);
+        assert!(a.z_factor() > 1.0, "z = {}", a.z_factor());
+        let total: usize = a.points_per_task.iter().sum();
+        assert_eq!(total, a.total_points);
+    }
+
+    #[test]
+    fn slab_beats_block_on_message_count_but_not_volume() {
+        // Slabs have at most 2 peers but huge faces; blocks have more peers
+        // with smaller total halo at high task counts.
+        let g = full_box(16);
+        let slab = DecompAnalysis::analyze(&g, &SlabPartition::new(g.dims(), 8));
+        let block = DecompAnalysis::analyze(&g, &BlockPartition::new(g.dims(), 8));
+        assert!(slab.max_messages() <= 2);
+        assert!(block.max_messages() > slab.max_messages());
+        assert!(
+            block.max_send_points() < slab.max_send_points(),
+            "block {} vs slab {}",
+            block.max_send_points(),
+            slab.max_send_points()
+        );
+    }
+
+    #[test]
+    fn bytes_per_task_weights_cell_types() {
+        let mut g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
+        g.set(0, 0, 0, CellType::Wall);
+        let p = BlockPartition::new(g.dims(), 1);
+        let bytes = bytes_per_task(&g, &p, 10.0, 3.0);
+        assert_eq!(bytes, vec![63.0 * 10.0 + 3.0]);
+    }
+
+    #[test]
+    fn bytes_per_task_totals_are_partition_invariant() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let p1 = BlockPartition::new(g.dims(), 1);
+        let p8 = BlockPartition::new(g.dims(), 8);
+        let t1: f64 = bytes_per_task(&g, &p1, 380.0, 320.0).iter().sum();
+        let t8: f64 = bytes_per_task(&g, &p8, 380.0, 320.0).iter().sum();
+        assert!((t1 - t8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peer_symmetry_on_anatomy() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let p = BlockPartition::new(g.dims(), 6);
+        let a = DecompAnalysis::analyze(&g, &p);
+        assert!(a.is_peer_symmetric());
+    }
+}

@@ -1,0 +1,130 @@
+//! Load-imbalance sweeps and the Eq. 11 fit.
+//!
+//! The paper derives its imbalance parameters `c1, c2` "from fits of
+//! Eq. 11 to prior HARVEY decomposition data ... wherein each task's memory
+//! accesses were counted for a sweep of task counts". [`imbalance_sweep`]
+//! performs exactly that sweep on a geometry; [`fit_sweep`] produces the
+//! fitted [`ImbalanceModel`].
+
+use crate::halo::DecompAnalysis;
+use crate::partition::BlockPartition;
+use hemocloud_fitting::models::{fit_imbalance, ImbalanceModel};
+use hemocloud_geometry::voxel::VoxelGrid;
+
+/// One sample of a sweep: task count and its measured `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImbalanceSample {
+    /// Number of tasks the domain was split into.
+    pub n_tasks: usize,
+    /// Measured deviation from perfect balance (paper Eq. 10).
+    pub z: f64,
+}
+
+/// Measure `z` over a sweep of task counts using block partitions.
+///
+/// Task counts whose process grid would exceed the domain are skipped (a
+/// 2048-way split of a 20³ grid is meaningless).
+pub fn imbalance_sweep(grid: &VoxelGrid, task_counts: &[usize]) -> Vec<ImbalanceSample> {
+    let dims = grid.dims();
+    task_counts
+        .iter()
+        .filter_map(|&n| {
+            let (a, b, c) = crate::partition::factorize3(n, dims);
+            if a > dims.0 || b > dims.1 || c > dims.2 {
+                return None;
+            }
+            let p = BlockPartition::new(dims, n);
+            let analysis = DecompAnalysis::analyze(grid, &p);
+            Some(ImbalanceSample {
+                n_tasks: n,
+                z: analysis.z_factor(),
+            })
+        })
+        .collect()
+}
+
+/// Measure `z` over a sweep of task counts using fluid-balanced RCB
+/// partitions — the decomposition the HARVEY-analog solver actually uses.
+/// Task counts exceeding the fluid-point count are skipped.
+pub fn imbalance_sweep_rcb(grid: &VoxelGrid, task_counts: &[usize]) -> Vec<ImbalanceSample> {
+    let fluid = grid.fluid_count();
+    task_counts
+        .iter()
+        .filter(|&&n| n >= 1 && n <= fluid)
+        .map(|&n| {
+            let p = crate::rcb::RcbPartition::new(grid, n);
+            let analysis = DecompAnalysis::analyze(grid, &p);
+            ImbalanceSample {
+                n_tasks: n,
+                z: analysis.z_factor(),
+            }
+        })
+        .collect()
+}
+
+/// Fit the Eq. 11 model to a sweep.
+pub fn fit_sweep(samples: &[ImbalanceSample]) -> Option<ImbalanceModel> {
+    let ns: Vec<usize> = samples.iter().map(|s| s.n_tasks).collect();
+    let zs: Vec<f64> = samples.iter().map(|s| s.z).collect();
+    fit_imbalance(&ns, &zs)
+}
+
+/// The default task-count sweep used for model calibration: powers of two
+/// through 512 plus a few odd counts to exercise ragged cuts.
+pub fn default_sweep() -> Vec<usize> {
+    vec![1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_geometry::anatomy::{CerebralSpec, CylinderSpec};
+    use hemocloud_geometry::voxel::{CellType, VoxelGrid};
+
+    #[test]
+    fn full_cube_stays_balanced() {
+        // A solid cube of fluid splits evenly: z stays near 1 for divisors
+        // of the axis lengths.
+        let g = VoxelGrid::filled(16, 16, 16, 1.0, CellType::Bulk);
+        let samples = imbalance_sweep(&g, &[1, 2, 4, 8]);
+        for s in &samples {
+            assert!(s.z < 1.05, "n={} z={}", s.n_tasks, s.z);
+        }
+    }
+
+    #[test]
+    fn sweep_skips_oversubscription() {
+        let g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
+        let samples = imbalance_sweep(&g, &[1, 2, 4096]);
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn anatomy_imbalance_grows_with_tasks() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let samples = imbalance_sweep(&g, &[1, 8, 64]);
+        assert!(samples[0].z <= samples[2].z + 1e-9);
+        assert!(samples[2].z > 1.1, "z(64) = {}", samples[2].z);
+    }
+
+    #[test]
+    fn fit_tracks_measured_sweep() {
+        let g = CerebralSpec::default()
+            .with_generations(4)
+            .with_resolution(6)
+            .build();
+        let samples = imbalance_sweep(&g, &[1, 2, 4, 8, 16, 32, 64]);
+        let model = fit_sweep(&samples).expect("fit");
+        // The fit should track the measured z within ~35% everywhere (the
+        // log model is an approximation the paper accepts).
+        for s in &samples {
+            let pred = model.eval(s.n_tasks);
+            assert!(
+                (pred - s.z).abs() / s.z < 0.35,
+                "n={}: pred {pred} vs measured {}",
+                s.n_tasks,
+                s.z
+            );
+        }
+    }
+}

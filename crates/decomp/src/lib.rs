@@ -1,0 +1,28 @@
+//! Domain decomposition and its communication structure.
+//!
+//! The performance model's inputs (paper Eqs. 9-11, 13-15) all come from
+//! how the voxel domain is split among tasks:
+//!
+//! * [`partition`] — block-grid and slab partitions of the bounding box,
+//!   plus the fluid-cell ownership vectors the ranked solver consumes.
+//! * [`halo`] — per-task fluid-point counts, boundary points, and the
+//!   message graph (who sends how many points to whom) for a given
+//!   partition: the *direct* model's raw data.
+//! * [`imbalance`] — measured load-imbalance factors `z` over task-count
+//!   sweeps and their Eq. 11 fits.
+//! * [`events`] — maximum communication-event counts over (tasks, nodes)
+//!   sweeps and their Eq. 15 fits.
+//! * [`placement`] — mapping tasks onto nodes, which splits messages into
+//!   intranodal and internodal.
+
+pub mod events;
+pub mod halo;
+pub mod imbalance;
+pub mod partition;
+pub mod placement;
+pub mod rcb;
+
+pub use halo::DecompAnalysis;
+pub use partition::{BlockPartition, BoxRegion, SlabPartition};
+pub use placement::Placement;
+pub use rcb::RcbPartition;

@@ -1,0 +1,193 @@
+//! Ordinary least-squares fits for straight lines.
+//!
+//! Used for the PingPong communication model (paper Eq. 12): communication
+//! time is modeled as `t(m) = m/b + l`, a line in the message size `m` with
+//! slope `1/b` (inverse bandwidth) and intercept `l` (latency). The paper
+//! fits this two ways — a free-intercept ordinary fit, and a fit where the
+//! latency is *pinned* to the measured zero-byte time ("latency is the
+//! communication time for 0 bytes"), with only the slope estimated from the
+//! remaining points. Both are provided here.
+
+/// Result of fitting `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Sum of squared residuals over the input points.
+    pub sse: f64,
+}
+
+impl LineFit {
+    /// Evaluate the fitted line at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least-squares fit of `y = a*x + b`.
+///
+/// Returns `None` when fewer than two points are supplied or when all `x`
+/// values coincide (the slope is then unidentifiable).
+///
+/// # Panics
+/// Panics if `xs` and `ys` have different lengths.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let sse = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = y - (slope * x + intercept);
+            r * r
+        })
+        .sum();
+    Some(LineFit {
+        slope,
+        intercept,
+        sse,
+    })
+}
+
+/// Least-squares fit of `y = a*x + b` with the intercept `b` held fixed.
+///
+/// This implements the paper's convention of defining latency as the
+/// measured zero-byte communication time: the intercept is pinned and only
+/// the slope minimizes the SSE. Returns `None` if no point has `x != 0`.
+pub fn fit_line_fixed_intercept(xs: &[f64], ys: &[f64], intercept: f64) -> Option<LineFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += x * x;
+        sxy += x * (y - intercept);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let sse = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = y - (slope * x + intercept);
+            r * r
+        })
+        .sum();
+    Some(LineFit {
+        slope,
+        intercept,
+        sse,
+    })
+}
+
+/// Least-squares fit of the proportional model `y = a*x` (zero intercept).
+pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    fit_line_fixed_intercept(xs, ys, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.5 * x - 2.0).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!(close(fit.slope, 3.5, 1e-12));
+        assert!(close(fit.intercept, -2.0, 1e-12));
+        assert!(fit.sse < 1e-18);
+    }
+
+    #[test]
+    fn noisy_line_slope_is_near_truth() {
+        // Deterministic pseudo-noise, zero-mean by symmetric construction.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!(close(fit.slope, 2.0, 1e-3));
+        assert!(close(fit.intercept, 1.0, 1e-1));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_line(&[], &[]).is_none());
+        assert!(fit_line(&[1.0], &[2.0]).is_none());
+        assert!(fit_line(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn fixed_intercept_pins_latency() {
+        let xs = [0.0, 1.0, 2.0, 4.0];
+        let ys = [5.0, 7.0, 9.0, 13.0]; // y = 2x + 5
+        let fit = fit_line_fixed_intercept(&xs, &ys, 5.0).unwrap();
+        assert!(close(fit.slope, 2.0, 1e-12));
+        assert_eq!(fit.intercept, 5.0);
+    }
+
+    #[test]
+    fn pinned_intercept_underestimates_large_messages_on_convex_data() {
+        // Convex (super-linear) timing data: pinning latency to the
+        // zero-byte time underpredicts the largest message, but is exact at
+        // zero bytes — precisely the trade-off the paper describes for its
+        // PingPong fits.
+        let xs = [0.0, 1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x + 0.05 * x * x).collect();
+        let pinned = fit_line_fixed_intercept(&xs, &ys, ys[0]).unwrap();
+        assert!(pinned.eval(8.0) < *ys.last().unwrap());
+        assert_eq!(pinned.eval(0.0), ys[0]);
+        // The free fit trades zero-byte accuracy for overall SSE.
+        let free = fit_line(&xs, &ys).unwrap();
+        assert!(free.sse <= pinned.sse);
+    }
+
+    #[test]
+    fn proportional_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let fit = fit_proportional(&xs, &ys).unwrap();
+        assert!(close(fit.slope, 2.0, 1e-12));
+        assert_eq!(fit.intercept, 0.0);
+    }
+
+    #[test]
+    fn proportional_fit_all_zero_x_is_none() {
+        assert!(fit_proportional(&[0.0, 0.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_line(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Goodness-of-fit and summary statistics.
+//!
+//! These are the measures used across the evaluation: SSE drives every fit
+//! in the paper ("adjusting the parameters ... to minimize the sum of square
+//! errors"), R² reports fit quality for the microbenchmark curves, and MAPE
+//! is the error measure tracked by the iterative-refinement loop. Mean and
+//! standard deviation back the noise-variability study (paper Table IV).
+
+/// Sum of squared errors between predictions and observations.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sse(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "length mismatch");
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(&p, &o)| {
+            let r = p - o;
+            r * r
+        })
+        .sum()
+}
+
+/// Root-mean-square error. Returns 0 for empty input.
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    (sse(predicted, observed) / predicted.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R² = 1 - SSE/SStot.
+///
+/// Returns `None` when the observations have zero variance (R² undefined).
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> Option<f64> {
+    assert_eq!(predicted.len(), observed.len(), "length mismatch");
+    if observed.is_empty() {
+        return None;
+    }
+    let mean_obs = mean(observed);
+    let ss_tot: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o - mean_obs;
+            d * d
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    Some(1.0 - sse(predicted, observed) / ss_tot)
+}
+
+/// Mean absolute percentage error, in percent.
+///
+/// Observations equal to zero are skipped (their percentage error is
+/// undefined). Returns 0 when no valid observation remains.
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &o) in predicted.iter().zip(observed) {
+        if o != 0.0 {
+            total += ((p - o) / o).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Arithmetic mean. Returns 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for fewer than two
+/// values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v - m;
+            d * d
+        })
+        .sum::<f64>()
+        / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation (σ/μ), the "Variation Coefficient" of paper
+/// Table IV. Returns 0 when the mean is zero.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(values) / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_of_exact_predictions_is_zero() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(sse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn sse_counts_squared_residuals() {
+        assert_eq!(sse(&[1.0, 2.0], &[0.0, 4.0]), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let r = rmse(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((r - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_is_one_for_perfect_fit() {
+        let obs = [1.0, 2.0, 5.0];
+        assert!((r_squared(&obs, &obs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_is_zero_for_mean_predictor() {
+        let obs = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&pred, &obs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_undefined_for_constant_observations() {
+        assert!(r_squared(&[1.0, 2.0], &[5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn mape_skips_zero_observations() {
+        // Only the second point contributes: |(3-2)/2| = 50%.
+        assert!((mape(&[1.0, 3.0], &[0.0, 2.0]) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic data set is sqrt(32/7).
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_ratio() {
+        let v = [9.0, 11.0];
+        let expected = std_dev(&v) / 10.0;
+        assert!((coefficient_of_variation(&v) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+}

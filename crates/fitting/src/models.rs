@@ -1,0 +1,259 @@
+//! Fits for the paper's empirical decomposition models.
+//!
+//! * **Load imbalance** (Eq. 11): `z(n) = c1 * ln(c2 * (n - 1) + 1) + 1`,
+//!   the deviation from perfect load balance as a function of task count,
+//!   fit against measured per-task byte-count maxima.
+//! * **Message events** (Eq. 15):
+//!   `E(n_tasks, n_nodes) = 4 * log2((k1 / n_nodes + k2) * (n_tasks - n_nodes) + 1)`,
+//!   the maximum number of communication events a task participates in.
+//!
+//! Both are fit by SSE minimization with Nelder-Mead, matching the paper's
+//! "empirical parameters derived from fits ... to prior HARVEY
+//! decomposition data".
+
+use crate::nelder_mead::{nelder_mead, NelderMeadOptions};
+
+/// Parameters of the load-imbalance model `z(n) = c1*ln(c2*(n-1)+1) + 1`
+/// (paper Eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImbalanceModel {
+    /// Logarithm amplitude.
+    pub c1: f64,
+    /// Logarithm rate.
+    pub c2: f64,
+    /// SSE of the fit over the training data.
+    pub sse: f64,
+}
+
+impl ImbalanceModel {
+    /// Evaluate `z` at a task count. Always at least 1 for `n >= 1` and
+    /// non-negative parameters; a serial run has `z = 1` by construction.
+    #[inline]
+    pub fn eval(&self, n_tasks: usize) -> f64 {
+        let n = n_tasks.max(1) as f64;
+        self.c1 * (self.c2 * (n - 1.0) + 1.0).ln() + 1.0
+    }
+
+    /// A model representing perfect load balance (`z = 1` everywhere).
+    pub fn perfect() -> Self {
+        Self {
+            c1: 0.0,
+            c2: 0.0,
+            sse: 0.0,
+        }
+    }
+}
+
+/// Fit the imbalance model to `(task count, measured z)` pairs.
+///
+/// Measured `z` values come from decomposition sweeps: the maximum per-task
+/// byte count divided by the perfectly balanced share (paper Eq. 10).
+/// Parameters are constrained non-negative (a negative rate or amplitude is
+/// meaningless for imbalance). Returns `None` for fewer than two points.
+pub fn fit_imbalance(task_counts: &[usize], z_values: &[f64]) -> Option<ImbalanceModel> {
+    assert_eq!(task_counts.len(), z_values.len(), "length mismatch");
+    if task_counts.len() < 2 {
+        return None;
+    }
+    let objective = |p: &[f64]| -> f64 {
+        let (c1, c2) = (p[0], p[1]);
+        if c1 < 0.0 || c2 < 0.0 {
+            return f64::INFINITY;
+        }
+        task_counts
+            .iter()
+            .zip(z_values)
+            .map(|(&n, &z)| {
+                let pred = c1 * (c2 * (n.max(1) as f64 - 1.0) + 1.0).ln() + 1.0;
+                let r = pred - z;
+                r * r
+            })
+            .sum()
+    };
+    // Multi-start: the log model's SSE surface has a shallow valley.
+    let starts = [[0.05, 0.1], [0.2, 0.01], [0.5, 1.0], [0.01, 5.0]];
+    let best = starts
+        .iter()
+        .map(|s| nelder_mead(objective, s, NelderMeadOptions::default()))
+        .min_by(|a, b| a.fx.total_cmp(&b.fx))?;
+    Some(ImbalanceModel {
+        c1: best.x[0],
+        c2: best.x[1],
+        sse: best.fx,
+    })
+}
+
+/// Parameters of the message-event model (paper Eq. 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventModel {
+    /// Per-node-inverse coefficient.
+    pub k1: f64,
+    /// Constant coefficient.
+    pub k2: f64,
+    /// SSE of the fit over the training data.
+    pub sse: f64,
+}
+
+impl EventModel {
+    /// Evaluate the maximum event count for `n_tasks` tasks spread over
+    /// `n_nodes` nodes. Returns 0 when all tasks fit on a single... node
+    /// count >= task count (no internodal messages).
+    #[inline]
+    pub fn eval(&self, n_tasks: usize, n_nodes: usize) -> f64 {
+        let nt = n_tasks as f64;
+        let nn = (n_nodes.max(1)) as f64;
+        if nt <= nn {
+            return 0.0;
+        }
+        let inner = (self.k1 / nn + self.k2) * (nt - nn) + 1.0;
+        if inner <= 1.0 {
+            0.0
+        } else {
+            4.0 * inner.log2()
+        }
+    }
+}
+
+/// Fit the event model to `(n_tasks, n_nodes, measured events)` triples.
+///
+/// Measured event counts come from counting the halo messages of the most
+/// connected task in real decompositions. Returns `None` for fewer than two
+/// samples.
+pub fn fit_events(samples: &[(usize, usize, f64)]) -> Option<EventModel> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let objective = |p: &[f64]| -> f64 {
+        let (k1, k2) = (p[0], p[1]);
+        if k2 < 0.0 {
+            return f64::INFINITY;
+        }
+        samples
+            .iter()
+            .map(|&(nt, nn, events)| {
+                let m = EventModel { k1, k2, sse: 0.0 };
+                let r = m.eval(nt, nn) - events;
+                r * r
+            })
+            .sum()
+    };
+    let starts = [[1.0, 0.1], [0.1, 1.0], [5.0, 0.01], [0.0, 0.5]];
+    let best = starts
+        .iter()
+        .map(|s| nelder_mead(objective, s, NelderMeadOptions::default()))
+        .min_by(|a, b| a.fx.total_cmp(&b.fx))?;
+    Some(EventModel {
+        k1: best.x[0],
+        k2: best.x[1],
+        sse: best.fx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_model_is_one_for_serial() {
+        let m = ImbalanceModel {
+            c1: 0.3,
+            c2: 0.5,
+            sse: 0.0,
+        };
+        assert!((m.eval(1) - 1.0).abs() < 1e-12);
+        assert!((m.eval(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_model_is_monotone_in_tasks() {
+        let m = ImbalanceModel {
+            c1: 0.3,
+            c2: 0.5,
+            sse: 0.0,
+        };
+        let mut prev = m.eval(1);
+        for n in [2, 4, 8, 64, 512, 4096] {
+            let z = m.eval(n);
+            assert!(z >= prev, "z({n}) = {z} < {prev}");
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn fit_imbalance_recovers_synthetic_truth() {
+        let truth = ImbalanceModel {
+            c1: 0.25,
+            c2: 0.8,
+            sse: 0.0,
+        };
+        let ns: Vec<usize> = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512].to_vec();
+        let zs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
+        let fit = fit_imbalance(&ns, &zs).unwrap();
+        for &n in &ns {
+            let err = (fit.eval(n) - truth.eval(n)).abs() / truth.eval(n);
+            assert!(err < 0.02, "n={n}: fit={} truth={}", fit.eval(n), truth.eval(n));
+        }
+    }
+
+    #[test]
+    fn fit_imbalance_rejects_tiny_input() {
+        assert!(fit_imbalance(&[4], &[1.2]).is_none());
+    }
+
+    #[test]
+    fn perfect_balance_model() {
+        let m = ImbalanceModel::perfect();
+        for n in [1, 7, 100] {
+            assert_eq!(m.eval(n), 1.0);
+        }
+    }
+
+    #[test]
+    fn event_model_zero_without_internodal_tasks() {
+        let m = EventModel {
+            k1: 1.0,
+            k2: 0.5,
+            sse: 0.0,
+        };
+        assert_eq!(m.eval(4, 4), 0.0);
+        assert_eq!(m.eval(2, 8), 0.0);
+    }
+
+    #[test]
+    fn event_model_grows_with_tasks() {
+        let m = EventModel {
+            k1: 1.0,
+            k2: 0.5,
+            sse: 0.0,
+        };
+        assert!(m.eval(64, 4) > m.eval(16, 4));
+    }
+
+    #[test]
+    fn fit_events_recovers_synthetic_truth() {
+        let truth = EventModel {
+            k1: 2.0,
+            k2: 0.3,
+            sse: 0.0,
+        };
+        let samples: Vec<(usize, usize, f64)> = [
+            (8usize, 2usize),
+            (16, 2),
+            (32, 2),
+            (16, 4),
+            (32, 4),
+            (64, 4),
+            (128, 4),
+            (64, 8),
+            (256, 8),
+        ]
+        .iter()
+        .map(|&(nt, nn)| (nt, nn, truth.eval(nt, nn)))
+        .collect();
+        let fit = fit_events(&samples).unwrap();
+        for &(nt, nn, ev) in &samples {
+            let err = (fit.eval(nt, nn) - ev).abs();
+            assert!(err < 0.25, "({nt},{nn}): fit={} truth={ev}", fit.eval(nt, nn));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Derivative-free Nelder-Mead simplex minimization.
+//!
+//! The load-imbalance model `z(n) = c1*ln(c2*(n-1) + 1) + 1` (paper Eq. 11)
+//! and the message-event model (Eq. 15) are nonlinear in their parameters
+//! and have no closed-form least-squares estimator, so the paper fits them
+//! by direct SSE minimization. This module provides a standard Nelder-Mead
+//! implementation with adaptive restart support sufficient for these
+//! low-dimensional (2-parameter) problems.
+
+/// Options controlling the simplex search.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's parameter spread falls below this.
+    pub x_tol: f64,
+    /// Relative size of the initial simplex around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 4000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder-Mead minimization.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Whether a tolerance criterion (rather than the eval cap) stopped the
+    /// search.
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0` with the standard Nelder-Mead moves
+/// (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
+///
+/// # Panics
+/// Panics if `x0` is empty.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> NelderMeadResult {
+    assert!(!x0.is_empty(), "empty starting point");
+    let dim = x0.len();
+    let mut evals = 0usize;
+    let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Build the initial simplex: x0 plus one vertex per coordinate.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..dim {
+        let mut v = x0.to_vec();
+        let step = if v[i] != 0.0 {
+            options.initial_step * v[i].abs()
+        } else {
+            options.initial_step
+        };
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|v| eval(&mut f, v, &mut evals))
+        .collect();
+
+    let mut converged = false;
+    while evals < options.max_evals {
+        // Order vertices by objective value.
+        let mut order: Vec<usize> = (0..=dim).collect();
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let best = order[0];
+        let worst = order[dim];
+        let second_worst = order[dim - 1];
+
+        // Convergence checks.
+        let f_spread = values[worst] - values[best];
+        let x_spread = simplex
+            .iter()
+            .flat_map(|v| v.iter().zip(&simplex[best]).map(|(a, b)| (a - b).abs()))
+            .fold(0.0f64, f64::max);
+        // Both spreads must be small: two vertices straddling a minimum can
+        // have equal objective values while the simplex is still wide.
+        if f_spread.abs() <= options.f_tol && x_spread <= options.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all vertices except the worst.
+        let mut centroid = vec![0.0; dim];
+        for (idx, v) in simplex.iter().enumerate() {
+            if idx != worst {
+                for (c, &vi) in centroid.iter_mut().zip(v) {
+                    *c += vi;
+                }
+            }
+        }
+        for c in &mut centroid {
+            *c /= dim as f64;
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(&ai, &bi)| ai + t * (bi - ai)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &simplex[worst], -1.0);
+        let f_reflected = eval(&mut f, &reflected, &mut evals);
+
+        if f_reflected < values[best] {
+            // Expansion.
+            let expanded = lerp(&centroid, &simplex[worst], -2.0);
+            let f_expanded = eval(&mut f, &expanded, &mut evals);
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+        } else if f_reflected < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+        } else {
+            // Contraction (outside if the reflected point improved on the
+            // worst vertex, inside otherwise).
+            let towards = if f_reflected < values[worst] {
+                &reflected
+            } else {
+                &simplex[worst]
+            };
+            let contracted = lerp(&centroid, towards, 0.5);
+            let f_contracted = eval(&mut f, &contracted, &mut evals);
+            if f_contracted < values[worst].min(f_reflected) {
+                simplex[worst] = contracted;
+                values[worst] = f_contracted;
+            } else {
+                // Shrink every vertex towards the best.
+                let best_vertex = simplex[best].clone();
+                for (idx, v) in simplex.iter_mut().enumerate() {
+                    if idx != best {
+                        *v = lerp(&best_vertex, v, 0.5);
+                        values[idx] = eval(&mut f, v, &mut evals);
+                    }
+                }
+            }
+        }
+    }
+
+    let (best_idx, _) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty simplex");
+    NelderMeadResult {
+        x: simplex[best_idx].clone(),
+        fx: values[best_idx],
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let r = nelder_mead(
+            |x| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_evals: 20_000,
+                ..Default::default()
+            },
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn one_dimensional_problem() {
+        let r = nelder_mead(
+            |x| (x[0] - 42.0).powi(2),
+            &[0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(
+            (r.x[0] - 42.0).abs() < 1e-3,
+            "x={:?} fx={} evals={} converged={}",
+            r.x,
+            r.fx,
+            r.evals,
+            r.converged
+        );
+    }
+
+    #[test]
+    fn nan_objective_is_treated_as_infinite() {
+        // Objective undefined (NaN) for x < 0: optimizer must still converge
+        // to the boundary-adjacent minimum at 1.
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[5.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_cap() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2),
+            &[1000.0],
+            NelderMeadOptions {
+                max_evals: 10,
+                f_tol: 0.0,
+                x_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(r.evals <= 12); // initial simplex + a step may slightly exceed
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty starting point")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], NelderMeadOptions::default());
+    }
+}

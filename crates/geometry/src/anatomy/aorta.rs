@@ -1,0 +1,174 @@
+//! Synthetic aorta (paper Fig. 2B).
+//!
+//! Ascending aorta, arch with the three great vessels (brachiocephalic,
+//! left common carotid, left subclavian), and descending aorta, built from
+//! swept tapered tubes. Dimensions follow typical adult anatomy. The
+//! resulting voxel census sits between the cylinder (dense, bulk-heavy) and
+//! the cerebral tree (sparse, wall-heavy): the paper's "typical
+//! communication and load balancing" case.
+
+use crate::shapes::Vec3;
+use crate::tube::{Tube, VesselNetwork};
+use crate::voxel::VoxelGrid;
+
+/// Parameters of the synthetic aorta. All lengths in millimetres.
+#[derive(Debug, Clone, Copy)]
+pub struct AortaSpec {
+    /// Radius at the aortic root.
+    pub root_radius_mm: f64,
+    /// Radius at the end of the descending segment.
+    pub descending_radius_mm: f64,
+    /// Height of the ascending segment.
+    pub ascending_height_mm: f64,
+    /// Radius of the arch centerline curve.
+    pub arch_radius_mm: f64,
+    /// Length of the descending segment.
+    pub descending_length_mm: f64,
+    /// Length of the three arch branches.
+    pub branch_length_mm: f64,
+    /// Voxels across the root diameter.
+    pub resolution: usize,
+}
+
+impl Default for AortaSpec {
+    fn default() -> Self {
+        Self {
+            root_radius_mm: 14.0,
+            descending_radius_mm: 10.0,
+            ascending_height_mm: 50.0,
+            arch_radius_mm: 28.0,
+            descending_length_mm: 90.0,
+            branch_length_mm: 35.0,
+            resolution: 28,
+        }
+    }
+}
+
+impl AortaSpec {
+    /// Set the number of voxels across the root diameter.
+    pub fn with_resolution(mut self, resolution: usize) -> Self {
+        assert!(resolution >= 6, "resolution below 6 voxels is degenerate");
+        self.resolution = resolution;
+        self
+    }
+
+    /// Voxel spacing implied by the resolution.
+    pub fn dx_mm(&self) -> f64 {
+        2.0 * self.root_radius_mm / self.resolution as f64
+    }
+
+    /// Build the vessel network: ascending + arch + descending trunk, three
+    /// arch branches, one inlet (root), four outlets (three branches + the
+    /// descending end).
+    pub fn network(&self) -> VesselNetwork {
+        let mut net = VesselNetwork::new();
+
+        let root = Vec3::new(0.0, 0.0, 0.0);
+        let arch_start = Vec3::new(0.0, 0.0, self.ascending_height_mm);
+        // Arch: semicircle in the x-z plane from the top of the ascending
+        // segment over to the start of the descending segment.
+        let arch_center = Vec3::new(self.arch_radius_mm, 0.0, self.ascending_height_mm);
+        let n_arc = 12usize;
+        let mut trunk_points = vec![root, arch_start];
+        let mut trunk_radii = vec![self.root_radius_mm, self.root_radius_mm];
+        let arch_end_radius =
+            0.5 * (self.root_radius_mm + self.descending_radius_mm);
+        let mut branch_anchors = Vec::new();
+        for i in 1..=n_arc {
+            let theta = std::f64::consts::PI * (1.0 - i as f64 / n_arc as f64);
+            let p = Vec3::new(
+                arch_center.x + self.arch_radius_mm * theta.cos(),
+                0.0,
+                arch_center.z + self.arch_radius_mm * theta.sin(),
+            );
+            let t = i as f64 / n_arc as f64;
+            let r = self.root_radius_mm + t * (arch_end_radius - self.root_radius_mm);
+            trunk_points.push(p);
+            trunk_radii.push(r);
+            // Anchor the three great vessels near the apex of the arch.
+            if i == n_arc / 4 || i == n_arc / 2 || i == 3 * n_arc / 4 {
+                branch_anchors.push((p, r));
+            }
+        }
+        let arch_end = *trunk_points.last().expect("non-empty");
+        let descending_end = Vec3::new(arch_end.x, 0.0, arch_end.z - self.descending_length_mm);
+        trunk_points.push(descending_end);
+        trunk_radii.push(self.descending_radius_mm);
+        net.add_tube(Tube::new(trunk_points, trunk_radii));
+
+        // Great vessels: rise vertically from the arch with typical radii
+        // (brachiocephalic largest).
+        let branch_radii = [6.5, 4.5, 5.5];
+        for ((anchor, _), &br) in branch_anchors.iter().zip(&branch_radii) {
+            let top = Vec3::new(anchor.x, 0.0, anchor.z + self.branch_length_mm);
+            net.add_tube(Tube::straight(*anchor, top, br, br * 0.85));
+            net.add_outlet(top, br * 1.3);
+        }
+
+        net.add_inlet(root, self.root_radius_mm * 1.2);
+        net.add_outlet(descending_end, self.descending_radius_mm * 1.3);
+        net
+    }
+
+    /// Voxelize at the spec's resolution.
+    pub fn build(&self) -> VoxelGrid {
+        self.network().voxelize(self.dx_mm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GeometryStats;
+
+    #[test]
+    fn network_has_trunk_and_three_branches() {
+        let net = AortaSpec::default().network();
+        assert_eq!(net.tubes().len(), 4);
+        assert_eq!(net.inlets().len(), 1);
+        assert_eq!(net.outlets().len(), 4);
+    }
+
+    #[test]
+    fn builds_with_all_cell_types() {
+        let g = AortaSpec::default().with_resolution(10).build();
+        let s = GeometryStats::measure(&g);
+        assert!(s.fluid_points > 0);
+        assert!(s.bulk_points > 0);
+        assert!(s.wall_points > 0);
+        assert!(s.inlet_points > 0);
+        assert!(s.outlet_points > 0);
+    }
+
+    #[test]
+    fn sparser_than_cylinder() {
+        // The aorta wanders through its bounding box: its fluid fraction is
+        // well below the cylinder's.
+        let aorta = GeometryStats::measure(&AortaSpec::default().with_resolution(12).build());
+        let cyl = GeometryStats::measure(
+            &crate::anatomy::CylinderSpec::default()
+                .with_resolution(12)
+                .build(),
+        );
+        assert!(
+            aorta.fluid_fraction < cyl.fluid_fraction,
+            "aorta {} vs cylinder {}",
+            aorta.fluid_fraction,
+            cyl.fluid_fraction
+        );
+    }
+
+    #[test]
+    fn taper_narrows_descending_radius() {
+        let net = AortaSpec::default().network();
+        let trunk = &net.tubes()[0];
+        assert!(trunk.end_radius() < trunk.radii()[0]);
+    }
+
+    #[test]
+    fn resolution_controls_size() {
+        let lo = AortaSpec::default().with_resolution(8).build();
+        let hi = AortaSpec::default().with_resolution(14).build();
+        assert!(hi.fluid_count() > lo.fluid_count() * 2);
+    }
+}

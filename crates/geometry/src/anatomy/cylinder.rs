@@ -1,0 +1,152 @@
+//! The idealized cylindrical vessel (paper Fig. 2A).
+//!
+//! A straight constant-radius tube: trivially load balanced, densely
+//! packed, and therefore communication-heavy when decomposed — the paper's
+//! stress case for interconnect quality (Figs. 9-10 study exactly this
+//! geometry on CSP-2).
+
+use crate::shapes::Vec3;
+use crate::tube::{Tube, VesselNetwork};
+use crate::voxel::VoxelGrid;
+
+/// Parameters for the idealized cylinder. Defaults follow a femoral-artery
+/// scale: 10 mm diameter, 60 mm length.
+#[derive(Debug, Clone, Copy)]
+pub struct CylinderSpec {
+    /// Lumen radius in millimetres.
+    pub radius_mm: f64,
+    /// Vessel length in millimetres.
+    pub length_mm: f64,
+    /// Voxels across the diameter.
+    pub resolution: usize,
+}
+
+impl Default for CylinderSpec {
+    fn default() -> Self {
+        Self {
+            radius_mm: 5.0,
+            length_mm: 60.0,
+            resolution: 20,
+        }
+    }
+}
+
+impl CylinderSpec {
+    /// Set the number of voxels across the diameter.
+    pub fn with_resolution(mut self, resolution: usize) -> Self {
+        assert!(resolution >= 4, "resolution below 4 voxels is degenerate");
+        self.resolution = resolution;
+        self
+    }
+
+    /// Set physical dimensions.
+    pub fn with_dimensions(mut self, radius_mm: f64, length_mm: f64) -> Self {
+        assert!(radius_mm > 0.0 && length_mm > 0.0);
+        self.radius_mm = radius_mm;
+        self.length_mm = length_mm;
+        self
+    }
+
+    /// Voxel spacing implied by the resolution.
+    pub fn dx_mm(&self) -> f64 {
+        2.0 * self.radius_mm / self.resolution as f64
+    }
+
+    /// The vessel network (one tube along +z with caps at both ends).
+    pub fn network(&self) -> VesselNetwork {
+        let mut net = VesselNetwork::new();
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 0.0, self.length_mm);
+        net.add_tube(Tube::straight(a, b, self.radius_mm, self.radius_mm));
+        // Cap spheres slightly larger than the lumen radius so every fluid
+        // cell in the end cross-sections is captured.
+        let cap = self.radius_mm * 1.2;
+        net.add_inlet(a, cap);
+        net.add_outlet(b, cap);
+        net
+    }
+
+    /// Voxelize at the spec's resolution.
+    pub fn build(&self) -> VoxelGrid {
+        self.network().voxelize(self.dx_mm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GeometryStats;
+    use crate::voxel::CellType;
+
+    #[test]
+    fn default_cylinder_builds() {
+        let g = CylinderSpec::default().with_resolution(12).build();
+        let s = GeometryStats::measure(&g);
+        assert!(s.fluid_points > 0);
+        assert!(s.inlet_points > 0);
+        assert!(s.outlet_points > 0);
+        // A cylinder is mostly bulk: it is the paper's "efficiently packed"
+        // case.
+        assert!(
+            s.bulk_wall_ratio > 1.0,
+            "bulk/wall = {}",
+            s.bulk_wall_ratio
+        );
+    }
+
+    #[test]
+    fn fluid_fraction_approximates_pi_over_4() {
+        // Lumen volume / bounding box of the tube section ≈ π r² / (2r)² =
+        // π/4 ≈ 0.785. The padded grid dilutes this somewhat; check a loose
+        // band.
+        let g = CylinderSpec::default().with_resolution(24).build();
+        let s = GeometryStats::measure(&g);
+        assert!(
+            (0.4..0.8).contains(&s.fluid_fraction),
+            "fluid fraction = {}",
+            s.fluid_fraction
+        );
+    }
+
+    #[test]
+    fn resolution_scales_point_count_cubically() {
+        let lo = GeometryStats::measure(&CylinderSpec::default().with_resolution(8).build());
+        let hi = GeometryStats::measure(&CylinderSpec::default().with_resolution(16).build());
+        let ratio = hi.fluid_points as f64 / lo.fluid_points as f64;
+        // Doubling the linear resolution multiplies points by ~8.
+        assert!((5.0..12.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn caps_are_at_opposite_ends() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let (_, _, nz) = g.dims();
+        let mut inlet_z_sum = 0usize;
+        let mut inlet_n = 0usize;
+        let mut outlet_z_sum = 0usize;
+        let mut outlet_n = 0usize;
+        for (_, _, z, c) in g.iter_cells() {
+            match c {
+                CellType::Inlet => {
+                    inlet_z_sum += z;
+                    inlet_n += 1;
+                }
+                CellType::Outlet => {
+                    outlet_z_sum += z;
+                    outlet_n += 1;
+                }
+                _ => {}
+            }
+        }
+        let inlet_z = inlet_z_sum as f64 / inlet_n as f64;
+        let outlet_z = outlet_z_sum as f64 / outlet_n as f64;
+        assert!(inlet_z < nz as f64 * 0.3, "inlet mean z = {inlet_z}");
+        assert!(outlet_z > nz as f64 * 0.7, "outlet mean z = {outlet_z}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn tiny_resolution_rejected() {
+        let _ = CylinderSpec::default().with_resolution(2);
+    }
+}

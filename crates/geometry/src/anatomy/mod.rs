@@ -1,0 +1,90 @@
+//! Parametric synthetic anatomies reproducing the paper's three test
+//! geometries (its Fig. 2).
+//!
+//! The paper's aorta and cerebral models come from the Open Source Medical
+//! Software / Vascular Model Repository, which is not available in this
+//! environment. These generators are tuned so their voxel censuses land in
+//! the same regimes the paper exploits:
+//!
+//! | Geometry | Communication | Load balance | Wall points |
+//! |---|---|---|---|
+//! | [`CylinderSpec`] | high (dense cross-sections) | easy | few |
+//! | [`AortaSpec`] | typical | typical | moderate |
+//! | [`CerebralSpec`] | low (thin spread-out vessels) | typical | many |
+//!
+//! Each spec has anatomically plausible default dimensions (mm) and a
+//! `resolution` knob — the number of voxels across the inlet diameter —
+//! that controls problem size without changing shape.
+
+mod aorta;
+mod cerebral;
+mod cylinder;
+
+pub use aorta::AortaSpec;
+pub use cerebral::CerebralSpec;
+pub use cylinder::CylinderSpec;
+
+/// A tiny deterministic linear congruential generator used for the
+/// pseudo-random (but reproducible) branching angles of the cerebral tree.
+/// Numerical Recipes constants; not suitable for statistics, perfect for
+/// repeatable geometry.
+#[derive(Debug, Clone)]
+pub(crate) struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub(crate) fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn lcg_f64_in_unit_interval() {
+        let mut g = Lcg::new(3);
+        for _ in 0..1000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lcg_seeds_differ() {
+        let mut a = Lcg::new(1);
+        let mut b = Lcg::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the SDF machinery: metric properties that must hold
+//! for arbitrary shapes and query points.
+
+use hemocloud_geometry::shapes::{Sdf, Sphere, TaperedCapsule, Union, Vec3};
+use hemocloud_geometry::tube::{Tube, VesselNetwork};
+use hemocloud_geometry::voxel::CellType;
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-20.0f64..20.0, -20.0f64..20.0, -20.0f64..20.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn capsule() -> impl Strategy<Value = TaperedCapsule> {
+    (vec3(), vec3(), 0.5f64..4.0, 0.5f64..4.0).prop_map(|(a, b, ra, rb)| TaperedCapsule {
+        a,
+        b,
+        radius_a: ra,
+        radius_b: rb,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sphere_sdf_is_one_lipschitz(p in vec3(), q in vec3(), r in 0.5f64..5.0) {
+        // |d(p) - d(q)| <= |p - q| for any true distance field.
+        let s = Sphere { center: Vec3::new(1.0, -2.0, 3.0), radius: r };
+        let lhs = (s.distance(p) - s.distance(q)).abs();
+        let rhs = p.sub(q).norm();
+        prop_assert!(lhs <= rhs + 1e-9, "lipschitz violated: {lhs} > {rhs}");
+    }
+
+    #[test]
+    fn capsule_sdf_is_nearly_one_lipschitz(c in capsule(), p in vec3(), q in vec3()) {
+        // The tapered capsule interpolates the radius at the closest
+        // parameter, which keeps it Lipschitz with a constant only
+        // slightly above 1 for bounded tapers.
+        let lhs = (c.distance(p) - c.distance(q)).abs();
+        let rhs = p.sub(q).norm();
+        prop_assert!(lhs <= 1.5 * rhs + 1e-9);
+    }
+
+    #[test]
+    fn capsule_contains_both_end_spheres(c in capsule()) {
+        // Points strictly inside either end sphere are inside the capsule.
+        for (center, radius) in [(c.a, c.radius_a), (c.b, c.radius_b)] {
+            let inside = center.add(Vec3::new(0.4 * radius, 0.0, 0.0));
+            prop_assert!(c.distance(inside) < 0.0);
+        }
+    }
+
+    #[test]
+    fn capsule_is_symmetric_in_endpoint_order(c in capsule(), p in vec3()) {
+        let flipped = TaperedCapsule {
+            a: c.b,
+            b: c.a,
+            radius_a: c.radius_b,
+            radius_b: c.radius_a,
+        };
+        prop_assert!((c.distance(p) - flipped.distance(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_distance_is_min_of_members(cs in proptest::collection::vec(capsule(), 1..5), p in vec3()) {
+        let member_min = cs
+            .iter()
+            .map(|c| c.distance(p))
+            .fold(f64::INFINITY, f64::min);
+        let u = Union::new(cs);
+        prop_assert!((u.distance(p) - member_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voxelized_tube_fluid_cells_are_inside_the_sdf(
+        len in 6.0f64..20.0,
+        r in 1.5f64..3.0,
+        dx in 0.5f64..1.0,
+    ) {
+        // Every voxel marked fluid has a centre with negative distance;
+        // rasterization must agree with the analytic SDF.
+        let tube = Tube::straight(Vec3::new(0.0, 0.0, 0.0), Vec3::new(len, 0.0, 0.0), r, r);
+        let mut net = VesselNetwork::new();
+        net.add_tube(tube.clone());
+        let grid = net.voxelize(dx);
+        let (min, _) = net.bounding_box().unwrap();
+        let origin = Vec3::new(min.x - dx, min.y - dx, min.z - dx);
+        for (x, y, z, c) in grid.iter_cells() {
+            if c == CellType::Bulk || c == CellType::Wall {
+                let p = Vec3::new(
+                    origin.x + (x as f64 + 0.5) * dx,
+                    origin.y + (y as f64 + 0.5) * dx,
+                    origin.z + (z as f64 + 0.5) * dx,
+                );
+                prop_assert!(
+                    tube.distance(p) < 0.0,
+                    "fluid cell ({x},{y},{z}) outside lumen: d = {}",
+                    tube.distance(p)
+                );
+            }
+        }
+        // And the lumen volume approximates the capsule volume (cylinder
+        // plus the two hemispherical end caps) within rasterization error.
+        let lumen = grid.fluid_count() as f64 * dx * dx * dx;
+        let analytic = std::f64::consts::PI * r * r * len
+            + 4.0 / 3.0 * std::f64::consts::PI * r * r * r;
+        prop_assert!(
+            (lumen - analytic).abs() < 0.25 * analytic,
+            "volume {lumen} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Maxwell-Boltzmann equilibrium distribution and macroscopic moments.
+//!
+//! The second-order equilibrium used by the BGK collision (paper Eq. 1):
+//!
+//! ```text
+//! f_i^eq = w_i ρ (1 + 3 c_i·u + 4.5 (c_i·u)² - 1.5 u·u)
+//! ```
+
+use crate::lattice::{C19, Q19, W19};
+
+/// Compute `f_i^eq` for all 19 directions into `out`.
+#[inline]
+pub fn equilibrium_d3q19(rho: f64, ux: f64, uy: f64, uz: f64, out: &mut [f64; Q19]) {
+    let usq = 1.5 * (ux * ux + uy * uy + uz * uz);
+    for q in 0..Q19 {
+        let (cx, cy, cz) = C19[q];
+        let cu = cx as f64 * ux + cy as f64 * uy + cz as f64 * uz;
+        out[q] = W19[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq);
+    }
+}
+
+/// Density and momentum moments of a distribution: `(ρ, ρu_x, ρu_y, ρu_z)`.
+#[inline]
+pub fn moments_d3q19(f: &[f64; Q19]) -> (f64, f64, f64, f64) {
+    let mut rho = 0.0;
+    let mut jx = 0.0;
+    let mut jy = 0.0;
+    let mut jz = 0.0;
+    for q in 0..Q19 {
+        let v = f[q];
+        let (cx, cy, cz) = C19[q];
+        rho += v;
+        jx += v * cx as f64;
+        jy += v * cy as f64;
+        jz += v * cz as f64;
+    }
+    (rho, jx, jy, jz)
+}
+
+/// Density and velocity of a distribution: `(ρ, u_x, u_y, u_z)`.
+#[inline]
+pub fn macroscopics_d3q19(f: &[f64; Q19]) -> (f64, f64, f64, f64) {
+    let (rho, jx, jy, jz) = moments_d3q19(f);
+    let inv = 1.0 / rho;
+    (rho, jx * inv, jy * inv, jz * inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_conserves_mass_and_momentum() {
+        let mut f = [0.0; Q19];
+        for &(rho, ux, uy, uz) in &[
+            (1.0, 0.0, 0.0, 0.0),
+            (1.1, 0.05, -0.02, 0.01),
+            (0.9, -0.08, 0.03, 0.06),
+        ] {
+            equilibrium_d3q19(rho, ux, uy, uz, &mut f);
+            let (r, jx, jy, jz) = moments_d3q19(&f);
+            assert!((r - rho).abs() < 1e-13, "rho");
+            assert!((jx - rho * ux).abs() < 1e-13, "jx");
+            assert!((jy - rho * uy).abs() < 1e-13, "jy");
+            assert!((jz - rho * uz).abs() < 1e-13, "jz");
+        }
+    }
+
+    #[test]
+    fn rest_equilibrium_is_the_weights() {
+        let mut f = [0.0; Q19];
+        equilibrium_d3q19(1.0, 0.0, 0.0, 0.0, &mut f);
+        for q in 0..Q19 {
+            assert!((f[q] - W19[q]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn macroscopics_invert_equilibrium() {
+        let mut f = [0.0; Q19];
+        equilibrium_d3q19(1.05, 0.03, 0.01, -0.04, &mut f);
+        let (rho, ux, uy, uz) = macroscopics_d3q19(&f);
+        assert!((rho - 1.05).abs() < 1e-13);
+        assert!((ux - 0.03).abs() < 1e-13);
+        assert!((uy - 0.01).abs() < 1e-13);
+        assert!((uz + 0.04).abs() < 1e-13);
+    }
+
+    #[test]
+    fn equilibrium_is_positive_at_moderate_velocity() {
+        let mut f = [0.0; Q19];
+        equilibrium_d3q19(1.0, 0.1, 0.1, 0.1, &mut f);
+        assert!(f.iter().all(|&v| v > 0.0));
+    }
+}

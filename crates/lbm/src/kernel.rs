@@ -1,0 +1,213 @@
+//! Kernel configuration: the variants the paper scans.
+//!
+//! The proxy-app study (paper Figs. 4 and 8) crosses two **propagation
+//! patterns** with two **data layouts** and two loop structures:
+//!
+//! * [`Propagation::Ab`] — two distribution arrays, read-old/write-new;
+//! * [`Propagation::Aa`] — one array updated in place, alternating an
+//!   in-cell collision step with a combined stream-collide-stream step,
+//!   halving streaming-index traffic on average;
+//! * [`Layout::Soa`] — structure-of-arrays, `f[q][cell]`;
+//! * [`Layout::Aos`] — array-of-structures, `f[cell][q]`;
+//! * rolled vs. unrolled inner direction loops.
+//!
+//! [`KernelConfig`] names a point in that space plus the floating-point
+//! precision; the performance model derives byte counts from it (Eq. 9)
+//! and the cluster simulator derives an efficiency factor.
+
+use crate::lattice::Q19;
+
+/// Distribution storage order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Structure of arrays: `f[q * n + cell]`. Preferred on GPUs.
+    Soa,
+    /// Array of structures: `f[cell * Q + q]`. Preferred on CPUs.
+    Aos,
+}
+
+/// Propagation (streaming) pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Propagation {
+    /// Two-array read/write ("AB" or A-B pattern).
+    Ab,
+    /// Single-array in-place alternating pattern ("AA", Bailey et al.).
+    Aa,
+}
+
+/// Floating-point precision of the distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 4-byte floats.
+    Single,
+    /// 8-byte floats (the default throughout the paper's experiments).
+    Double,
+    /// 16-byte floats (listed by the paper's Eq. 9; modeled only).
+    Quad,
+}
+
+impl Precision {
+    /// Bytes per stored value (the paper's `d_size`).
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+            Precision::Quad => 16,
+        }
+    }
+}
+
+/// Addressing scheme: dense grids use constant strides; sparse (HARVEY)
+/// meshes read a per-cell neighbor index row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addressing {
+    /// Constant-stride neighbors (proxy app's hardcoded cylinder).
+    Dense,
+    /// Per-cell neighbor index array (HARVEY's sparse mesh).
+    Indirect,
+}
+
+/// A fully specified kernel variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelConfig {
+    /// Storage order.
+    pub layout: Layout,
+    /// Streaming pattern.
+    pub propagation: Propagation,
+    /// Distribution precision.
+    pub precision: Precision,
+    /// Neighbor addressing.
+    pub addressing: Addressing,
+    /// Whether the inner direction loop is unrolled.
+    pub unrolled: bool,
+}
+
+impl KernelConfig {
+    /// HARVEY's configuration: indirect-addressed AoS/AB in double
+    /// precision with unrolled kernels.
+    pub fn harvey() -> Self {
+        Self {
+            layout: Layout::Aos,
+            propagation: Propagation::Ab,
+            precision: Precision::Double,
+            addressing: Addressing::Indirect,
+            unrolled: true,
+        }
+    }
+
+    /// A proxy-app variant (dense addressing, double precision).
+    pub fn proxy(layout: Layout, propagation: Propagation, unrolled: bool) -> Self {
+        Self {
+            layout,
+            propagation,
+            precision: Precision::Double,
+            addressing: Addressing::Dense,
+            unrolled,
+        }
+    }
+
+    /// All four proxy variants shown in the paper's Fig. 4 (SoA unrolled and
+    /// AoS, for each propagation pattern).
+    pub fn fig4_variants() -> Vec<(String, Self)> {
+        let mut v = Vec::new();
+        for (pname, p) in [(("AA"), Propagation::Aa), (("AB"), Propagation::Ab)] {
+            v.push((
+                format!("{pname}/SOA-unrolled"),
+                Self::proxy(Layout::Soa, p, true),
+            ));
+            v.push((format!("{pname}/AOS"), Self::proxy(Layout::Aos, p, false)));
+        }
+        v
+    }
+
+    /// The SoA variants of the paper's Fig. 8 (AA/AB × rolled/unrolled).
+    pub fn fig8_variants() -> Vec<(String, Self)> {
+        let mut v = Vec::new();
+        for (pname, p) in [("AA", Propagation::Aa), ("AB", Propagation::Ab)] {
+            for (uname, u) in [("unrolled", true), ("rolled", false)] {
+                v.push((format!("{pname}/SOA-{uname}"), Self::proxy(Layout::Soa, p, u)));
+            }
+        }
+        v
+    }
+
+    /// Number of distribution values stored per fluid point (one array for
+    /// AA, two for AB — the second array is counted as capacity, not
+    /// traffic).
+    #[inline]
+    pub fn arrays(&self) -> usize {
+        match self.propagation {
+            Propagation::Ab => 2,
+            Propagation::Aa => 1,
+        }
+    }
+
+    /// Short display name, e.g. `"AB/AOS/indirect/f64"`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}/f{}",
+            match self.propagation {
+                Propagation::Ab => "AB",
+                Propagation::Aa => "AA",
+            },
+            match self.layout {
+                Layout::Soa => "SOA",
+                Layout::Aos => "AOS",
+            },
+            match self.addressing {
+                Addressing::Dense => "dense",
+                Addressing::Indirect => "indirect",
+            },
+            self.precision.bytes() * 8,
+        )
+    }
+
+    /// Number of discrete velocities (D3Q19 for every implemented kernel).
+    #[inline]
+    pub fn q(&self) -> usize {
+        Q19
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+        assert_eq!(Precision::Quad.bytes(), 16);
+    }
+
+    #[test]
+    fn harvey_defaults() {
+        let k = KernelConfig::harvey();
+        assert_eq!(k.addressing, Addressing::Indirect);
+        assert_eq!(k.arrays(), 2);
+        assert_eq!(k.name(), "AB/AOS/indirect/f64");
+    }
+
+    #[test]
+    fn aa_uses_one_array() {
+        let k = KernelConfig::proxy(Layout::Soa, Propagation::Aa, true);
+        assert_eq!(k.arrays(), 1);
+    }
+
+    #[test]
+    fn fig4_has_four_variants() {
+        let v = KernelConfig::fig4_variants();
+        assert_eq!(v.len(), 4);
+        let names: Vec<_> = v.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"AA/SOA-unrolled"));
+        assert!(names.contains(&"AB/AOS"));
+    }
+
+    #[test]
+    fn fig8_variants_are_all_soa() {
+        for (_, k) in KernelConfig::fig8_variants() {
+            assert_eq!(k.layout, Layout::Soa);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Lattice velocity sets.
+//!
+//! HARVEY and the proxy app use the standard **D3Q19** discretization
+//! (paper §II-C); its tables are the ones the kernels hardcode. D3Q15 and
+//! D3Q27 descriptors are provided as well — they are exercised by the
+//! performance model's byte counting (the number of distributions per point
+//! is a first-order term in Eq. 9) and by the extension examples.
+
+/// Number of discrete velocities in D3Q19.
+pub const Q19: usize = 19;
+
+/// D3Q19 velocity vectors. Index 0 is the rest velocity; directions `2k-1`
+/// and `2k` are opposites, so [`opposite`] is a closed form.
+pub const C19: [(i32, i32, i32); Q19] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+    (1, 1, 0),
+    (-1, -1, 0),
+    (1, -1, 0),
+    (-1, 1, 0),
+    (1, 0, 1),
+    (-1, 0, -1),
+    (1, 0, -1),
+    (-1, 0, 1),
+    (0, 1, 1),
+    (0, -1, -1),
+    (0, 1, -1),
+    (0, -1, 1),
+];
+
+/// D3Q19 quadrature weights: 1/3 for rest, 1/18 for the 6 axis directions,
+/// 1/36 for the 12 edge directions.
+pub const W19: [f64; Q19] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the direction opposite to `q` in [`C19`].
+#[inline]
+pub const fn opposite(q: usize) -> usize {
+    if q == 0 {
+        0
+    } else if q % 2 == 1 {
+        q + 1
+    } else {
+        q - 1
+    }
+}
+
+/// Lattice sound speed squared (`c_s² = 1/3` in lattice units), shared by
+/// all DdQq models used here.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// A generic velocity-set descriptor, used by the performance model for
+/// byte counting and by generic (non-hot-path) routines.
+#[derive(Debug, Clone)]
+pub struct VelocitySet {
+    /// Human-readable name, e.g. `"D3Q19"`.
+    pub name: &'static str,
+    /// Velocity vectors.
+    pub velocities: Vec<(i32, i32, i32)>,
+    /// Quadrature weights (sum to 1).
+    pub weights: Vec<f64>,
+}
+
+impl VelocitySet {
+    /// The D3Q19 set.
+    pub fn d3q19() -> Self {
+        Self {
+            name: "D3Q19",
+            velocities: C19.to_vec(),
+            weights: W19.to_vec(),
+        }
+    }
+
+    /// The D3Q15 set (6 axis + 8 corner directions).
+    pub fn d3q15() -> Self {
+        let mut velocities = vec![(0, 0, 0)];
+        let mut weights = vec![2.0 / 9.0];
+        for &v in &[
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ] {
+            velocities.push(v);
+            weights.push(1.0 / 9.0);
+        }
+        for sx in [1, -1] {
+            for sy in [1, -1] {
+                for sz in [1, -1] {
+                    velocities.push((sx, sy, sz));
+                    weights.push(1.0 / 72.0);
+                }
+            }
+        }
+        Self {
+            name: "D3Q15",
+            velocities,
+            weights,
+        }
+    }
+
+    /// The D3Q27 set (full 3×3×3 stencil).
+    pub fn d3q27() -> Self {
+        let mut velocities = Vec::with_capacity(27);
+        let mut weights = Vec::with_capacity(27);
+        for z in [0i32, 1, -1] {
+            for y in [0i32, 1, -1] {
+                for x in [0i32, 1, -1] {
+                    let nnz = (x != 0) as u32 + (y != 0) as u32 + (z != 0) as u32;
+                    velocities.push((x, y, z));
+                    weights.push(match nnz {
+                        0 => 8.0 / 27.0,
+                        1 => 2.0 / 27.0,
+                        2 => 1.0 / 54.0,
+                        _ => 1.0 / 216.0,
+                    });
+                }
+            }
+        }
+        Self {
+            name: "D3Q27",
+            velocities,
+            weights,
+        }
+    }
+
+    /// Number of discrete velocities.
+    pub fn q(&self) -> usize {
+        self.velocities.len()
+    }
+
+    /// Index of the opposite of direction `q` (by table search; the hot
+    /// kernels use the closed-form [`opposite`] instead).
+    pub fn opposite_of(&self, q: usize) -> usize {
+        let (x, y, z) = self.velocities[q];
+        self.velocities
+            .iter()
+            .position(|&(a, b, c)| (a, b, c) == (-x, -y, -z))
+            .expect("velocity set is symmetric")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q19_weights_sum_to_one() {
+        let s: f64 = W19.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn q19_velocities_sum_to_zero() {
+        let (sx, sy, sz) = C19
+            .iter()
+            .fold((0, 0, 0), |(ax, ay, az), &(x, y, z)| (ax + x, ay + y, az + z));
+        assert_eq!((sx, sy, sz), (0, 0, 0));
+    }
+
+    #[test]
+    fn q19_second_moment_is_isotropic() {
+        // Σ w_i c_iα c_iβ = c_s² δ_αβ — required for correct hydrodynamics.
+        for alpha in 0..3 {
+            for beta in 0..3 {
+                let m: f64 = C19
+                    .iter()
+                    .zip(&W19)
+                    .map(|(&c, &w)| {
+                        let c = [c.0 as f64, c.1 as f64, c.2 as f64];
+                        w * c[alpha] * c[beta]
+                    })
+                    .sum();
+                let expect = if alpha == beta { CS2 } else { 0.0 };
+                assert!((m - expect).abs() < 1e-15, "moment[{alpha}][{beta}] = {m}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // `q` indexes two parallel tables
+    fn opposite_is_an_involution() {
+        for q in 0..Q19 {
+            let o = opposite(q);
+            assert_eq!(opposite(o), q);
+            let (x, y, z) = C19[q];
+            assert_eq!(C19[o], (-x, -y, -z));
+        }
+    }
+
+    #[test]
+    fn generic_sets_are_consistent() {
+        for set in [VelocitySet::d3q15(), VelocitySet::d3q19(), VelocitySet::d3q27()] {
+            assert_eq!(
+                set.q(),
+                set.weights.len(),
+                "{}: weight count mismatch",
+                set.name
+            );
+            let s: f64 = set.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "{}: weights sum to {s}", set.name);
+            for q in 0..set.q() {
+                assert_eq!(set.opposite_of(set.opposite_of(q)), q, "{}", set.name);
+            }
+            // Isotropy of the second moment for all sets.
+            for alpha in 0..3 {
+                for beta in 0..3 {
+                    let m: f64 = set
+                        .velocities
+                        .iter()
+                        .zip(&set.weights)
+                        .map(|(&c, &w)| {
+                            let c = [c.0 as f64, c.1 as f64, c.2 as f64];
+                            w * c[alpha] * c[beta]
+                        })
+                        .sum();
+                    let expect = if alpha == beta { CS2 } else { 0.0 };
+                    assert!(
+                        (m - expect).abs() < 1e-12,
+                        "{}: moment[{alpha}][{beta}] = {m}",
+                        set.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q19_matches_geometry_direction_table() {
+        // The geometry crate duplicates the nonzero directions for wall
+        // classification; the two tables must agree as sets.
+        let geo: std::collections::HashSet<_> = hemocloud_geometry::classify::D3Q19_DIRECTIONS
+            .iter()
+            .copied()
+            .collect();
+        let lbm: std::collections::HashSet<_> =
+            C19.iter().skip(1).map(|&(x, y, z)| (x, y, z)).collect();
+        assert_eq!(geo, lbm);
+    }
+
+    #[test]
+    fn q_counts() {
+        assert_eq!(VelocitySet::d3q15().q(), 15);
+        assert_eq!(VelocitySet::d3q19().q(), 19);
+        assert_eq!(VelocitySet::d3q27().q(), 27);
+    }
+}

@@ -1,0 +1,556 @@
+//! The LBM proxy application (paper §II-B): fluid-only D3Q19 BGK in a
+//! hardcoded cylinder, reproducing `lbm-proxy-app`.
+//!
+//! The cylinder axis is z with periodic ends; flow is driven by a uniform
+//! body force along z, so the steady state is an analytic Poiseuille
+//! profile — ideal both for validation and for isolating kernel
+//! performance. The proxy exists to scan the kernel-variant space of the
+//! paper's Figs. 4 and 8: AA vs. AB propagation × SoA vs. AoS layout ×
+//! rolled vs. unrolled inner loops, all dense-addressed.
+//!
+//! *Rolled vs. unrolled*: the unrolled variants run the plain
+//! constant-trip-count direction loop, which the compiler fully unrolls and
+//! vectorizes; the rolled variants launder the loop index through
+//! [`std::hint::black_box`], forcing genuine indexed iteration — the same
+//! overhead structure as a non-unrolled inner `for` in C.
+
+// Direction loops index several parallel tables by `q` on purpose — the
+// layout-generic indexing needs the raw index, not an iterator item.
+#![allow(clippy::needless_range_loop)]
+
+use crate::equilibrium::{equilibrium_d3q19, moments_d3q19};
+use crate::kernel::{KernelConfig, Layout, Propagation};
+use crate::lattice::{opposite, C19, Q19, W19};
+use crate::solver::RunStats;
+use std::hint::black_box;
+
+/// Distribution indexing for a storage layout.
+trait LayoutIdx: Copy {
+    /// Flat index of `(cell, q)` in an `n`-cell array.
+    fn at(cell: usize, q: usize, n: usize) -> usize;
+}
+
+/// Structure-of-arrays indexing: `f[q * n + cell]`.
+#[derive(Clone, Copy)]
+struct SoaIdx;
+impl LayoutIdx for SoaIdx {
+    #[inline(always)]
+    fn at(cell: usize, q: usize, n: usize) -> usize {
+        q * n + cell
+    }
+}
+
+/// Array-of-structures indexing: `f[cell * 19 + q]`.
+#[derive(Clone, Copy)]
+struct AosIdx;
+impl LayoutIdx for AosIdx {
+    #[inline(always)]
+    fn at(cell: usize, q: usize, _n: usize) -> usize {
+        cell * Q19 + q
+    }
+}
+
+/// The proxy application state.
+pub struct ProxyApp {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// True for lumen cells.
+    mask: Vec<bool>,
+    config: KernelConfig,
+    omega: f64,
+    /// Body acceleration along +z (lattice units).
+    gravity: f64,
+    f_a: Vec<f64>,
+    /// Second array for AB; empty for AA.
+    f_b: Vec<f64>,
+    steps_taken: u64,
+    fluid_cells: usize,
+    radius: f64,
+}
+
+impl ProxyApp {
+    /// Create a cylinder of `diameter` voxels across and `length` voxels
+    /// long, initialized at rest.
+    ///
+    /// # Panics
+    /// Panics for a diameter below 4 voxels or τ ≤ 1/2.
+    pub fn new(diameter: usize, length: usize, config: KernelConfig, tau: f64, gravity: f64) -> Self {
+        assert!(diameter >= 4, "degenerate cylinder");
+        assert!(length >= 1);
+        assert!(tau > 0.5, "tau must exceed 1/2 for stability");
+        let nx = diameter + 2; // one solid shell around the lumen in x/y
+        let ny = diameter + 2;
+        let nz = length;
+        let n = nx * ny * nz;
+        let radius = diameter as f64 / 2.0;
+        let cx = nx as f64 / 2.0;
+        let cy = ny as f64 / 2.0;
+
+        let mut mask = vec![false; n];
+        let mut fluid_cells = 0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let dx = x as f64 + 0.5 - cx;
+                    let dy = y as f64 + 0.5 - cy;
+                    if dx * dx + dy * dy < radius * radius {
+                        mask[x + nx * (y + ny * z)] = true;
+                        fluid_cells += 1;
+                    }
+                }
+            }
+        }
+
+        // Rest equilibrium everywhere (solid cells hold harmless weights).
+        let mut f_a = vec![0.0; n * Q19];
+        for cell in 0..n {
+            for q in 0..Q19 {
+                let idx = match config.layout {
+                    Layout::Soa => SoaIdx::at(cell, q, n),
+                    Layout::Aos => AosIdx::at(cell, q, n),
+                };
+                f_a[idx] = W19[q];
+            }
+        }
+        let f_b = match config.propagation {
+            Propagation::Ab => f_a.clone(),
+            Propagation::Aa => Vec::new(),
+        };
+
+        Self {
+            nx,
+            ny,
+            nz,
+            mask,
+            config,
+            omega: 1.0 / tau,
+            gravity,
+            f_a,
+            f_b,
+            steps_taken: 0,
+            fluid_cells,
+            radius,
+        }
+    }
+
+    /// Number of lumen (fluid) cells.
+    pub fn fluid_count(&self) -> usize {
+        self.fluid_cells
+    }
+
+    /// Total cells in the dense box.
+    pub fn total_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// The kernel configuration being run.
+    pub fn config(&self) -> KernelConfig {
+        self.config
+    }
+
+    /// Timesteps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Neighbor cell index of `(x, y, z)` in direction `q`, with periodic
+    /// z and `None` for solid/outside in x/y.
+    #[inline(always)]
+    fn neighbor(&self, x: usize, y: usize, z: usize, q: usize) -> Option<usize> {
+        let (cx, cy, cz) = C19[q];
+        let xx = x as i64 + cx as i64;
+        let yy = y as i64 + cy as i64;
+        if xx < 0 || yy < 0 || xx >= self.nx as i64 || yy >= self.ny as i64 {
+            return None;
+        }
+        let zz = (z as i64 + cz as i64).rem_euclid(self.nz as i64) as usize;
+        let idx = xx as usize + self.nx * (yy as usize + self.ny * zz);
+        self.mask[idx].then_some(idx)
+    }
+
+    /// Advance one timestep with the configured kernel variant.
+    pub fn step(&mut self) {
+        match (self.config.propagation, self.config.layout, self.config.unrolled) {
+            (Propagation::Ab, Layout::Soa, true) => self.step_ab::<SoaIdx, true>(),
+            (Propagation::Ab, Layout::Soa, false) => self.step_ab::<SoaIdx, false>(),
+            (Propagation::Ab, Layout::Aos, true) => self.step_ab::<AosIdx, true>(),
+            (Propagation::Ab, Layout::Aos, false) => self.step_ab::<AosIdx, false>(),
+            (Propagation::Aa, Layout::Soa, true) => self.step_aa::<SoaIdx, true>(),
+            (Propagation::Aa, Layout::Soa, false) => self.step_aa::<SoaIdx, false>(),
+            (Propagation::Aa, Layout::Aos, true) => self.step_aa::<AosIdx, true>(),
+            (Propagation::Aa, Layout::Aos, false) => self.step_aa::<AosIdx, false>(),
+        }
+        self.steps_taken += 1;
+    }
+
+    /// Run `steps` timesteps and report throughput over fluid cells.
+    pub fn run(&mut self, steps: u64) -> RunStats {
+        let start = std::time::Instant::now();
+        for _ in 0..steps {
+            self.step();
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let updates = steps * self.fluid_cells as u64;
+        RunStats {
+            updates,
+            seconds,
+            mflups: if seconds > 0.0 {
+                updates as f64 / seconds / 1e6
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// BGK collision with body force, shared by every variant.
+    #[inline(always)]
+    fn collide(&self, fin: &[f64; Q19], fout: &mut [f64; Q19]) {
+        let (rho, jx, jy, jz) = moments_d3q19(fin);
+        let inv = 1.0 / rho;
+        let (ux, uy, uz) = (jx * inv, jy * inv, jz * inv);
+        let mut feq = [0.0; Q19];
+        equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
+        for q in 0..Q19 {
+            let force = 3.0 * W19[q] * C19[q].2 as f64 * self.gravity;
+            fout[q] = fin[q] - self.omega * (fin[q] - feq[q]) + force;
+        }
+    }
+
+    /// AB pull step: gather from `f_a`, collide, write `f_b`, swap.
+    fn step_ab<L: LayoutIdx, const UNROLLED: bool>(&mut self) {
+        let n = self.total_cells();
+        let mut f_b = std::mem::take(&mut self.f_b);
+        {
+            let src = &self.f_a;
+            for z in 0..self.nz {
+                for y in 0..self.ny {
+                    for x in 0..self.nx {
+                        let cell = x + self.nx * (y + self.ny * z);
+                        if !self.mask[cell] {
+                            continue;
+                        }
+                        let mut fin = [0.0f64; Q19];
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            // Arrival along q comes from the neighbor
+                            // opposite q; solid links bounce back.
+                            fin[q] = match self.neighbor(x, y, z, opposite(q)) {
+                                Some(nb) => src[L::at(nb, q, n)],
+                                None => src[L::at(cell, opposite(q), n)],
+                            };
+                        }
+                        let mut fout = [0.0f64; Q19];
+                        self.collide(&fin, &mut fout);
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            f_b[L::at(cell, q, n)] = fout[q];
+                        }
+                    }
+                }
+            }
+        }
+        self.f_b = f_b;
+        std::mem::swap(&mut self.f_a, &mut self.f_b);
+    }
+
+    /// AA-pattern step: even timesteps collide in place writing opposite
+    /// slots; odd timesteps gather from neighbors' opposite slots, collide,
+    /// and scatter forward. Each cell's read set equals its write set, so
+    /// the update is in-place safe (Bailey et al. 2009).
+    fn step_aa<L: LayoutIdx, const UNROLLED: bool>(&mut self) {
+        let n = self.total_cells();
+        let even = self.steps_taken.is_multiple_of(2);
+        let mut f = std::mem::take(&mut self.f_a);
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    let cell = x + self.nx * (y + self.ny * z);
+                    if !self.mask[cell] {
+                        continue;
+                    }
+                    let mut fin = [0.0f64; Q19];
+                    if even {
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            fin[q] = f[L::at(cell, q, n)];
+                        }
+                    } else {
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            // Value arriving along q was stored by the even
+                            // step at the (x - c_q) neighbor's opposite slot.
+                            fin[q] = match self.neighbor(x, y, z, opposite(q)) {
+                                Some(nb) => f[L::at(nb, opposite(q), n)],
+                                None => f[L::at(cell, q, n)],
+                            };
+                        }
+                    }
+                    let mut fout = [0.0f64; Q19];
+                    self.collide(&fin, &mut fout);
+                    if even {
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            f[L::at(cell, opposite(q), n)] = fout[q];
+                        }
+                    } else {
+                        for qi in 0..Q19 {
+                            let q = if UNROLLED { qi } else { black_box(qi) };
+                            match self.neighbor(x, y, z, q) {
+                                Some(nb) => f[L::at(nb, q, n)] = fout[q],
+                                None => f[L::at(cell, opposite(q), n)] = fout[q],
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.f_a = f;
+    }
+
+    /// Whether the distributions are currently in natural storage order
+    /// (true for AB always; for AA only after an even number of steps).
+    pub fn in_natural_order(&self) -> bool {
+        match self.config.propagation {
+            Propagation::Ab => true,
+            Propagation::Aa => self.steps_taken.is_multiple_of(2),
+        }
+    }
+
+    /// Density and velocity at `(x, y, z)`; requires natural storage order.
+    ///
+    /// # Panics
+    /// Panics for a solid cell or when the AA state is mid-pair.
+    pub fn macroscopics(&self, x: usize, y: usize, z: usize) -> (f64, f64, f64, f64) {
+        assert!(
+            self.in_natural_order(),
+            "AA state is only readable after an even number of steps"
+        );
+        let n = self.total_cells();
+        let cell = x + self.nx * (y + self.ny * z);
+        assert!(self.mask[cell], "solid cell");
+        let mut f = [0.0; Q19];
+        for q in 0..Q19 {
+            let idx = match self.config.layout {
+                Layout::Soa => SoaIdx::at(cell, q, n),
+                Layout::Aos => AosIdx::at(cell, q, n),
+            };
+            f[q] = self.f_a[idx];
+        }
+        let (rho, jx, jy, jz) = moments_d3q19(&f);
+        (rho, jx / rho, jy / rho, jz / rho)
+    }
+
+    /// Density and velocity of the *post-stream* state at `(x, y, z)`:
+    /// moments of the gathered (streamed, pre-collision) distributions,
+    /// without advancing the simulation. Only meaningful for AB configs.
+    ///
+    /// This exists for the AA/AB equivalence check: starting from a
+    /// stream-invariant state, the AA array after an even number of steps
+    /// equals the AB array with one extra streaming applied
+    /// (`AA_2k = S(AB_2k)`), so AA's natural-order moments must match AB's
+    /// post-stream moments exactly.
+    ///
+    /// # Panics
+    /// Panics for AA configs or a solid cell.
+    pub fn post_stream_macroscopics(&self, x: usize, y: usize, z: usize) -> (f64, f64, f64, f64) {
+        assert!(
+            matches!(self.config.propagation, Propagation::Ab),
+            "post-stream readout is defined for AB configs"
+        );
+        let n = self.total_cells();
+        let cell = x + self.nx * (y + self.ny * z);
+        assert!(self.mask[cell], "solid cell");
+        let at = |c: usize, q: usize| match self.config.layout {
+            Layout::Soa => SoaIdx::at(c, q, n),
+            Layout::Aos => AosIdx::at(c, q, n),
+        };
+        let mut fin = [0.0; Q19];
+        for q in 0..Q19 {
+            fin[q] = match self.neighbor(x, y, z, opposite(q)) {
+                Some(nb) => self.f_a[at(nb, q)],
+                None => self.f_a[at(cell, opposite(q))],
+            };
+        }
+        let (rho, jx, jy, jz) = moments_d3q19(&fin);
+        (rho, jx / rho, jy / rho, jz / rho)
+    }
+
+    /// Axial velocity along a diameter at mid-length: `(radial distance,
+    /// u_z)` pairs, for Poiseuille validation.
+    pub fn velocity_profile(&self) -> Vec<(f64, f64)> {
+        let z = self.nz / 2;
+        let y = self.ny / 2;
+        let cx = self.nx as f64 / 2.0;
+        let mut out = Vec::new();
+        for x in 0..self.nx {
+            let cell = x + self.nx * (y + self.ny * z);
+            if self.mask[cell] {
+                let (_, _, _, uz) = self.macroscopics(x, y, z);
+                out.push((x as f64 + 0.5 - cx, uz));
+            }
+        }
+        out
+    }
+
+    /// Total mass over fluid cells; requires natural storage order.
+    pub fn total_mass(&self) -> f64 {
+        let mut mass = 0.0;
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    if self.mask[x + self.nx * (y + self.ny * z)] {
+                        mass += self.macroscopics(x, y, z).0;
+                    }
+                }
+            }
+        }
+        mass
+    }
+
+    /// Analytic steady Poiseuille peak velocity for this cylinder:
+    /// `u_max = g R² / (4 ν)`.
+    pub fn analytic_peak_velocity(&self) -> f64 {
+        let nu = (1.0 / self.omega - 0.5) / 3.0;
+        self.gravity * self.radius * self.radius / (4.0 * nu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(layout: Layout, propagation: Propagation, unrolled: bool) -> KernelConfig {
+        KernelConfig::proxy(layout, propagation, unrolled)
+    }
+
+    #[test]
+    fn mask_is_a_cylinder() {
+        let p = ProxyApp::new(10, 6, cfg(Layout::Aos, Propagation::Ab, true), 0.8, 0.0);
+        // Lumen area ≈ π r² = π·25 ≈ 78.5 per slice.
+        let per_slice = p.fluid_count() / 6;
+        assert!((70..=86).contains(&per_slice), "per-slice = {per_slice}");
+    }
+
+    #[test]
+    fn zero_gravity_rest_state_is_stationary() {
+        for (layout, prop) in [
+            (Layout::Soa, Propagation::Ab),
+            (Layout::Aos, Propagation::Ab),
+            (Layout::Soa, Propagation::Aa),
+            (Layout::Aos, Propagation::Aa),
+        ] {
+            let mut p = ProxyApp::new(8, 4, cfg(layout, prop, true), 0.8, 0.0);
+            for _ in 0..4 {
+                p.step();
+            }
+            let (rho, ux, uy, uz) = p.macroscopics(5, 5, 2);
+            assert!((rho - 1.0).abs() < 1e-13);
+            assert!(ux.abs() < 1e-13 && uy.abs() < 1e-13 && uz.abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_under_forcing() {
+        let mut p = ProxyApp::new(8, 6, cfg(Layout::Aos, Propagation::Ab, true), 0.8, 1e-5);
+        let m0 = p.total_mass();
+        for _ in 0..100 {
+            p.step();
+        }
+        let m1 = p.total_mass();
+        assert!((m0 - m1).abs() < 1e-9 * m0, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn all_variants_agree_macroscopically() {
+        // Every (layout, propagation, unrolled) combination computes the
+        // same physics. AB variants compare state-to-state; AA variants are
+        // one streaming pass ahead (`AA_2k = S(AB_2k)` from a
+        // stream-invariant start), so they compare against the AB
+        // reference's post-stream moments.
+        let reference = {
+            let mut p = ProxyApp::new(8, 6, cfg(Layout::Aos, Propagation::Ab, true), 0.8, 1e-5);
+            for _ in 0..20 {
+                p.step();
+            }
+            p
+        };
+        let probe = (5usize, 5usize, 3usize);
+        let (ab_rho, _, _, ab_uz) = reference.macroscopics(probe.0, probe.1, probe.2);
+        let (st_rho, _, _, st_uz) = reference.post_stream_macroscopics(probe.0, probe.1, probe.2);
+        for layout in [Layout::Soa, Layout::Aos] {
+            for prop in [Propagation::Ab, Propagation::Aa] {
+                for unrolled in [true, false] {
+                    let mut p = ProxyApp::new(8, 6, cfg(layout, prop, unrolled), 0.8, 1e-5);
+                    for _ in 0..20 {
+                        p.step();
+                    }
+                    let (r1, _, _, w1) = p.macroscopics(probe.0, probe.1, probe.2);
+                    let (r0, w0) = match prop {
+                        Propagation::Ab => (ab_rho, ab_uz),
+                        Propagation::Aa => (st_rho, st_uz),
+                    };
+                    assert!(
+                        (r0 - r1).abs() < 1e-12 && (w0 - w1).abs() < 1e-12,
+                        "{layout:?}/{prop:?}/unrolled={unrolled}: rho {r0} vs {r1}, uz {w0} vs {w1}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_poiseuille() {
+        // Small cylinder, run to near-steady state; peak velocity within
+        // 15% of the analytic value (halfway bounce-back staircase limits
+        // accuracy at this resolution).
+        let mut p = ProxyApp::new(10, 4, cfg(Layout::Aos, Propagation::Ab, true), 0.9, 2e-6);
+        for _ in 0..1500 {
+            p.step();
+        }
+        let peak = p
+            .velocity_profile()
+            .iter()
+            .map(|&(_, uz)| uz)
+            .fold(0.0f64, f64::max);
+        let analytic = p.analytic_peak_velocity();
+        let err = (peak - analytic).abs() / analytic;
+        assert!(err < 0.15, "peak {peak} vs analytic {analytic} (err {err})");
+    }
+
+    #[test]
+    fn poiseuille_profile_is_parabolic() {
+        let mut p = ProxyApp::new(12, 4, cfg(Layout::Soa, Propagation::Aa, true), 0.9, 2e-6);
+        for _ in 0..2000 {
+            p.step();
+        }
+        let profile = p.velocity_profile();
+        let peak = profile.iter().map(|&(_, u)| u).fold(0.0f64, f64::max);
+        // Fit u(r)/u_peak against 1 - (r/R)²; every sample within 20%
+        // pointwise (near-axis) is enough to confirm the shape.
+        let r_edge = p.radius;
+        for &(r, u) in &profile {
+            let expect = peak * (1.0 - (r / r_edge) * (r / r_edge));
+            assert!(
+                (u - expect).abs() < 0.25 * peak,
+                "r={r}: u={u} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn aa_state_unreadable_mid_pair() {
+        let mut p = ProxyApp::new(8, 4, cfg(Layout::Soa, Propagation::Aa, true), 0.8, 0.0);
+        p.step();
+        assert!(!p.in_natural_order());
+        p.step();
+        assert!(p.in_natural_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "solid cell")]
+    fn macroscopics_rejects_solid() {
+        let p = ProxyApp::new(8, 4, cfg(Layout::Aos, Propagation::Ab, true), 0.8, 0.0);
+        let _ = p.macroscopics(0, 0, 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Real host microbenchmarks.
+//!
+//! The simulated platforms (the `hemocloud-cluster` crate) stand in for
+//! the paper's cloud instances, but the benchmark *programs* themselves
+//! are real: [`stream`] implements the four STREAM kernels
+//! (Copy, Scale, Add, Triad) with a thread sweep, and [`pingpong`]
+//! measures thread-pair message latency/bandwidth — the in-process analog
+//! of intranodal MPI PingPong. Their outputs use the same schema as the
+//! simulated microbenchmarks, so the entire characterize→fit→predict
+//! pipeline can run against this machine as a sixth "platform".
+
+pub mod pingpong;
+pub mod stream;
+pub mod timing;
+
+pub use pingpong::{pingpong_sweep, PingPongMeasurement};
+pub use stream::{stream_kernel, stream_sweep, StreamKernel, StreamMeasurement};

@@ -1,0 +1,118 @@
+//! Thread-pair PingPong: message latency and bandwidth between two OS
+//! threads.
+//!
+//! The in-process analog of the Intel MPI Benchmark's PingPong used by the
+//! paper for intranodal measurements: two threads bounce a byte buffer
+//! through a pair of channels; half the round-trip time is the one-way
+//! message time. Buffers are copied on each hop (like an MPI eager-path
+//! send), so large messages measure memcpy bandwidth and small ones
+//! measure synchronization latency.
+
+use std::sync::mpsc;
+
+/// One PingPong measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingPongMeasurement {
+    /// Message size, bytes.
+    pub bytes: usize,
+    /// One-way time, microseconds (half the mean round trip).
+    pub time_us: f64,
+}
+
+/// Measure one-way message time for each size in `sizes`, averaging over
+/// `round_trips` bounces per size.
+///
+/// # Panics
+/// Panics if `round_trips` is zero.
+pub fn pingpong_sweep(sizes: &[usize], round_trips: usize) -> Vec<PingPongMeasurement> {
+    assert!(round_trips > 0, "need at least one round trip");
+    sizes
+        .iter()
+        .map(|&bytes| PingPongMeasurement {
+            bytes,
+            time_us: one_way_time_us(bytes, round_trips),
+        })
+        .collect()
+}
+
+fn one_way_time_us(bytes: usize, round_trips: usize) -> f64 {
+    let (to_echo, echo_in) = mpsc::sync_channel::<Vec<u8>>(1);
+    let (echo_out, from_echo) = mpsc::sync_channel::<Vec<u8>>(1);
+
+    let echoer = std::thread::spawn(move || {
+        while let Ok(msg) = echo_in.recv() {
+            // Copy on the return hop, like an eager-path receive.
+            let reply = msg.clone();
+            if echo_out.send(reply).is_err() {
+                break;
+            }
+        }
+    });
+
+    let payload = vec![0u8; bytes];
+    // Warm up the channel pair.
+    to_echo.send(payload.clone()).expect("echo thread alive");
+    let _ = from_echo.recv().expect("echo thread alive");
+
+    let start = std::time::Instant::now();
+    for _ in 0..round_trips {
+        to_echo.send(payload.clone()).expect("echo thread alive");
+        let back = from_echo.recv().expect("echo thread alive");
+        std::hint::black_box(&back);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(to_echo);
+    echoer.join().expect("echo thread join");
+
+    elapsed / round_trips as f64 / 2.0 * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_all_sizes() {
+        let sweep = pingpong_sweep(&[0, 1024, 65_536], 20);
+        assert_eq!(sweep.len(), 3);
+        for m in &sweep {
+            assert!(m.time_us > 0.0, "{} bytes", m.bytes);
+        }
+    }
+
+    #[test]
+    fn large_messages_cost_more_than_small() {
+        let sweep = pingpong_sweep(&[0, 4 * 1024 * 1024], 5);
+        assert!(
+            sweep[1].time_us > sweep[0].time_us,
+            "4 MB {} µs !> 0 B {} µs",
+            sweep[1].time_us,
+            sweep[0].time_us
+        );
+    }
+
+    #[test]
+    fn fits_the_linear_model() {
+        // The host measurement must be consumable by the same fit the
+        // simulated PingPong uses.
+        let sweep = pingpong_sweep(&[0, 4096, 65_536, 1_048_576], 20);
+        let xs: Vec<f64> = sweep.iter().map(|m| m.bytes as f64).collect();
+        let ys: Vec<f64> = sweep.iter().map(|m| m.time_us).collect();
+        let fit = hemocloud_fitting_shim::fit(&xs, &ys, ys[0]);
+        assert!(fit > 0.0, "non-positive fitted slope {fit}");
+    }
+
+    /// Minimal local shim so this crate does not depend on the fitting
+    /// crate just for one test: pinned-intercept least squares slope.
+    #[cfg(test)]
+    mod hemocloud_fitting_shim {
+        pub fn fit(xs: &[f64], ys: &[f64], intercept: f64) -> f64 {
+            let (mut sxx, mut sxy) = (0.0, 0.0);
+            for (&x, &y) in xs.iter().zip(ys) {
+                sxx += x * x;
+                sxy += x * (y - intercept);
+            }
+            sxy / sxx
+        }
+    }
+}

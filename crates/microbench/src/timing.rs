@@ -1,0 +1,48 @@
+//! Timing helpers: best-of-N repetition control.
+
+use std::time::Instant;
+
+/// Run `f` `reps` times and return the best (minimum) wall-clock seconds.
+/// Minimum-of-N is the STREAM convention: it rejects one-sided OS noise.
+///
+/// # Panics
+/// Panics if `reps` is zero.
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_positive_time() {
+        let t = best_of(3, || {
+            let v: Vec<u64> = (0..10_000).collect();
+            std::hint::black_box(v.iter().sum::<u64>());
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn best_of_is_min() {
+        // The best of many reps can only improve or match a single rep's
+        // upper bound; sanity-check ordering with a sleep.
+        let slow = best_of(1, || std::thread::sleep(std::time::Duration::from_millis(5)));
+        let best = best_of(3, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(best < slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        let _ = best_of(0, || {});
+    }
+}

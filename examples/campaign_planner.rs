@@ -1,0 +1,113 @@
+//! Planning a multi-patient simulation campaign under a budget, with
+//! iterative model refinement — the paper's closing loop ("storing all
+//! measured performance along with the estimated performance model
+//! prediction will be critical to iteratively refining the performance
+//! models").
+//!
+//! The planner runs patients one at a time on the chosen instance. After
+//! each run it records predicted-vs-measured step times; the calibrated
+//! model re-prices the remaining campaign, and the per-job guards tighten
+//! from the raw model's optimistic limits to realistic ones.
+//!
+//! Run: `cargo run --release --example campaign_planner`
+
+use hemocloud::prelude::*;
+use hemocloud_cluster::exec::{simulate_geometry, Overheads};
+use hemocloud_cluster::pricing::PriceSheet;
+
+fn main() {
+    let platform = Platform::csp2_ec();
+    let character = characterize(&platform, 2023);
+    let prices = PriceSheet::default();
+    let overheads = Overheads::default();
+    let steps = 50_000u64;
+    let ranks = 72;
+
+    // Five "patients": anatomies of varying size (different resolutions
+    // stand in for different vessel trees).
+    let patients: Vec<(String, _)> = (0..5)
+        .map(|i| {
+            let res = 14 + 3 * i;
+            (
+                format!("patient-{:02} (res {res})", i + 1),
+                AortaSpec::default().with_resolution(res).build(),
+            )
+        })
+        .collect();
+
+    let mut calibrator = ModelCalibrator::new();
+    let mut total_cost = 0.0;
+    let mut total_predicted_raw = 0.0;
+    let mut total_predicted_cal = 0.0;
+    let mut total_measured = 0.0;
+
+    println!(
+        "Campaign: {} patients x {steps} steps on {} @ {ranks} ranks\n",
+        patients.len(),
+        platform.abbrev
+    );
+    for (i, (name, grid)) in patients.iter().enumerate() {
+        let workload = Workload::harvey(grid, steps);
+        let model = GeneralModel::from_characterization(&character, &workload);
+        let raw = model.predict(ranks);
+        let raw_time = raw.time_for_steps(steps);
+        let cal_time = calibrator.corrected_step_s(raw.step_time_s) * steps as f64;
+
+        // Guard from the *calibrated* prediction once we have data.
+        let tolerance = 0.10;
+        let budget_time = cal_time * (1.0 + tolerance);
+
+        let run = simulate_geometry(
+            &platform,
+            grid,
+            &workload.kernel,
+            ranks,
+            steps,
+            &overheads,
+            31 + i as u64,
+            i as f64 * 12.0,
+        )
+        .expect("feasible run");
+        let cost = prices.run_cost(&platform, &run);
+        total_cost += cost;
+        total_predicted_raw += raw_time;
+        total_predicted_cal += cal_time;
+        total_measured += run.total_time_s;
+
+        let flag = if run.total_time_s > budget_time {
+            "OVERRUN FLAG"
+        } else {
+            "within guard"
+        };
+        println!(
+            "{name}: {:>8} pts | raw pred {:>7.1} s | calibrated {:>7.1} s | measured {:>7.1} s | ${:.4} | {flag}",
+            workload.points(),
+            raw_time,
+            cal_time,
+            run.total_time_s,
+            cost
+        );
+
+        calibrator.record(ranks, raw.step_time_s, run.step_time_s);
+    }
+
+    println!(
+        "\nCampaign totals: measured {total_measured:.1} s, ${total_cost:.4} on {} nodes",
+        platform.nodes_for_ranks(ranks)
+    );
+    println!(
+        "Raw model underestimated time by {:.1}% overall; after calibration the gap is {:.1}%.",
+        100.0 * (total_measured - total_predicted_raw) / total_measured,
+        100.0 * (total_measured - total_predicted_cal) / total_measured,
+    );
+    println!(
+        "Fitted efficiency factor: {:.3} (raw MAPE {:.1}% -> calibrated {:.1}%)",
+        calibrator.correction_factor(),
+        calibrator.raw_error_pct(),
+        calibrator.calibrated_error_pct()
+    );
+    assert!(
+        calibrator.calibrated_error_pct() <= calibrator.raw_error_pct(),
+        "refinement must not increase error"
+    );
+}

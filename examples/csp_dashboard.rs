@@ -1,0 +1,115 @@
+//! The CSP Option Dashboard — the paper's Fig. 1 framework end to end.
+//!
+//! Phase 1 (top of Fig. 1): characterize every cloud-service-provider
+//! instance type with microbenchmarks and fit the hardware models.
+//! Phase 2 (bottom): given a patient-specific anatomy, predict every
+//! (instance, rank-count) option's throughput, time and cost, and
+//! recommend under the user's objective.
+//!
+//! Run: `cargo run --release --example csp_dashboard`
+
+use hemocloud::prelude::*;
+use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud_core::characterize::characterize_all;
+
+fn main() {
+    // Phase 1: the CSP Option Dashboard's hardware side.
+    println!("Characterizing all Table I platforms (simulated microbenchmarks)...");
+    let characterizations = characterize_all(2023);
+    for c in &characterizations {
+        println!(
+            "  {:>11}: node BW {:>7.0} MB/s @ {} cores | internodal {:>6.0} MB/s, {:>5.1} µs",
+            c.platform.abbrev,
+            c.node_bandwidth(c.platform.cores_per_node),
+            c.platform.cores_per_node,
+            c.internodal_fit.bandwidth_mb_s,
+            c.internodal_fit.latency_us,
+        );
+    }
+
+    // Phase 2: anatomy-specific predictions.
+    let aorta = AortaSpec::default().with_resolution(20).build();
+    let steps = 200_000u64; // a clinically sized steady-flow study
+    let workload = Workload::harvey(&aorta, steps);
+    println!(
+        "\nWorkload: {} — {} fluid points x {steps} steps",
+        workload.name,
+        workload.points()
+    );
+
+    let rank_options = [16usize, 32, 48, 64, 128, 144, 512];
+    let prices = PriceSheet::default();
+    let dashboard = Dashboard::build(&characterizations, &workload, &rank_options, &prices);
+
+    println!("\n{:-^88}", " CSP Option Dashboard ");
+    println!(
+        "{:>12} {:>6} {:>6} {:>10} {:>12} {:>10} {:>14}",
+        "Platform", "Ranks", "Nodes", "MFLUPS", "Time (s)", "Cost ($)", "Updates/$"
+    );
+    for e in &dashboard.entries {
+        println!(
+            "{:>12} {:>6} {:>6} {:>10.1} {:>12.1} {:>10.4} {:>14.3e}",
+            e.platform,
+            e.ranks,
+            e.nodes,
+            e.predicted_mflups,
+            e.time_to_solution_s,
+            e.cost_dollars,
+            e.updates_per_dollar
+        );
+    }
+
+    // Objective-driven recommendations.
+    println!("\nRecommendations:");
+    let fastest = dashboard
+        .recommend(Objective::MaxThroughput)
+        .expect("non-empty dashboard");
+    println!(
+        "  Max throughput : {} @ {} ranks — {:.1} s, ${:.4}",
+        fastest.platform, fastest.ranks, fastest.time_to_solution_s, fastest.cost_dollars
+    );
+    let cheapest = dashboard
+        .recommend(Objective::MinCost)
+        .expect("non-empty dashboard");
+    println!(
+        "  Min cost       : {} @ {} ranks — {:.1} s, ${:.4}",
+        cheapest.platform, cheapest.ranks, cheapest.time_to_solution_s, cheapest.cost_dollars
+    );
+    let deadline = fastest.time_to_solution_s * 2.0;
+    match dashboard.recommend(Objective::Deadline(deadline)) {
+        Some(e) => println!(
+            "  Within {:.0} s   : {} @ {} ranks — {:.1} s, ${:.4}",
+            deadline, e.platform, e.ranks, e.time_to_solution_s, e.cost_dollars
+        ),
+        None => println!("  Within {deadline:.0} s: no option meets the deadline"),
+    }
+
+    // The Eq. 17 relative-value view at a fixed rank count.
+    let ranks = 128;
+    let entries: Vec<(String, f64)> = dashboard
+        .entries
+        .iter()
+        .filter(|e| e.ranks == ranks)
+        .map(|e| (e.platform.clone(), e.predicted_mflups))
+        .collect();
+    if entries.len() >= 2 {
+        let matrix = relative_value_matrix(&entries);
+        println!("\nRelative value r_B,A at {ranks} ranks (rows B, columns A):");
+        print!("{:>12}", "");
+        for l in &matrix.labels {
+            print!("{l:>12}");
+        }
+        println!();
+        for (b, l) in matrix.labels.iter().enumerate() {
+            print!("{l:>12}");
+            for a in 0..matrix.labels.len() {
+                print!("{:>12.4}", matrix.get(b, a));
+            }
+            println!();
+        }
+        println!(
+            "Best platform at {ranks} ranks: {}",
+            matrix.labels[matrix.best()]
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! The interconnect study: how much does the Enhanced Communicator (EC)
+//! fabric matter, and for which workloads? (Paper §III-C/§III-G: CSP-2
+//! with and without EC isolate the interconnect variable.)
+//!
+//! Sweeps rank counts on CSP-2 vs CSP-2 EC for the communication-heavy
+//! cylinder and the communication-light cerebral tree, showing where the
+//! better fabric pays and where it is wasted money.
+//!
+//! Run: `cargo run --release --example interconnect_study`
+
+use hemocloud::prelude::*;
+use hemocloud_cluster::exec::{simulate_geometry, Overheads};
+use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud_geometry::voxel::VoxelGrid;
+use hemocloud_lbm::kernel::KernelConfig;
+
+fn main() {
+    let geometries: Vec<(&str, VoxelGrid)> = vec![
+        (
+            "cylinder (high comm)",
+            CylinderSpec::default().with_resolution(24).build(),
+        ),
+        (
+            "cerebral (low comm)",
+            CerebralSpec::default()
+                .with_generations(5)
+                .with_resolution(16)
+                .build(),
+        ),
+    ];
+    let no_ec = Platform::csp2();
+    let ec = Platform::csp2_ec();
+    let cfg = KernelConfig::harvey();
+    let overheads = Overheads::default();
+    let prices = PriceSheet::default();
+    let steps = 10_000u64;
+
+    for (name, grid) in &geometries {
+        println!("\n{name}: {} fluid points", grid.fluid_count());
+        println!(
+            "{:>6} {:>14} {:>14} {:>10} {:>16}",
+            "ranks", "CSP-2 MFLUPS", "EC MFLUPS", "EC gain", "EC $/M-updates"
+        );
+        for ranks in [36usize, 72, 108, 144] {
+            let a = simulate_geometry(&no_ec, grid, &cfg, ranks, steps, &overheads, 5, 0.0)
+                .expect("feasible");
+            let b = simulate_geometry(&ec, grid, &cfg, ranks, steps, &overheads, 5, 0.0)
+                .expect("feasible");
+            let gain = b.mflups / a.mflups - 1.0;
+            let cost_b = prices.run_cost(&ec, &b);
+            let updates = grid.fluid_count() as f64 * steps as f64 / 1e6;
+            println!(
+                "{ranks:>6} {:>14.1} {:>14.1} {:>9.1}% {:>16.6}",
+                a.mflups,
+                b.mflups,
+                100.0 * gain,
+                cost_b / updates
+            );
+        }
+    }
+
+    println!(
+        "\nReading: the EC fabric's 2.65 µs / 212 MB/s advantage matters on the \
+         communication-heavy cylinder at multi-node scale and barely registers \
+         within a node or on low-communication anatomies — paying for EC is a \
+         workload decision, which is exactly what the dashboard automates."
+    );
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the whole hemocloud pipeline on one small case.
+//!
+//! 1. Build a patient-like vessel geometry and *actually solve* blood flow
+//!    in it with the D3Q19 lattice Boltzmann solver.
+//! 2. Characterize a (simulated) cloud platform from microbenchmarks.
+//! 3. Predict the throughput a large run would achieve there.
+//! 4. Compare against the simulated testbed's "measured" value and derive
+//!    a cost-overrun guard.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use hemocloud::prelude::*;
+use hemocloud_cluster::exec::{simulate_geometry, Overheads};
+use hemocloud_lbm::mesh::FluidMesh;
+use hemocloud_lbm::solver::SolverConfig;
+
+fn main() {
+    // --- 1. Geometry + real flow solution -----------------------------
+    let grid = CylinderSpec::default()
+        .with_dimensions(4.0, 24.0)
+        .with_resolution(20)
+        .build();
+    println!(
+        "Geometry: idealized vessel, {} fluid points in a {:?} grid",
+        grid.fluid_count(),
+        grid.dims()
+    );
+
+    let mesh = FluidMesh::build(&grid);
+    let mut solver = Solver::new(mesh, SolverConfig::default());
+    let stats = solver.run(300);
+    let vmax = solver.max_velocity();
+    println!(
+        "Solved 300 steps on this machine: {:.2} MFLUPS, peak velocity {:.4} lu/step \
+         (inlet drives {:.4})",
+        stats.mflups,
+        vmax,
+        solver.config().u_max
+    );
+    assert!(vmax > 0.0, "flow should have developed");
+
+    // --- 2. Platform characterization ---------------------------------
+    let platform = Platform::csp2();
+    let character = characterize(&platform, 42);
+    println!(
+        "\nCharacterized {}: memory knee at {:.1} threads, internodal link \
+         {:.0} MB/s @ {:.1} µs",
+        platform.abbrev,
+        character.memory_fit.a3,
+        character.internodal_fit.bandwidth_mb_s,
+        character.internodal_fit.latency_us
+    );
+
+    // --- 3. Prediction -------------------------------------------------
+    let steps = 10_000u64;
+    let workload = Workload::harvey(&grid, steps);
+    let model = GeneralModel::from_characterization(&character, &workload);
+    let ranks = 16;
+    let prediction = model.predict(ranks);
+    println!(
+        "\nGeneralized model at {ranks} ranks: {:.1} MFLUPS, {:.2} s for {steps} steps",
+        prediction.mflups,
+        prediction.time_for_steps(steps)
+    );
+
+    // --- 4. Measured (simulated testbed) + guard ----------------------
+    let measured = simulate_geometry(
+        &platform,
+        &grid,
+        &workload.kernel,
+        ranks,
+        steps,
+        &Overheads::default(),
+        7,
+        0.0,
+    )
+    .expect("feasible run");
+    println!(
+        "Simulated testbed measured: {:.1} MFLUPS ({:.2}x overprediction — the \
+         margin iterative refinement absorbs)",
+        measured.mflups,
+        prediction.mflups / measured.mflups
+    );
+
+    let guard = JobGuard::from_prediction(&prediction, steps, &platform, 0.10);
+    println!(
+        "\nJob guard (10% tolerance): stop after {:.2} s, {:.2} CPU-h, or ${:.4}",
+        guard.max_seconds, guard.max_cpu_hours, guard.max_dollars
+    );
+    match guard.check(measured.total_time_s, 0.0) {
+        hemocloud::core::guard::GuardVerdict::WithinLimits => {
+            println!("Measured run stayed within the guard limits.")
+        }
+        hemocloud::core::guard::GuardVerdict::Exceeded { seconds_over, .. } => println!(
+            "Guard fired: measured run exceeded the uncalibrated prediction by {seconds_over:.2} s.\n\
+             After one calibration pass the guard would be set from the corrected \
+             prediction instead (see the campaign_planner example)."
+        ),
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate physics integration: the real solvers on real anatomies,
+//! and the ranked (halo-exchanging) execution against the global one.
+
+use hemocloud::prelude::*;
+use hemocloud_decomp::rcb::RcbPartition;
+use hemocloud_lbm::mesh::FluidMesh;
+use hemocloud_lbm::ranked::{RankAssignment, RankedSolver};
+use hemocloud_lbm::solver::SolverConfig;
+
+#[test]
+fn flow_develops_in_every_anatomy() {
+    let geometries = [
+        ("cylinder", CylinderSpec::default().with_resolution(10).build()),
+        ("aorta", AortaSpec::default().with_resolution(8).build()),
+        (
+            "cerebral",
+            CerebralSpec::default()
+                .with_generations(3)
+                .with_resolution(8)
+                .build(),
+        ),
+    ];
+    for (name, grid) in geometries {
+        let mesh = FluidMesh::build(&grid);
+        let mut solver = Solver::new(mesh, SolverConfig::default());
+        for _ in 0..150 {
+            solver.step();
+        }
+        let vmax = solver.max_velocity();
+        assert!(vmax > 1e-4, "{name}: flow failed to develop (v = {vmax})");
+        assert!(
+            vmax < 5.0 * solver.config().u_max,
+            "{name}: unstable (v = {vmax})"
+        );
+        assert!(
+            solver.distributions().iter().all(|v| v.is_finite()),
+            "{name}: non-finite distributions"
+        );
+    }
+}
+
+#[test]
+fn rcb_decomposed_execution_matches_global_bitwise() {
+    // The full decomposition stack: voxelize an anatomy, partition with
+    // RCB, map to fluid-cell ownership, run the ranked solver with halo
+    // exchange, and compare with the global solver bit for bit.
+    let grid = AortaSpec::default().with_resolution(8).build();
+    let mesh = FluidMesh::build(&grid);
+    let config = SolverConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    let partition = RcbPartition::new(&grid, 6);
+    let owner = partition.assign_fluid_cells(&grid);
+    let assignment = RankAssignment::new(owner, 6);
+
+    let mut global = Solver::new(mesh.clone(), config);
+    let mut ranked = RankedSolver::new(mesh, assignment, config);
+    for _ in 0..20 {
+        global.step();
+        ranked.step();
+    }
+    for (a, b) in global.distributions().iter().zip(ranked.distributions()) {
+        assert_eq!(a, b);
+    }
+    // And the communication really happened.
+    assert!(ranked.max_bytes_sent() > 0);
+    assert!(ranked.max_messages_sent() > 0);
+}
+
+#[test]
+fn halo_ledger_matches_decomposition_analysis() {
+    // The bytes the ranked solver actually ships must equal what the
+    // structural analysis predicts: boundary points x 19 distributions x 8
+    // bytes (the solver snapshots whole boundary cells).
+    use hemocloud_decomp::halo::DecompAnalysis;
+    let grid = CylinderSpec::default().with_resolution(10).build();
+    let mesh = FluidMesh::build(&grid);
+    let n_ranks = 4;
+    let partition = RcbPartition::new(&grid, n_ranks);
+    let analysis = DecompAnalysis::analyze(&grid, &partition);
+    let assignment = RankAssignment::new(partition.assign_fluid_cells(&grid), n_ranks);
+    let mut ranked = RankedSolver::new(mesh, assignment, SolverConfig::default());
+    ranked.step();
+
+    for (task, ledger) in ranked.ledgers().iter().enumerate() {
+        // The analysis counts each boundary point once per peer; the
+        // solver ships each such cell's 19 f64 values.
+        let expected_points: usize = analysis.messages[task].values().sum();
+        let expected_bytes = (expected_points * 19 * 8) as u64;
+        assert_eq!(
+            ledger.bytes_sent, expected_bytes,
+            "task {task}: ledger {} vs analysis {}",
+            ledger.bytes_sent, expected_bytes
+        );
+        assert_eq!(ledger.messages_sent as usize, analysis.messages[task].len());
+    }
+}
+
+#[test]
+fn proxy_and_solver_agree_on_poiseuille_physics() {
+    // Two independent implementations (dense proxy with body force,
+    // sparse solver with inlet/outlet) must both produce parabolic pipe
+    // flow; compare their normalized profiles.
+    use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
+    use hemocloud_lbm::proxy::ProxyApp;
+
+    let mut proxy = ProxyApp::new(
+        12,
+        6,
+        KernelConfig::proxy(Layout::Aos, Propagation::Ab, true),
+        0.9,
+        2e-6,
+    );
+    for _ in 0..2500 {
+        proxy.step();
+    }
+    let profile = proxy.velocity_profile();
+    let peak = profile.iter().map(|&(_, u)| u).fold(0.0f64, f64::max);
+    let radius = 6.0;
+    for &(r, u) in &profile {
+        let expect = peak * (1.0 - (r / radius) * (r / radius));
+        assert!(
+            (u - expect).abs() <= 0.25 * peak,
+            "proxy: r={r}, u={u}, expect={expect}"
+        );
+    }
+    // Sanity: the analytic peak matches within staircase error.
+    let analytic = proxy.analytic_peak_velocity();
+    assert!(((peak - analytic) / analytic).abs() < 0.2);
+}

@@ -1,0 +1,255 @@
+//! Paper-shape regression tests: every qualitative claim from the
+//! evaluation section, checked computationally at test scale. These are
+//! the assertions behind EXPERIMENTS.md.
+
+use hemocloud::prelude::*;
+use hemocloud_cluster::exec::{simulate_geometry, Overheads};
+use hemocloud_cluster::network::LinkKind;
+use hemocloud_fitting::metrics::coefficient_of_variation;
+use hemocloud_lbm::kernel::KernelConfig;
+
+const SEED: u64 = 2023;
+
+#[test]
+fn table2_sustained_below_published_except_csp1() {
+    for p in Platform::all() {
+        let c = characterize(&p, SEED);
+        let sustained = c.memory_fit.eval(p.cores_per_node as f64);
+        let diff = (sustained - p.published_bandwidth_mb_s) / p.published_bandwidth_mb_s;
+        if p.abbrev == "CSP-1" {
+            assert!(diff > 0.0, "CSP-1 should exceed published: {diff}");
+        } else {
+            assert!(diff < 0.0, "{} should sustain below published: {diff}", p.abbrev);
+        }
+    }
+}
+
+#[test]
+fn table3_characterization_recovers_paper_constants() {
+    let cases = [
+        (Platform::trc(), 6768.24, 6.39, Some((5066.57, 2.01))),
+        (Platform::csp2(), 7790.02, 9.00, Some((1804.84, 23.59))),
+        (Platform::csp2_ec(), 7605.85, 11.00, Some((2016.77, 20.94))),
+        (Platform::csp1(), 18092.64, 4.15, None),
+    ];
+    for (p, a1, a3, link) in cases {
+        let c = characterize(&p, SEED);
+        assert!(
+            (c.memory_fit.a1 - a1).abs() / a1 < 0.15,
+            "{}: a1 {} vs {a1}",
+            p.abbrev,
+            c.memory_fit.a1
+        );
+        assert!(
+            (c.memory_fit.a3 - a3).abs() < 3.0,
+            "{}: a3 {} vs {a3}",
+            p.abbrev,
+            c.memory_fit.a3
+        );
+        if let Some((b, l)) = link {
+            assert!(
+                (c.internodal_fit.bandwidth_mb_s - b).abs() / b < 0.15,
+                "{}: b {} vs {b}",
+                p.abbrev,
+                c.internodal_fit.bandwidth_mb_s
+            );
+            assert!(
+                (c.internodal_fit.latency_us - l).abs() / l < 0.2,
+                "{}: l {} vs {l}",
+                p.abbrev,
+                c.internodal_fit.latency_us
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_noise_is_small_and_cloud_comparable_to_dedicated() {
+    let aorta = AortaSpec::default().with_resolution(10).build();
+    let cfg = KernelConfig::harvey();
+    let overheads = Overheads::default();
+    let sample_cv = |platform: &Platform, ranks: usize| -> f64 {
+        let samples: Vec<f64> = (0..28)
+            .map(|i| {
+                simulate_geometry(
+                    platform,
+                    &aorta,
+                    &cfg,
+                    ranks,
+                    50,
+                    &overheads,
+                    SEED,
+                    i as f64 * 6.0,
+                )
+                .expect("feasible")
+                .mflups
+            })
+            .collect();
+        coefficient_of_variation(&samples)
+    };
+    let dedicated = sample_cv(&Platform::csp1(), 16);
+    let cloud = sample_cv(&Platform::csp2_small(), 16);
+    for (name, cv) in [("CSP-1", dedicated), ("CSP-2 Small", cloud)] {
+        assert!(
+            (0.001..0.05).contains(&cv),
+            "{name}: CV {cv} outside the paper's band"
+        );
+    }
+    assert!(
+        cloud < 3.0 * dedicated,
+        "cloud noise ({cloud}) should not dwarf dedicated ({dedicated})"
+    );
+}
+
+#[test]
+fn fig5_hyperthreading_adds_no_bandwidth() {
+    let hyp = characterize(&Platform::csp2_hyperthreaded(), SEED);
+    // Bandwidth declines past the knee (a2 < 0) and the 72-thread point is
+    // below the physical-core peak of the non-hyperthreaded instance.
+    assert!(hyp.memory_fit.a2 < 0.0, "a2 = {}", hyp.memory_fit.a2);
+    let plain = characterize(&Platform::csp2(), SEED);
+    assert!(hyp.memory_fit.eval(72.0) < plain.memory_fit.eval(36.0));
+}
+
+#[test]
+fn fig6_traditional_cluster_has_faster_interconnect() {
+    let trc = characterize(&Platform::trc(), SEED);
+    let csp2 = characterize(&Platform::csp2(), SEED);
+    assert!(trc.internodal_fit.latency_us < csp2.internodal_fit.latency_us / 5.0);
+    assert!(trc.internodal_fit.bandwidth_mb_s > 2.0 * csp2.internodal_fit.bandwidth_mb_s);
+    // And EC improves on plain CSP-2 on both axes.
+    let ec = characterize(&Platform::csp2_ec(), SEED);
+    assert!(ec.internodal_fit.latency_us < csp2.internodal_fit.latency_us);
+    assert!(ec.internodal_fit.bandwidth_mb_s > csp2.internodal_fit.bandwidth_mb_s);
+}
+
+#[test]
+fn fig9_fig10_composition_shapes() {
+    let platform = Platform::csp2();
+    let character = characterize(&platform, SEED);
+    let grid = CylinderSpec::default().with_resolution(16).build();
+    let workload = Workload::harvey(&grid, 100);
+
+    // Direct model: memory dominates on one node; internodal appears and
+    // grows across nodes; intranodal stays small.
+    let direct = DirectModel::new(character.clone(), workload.clone());
+    let single = direct.predict(36).unwrap().composition;
+    assert!(single.inter_s == 0.0 && single.mem_s > 0.0);
+    let multi = direct.predict(144).unwrap().composition;
+    assert!(multi.inter_s > 0.0);
+    assert!(
+        multi.intra_s < 0.3 * (multi.inter_s + multi.mem_s),
+        "intranodal should be negligible: {multi:?}"
+    );
+
+    // General model: latency outweighs bandwidth in the comm term.
+    let general = GeneralModel::from_characterization(&character, &workload);
+    let c = general.predict(144).composition;
+    assert!(
+        c.comm_latency_s > c.comm_bandwidth_s,
+        "latency {} !> bandwidth {}",
+        c.comm_latency_s,
+        c.comm_bandwidth_s
+    );
+}
+
+#[test]
+fn fig11_relative_value_ordering() {
+    // At the extrapolated 2048-core scale on a big aorta census:
+    // EC > CSP-2 > TRC, with ratios in the paper's neighborhood.
+    let aorta = AortaSpec::default().with_resolution(12).build();
+    let base = Workload::harvey(&aorta, 100);
+    let factor = (2.0e7 / base.points() as f64).cbrt();
+    let workload = base.scaled(factor);
+
+    let mut mflups = Vec::new();
+    for p in Platform::fig11_platforms() {
+        let character = characterize(&p, SEED);
+        let calibrated = GeneralModel::from_characterization(&character, &base);
+        let model = GeneralModel::with_models(
+            &character,
+            &workload,
+            *calibrated.imbalance_model(),
+            *calibrated.event_model(),
+        );
+        mflups.push((p.abbrev.to_string(), model.predict(2048).mflups));
+    }
+    let get = |abbr: &str| mflups.iter().find(|(a, _)| a == abbr).unwrap().1;
+    let (trc, csp2, ec) = (get("TRC"), get("CSP-2"), get("CSP-2 EC"));
+    assert!(ec > csp2 && csp2 > trc, "ordering: {mflups:?}");
+    let r_csp2_trc = csp2 / trc;
+    let r_ec_trc = ec / trc;
+    assert!(
+        (1.02..2.2).contains(&r_csp2_trc),
+        "r(CSP-2,TRC) = {r_csp2_trc} (paper: 1.2323)"
+    );
+    assert!(
+        (1.05..2.5).contains(&r_ec_trc),
+        "r(EC,TRC) = {r_ec_trc} (paper: 1.3733)"
+    );
+}
+
+#[test]
+fn interconnect_study_ec_pays_on_communication_heavy_workloads() {
+    let cylinder = CylinderSpec::default().with_resolution(14).build();
+    let cfg = KernelConfig::harvey();
+    let overheads = Overheads::default();
+    let ranks = 144; // 4 nodes
+    let ec = simulate_geometry(&Platform::csp2_ec(), &cylinder, &cfg, ranks, 50, &overheads, SEED, 0.0)
+        .unwrap();
+    let no_ec =
+        simulate_geometry(&Platform::csp2(), &cylinder, &cfg, ranks, 50, &overheads, SEED, 0.0)
+            .unwrap();
+    assert!(ec.mflups > no_ec.mflups);
+
+    // ... and barely matters within a single node.
+    let ec1 = simulate_geometry(&Platform::csp2_ec(), &cylinder, &cfg, 36, 50, &overheads, SEED, 0.0)
+        .unwrap();
+    let no_ec1 =
+        simulate_geometry(&Platform::csp2(), &cylinder, &cfg, 36, 50, &overheads, SEED, 0.0)
+            .unwrap();
+    let single_node_gap = (ec1.mflups / no_ec1.mflups - 1.0).abs();
+    let multi_node_gap = ec.mflups / no_ec.mflups - 1.0;
+    assert!(
+        multi_node_gap > single_node_gap,
+        "EC should matter more across nodes: {multi_node_gap} vs {single_node_gap}"
+    );
+}
+
+#[test]
+fn measured_aa_beats_ab_and_link_kinds_are_ordered() {
+    // Two quick cross-checks the figures rely on.
+    let cylinder = CylinderSpec::default().with_resolution(14).build();
+    let overheads = Overheads::default();
+    use hemocloud_lbm::kernel::{Layout, Propagation};
+    let p = Platform::csp2();
+    let aa = simulate_geometry(
+        &p,
+        &cylinder,
+        &KernelConfig::proxy(Layout::Soa, Propagation::Aa, true),
+        16,
+        50,
+        &overheads,
+        SEED,
+        0.0,
+    )
+    .unwrap();
+    let ab = simulate_geometry(
+        &p,
+        &cylinder,
+        &KernelConfig::proxy(Layout::Soa, Propagation::Ab, true),
+        16,
+        50,
+        &overheads,
+        SEED,
+        0.0,
+    )
+    .unwrap();
+    assert!(aa.mflups > ab.mflups, "AA {} !> AB {}", aa.mflups, ab.mflups);
+
+    let c = characterize(&p, SEED);
+    assert!(
+        c.message_time_s(LinkKind::Intranodal, 1e4)
+            < c.message_time_s(LinkKind::Internodal, 1e4)
+    );
+}

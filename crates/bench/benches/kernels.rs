@@ -1,19 +1,19 @@
-//! Criterion benches of the *real* LBM kernels on this machine: the
-//! measured counterpart of the paper's Fig. 4 kernel-variant scan
+//! Benches of the *real* LBM kernels on this machine (`hemocloud_rt::bench`):
+//! the measured counterpart of the paper's Fig. 4 kernel-variant scan
 //! (AA/AB propagation × SoA/AoS layout × rolled/unrolled loops), plus the
-//! HARVEY-style sparse solver step (serial and rayon-parallel).
+//! HARVEY-style sparse solver step (serial and thread-parallel).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hemocloud_geometry::anatomy::CylinderSpec;
 use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
 use hemocloud_lbm::mesh::FluidMesh;
 use hemocloud_lbm::proxy::ProxyApp;
 use hemocloud_lbm::solver::{Solver, SolverConfig};
+use hemocloud_rt::bench::{Harness, Throughput};
 
-fn proxy_variants(c: &mut Criterion) {
+fn proxy_variants(h: &mut Harness) {
     let diameter = 24;
     let length = 32;
-    let mut group = c.benchmark_group("proxy_step");
+    let mut group = h.group("proxy_step");
     group.sample_size(10);
     for prop in [Propagation::Aa, Propagation::Ab] {
         for layout in [Layout::Soa, Layout::Aos] {
@@ -27,7 +27,7 @@ fn proxy_variants(c: &mut Criterion) {
                     cfg.name().replace("/dense/f64", ""),
                     if unrolled { "+unroll" } else { "" }
                 );
-                group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                group.bench_function(&label, |b| {
                     b.iter(|| app.step());
                 });
             }
@@ -36,13 +36,13 @@ fn proxy_variants(c: &mut Criterion) {
     group.finish();
 }
 
-fn harvey_solver_step(c: &mut Criterion) {
+fn harvey_solver_step(h: &mut Harness) {
     let grid = CylinderSpec::default().with_resolution(20).build();
     let mesh = FluidMesh::build(&grid);
-    let mut group = c.benchmark_group("harvey_step");
+    let mut group = h.group("harvey_step");
     group.sample_size(10);
     group.throughput(Throughput::Elements(mesh.len() as u64));
-    for (name, parallel) in [("serial", false), ("rayon", true)] {
+    for (name, parallel) in [("serial", false), ("parallel", true)] {
         let mut solver = Solver::new(
             mesh.clone(),
             SolverConfig {
@@ -56,5 +56,8 @@ fn harvey_solver_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, proxy_variants, harvey_solver_step);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    proxy_variants(&mut h);
+    harvey_solver_step(&mut h);
+}

@@ -1,16 +1,16 @@
-//! Criterion benches of the real host microbenchmarks: the STREAM kernels
-//! (the paper's Fig. 5 methodology on this machine) and the thread-pair
-//! PingPong.
+//! Benches of the real host microbenchmarks (`hemocloud_rt::bench`): the
+//! STREAM kernels (the paper's Fig. 5 methodology on this machine) and
+//! the thread-pair PingPong.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hemocloud_microbench::pingpong::pingpong_sweep;
 use hemocloud_microbench::stream::{stream_kernel, StreamKernel};
+use hemocloud_rt::bench::{Harness, Throughput};
 
 /// Array length: 8 M doubles = 64 MB per array, beyond any host L3.
 const ELEMENTS: usize = 8 * 1024 * 1024;
 
-fn stream_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stream");
+fn stream_kernels(h: &mut Harness) {
+    let mut group = h.group("stream");
     group.sample_size(10);
     for kernel in [
         StreamKernel::Copy,
@@ -21,16 +21,18 @@ fn stream_kernels(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(
             (kernel.bytes_per_element() * ELEMENTS) as u64,
         ));
-        group.bench_function(BenchmarkId::from_parameter(kernel.name()), |b| {
+        group.bench_function(kernel.name(), |b| {
             b.iter(|| stream_kernel(kernel, 2, ELEMENTS, 1));
         });
     }
     group.finish();
 }
 
-fn stream_thread_sweep(c: &mut Criterion) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-    let mut group = c.benchmark_group("stream_copy_threads");
+fn stream_thread_sweep(h: &mut Harness) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let mut group = h.group("stream_copy_threads");
     group.sample_size(10);
     group.throughput(Throughput::Bytes((16 * ELEMENTS) as u64));
     let mut threads = vec![1usize];
@@ -43,23 +45,27 @@ fn stream_thread_sweep(c: &mut Criterion) {
     }
     threads.dedup();
     for t in threads {
-        group.bench_function(BenchmarkId::from_parameter(t), |b| {
+        group.bench_function(&t.to_string(), |b| {
             b.iter(|| stream_kernel(StreamKernel::Copy, t, ELEMENTS, 1));
         });
     }
     group.finish();
 }
 
-fn pingpong(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pingpong");
+fn pingpong(h: &mut Harness) {
+    let mut group = h.group("pingpong");
     group.sample_size(10);
     for bytes in [0usize, 4096, 1 << 20] {
-        group.bench_function(BenchmarkId::from_parameter(bytes), |b| {
+        group.bench_function(&bytes.to_string(), |b| {
             b.iter(|| pingpong_sweep(&[bytes], 50));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, stream_kernels, stream_thread_sweep, pingpong);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    stream_kernels(&mut h);
+    stream_thread_sweep(&mut h);
+    pingpong(&mut h);
+}

@@ -1,8 +1,8 @@
-//! Criterion benches of the modeling pipeline itself: how expensive are
-//! characterization, fitting, decomposition analysis and the two
-//! prediction models? (The dashboard's interactivity depends on these.)
+//! Benches of the modeling pipeline itself (`hemocloud_rt::bench`): how
+//! expensive are characterization, fitting, decomposition analysis and
+//! the two prediction models? (The dashboard's interactivity depends on
+//! these.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hemocloud_cluster::platform::Platform;
 use hemocloud_cluster::stream_bench::{stream_sweep, to_fit_arrays};
 use hemocloud_core::characterize::characterize;
@@ -14,11 +14,12 @@ use hemocloud_decomp::rcb::RcbPartition;
 use hemocloud_fitting::models::fit_imbalance;
 use hemocloud_fitting::two_line::fit_two_line;
 use hemocloud_geometry::anatomy::CylinderSpec;
+use hemocloud_rt::bench::Harness;
 
-fn fitting(c: &mut Criterion) {
+fn fitting(h: &mut Harness) {
     let platform = Platform::csp2();
     let (ns, bs) = to_fit_arrays(&stream_sweep(&platform, 1));
-    c.bench_function("fit/two_line_36pt", |b| {
+    h.bench_function("fit/two_line_36pt", |b| {
         b.iter(|| fit_two_line(&ns, &bs).unwrap())
     });
 
@@ -27,41 +28,39 @@ fn fitting(c: &mut Criterion) {
         .iter()
         .map(|&n| 0.2 * ((0.5 * (n as f64 - 1.0)) + 1.0).ln() + 1.0)
         .collect();
-    c.bench_function("fit/imbalance_nelder_mead", |b| {
+    h.bench_function("fit/imbalance_nelder_mead", |b| {
         b.iter(|| fit_imbalance(&counts, &zs).unwrap())
     });
 }
 
-fn characterization(c: &mut Criterion) {
+fn characterization(h: &mut Harness) {
     let platform = Platform::csp2();
-    c.bench_function("characterize/csp2", |b| {
-        b.iter(|| characterize(&platform, 7))
-    });
+    h.bench_function("characterize/csp2", |b| b.iter(|| characterize(&platform, 7)));
 }
 
-fn decomposition(c: &mut Criterion) {
+fn decomposition(h: &mut Harness) {
     let grid = CylinderSpec::default().with_resolution(24).build();
-    let mut group = c.benchmark_group("decomp");
+    let mut group = h.group("decomp");
     group.sample_size(10);
     for n in [8usize, 64] {
-        group.bench_function(BenchmarkId::new("rcb", n), |b| {
+        group.bench_function(&format!("rcb/{n}"), |b| {
             b.iter(|| RcbPartition::new(&grid, n))
         });
         let p = RcbPartition::new(&grid, n);
-        group.bench_function(BenchmarkId::new("analyze", n), |b| {
+        group.bench_function(&format!("analyze/{n}"), |b| {
             b.iter(|| DecompAnalysis::analyze(&grid, &p))
         });
     }
     group.finish();
 }
 
-fn predictions(c: &mut Criterion) {
+fn predictions(h: &mut Harness) {
     let grid = CylinderSpec::default().with_resolution(16).build();
     let workload = Workload::harvey(&grid, 100);
     let character = characterize(&Platform::csp2(), 7);
     let direct = DirectModel::new(character.clone(), workload.clone());
     let general = GeneralModel::from_characterization(&character, &workload);
-    let mut group = c.benchmark_group("predict");
+    let mut group = h.group("predict");
     group.sample_size(10);
     // The direct model re-decomposes per rank count; the general model is
     // closed-form — the cost gap is the ablation's "price of accuracy".
@@ -70,5 +69,10 @@ fn predictions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fitting, characterization, decomposition, predictions);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    fitting(&mut h);
+    characterization(&mut h);
+    decomposition(&mut h);
+    predictions(&mut h);
+}

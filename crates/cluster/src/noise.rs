@@ -7,8 +7,7 @@
 //! correlation, so closely spaced samples co-vary (the "drift" visible in
 //! the paper's Fig. 3a) while the long-run spread matches the target.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hemocloud_rt::rng::Rng;
 
 /// An AR(1) lognormal-ish multiplicative noise process on a 6-hour grid.
 ///
@@ -19,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// simulator runs (one per measurement) share one platform noise history.
 #[derive(Debug, Clone)]
 pub struct NoiseProcess {
-    rng: StdRng,
+    rng: Rng,
     /// Target coefficient of variation of the factor.
     cv: f64,
     /// Correlation between consecutive grid samples.
@@ -36,8 +35,8 @@ impl NoiseProcess {
     /// Create a process with the platform's CV, seeded deterministically.
     pub fn new(cv: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&cv), "cv out of range");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let state = gaussian(&mut rng);
+        let mut rng = Rng::new(seed);
+        let state = rng.gaussian();
         Self {
             rng,
             cv,
@@ -54,7 +53,7 @@ impl NoiseProcess {
     pub fn factor_at(&mut self, time_h: f64) -> f64 {
         let target = (time_h.max(0.0) / self.step_h).floor() as u64;
         while self.steps_taken < target {
-            let innovation = gaussian(&mut self.rng);
+            let innovation = self.rng.gaussian();
             self.state = self.rho_per_step * self.state
                 + (1.0 - self.rho_per_step * self.rho_per_step).sqrt() * innovation;
             self.steps_taken += 1;
@@ -66,20 +65,7 @@ impl NoiseProcess {
     /// An independent draw ignoring temporal correlation (for one-off
     /// runs).
     pub fn independent_factor(&mut self) -> f64 {
-        (self.cv * gaussian(&mut self.rng)).exp()
-    }
-}
-
-/// Standard normal via Box-Muller (keeps the dependency set to `rand`
-/// itself; `rand_distr` would be overkill for one distribution).
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.cv * self.rng.gaussian()).exp()
     }
 }
 

@@ -1,99 +1,124 @@
-//! Property tests for the partition machinery: tiling, ownership and
-//! balance invariants over arbitrary domains and task counts.
+//! Property tests for the partition machinery (`hemocloud_rt::check`):
+//! tiling, ownership and balance invariants over arbitrary domains and
+//! task counts.
 
 use hemocloud_decomp::halo::DecompAnalysis;
 use hemocloud_decomp::partition::{factorize3, BlockPartition, SlabPartition};
 use hemocloud_decomp::placement::Placement;
 use hemocloud_decomp::rcb::RcbPartition;
 use hemocloud_geometry::voxel::{CellType, VoxelGrid};
-use proptest::prelude::*;
+use hemocloud_rt::check::{self, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn factorize3_is_exact_and_within_bounds() {
+    check::run(
+        "factorize3_is_exact_and_within_bounds",
+        Config::cases(48),
+        |rng| {
+            let n = rng.range_usize(1, 2049);
+            let dx = rng.range_usize(4, 64);
+            let dy = rng.range_usize(4, 64);
+            let dz = rng.range_usize(4, 64);
+            let (a, b, c) = factorize3(n, (dx, dy, dz));
+            assert_eq!(a * b * c, n);
+        },
+    );
+}
 
-    #[test]
-    fn factorize3_is_exact_and_within_bounds(n in 1usize..2049, dx in 4usize..64, dy in 4usize..64, dz in 4usize..64) {
+#[test]
+fn block_partition_tiles_any_domain() {
+    check::run("block_partition_tiles_any_domain", Config::cases(48), |rng| {
+        let dx = rng.range_usize(2, 12);
+        let dy = rng.range_usize(2, 12);
+        let dz = rng.range_usize(2, 12);
+        let n = rng.range_usize(1, 9);
         let (a, b, c) = factorize3(n, (dx, dy, dz));
-        prop_assert_eq!(a * b * c, n);
-    }
-
-    #[test]
-    fn block_partition_tiles_any_domain(
-        dx in 2usize..12, dy in 2usize..12, dz in 2usize..12,
-        n in 1usize..9,
-    ) {
-        let (a, b, c) = factorize3(n, (dx, dy, dz));
-        prop_assume!(a <= dx && b <= dy && c <= dz);
+        if !(a <= dx && b <= dy && c <= dz) {
+            return; // vacuous case (the prop_assume! analog)
+        }
         let p = BlockPartition::new((dx, dy, dz), n);
         let mut counts = vec![0usize; n];
         for z in 0..dz {
             for y in 0..dy {
                 for x in 0..dx {
                     let t = p.owner_of(x, y, z);
-                    prop_assert!(t < n);
-                    prop_assert!(p.region(t).contains(x, y, z));
+                    assert!(t < n);
+                    assert!(p.region(t).contains(x, y, z));
                     counts[t] += 1;
                 }
             }
         }
-        prop_assert_eq!(counts.iter().sum::<usize>(), dx * dy * dz);
+        assert_eq!(counts.iter().sum::<usize>(), dx * dy * dz);
         for (t, &cnt) in counts.iter().enumerate() {
-            prop_assert_eq!(cnt, p.region(t).volume());
+            assert_eq!(cnt, p.region(t).volume());
         }
-    }
+    });
+}
 
-    #[test]
-    fn slab_owners_are_monotone_along_the_axis(
-        dx in 2usize..10, dy in 2usize..10, dz in 2usize..30,
-        n in 1usize..8,
-    ) {
-        let dims = (dx, dy, dz);
-        let longest = dx.max(dy).max(dz);
-        prop_assume!(n <= longest);
-        let p = SlabPartition::new(dims, n);
-        let mut prev = 0usize;
-        for v in 0..longest {
-            let (x, y, z) = match p.axis() {
-                0 => (v, 0, 0),
-                1 => (0, v, 0),
-                _ => (0, 0, v),
-            };
-            let t = p.owner_of(x, y, z);
-            prop_assert!(t >= prev, "owners must be non-decreasing along the slab axis");
-            prev = t;
-        }
-        prop_assert_eq!(prev, n - 1, "last slab owned by last task");
-    }
+#[test]
+fn slab_owners_are_monotone_along_the_axis() {
+    check::run(
+        "slab_owners_are_monotone_along_the_axis",
+        Config::cases(48),
+        |rng| {
+            let dx = rng.range_usize(2, 10);
+            let dy = rng.range_usize(2, 10);
+            let dz = rng.range_usize(2, 30);
+            let n = rng.range_usize(1, 8);
+            let dims = (dx, dy, dz);
+            let longest = dx.max(dy).max(dz);
+            if n > longest {
+                return; // vacuous case
+            }
+            let p = SlabPartition::new(dims, n);
+            let mut prev = 0usize;
+            for v in 0..longest {
+                let (x, y, z) = match p.axis() {
+                    0 => (v, 0, 0),
+                    1 => (0, v, 0),
+                    _ => (0, 0, v),
+                };
+                let t = p.owner_of(x, y, z);
+                assert!(t >= prev, "owners must be non-decreasing along the slab axis");
+                prev = t;
+            }
+            assert_eq!(prev, n - 1, "last slab owned by last task");
+        },
+    );
+}
 
-    #[test]
-    fn rcb_balances_dense_boxes_tightly(
-        dx in 4usize..12, dy in 4usize..12, dz in 4usize..12,
-        n in 1usize..9,
-    ) {
+#[test]
+fn rcb_balances_dense_boxes_tightly() {
+    check::run("rcb_balances_dense_boxes_tightly", Config::cases(48), |rng| {
+        let dx = rng.range_usize(4, 12);
+        let dy = rng.range_usize(4, 12);
+        let dz = rng.range_usize(4, 12);
+        let n = rng.range_usize(1, 9);
         let g = VoxelGrid::filled(dx, dy, dz, 1.0, CellType::Bulk);
         let p = RcbPartition::new(&g, n);
         let a = DecompAnalysis::analyze(&g, &p);
         // On a dense box the worst task holds at most ~1 slice more than
         // ideal; bound loosely.
-        prop_assert!(a.z_factor() < 1.8, "z = {}", a.z_factor());
-        prop_assert_eq!(a.points_per_task.iter().sum::<usize>(), dx * dy * dz);
-    }
+        assert!(a.z_factor() < 1.8, "z = {}", a.z_factor());
+        assert_eq!(a.points_per_task.iter().sum::<usize>(), dx * dy * dz);
+    });
+}
 
-    #[test]
-    fn placement_partitions_tasks_exactly(
-        n_tasks in 1usize..200,
-        per_node in 1usize..64,
-    ) {
+#[test]
+fn placement_partitions_tasks_exactly() {
+    check::run("placement_partitions_tasks_exactly", Config::cases(48), |rng| {
+        let n_tasks = rng.range_usize(1, 200);
+        let per_node = rng.range_usize(1, 64);
         let p = Placement::contiguous(n_tasks, per_node);
-        prop_assert_eq!(p.tasks_per_node().iter().sum::<usize>(), n_tasks);
-        prop_assert!(p.tasks_per_node().iter().all(|&c| c <= per_node));
+        assert_eq!(p.tasks_per_node().iter().sum::<usize>(), n_tasks);
+        assert!(p.tasks_per_node().iter().all(|&c| c <= per_node));
         // Tasks on the same node are never internodal.
         for t in 1..n_tasks {
             if p.node_of(t) == p.node_of(t - 1) {
-                prop_assert!(!p.is_internodal(t, t - 1));
+                assert!(!p.is_internodal(t, t - 1));
             } else {
-                prop_assert!(p.is_internodal(t, t - 1));
+                assert!(p.is_internodal(t, t - 1));
             }
         }
-    }
+    });
 }

@@ -1,97 +1,136 @@
-//! Property tests for the fitting toolkit: least-squares optimality and
-//! model-recovery invariants for arbitrary inputs.
+//! Property tests for the fitting toolkit (`hemocloud_rt::check`):
+//! least-squares optimality and model-recovery invariants for arbitrary
+//! inputs.
 
 use hemocloud_fitting::linear::{fit_line, fit_line_fixed_intercept};
 use hemocloud_fitting::metrics::{mape, r_squared, sse};
 use hemocloud_fitting::models::{fit_imbalance, ImbalanceModel};
 use hemocloud_fitting::two_line::{fit_two_line, TwoLineFit};
-use proptest::prelude::*;
+use hemocloud_rt::check::{self, Config};
+use hemocloud_rt::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_points(rng: &mut Rng, x_lo: f64, x_hi: f64, min_len: usize, max_len: usize) -> Vec<(f64, f64)> {
+    let len = rng.range_usize(min_len, max_len);
+    (0..len)
+        .map(|_| (rng.range_f64(x_lo, x_hi), rng.range_f64(-10.0, 10.0)))
+        .collect()
+}
 
-    #[test]
-    fn fit_line_is_no_worse_than_any_probe_line(
-        points in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..20),
-        probe_slope in -5.0f64..5.0,
-        probe_intercept in -5.0f64..5.0,
-    ) {
-        let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
-        let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
-        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
-        let fit = fit_line(&xs, &ys).unwrap();
-        let probe: Vec<f64> = xs.iter().map(|&x| probe_slope * x + probe_intercept).collect();
-        prop_assert!(fit.sse <= sse(&probe, &ys) + 1e-9, "LS fit beaten by a probe line");
-    }
+#[test]
+fn fit_line_is_no_worse_than_any_probe_line() {
+    check::run(
+        "fit_line_is_no_worse_than_any_probe_line",
+        Config::cases(48),
+        |rng| {
+            let points = random_points(rng, -10.0, 10.0, 3, 20);
+            let probe_slope = rng.range_f64(-5.0, 5.0);
+            let probe_intercept = rng.range_f64(-5.0, 5.0);
+            let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+            let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+            if !xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9) {
+                return; // vacuous: degenerate x spread
+            }
+            let fit = fit_line(&xs, &ys).unwrap();
+            let probe: Vec<f64> = xs
+                .iter()
+                .map(|&x| probe_slope * x + probe_intercept)
+                .collect();
+            assert!(
+                fit.sse <= sse(&probe, &ys) + 1e-9,
+                "LS fit beaten by a probe line"
+            );
+        },
+    );
+}
 
-    #[test]
-    fn pinned_fit_passes_through_the_pin(
-        points in proptest::collection::vec((0.1f64..10.0, -10.0f64..10.0), 2..20),
-        pin in -5.0f64..5.0,
-    ) {
+#[test]
+fn pinned_fit_passes_through_the_pin() {
+    check::run("pinned_fit_passes_through_the_pin", Config::cases(48), |rng| {
+        let points = random_points(rng, 0.1, 10.0, 2, 20);
+        let pin = rng.range_f64(-5.0, 5.0);
         let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
         let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
         let fit = fit_line_fixed_intercept(&xs, &ys, pin).unwrap();
-        prop_assert!((fit.eval(0.0) - pin).abs() < 1e-12);
-    }
+        assert!((fit.eval(0.0) - pin).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn r_squared_never_exceeds_one_for_ls_fits(
-        points in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..20),
-    ) {
-        let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
-        let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
-        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
-        prop_assume!(ys.iter().any(|&y| (y - ys[0]).abs() > 1e-9));
-        let fit = fit_line(&xs, &ys).unwrap();
-        let pred: Vec<f64> = xs.iter().map(|&x| fit.eval(x)).collect();
-        if let Some(r2) = r_squared(&pred, &ys) {
-            prop_assert!(r2 <= 1.0 + 1e-12);
-            // An LS fit with intercept can never do worse than the mean
-            // predictor.
-            prop_assert!(r2 >= -1e-9, "r2 = {r2}");
-        }
-    }
+#[test]
+fn r_squared_never_exceeds_one_for_ls_fits() {
+    check::run(
+        "r_squared_never_exceeds_one_for_ls_fits",
+        Config::cases(48),
+        |rng| {
+            let points = random_points(rng, -10.0, 10.0, 3, 20);
+            let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+            let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+            if !xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9) {
+                return; // vacuous
+            }
+            if !ys.iter().any(|&y| (y - ys[0]).abs() > 1e-9) {
+                return; // vacuous
+            }
+            let fit = fit_line(&xs, &ys).unwrap();
+            let pred: Vec<f64> = xs.iter().map(|&x| fit.eval(x)).collect();
+            if let Some(r2) = r_squared(&pred, &ys) {
+                assert!(r2 <= 1.0 + 1e-12);
+                // An LS fit with intercept can never do worse than the
+                // mean predictor.
+                assert!(r2 >= -1e-9, "r2 = {r2}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn two_line_fit_is_continuous_everywhere(
-        a1 in 100.0f64..10_000.0,
-        a2 in -100.0f64..2_000.0,
-        a3 in 1.5f64..30.0,
-    ) {
-        let f = TwoLineFit { a1, a2, a3, sse: 0.0 };
-        let eps = 1e-7;
-        let below = f.eval(a3 - eps);
-        let above = f.eval(a3 + eps);
-        prop_assert!((below - above).abs() < 1e-2 * a1.abs().max(1.0));
-    }
+#[test]
+fn two_line_fit_is_continuous_everywhere() {
+    check::run(
+        "two_line_fit_is_continuous_everywhere",
+        Config::cases(48),
+        |rng| {
+            let a1 = rng.range_f64(100.0, 10_000.0);
+            let a2 = rng.range_f64(-100.0, 2_000.0);
+            let a3 = rng.range_f64(1.5, 30.0);
+            let f = TwoLineFit { a1, a2, a3, sse: 0.0 };
+            let eps = 1e-7;
+            let below = f.eval(a3 - eps);
+            let above = f.eval(a3 + eps);
+            assert!((below - above).abs() < 1e-2 * a1.abs().max(1.0));
+        },
+    );
+}
 
-    #[test]
-    fn two_line_fit_never_beaten_by_truth_on_its_own_data(
-        a1 in 1_000.0f64..20_000.0,
-        a2 in 0.0f64..2_000.0,
-        a3 in 2.0f64..15.0,
-    ) {
-        // Fit SSE on noiseless two-line data must be ~0 (not worse than
-        // the generating parameters).
-        let truth = TwoLineFit { a1, a2, a3, sse: 0.0 };
-        let ns: Vec<f64> = (1..=24).map(|n| n as f64).collect();
-        let bs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
-        let fit = fit_two_line(&ns, &bs).unwrap();
-        let scale: f64 = bs.iter().map(|b| b * b).sum();
-        prop_assert!(fit.sse <= 1e-4 * scale, "sse {} vs scale {scale}", fit.sse);
-    }
+#[test]
+fn two_line_fit_never_beaten_by_truth_on_its_own_data() {
+    check::run(
+        "two_line_fit_never_beaten_by_truth_on_its_own_data",
+        Config::cases(48),
+        |rng| {
+            // Fit SSE on noiseless two-line data must be ~0 (not worse
+            // than the generating parameters).
+            let a1 = rng.range_f64(1_000.0, 20_000.0);
+            let a2 = rng.range_f64(0.0, 2_000.0);
+            let a3 = rng.range_f64(2.0, 15.0);
+            let truth = TwoLineFit { a1, a2, a3, sse: 0.0 };
+            let ns: Vec<f64> = (1..=24).map(|n| n as f64).collect();
+            let bs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
+            let fit = fit_two_line(&ns, &bs).unwrap();
+            let scale: f64 = bs.iter().map(|b| b * b).sum();
+            assert!(fit.sse <= 1e-4 * scale, "sse {} vs scale {scale}", fit.sse);
+        },
+    );
+}
 
-    #[test]
-    fn imbalance_fit_tracks_its_own_model(
-        c1 in 0.01f64..0.8,
-        c2 in 0.01f64..3.0,
-    ) {
+#[test]
+fn imbalance_fit_tracks_its_own_model() {
+    check::run("imbalance_fit_tracks_its_own_model", Config::cases(48), |rng| {
+        let c1 = rng.range_f64(0.01, 0.8);
+        let c2 = rng.range_f64(0.01, 3.0);
         let truth = ImbalanceModel { c1, c2, sse: 0.0 };
         let ns: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256];
         let zs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
         let fit = fit_imbalance(&ns, &zs).unwrap();
         let pred: Vec<f64> = ns.iter().map(|&n| fit.eval(n)).collect();
-        prop_assert!(mape(&pred, &zs) < 3.0, "MAPE {}", mape(&pred, &zs));
-    }
+        assert!(mape(&pred, &zs) < 3.0, "MAPE {}", mape(&pred, &zs));
+    });
 }

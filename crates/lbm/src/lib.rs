@@ -5,7 +5,7 @@
 //! * [`solver::Solver`] — the HARVEY analog: sparse indirect-addressed
 //!   mesh ([`mesh::FluidMesh`]), AB pull streaming, BGK collision,
 //!   Poiseuille inlets / zero-pressure outlets / halfway bounce-back
-//!   walls, rayon-parallel updates.
+//!   walls, thread-parallel updates (`hemocloud_rt::par`).
 //! * [`proxy::ProxyApp`] — the `lbm-proxy-app` analog: a dense hardcoded
 //!   cylinder scanning the kernel-variant space (AA/AB propagation ×
 //!   SoA/AoS layout × rolled/unrolled loops) that the paper's Figs. 4 and

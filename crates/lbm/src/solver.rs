@@ -4,15 +4,17 @@
 //! Boundary conditions follow the paper's setup (§II-C): a Poiseuille
 //! velocity profile imposed at inlets, a zero-pressure (unit-density)
 //! condition at outlets, and halfway bounce-back at walls. The update is
-//! data-parallel over destination cells (rayon), which is race-free by
-//! construction for the pull scheme: every cell writes only its own
-//! distributions.
+//! data-parallel over destination cells (`hemocloud_rt::par`), which is
+//! race-free by construction for the pull scheme: every cell writes only
+//! its own distributions, and the chunked schedule partitions the
+//! destination array without reordering any arithmetic — so parallel and
+//! serial steps are bit-identical.
 
 use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
 use crate::lattice::{opposite, Q19, W19};
 use crate::mesh::{FluidMesh, SOLID};
 use hemocloud_geometry::voxel::CellType;
-use rayon::prelude::*;
+use hemocloud_rt::par::par_chunks_mut;
 
 /// Tunable parameters of a simulation.
 #[derive(Debug, Clone, Copy)]
@@ -24,8 +26,12 @@ pub struct SolverConfig {
     pub u_max: f64,
     /// Unit vector of the inlet flow direction.
     pub flow_dir: (f64, f64, f64),
-    /// Update cells in parallel with rayon when the mesh is large enough.
+    /// Update cells in parallel (scoped threads) when the mesh has at
+    /// least [`SolverConfig::parallel_threshold`] cells.
     pub parallel: bool,
+    /// Minimum mesh size before parallelism pays for itself. Lower it to
+    /// force the parallel path on small meshes (equivalence tests do).
+    pub parallel_threshold: usize,
 }
 
 impl Default for SolverConfig {
@@ -35,6 +41,7 @@ impl Default for SolverConfig {
             u_max: 0.05,
             flow_dir: (0.0, 0.0, 1.0),
             parallel: true,
+            parallel_threshold: PARALLEL_THRESHOLD,
         }
     }
 }
@@ -64,7 +71,7 @@ pub struct Solver {
     steps_taken: u64,
 }
 
-/// Minimum mesh size before rayon parallelism pays for itself.
+/// Default minimum mesh size before thread parallelism pays for itself.
 const PARALLEL_THRESHOLD: usize = 8192;
 
 impl Solver {
@@ -242,8 +249,8 @@ impl Solver {
         let inlet_vel = &self.inlet_vel;
         let dst = &mut self.f_tmp;
 
-        if self.config.parallel && mesh.len() >= PARALLEL_THRESHOLD {
-            dst.par_chunks_mut(Q19).enumerate().for_each(|(cell, out)| {
+        if self.config.parallel && mesh.len() >= self.config.parallel_threshold {
+            par_chunks_mut(dst, Q19, |cell, out| {
                 Self::update_cell(mesh, src, omega, inlet_slot, inlet_vel, cell, out);
             });
         } else {
@@ -381,6 +388,8 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree_bitwise() {
+        // parallel_threshold: 0 forces the threaded path on this small
+        // cylinder, so the test genuinely compares the two schedules.
         let g = CylinderSpec::default()
             .with_dimensions(3.0, 12.0)
             .with_resolution(8)
@@ -393,11 +402,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut b = Solver::new(mesh, SolverConfig::default());
-        // Force the parallel path regardless of mesh size by running enough
-        // cells... the threshold may exceed this mesh; emulate by calling
-        // step() — identical code path arithmetic either way. Equality is
-        // still a meaningful regression guard on the scheduling refactor.
+        let mut b = Solver::new(
+            mesh,
+            SolverConfig {
+                parallel: true,
+                parallel_threshold: 0,
+                ..Default::default()
+            },
+        );
         for _ in 0..20 {
             a.step();
             b.step();

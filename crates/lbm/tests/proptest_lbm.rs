@@ -1,97 +1,120 @@
-//! Property tests for the LBM kernels: physical invariants over random
-//! parameters and geometries.
+//! Property tests for the LBM kernels (`hemocloud_rt::check`): physical
+//! invariants over random parameters and geometries.
 
 use hemocloud_lbm::equilibrium::{equilibrium_d3q19, moments_d3q19};
 use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
 use hemocloud_lbm::lattice::{opposite, Q19, W19};
 use hemocloud_lbm::proxy::ProxyApp;
-use proptest::prelude::*;
+use hemocloud_rt::check::{self, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn bgk_collision_conserves_mass_and_momentum() {
+    check::run(
+        "bgk_collision_conserves_mass_and_momentum",
+        Config::cases(24),
+        |rng| {
+            // A BGK update of any (positive) distribution leaves rho and j
+            // unchanged: f' = f - omega (f - feq(f)) with feq built from
+            // f's own moments.
+            let omega = rng.range_f64(0.3, 1.8);
+            let mut f = [0.0f64; Q19];
+            for q in 0..Q19 {
+                let perturbation = rng.range_f64(-0.005, 0.005);
+                f[q] = W19[q] + perturbation.max(-0.8 * W19[q]);
+            }
+            let (rho, jx, jy, jz) = moments_d3q19(&f);
+            let mut feq = [0.0f64; Q19];
+            equilibrium_d3q19(rho, jx / rho, jy / rho, jz / rho, &mut feq);
+            let mut post = [0.0f64; Q19];
+            for q in 0..Q19 {
+                post[q] = f[q] - omega * (f[q] - feq[q]);
+            }
+            let (r2, x2, y2, z2) = moments_d3q19(&post);
+            assert!((rho - r2).abs() < 1e-13);
+            assert!((jx - x2).abs() < 1e-13);
+            assert!((jy - y2).abs() < 1e-13);
+            assert!((jz - z2).abs() < 1e-13);
+        },
+    );
+}
 
-    #[test]
-    fn bgk_collision_conserves_mass_and_momentum(
-        perturbation in proptest::collection::vec(-0.005f64..0.005, Q19),
-        omega in 0.3f64..1.8,
-    ) {
-        // A BGK update of any (positive) distribution leaves rho and j
-        // unchanged: f' = f - omega (f - feq(f)) with feq built from f's
-        // own moments.
-        let mut f = [0.0f64; Q19];
-        for q in 0..Q19 {
-            f[q] = W19[q] + perturbation[q].max(-0.8 * W19[q]);
-        }
-        let (rho, jx, jy, jz) = moments_d3q19(&f);
-        let mut feq = [0.0f64; Q19];
-        equilibrium_d3q19(rho, jx / rho, jy / rho, jz / rho, &mut feq);
-        let mut post = [0.0f64; Q19];
-        for q in 0..Q19 {
-            post[q] = f[q] - omega * (f[q] - feq[q]);
-        }
-        let (r2, x2, y2, z2) = moments_d3q19(&post);
-        prop_assert!((rho - r2).abs() < 1e-13);
-        prop_assert!((jx - x2).abs() < 1e-13);
-        prop_assert!((jy - y2).abs() < 1e-13);
-        prop_assert!((jz - z2).abs() < 1e-13);
-    }
+#[test]
+fn proxy_conserves_mass_for_random_parameters() {
+    check::run(
+        "proxy_conserves_mass_for_random_parameters",
+        Config::cases(24),
+        |rng| {
+            let diameter = rng.range_usize(5, 10);
+            let length = rng.range_usize(3, 7);
+            let tau = rng.range_f64(0.6, 1.4);
+            let gravity = rng.range_f64(0.0, 5e-5);
+            let layout = if rng.next_bool() { Layout::Aos } else { Layout::Soa };
+            let propagation = if rng.next_bool() {
+                Propagation::Ab
+            } else {
+                Propagation::Aa
+            };
+            let cfg = KernelConfig::proxy(layout, propagation, true);
+            let mut app = ProxyApp::new(diameter, length, cfg, tau, gravity);
+            let m0 = app.total_mass();
+            for _ in 0..20 {
+                app.step();
+            }
+            let m1 = app.total_mass();
+            assert!((m0 - m1).abs() < 1e-9 * m0, "{m0} -> {m1}");
+        },
+    );
+}
 
-    #[test]
-    fn proxy_conserves_mass_for_random_parameters(
-        diameter in 5usize..10,
-        length in 3usize..7,
-        tau in 0.6f64..1.4,
-        gravity in 0.0f64..5e-5,
-        layout_aos in any::<bool>(),
-        prop_ab in any::<bool>(),
-    ) {
-        let layout = if layout_aos { Layout::Aos } else { Layout::Soa };
-        let propagation = if prop_ab { Propagation::Ab } else { Propagation::Aa };
-        let cfg = KernelConfig::proxy(layout, propagation, true);
-        let mut app = ProxyApp::new(diameter, length, cfg, tau, gravity);
-        let m0 = app.total_mass();
-        for _ in 0..20 {
-            app.step();
-        }
-        let m1 = app.total_mass();
-        prop_assert!((m0 - m1).abs() < 1e-9 * m0, "{m0} -> {m1}");
-    }
+#[test]
+fn aa_equals_streamed_ab_for_random_parameters() {
+    check::run(
+        "aa_equals_streamed_ab_for_random_parameters",
+        Config::cases(24),
+        |rng| {
+            // The exact propagation-equivalence relation AA_2k = S(AB_2k),
+            // checked at a probe cell for random physics parameters.
+            let diameter = rng.range_usize(5, 9);
+            let tau = rng.range_f64(0.6, 1.4);
+            let gravity = rng.range_f64(1e-7, 3e-5);
+            let steps = rng.range_u64(2, 8) * 2;
+            let mut ab = ProxyApp::new(
+                diameter,
+                5,
+                KernelConfig::proxy(Layout::Aos, Propagation::Ab, true),
+                tau,
+                gravity,
+            );
+            let mut aa = ProxyApp::new(
+                diameter,
+                5,
+                KernelConfig::proxy(Layout::Soa, Propagation::Aa, true),
+                tau,
+                gravity,
+            );
+            for _ in 0..steps {
+                ab.step();
+                aa.step();
+            }
+            let probe = (diameter / 2 + 1, diameter / 2 + 1, 2);
+            let (r_ab, _, _, w_ab) = ab.post_stream_macroscopics(probe.0, probe.1, probe.2);
+            let (r_aa, _, _, w_aa) = aa.macroscopics(probe.0, probe.1, probe.2);
+            assert!((r_ab - r_aa).abs() < 1e-12, "rho {r_ab} vs {r_aa}");
+            assert!((w_ab - w_aa).abs() < 1e-12, "uz {w_ab} vs {w_aa}");
+        },
+    );
+}
 
-    #[test]
-    fn aa_equals_streamed_ab_for_random_parameters(
-        diameter in 5usize..9,
-        tau in 0.6f64..1.4,
-        gravity in 1e-7f64..3e-5,
-        steps_pairs in 2u64..8,
-    ) {
-        // The exact propagation-equivalence relation AA_2k = S(AB_2k),
-        // checked at a probe cell for random physics parameters.
-        let steps = steps_pairs * 2;
-        let mut ab = ProxyApp::new(
-            diameter, 5, KernelConfig::proxy(Layout::Aos, Propagation::Ab, true), tau, gravity,
-        );
-        let mut aa = ProxyApp::new(
-            diameter, 5, KernelConfig::proxy(Layout::Soa, Propagation::Aa, true), tau, gravity,
-        );
-        for _ in 0..steps {
-            ab.step();
-            aa.step();
-        }
-        let probe = (diameter / 2 + 1, diameter / 2 + 1, 2);
-        let (r_ab, _, _, w_ab) = ab.post_stream_macroscopics(probe.0, probe.1, probe.2);
-        let (r_aa, _, _, w_aa) = aa.macroscopics(probe.0, probe.1, probe.2);
-        prop_assert!((r_ab - r_aa).abs() < 1e-12, "rho {r_ab} vs {r_aa}");
-        prop_assert!((w_ab - w_aa).abs() < 1e-12, "uz {w_ab} vs {w_aa}");
-    }
-
-    #[test]
-    fn opposite_pairs_annihilate_momentum(q in 0usize..Q19) {
+#[test]
+fn opposite_pairs_annihilate_momentum() {
+    check::run("opposite_pairs_annihilate_momentum", Config::cases(24), |rng| {
         // f with equal mass in q and opposite(q) carries no momentum along
         // any axis from that pair.
+        let q = rng.range_usize(0, Q19);
         let mut f = [0.0f64; Q19];
         f[q] = 0.3;
         f[opposite(q)] += 0.3;
         let (_, jx, jy, jz) = moments_d3q19(&f);
-        prop_assert!(jx.abs() < 1e-15 && jy.abs() < 1e-15 && jz.abs() < 1e-15);
-    }
+        assert!(jx.abs() < 1e-15 && jy.abs() < 1e-15 && jz.abs() < 1e-15);
+    });
 }

@@ -1,0 +1,23 @@
+//! # hemocloud-rt
+//!
+//! Zero-dependency runtime support for the hemocloud workspace. The
+//! reproduction must build and test hermetically — offline, from a clean
+//! checkout, with nothing but a Rust toolchain — because the paper's
+//! performance model (Eqs. 6-16) is only trustworthy if its benchmark and
+//! test harness is deterministic and reproducible on any machine. This
+//! crate replaces the four external crates the seed pulled from crates.io:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG with uniform
+//!   ranges and a Box-Muller `gaussian()` (replaces `rand`).
+//! * [`par`] — a `std::thread::scope`-based chunked parallel-for that
+//!   preserves the race-free destination-partitioned LBM update
+//!   (replaces `rayon`).
+//! * [`check`] — a minimal property-testing harness with seeded case
+//!   generation and failing-seed replay (replaces `proptest`).
+//! * [`bench`] — a tiny timing harness with warmup, sampling and
+//!   median/min/throughput reporting (replaces `criterion`).
+
+pub mod bench;
+pub mod check;
+pub mod par;
+pub mod rng;

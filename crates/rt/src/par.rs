@@ -1,0 +1,184 @@
+//! Chunked data-parallelism on scoped threads.
+//!
+//! [`par_chunks_mut`] is the replacement for rayon's
+//! `par_chunks_mut(..).enumerate().for_each(..)` in the LBM
+//! collide-stream: the destination array is split into contiguous,
+//! non-overlapping chunks, each worker owns a disjoint run of whole
+//! chunks, and the closure sees `(chunk_index, chunk)` exactly as the
+//! serial loop would. Because the pull-scheme update writes only its own
+//! chunk and reads only the (shared, immutable) source array, the
+//! parallel schedule is race-free by construction and bit-identical to
+//! the serial one — there is no floating-point reassociation anywhere.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel region will use.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f(chunk_index, chunk)` to every `chunk_size`-sized chunk of
+/// `data` (the last chunk may be shorter), distributing chunks over up to
+/// [`max_threads`] scoped threads.
+///
+/// Guarantees:
+/// * every chunk is processed exactly once;
+/// * `chunk_index` counts chunks from the start of `data`, matching
+///   `data.chunks_mut(chunk_size).enumerate()`;
+/// * results are bitwise identical to the serial loop for any `f` that is
+///   a pure function of its inputs (the schedule only partitions work, it
+///   never reorders arithmetic within a chunk);
+/// * panics in `f` propagate to the caller.
+///
+/// Empty input is a no-op. With one available thread, or when there are
+/// fewer chunks than threads would pay for, the work runs inline on the
+/// caller's thread.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_with_threads(data, chunk_size, max_threads(), f);
+}
+
+/// [`par_chunks_mut`] with an explicit worker count (≥ 1). Exposed so
+/// callers (and tests) can pin the schedule regardless of the host's
+/// available parallelism.
+pub fn par_chunks_mut_with_threads<T, F>(data: &mut [T], chunk_size: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert!(threads > 0, "thread count must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let threads = threads.min(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    // Split the slice into `threads` contiguous runs of whole chunks.
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut first_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per_worker * chunk_size).min(rest.len());
+            let (run, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += run.len().div_ceil(chunk_size);
+            scope.spawn(move || {
+                for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut data: Vec<u64> = Vec::new();
+        par_chunks_mut(&mut data, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut data = vec![1u64, 2, 3];
+        par_chunks_mut(&mut data, 8, |i, chunk| {
+            assert_eq!(i, 0);
+            for v in chunk {
+                *v *= 10;
+            }
+        });
+        assert_eq!(data, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn chunk_indices_match_serial_enumeration() {
+        let chunk = 19;
+        let mut data = vec![0u64; 19 * 1037];
+        par_chunks_mut_with_threads(&mut data, chunk, 4, |i, c| {
+            for v in c {
+                *v = i as u64;
+            }
+        });
+        for (i, c) in data.chunks(chunk).enumerate() {
+            assert!(c.iter().all(|&v| v == i as u64), "chunk {i} mislabeled");
+        }
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_processed() {
+        let mut data = vec![1u32; 10];
+        let mut sizes = Vec::new();
+        par_chunks_mut(&mut data, 4, |i, c| {
+            let _ = i;
+            c.iter_mut().for_each(|v| *v += 1);
+        });
+        assert!(data.iter().all(|&v| v == 2));
+        // Serial reference enumeration: 4 + 4 + 2.
+        for c in data.chunks(4) {
+            sizes.push(c.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn matches_serial_reference_computation() {
+        let n = 8192;
+        let src: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let work = |i: usize, c: &mut [f64]| {
+            for (j, v) in c.iter_mut().enumerate() {
+                let k = i * 7 + j;
+                *v = src[k % n] * 1.5 + (k as f64).sqrt();
+            }
+        };
+        let mut serial = vec![0.0f64; n];
+        for (i, c) in serial.chunks_mut(7).enumerate() {
+            work(i, c);
+        }
+        for threads in [1, 2, 3, 8] {
+            let mut parallel = vec![0.0f64; n];
+            par_chunks_mut_with_threads(&mut parallel, 7, threads, work);
+            assert_eq!(
+                serial, parallel,
+                "parallel result diverged from serial at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let mut data = vec![0u8; 4];
+        par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 64];
+            par_chunks_mut_with_threads(&mut data, 1, 4, |i, _| {
+                if i == 63 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

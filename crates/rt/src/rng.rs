@@ -1,0 +1,216 @@
+//! Seedable pseudo-random numbers without external crates.
+//!
+//! [`Rng`] is xoshiro256++ (Blackman & Vigna), seeded from a single `u64`
+//! via SplitMix64 — the combination the xoshiro authors recommend. It is
+//! deterministic across platforms and runs: the same seed always yields
+//! the same stream, which is what the simulated-platform noise model and
+//! the property-test harness both rely on.
+
+/// SplitMix64: a tiny, statistically solid generator used to expand one
+/// `u64` seed into the 256-bit xoshiro state (and to derive per-case
+/// seeds in [`crate::check`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start the sequence at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++: the workspace's general-purpose PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed deterministically from a single `u64` (SplitMix64 expansion).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `bool`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`, unbiased (Lemire's method with
+    /// rejection).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Widening multiply maps a u64 onto [0, span); reject the small
+        // biased fringe so every value is exactly equally likely.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Standard normal via Box-Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.next_f64();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+
+    /// Derive an independent child generator (for splitting one seed into
+    /// per-task streams without correlated output).
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn cross_run_determinism_pinned_values() {
+        // Pin the first outputs of the reference seed: any change to the
+        // seeding or update rule breaks noise-model and property-test
+        // reproducibility across the whole workspace.
+        let mut r = Rng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_and_respects_bounds() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.range_u64(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance_at_fixed_seed() {
+        // Statistical sanity: sample mean ≈ 0 and variance ≈ 1. The seed
+        // is fixed, so this is deterministic, not flaky.
+        let mut r = Rng::new(20_000);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_mass_is_plausible() {
+        // ~4.55% of mass lies beyond |x| > 2 for a standard normal.
+        let mut r = Rng::new(33);
+        let n = 50_000;
+        let beyond = (0..n).filter(|_| r.gaussian().abs() > 2.0).count();
+        let frac = beyond as f64 / n as f64;
+        assert!((0.03..0.06).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn split_streams_are_uncorrelated() {
+        let mut parent = Rng::new(9);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the tier-1 verify, run hermetically.
+#
+# --offline proves the zero-dependency property on every run: the build
+# must succeed from a clean checkout with an empty cargo registry cache,
+# with nothing but the in-tree workspace crates. If this script fails
+# only without --offline having anything cached, someone reintroduced an
+# external dependency — keep the workspace dependency-free instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "== cargo tree: checking for non-workspace dependencies"
+if cargo tree --offline --workspace --edges normal,dev,build \
+    | grep -v "hemocloud" | grep -q "v[0-9]"; then
+  echo "ERROR: non-workspace dependencies found:" >&2
+  cargo tree --offline --workspace --edges normal,dev,build | grep -v "hemocloud" >&2
+  exit 1
+fi
+
+echo "verify.sh: OK"

@@ -1,5 +1,6 @@
-//! Cross-crate property-based tests (proptest): invariants that must hold
-//! for *arbitrary* inputs, not just the handcrafted cases.
+//! Cross-crate property-based tests (`hemocloud_rt::check`): invariants
+//! that must hold for *arbitrary* inputs, not just the handcrafted cases.
+//! Historic failing seeds are committed as explicit `regression_*` tests.
 
 use hemocloud::prelude::*;
 use hemocloud_decomp::halo::DecompAnalysis;
@@ -10,160 +11,223 @@ use hemocloud_geometry::voxel::VoxelGrid;
 use hemocloud_lbm::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
 use hemocloud_lbm::mesh::FluidMesh;
 use hemocloud_lbm::solver::SolverConfig;
-use proptest::prelude::*;
+use hemocloud_rt::check::{self, Config};
+use hemocloud_rt::rng::Rng;
 
 /// A small random grid: a solid box with a random fluid blob pattern
 /// (every fluid voxel chosen i.i.d., then walls classified).
-fn random_grid() -> impl Strategy<Value = VoxelGrid> {
-    (3usize..7, 3usize..7, 3usize..7, any::<u64>()).prop_map(|(nx, ny, nz, seed)| {
-        let mut grid = VoxelGrid::solid(nx, ny, nz, 1.0);
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut any_fluid = false;
-        for z in 0..nz {
-            for y in 0..ny {
-                for x in 0..nx {
-                    if next() % 100 < 60 {
-                        grid.set(x, y, z, CellType::Bulk);
-                        any_fluid = true;
-                    }
+fn random_grid(rng: &mut Rng) -> VoxelGrid {
+    let nx = rng.range_usize(3, 7);
+    let ny = rng.range_usize(3, 7);
+    let nz = rng.range_usize(3, 7);
+    let mut grid = VoxelGrid::solid(nx, ny, nz, 1.0);
+    let mut any_fluid = false;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if rng.range_u64(0, 100) < 60 {
+                    grid.set(x, y, z, CellType::Bulk);
+                    any_fluid = true;
                 }
             }
         }
-        if !any_fluid {
-            grid.set(nx / 2, ny / 2, nz / 2, CellType::Bulk);
-        }
-        classify_walls(&mut grid);
-        grid
-    })
+    }
+    if !any_fluid {
+        grid.set(nx / 2, ny / 2, nz / 2, CellType::Bulk);
+    }
+    classify_walls(&mut grid);
+    grid
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn equilibrium_moments_roundtrip(
-        rho in 0.5f64..2.0,
-        ux in -0.1f64..0.1,
-        uy in -0.1f64..0.1,
-        uz in -0.1f64..0.1,
-    ) {
+#[test]
+fn equilibrium_moments_roundtrip() {
+    check::run("equilibrium_moments_roundtrip", Config::cases(24), |rng| {
+        let rho = rng.range_f64(0.5, 2.0);
+        let ux = rng.range_f64(-0.1, 0.1);
+        let uy = rng.range_f64(-0.1, 0.1);
+        let uz = rng.range_f64(-0.1, 0.1);
         let mut f = [0.0; 19];
         equilibrium_d3q19(rho, ux, uy, uz, &mut f);
         let (r, vx, vy, vz) = macroscopics_d3q19(&f);
-        prop_assert!((r - rho).abs() < 1e-12);
-        prop_assert!((vx - ux).abs() < 1e-12);
-        prop_assert!((vy - uy).abs() < 1e-12);
-        prop_assert!((vz - uz).abs() < 1e-12);
-    }
+        assert!((r - rho).abs() < 1e-12);
+        assert!((vx - ux).abs() < 1e-12);
+        assert!((vy - uy).abs() < 1e-12);
+        assert!((vz - uz).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn closed_box_mass_is_conserved_on_random_geometry(grid in random_grid(), bump in 0.0f64..0.02) {
-        // Any sealed random blob: perturb one cell, run, mass must hold.
-        let mesh = FluidMesh::build(&grid);
-        let mut solver = Solver::new(mesh, SolverConfig { parallel: false, ..Default::default() });
-        // (random grids have no inlets/outlets, so the system is closed)
-        let m0 = solver.total_mass() + bump;
-        solver.bump_first_cell(bump);
-        for _ in 0..20 {
-            solver.step();
-        }
-        let m1 = solver.total_mass();
-        prop_assert!((m0 - m1).abs() < 1e-9 * m0, "mass {m0} -> {m1}");
-    }
-
-    #[test]
-    fn rcb_partitions_any_geometry_exactly(grid in random_grid(), n_tasks in 1usize..9) {
-        let n = n_tasks.min(grid.fluid_count());
-        let partition = RcbPartition::new(&grid, n);
-        let analysis = DecompAnalysis::analyze(&grid, &partition);
-        // Every fluid point assigned exactly once.
-        prop_assert_eq!(
-            analysis.points_per_task.iter().sum::<usize>(),
-            grid.fluid_count()
-        );
-        // z is at least 1 by construction.
-        prop_assert!(analysis.z_factor() >= 1.0 - 1e-12);
-        // Peer graph symmetric (sizes may differ across ragged fluid
-        // boundaries: one sender point can border several receiver
-        // points), and every message is non-empty and bounded by its
-        // sender's point count.
-        prop_assert!(analysis.is_peer_symmetric());
-        for (t, msgs) in analysis.messages.iter().enumerate() {
-            for (&peer, &pts) in msgs {
-                prop_assert!(peer != t, "self-message");
-                prop_assert!(pts >= 1);
-                prop_assert!(pts <= analysis.points_per_task[t]);
-            }
-        }
-    }
-
-    #[test]
-    fn two_line_fit_recovers_noiseless_curves(
-        a1 in 1000.0f64..20_000.0,
-        a2_frac in -0.05f64..0.5,
-        a3 in 2.0f64..20.0,
-        cores in 8usize..48,
-    ) {
-        let truth = TwoLineFit { a1, a2: a1 * a2_frac, a3: a3.min(cores as f64 - 1.0), sse: 0.0 };
-        let ns: Vec<f64> = (1..=cores).map(|n| n as f64).collect();
-        let bs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
-        let fit = fit_two_line(&ns, &bs).expect("fittable");
-        // The fitted curve reproduces the data everywhere (parameters may
-        // trade off when the knee sits between integer thread counts).
-        for (&n, &b) in ns.iter().zip(&bs) {
-            prop_assert!(
-                (fit.eval(n) - b).abs() <= 0.03 * b.abs().max(1.0),
-                "n={}: fit {} vs truth {}", n, fit.eval(n), b
+#[test]
+fn closed_box_mass_is_conserved_on_random_geometry() {
+    check::run(
+        "closed_box_mass_is_conserved_on_random_geometry",
+        Config::cases(24),
+        |rng| {
+            // Any sealed random blob: perturb one cell, run, mass must hold.
+            let grid = random_grid(rng);
+            let bump = rng.range_f64(0.0, 0.02);
+            let mesh = FluidMesh::build(&grid);
+            let mut solver = Solver::new(
+                mesh,
+                SolverConfig {
+                    parallel: false,
+                    ..Default::default()
+                },
             );
-        }
-    }
-
-    #[test]
-    fn relative_value_matrix_is_reciprocal(
-        m in proptest::collection::vec(1.0f64..1000.0, 2..6)
-    ) {
-        let entries: Vec<(String, f64)> = m
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (format!("p{i}"), v))
-            .collect();
-        let matrix = hemocloud_core::value::relative_value_matrix(&entries);
-        for b in 0..entries.len() {
-            prop_assert!((matrix.get(b, b) - 1.0).abs() < 1e-12);
-            for a in 0..entries.len() {
-                prop_assert!((matrix.get(b, a) * matrix.get(a, b) - 1.0).abs() < 1e-9);
+            // (random grids have no inlets/outlets, so the system is closed)
+            let m0 = solver.total_mass() + bump;
+            solver.bump_first_cell(bump);
+            for _ in 0..20 {
+                solver.step();
             }
+            let m1 = solver.total_mass();
+            assert!((m0 - m1).abs() < 1e-9 * m0, "mass {m0} -> {m1}");
+        },
+    );
+}
+
+/// The invariants `rcb_partitions_any_geometry_exactly` asserts, factored
+/// out so the historic regression case runs exactly the same checks.
+fn assert_rcb_partitions_exactly(grid: &VoxelGrid, n_tasks: usize) {
+    let n = n_tasks.min(grid.fluid_count());
+    let partition = RcbPartition::new(grid, n);
+    let analysis = DecompAnalysis::analyze(grid, &partition);
+    // Every fluid point assigned exactly once.
+    assert_eq!(
+        analysis.points_per_task.iter().sum::<usize>(),
+        grid.fluid_count()
+    );
+    // z is at least 1 by construction.
+    assert!(analysis.z_factor() >= 1.0 - 1e-12);
+    // Peer graph symmetric (sizes may differ across ragged fluid
+    // boundaries: one sender point can border several receiver points),
+    // and every message is non-empty and bounded by its sender's point
+    // count.
+    assert!(analysis.is_peer_symmetric());
+    for (t, msgs) in analysis.messages.iter().enumerate() {
+        for (&peer, &pts) in msgs {
+            assert!(peer != t, "self-message");
+            assert!(pts >= 1);
+            assert!(pts <= analysis.points_per_task[t]);
         }
     }
+}
 
-    #[test]
-    fn guard_never_rejects_usage_within_prediction(
-        step_us in 1.0f64..10_000.0,
-        steps in 1u64..100_000,
-        tolerance in 0.0f64..0.5,
-    ) {
-        use hemocloud_core::composition::{Composition, Prediction};
-        use hemocloud_core::guard::{GuardVerdict, JobGuard};
-        let pred = Prediction::from_composition(
-            36,
-            1_000_000,
-            Composition { mem_s: step_us * 1e-6, ..Default::default() },
-        );
-        let guard = JobGuard::from_prediction(&pred, steps, &Platform::csp2(), tolerance);
-        prop_assert_eq!(
-            guard.check(guard.predicted_seconds, 0.0),
-            GuardVerdict::WithinLimits
-        );
-        let exceeded = matches!(
-            guard.check(guard.max_seconds * 1.01 + 1e-9, 0.0),
-            GuardVerdict::Exceeded { .. }
-        );
-        prop_assert!(exceeded);
+#[test]
+fn rcb_partitions_any_geometry_exactly() {
+    check::run(
+        "rcb_partitions_any_geometry_exactly",
+        Config::cases(24),
+        |rng| {
+            let grid = random_grid(rng);
+            let n_tasks = rng.range_usize(1, 9);
+            assert_rcb_partitions_exactly(&grid, n_tasks);
+        },
+    );
+}
+
+/// Historic proptest-shrunk failure (formerly in
+/// `properties.proptest-regressions`): a 3×3×3 all-solid/wall blob whose
+/// two fluid islands once broke peer symmetry at `n_tasks = 2`.
+#[test]
+fn regression_rcb_two_tasks_on_sparse_wall_blob() {
+    use CellType::{Solid, Wall};
+    let cells = [
+        Solid, Solid, Wall, Wall, Wall, Wall, Wall, Wall, Solid, //
+        Wall, Solid, Solid, Solid, Solid, Solid, Solid, Solid, Wall, //
+        Wall, Wall, Wall, Solid, Solid, Wall, Solid, Solid, Wall,
+    ];
+    let mut grid = VoxelGrid::solid(3, 3, 3, 1.0);
+    for (idx, &cell) in cells.iter().enumerate() {
+        grid.set_linear(idx, cell);
     }
+    assert_rcb_partitions_exactly(&grid, 2);
+}
+
+#[test]
+fn two_line_fit_recovers_noiseless_curves() {
+    check::run(
+        "two_line_fit_recovers_noiseless_curves",
+        Config::cases(24),
+        |rng| {
+            let a1 = rng.range_f64(1000.0, 20_000.0);
+            let a2_frac = rng.range_f64(-0.05, 0.5);
+            let a3 = rng.range_f64(2.0, 20.0);
+            let cores = rng.range_usize(8, 48);
+            let truth = TwoLineFit {
+                a1,
+                a2: a1 * a2_frac,
+                a3: a3.min(cores as f64 - 1.0),
+                sse: 0.0,
+            };
+            let ns: Vec<f64> = (1..=cores).map(|n| n as f64).collect();
+            let bs: Vec<f64> = ns.iter().map(|&n| truth.eval(n)).collect();
+            let fit = fit_two_line(&ns, &bs).expect("fittable");
+            // The fitted curve reproduces the data everywhere (parameters
+            // may trade off when the knee sits between integer thread
+            // counts).
+            for (&n, &b) in ns.iter().zip(&bs) {
+                assert!(
+                    (fit.eval(n) - b).abs() <= 0.03 * b.abs().max(1.0),
+                    "n={}: fit {} vs truth {}",
+                    n,
+                    fit.eval(n),
+                    b
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn relative_value_matrix_is_reciprocal() {
+    check::run(
+        "relative_value_matrix_is_reciprocal",
+        Config::cases(24),
+        |rng| {
+            let len = rng.range_usize(2, 6);
+            let entries: Vec<(String, f64)> = (0..len)
+                .map(|i| (format!("p{i}"), rng.range_f64(1.0, 1000.0)))
+                .collect();
+            let matrix = hemocloud_core::value::relative_value_matrix(&entries);
+            for b in 0..entries.len() {
+                assert!((matrix.get(b, b) - 1.0).abs() < 1e-12);
+                for a in 0..entries.len() {
+                    assert!((matrix.get(b, a) * matrix.get(a, b) - 1.0).abs() < 1e-9);
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn guard_never_rejects_usage_within_prediction() {
+    check::run(
+        "guard_never_rejects_usage_within_prediction",
+        Config::cases(24),
+        |rng| {
+            use hemocloud_core::composition::{Composition, Prediction};
+            use hemocloud_core::guard::{GuardVerdict, JobGuard};
+            let step_us = rng.range_f64(1.0, 10_000.0);
+            let steps = rng.range_u64(1, 100_000);
+            let tolerance = rng.range_f64(0.0, 0.5);
+            let pred = Prediction::from_composition(
+                36,
+                1_000_000,
+                Composition {
+                    mem_s: step_us * 1e-6,
+                    ..Default::default()
+                },
+            );
+            let guard = JobGuard::from_prediction(&pred, steps, &Platform::csp2(), tolerance);
+            assert_eq!(
+                guard.check(guard.predicted_seconds, 0.0),
+                GuardVerdict::WithinLimits
+            );
+            let exceeded = matches!(
+                guard.check(guard.max_seconds * 1.01 + 1e-9, 0.0),
+                GuardVerdict::Exceeded { .. }
+            );
+            assert!(exceeded);
+        },
+    );
 }

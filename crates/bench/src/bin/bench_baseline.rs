@@ -1,0 +1,132 @@
+//! The repo's perf trajectory baseline: measure the real LBM solver step
+//! and the real STREAM kernels on this host through `hemocloud_rt::bench`
+//! and persist the numbers to `BENCH_lbm.json` so every PR has comparable
+//! throughput data (the paper's whole premise — Eqs. 6/9 — is that these
+//! two numbers are linked by memory bandwidth).
+//!
+//! * `RT_BENCH_FAST=1` shrinks the mesh, array sizes, and sample counts
+//!   so CI can smoke-run it in seconds (`scripts/verify.sh` does).
+//! * `BENCH_OUT=<path>` redirects the JSON (default: `BENCH_lbm.json` in
+//!   the current directory).
+//!
+//! The binary exits non-zero if any throughput it measured is non-finite
+//! or non-positive, so the verify gate cannot silently record garbage.
+
+use hemocloud_geometry::anatomy::CylinderSpec;
+use hemocloud_lbm::mesh::FluidMesh;
+use hemocloud_lbm::solver::{Solver, SolverConfig};
+use hemocloud_microbench::stream::{stream_kernel, StreamKernel, StreamMeasurement};
+use hemocloud_rt::bench::sample_stats;
+use hemocloud_rt::{par, pool};
+
+fn fast_mode() -> bool {
+    std::env::var("RT_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+struct Baseline {
+    threads: usize,
+    mesh_cells: usize,
+    mflups: f64,
+    ns_per_step: f64,
+    stream: Vec<StreamMeasurement>,
+    pool_spawned: usize,
+    pool_jobs: u64,
+}
+
+fn measure() -> Baseline {
+    let fast = fast_mode();
+
+    // Solver MFLUPS on a cylinder sized like the kernel benches.
+    let resolution = if fast { 10 } else { 20 };
+    let grid = CylinderSpec::default().with_resolution(resolution).build();
+    let mesh = FluidMesh::build(&grid);
+    let mesh_cells = mesh.len();
+    let mut solver = Solver::new(mesh, SolverConfig::default());
+    solver.run(2); // warm: touch both distribution arrays
+    let stats = sample_stats(10, |b| b.iter(|| solver.step()));
+    let ns_per_step = stats.median_ns;
+    let mflups = mesh_cells as f64 / (ns_per_step * 1e-9) / 1e6;
+
+    // STREAM Copy + Triad at full host width, cache-busting sizes.
+    let threads = par::max_threads();
+    let elements = if fast { 1 << 21 } else { 1 << 24 };
+    let reps = if fast { 2 } else { 5 };
+    let stream = vec![
+        stream_kernel(StreamKernel::Copy, threads, elements, reps),
+        stream_kernel(StreamKernel::Triad, threads, elements, reps),
+    ];
+
+    let pool = pool::global();
+    Baseline {
+        threads,
+        mesh_cells,
+        mflups,
+        ns_per_step,
+        stream,
+        pool_spawned: pool.spawned_threads(),
+        pool_jobs: pool.jobs_run(),
+    }
+}
+
+fn to_json(b: &Baseline) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"lbm_baseline\",\n");
+    s.push_str(&format!("  \"fast_mode\": {},\n", fast_mode()));
+    s.push_str(&format!("  \"threads\": {},\n", b.threads));
+    s.push_str(&format!("  \"mesh_cells\": {},\n", b.mesh_cells));
+    s.push_str("  \"solver\": {\n");
+    s.push_str(&format!("    \"mflups\": {:.3},\n", b.mflups));
+    s.push_str(&format!("    \"ns_per_step\": {:.1}\n", b.ns_per_step));
+    s.push_str("  },\n");
+    s.push_str("  \"stream\": [\n");
+    for (i, m) in b.stream.iter().enumerate() {
+        let comma = if i + 1 < b.stream.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"elements\": {}, \"gb_s\": {:.3}}}{comma}\n",
+            m.kernel.name(),
+            m.threads,
+            m.elements,
+            m.bandwidth_mb_s / 1e3,
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"pool\": {\n");
+    s.push_str(&format!("    \"spawned_threads\": {},\n", b.pool_spawned));
+    s.push_str(&format!("    \"jobs_run\": {}\n", b.pool_jobs));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let baseline = measure();
+
+    let mut ok = baseline.mflups.is_finite() && baseline.mflups > 0.0;
+    for m in &baseline.stream {
+        ok &= m.bandwidth_mb_s.is_finite() && m.bandwidth_mb_s > 0.0;
+    }
+
+    let json = to_json(&baseline);
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_lbm.json".to_string());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+
+    println!(
+        "bench_baseline: {} cells, {} threads -> {:.2} MFLUPS; STREAM {}",
+        baseline.mesh_cells,
+        baseline.threads,
+        baseline.mflups,
+        baseline
+            .stream
+            .iter()
+            .map(|m| format!("{} {:.2} GB/s", m.kernel.name(), m.bandwidth_mb_s / 1e3))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    println!("bench_baseline: wrote {path}");
+
+    if !ok {
+        eprintln!("bench_baseline: ERROR: non-finite or non-positive throughput measured");
+        std::process::exit(1);
+    }
+}

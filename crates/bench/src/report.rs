@@ -37,7 +37,7 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]
     }
     println!();
     for &x in &xs {
-        print!("{x:>12.0}");
+        print!("{:>12}", fmt_x(x));
         for s in series {
             match s.points.iter().find(|&&(px, _)| px == x) {
                 Some(&(_, y)) => print!("{y:>18.3}"),
@@ -45,6 +45,21 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]
             }
         }
         println!();
+    }
+}
+
+/// Format an x coordinate without losing information: the previous
+/// `{x:>12.0}` rounded fractional x values (non-power-of-two message
+/// sizes, per-core bandwidth points) to integers, so two distinct rows
+/// could print identically. Uses Rust's shortest round-trip float
+/// formatting, falling back to scientific notation only when that would
+/// overflow the column.
+fn fmt_x(x: f64) -> String {
+    let s = format!("{x}");
+    if s.len() <= 12 {
+        s
+    } else {
+        format!("{x:.4e}")
     }
 }
 
@@ -85,6 +100,31 @@ mod tests {
         let s = Series::new("TRC", vec![(1.0, 2.0)]);
         assert_eq!(s.label, "TRC");
         assert_eq!(s.points.len(), 1);
+    }
+
+    #[test]
+    fn fractional_x_values_stay_distinct() {
+        // Regression: `{x:>12.0}` printed 16.25 and 16.75 both as "16".
+        assert_ne!(fmt_x(16.25), fmt_x(16.75));
+        assert_eq!(fmt_x(16.25), "16.25");
+        assert_eq!(fmt_x(16.75), "16.75");
+        // Whole values keep their compact integer rendering.
+        assert_eq!(fmt_x(16.0), "16");
+        assert_eq!(fmt_x(1048576.0), "1048576");
+        // Values too wide for the column degrade to scientific notation
+        // rather than misaligning the table.
+        assert_eq!(fmt_x(0.3333333333333333), "3.3333e-1");
+        assert!(fmt_x(1.0 / 3.0).len() <= 12);
+    }
+
+    #[test]
+    fn print_series_with_fractional_x_does_not_panic() {
+        print_series(
+            "fractional",
+            "MiB",
+            "GB/s",
+            &[Series::new("a", vec![(0.5, 1.0), (1.5, 2.0), (2.25, 3.0)])],
+        );
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct RankedSolver {
     omega: f64,
     inlet_slot: Vec<u32>,
     inlet_vel: Vec<[f64; 3]>,
+    /// Update cells on the shared worker pool (same gating as
+    /// [`crate::solver::SolverConfig::parallel`]). Race-free: the update
+    /// reads only `f` and the `halo` snapshot, both immutable during the
+    /// sweep, and writes only the destination cell.
+    parallel: bool,
+    parallel_threshold: usize,
     steps_taken: u64,
     ledgers: Vec<CommLedger>,
 }
@@ -141,6 +147,8 @@ impl RankedSolver {
             omega: 1.0 / config.tau,
             inlet_slot,
             inlet_vel,
+            parallel: config.parallel,
+            parallel_threshold: config.parallel_threshold,
             steps_taken: 0,
             ledgers,
         }
@@ -169,8 +177,60 @@ impl RankedSolver {
         }
     }
 
+    /// One pull-scheme update for destination cell `cell`, reading remote
+    /// neighbors only from the halo snapshot. Pure in its inputs, so the
+    /// serial and pool-parallel sweeps are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn update_cell(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        src: &[f64],
+        halo: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        out: &mut [f64],
+    ) {
+        let me = owner[cell];
+        let mut fin = [0.0f64; Q19];
+        let row = mesh.neighbor_row(cell);
+        for q in 0..Q19 {
+            let nb = row[opposite(q)];
+            fin[q] = if nb == SOLID {
+                src[cell * Q19 + opposite(q)]
+            } else if owner[nb as usize] != me {
+                halo[nb as usize * Q19 + q]
+            } else {
+                src[nb as usize * Q19 + q]
+            };
+        }
+        let (rho, ux, uy, uz) = macroscopics_d3q19(&fin);
+        let mut feq = [0.0f64; Q19];
+        match mesh.cell_type(cell) {
+            CellType::Inlet => {
+                let v = inlet_vel[inlet_slot[cell] as usize];
+                equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
+                out[..Q19].copy_from_slice(&feq);
+            }
+            CellType::Outlet => {
+                equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
+                out[..Q19].copy_from_slice(&feq);
+            }
+            _ => {
+                equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
+                for q in 0..Q19 {
+                    out[q] = fin[q] - omega * (fin[q] - feq[q]);
+                }
+            }
+        }
+    }
+
     /// Advance one timestep: exchange, then per-rank updates reading
-    /// remote data only from the halo snapshot.
+    /// remote data only from the halo snapshot. Like the global solver,
+    /// the sweep runs on the persistent shared worker pool when the mesh
+    /// is large enough — no OS threads are spawned per step.
     pub fn step(&mut self) {
         self.exchange();
         let mesh = &self.mesh;
@@ -181,38 +241,17 @@ impl RankedSolver {
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
 
-        for (cell, out) in self.f_tmp.chunks_exact_mut(Q19).enumerate() {
-            let me = owner[cell];
-            let mut fin = [0.0f64; Q19];
-            let row = mesh.neighbor_row(cell);
-            for q in 0..Q19 {
-                let nb = row[opposite(q)];
-                fin[q] = if nb == SOLID {
-                    src[cell * Q19 + opposite(q)]
-                } else if owner[nb as usize] != me {
-                    halo[nb as usize * Q19 + q]
-                } else {
-                    src[nb as usize * Q19 + q]
-                };
-            }
-            let (rho, ux, uy, uz) = macroscopics_d3q19(&fin);
-            let mut feq = [0.0f64; Q19];
-            match mesh.cell_type(cell) {
-                CellType::Inlet => {
-                    let v = inlet_vel[inlet_slot[cell] as usize];
-                    equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
-                    out[..Q19].copy_from_slice(&feq);
-                }
-                CellType::Outlet => {
-                    equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
-                    out[..Q19].copy_from_slice(&feq);
-                }
-                _ => {
-                    equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
-                    for q in 0..Q19 {
-                        out[q] = fin[q] - omega * (fin[q] - feq[q]);
-                    }
-                }
+        if self.parallel && mesh.len() >= self.parallel_threshold {
+            hemocloud_rt::pool::global().par_chunks_mut(&mut self.f_tmp, Q19, |cell, out| {
+                Self::update_cell(
+                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
+                );
+            });
+        } else {
+            for (cell, out) in self.f_tmp.chunks_exact_mut(Q19).enumerate() {
+                Self::update_cell(
+                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
+                );
             }
         }
         std::mem::swap(&mut self.f, &mut self.f_tmp);
@@ -286,6 +325,39 @@ mod tests {
         }
         for (a, b) in global.distributions().iter().zip(ranked.distributions()) {
             assert_eq!(a, b, "ranked execution diverged from global");
+        }
+    }
+
+    #[test]
+    fn ranked_pool_path_matches_serial_bitwise() {
+        // parallel_threshold: 0 forces the per-rank update through the
+        // shared worker pool; the sweep must stay bit-identical to the
+        // serial one.
+        let mesh = cylinder_mesh();
+        let assignment = slab_assignment(mesh.len(), 4);
+        let mut serial = RankedSolver::new(
+            mesh.clone(),
+            assignment.clone(),
+            SolverConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let mut pooled = RankedSolver::new(
+            mesh,
+            assignment,
+            SolverConfig {
+                parallel: true,
+                parallel_threshold: 0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..20 {
+            serial.step();
+            pooled.step();
+        }
+        for (a, b) in serial.distributions().iter().zip(pooled.distributions()) {
+            assert_eq!(a, b, "pool-path ranked update diverged from serial");
         }
     }
 

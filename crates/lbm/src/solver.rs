@@ -4,17 +4,22 @@
 //! Boundary conditions follow the paper's setup (§II-C): a Poiseuille
 //! velocity profile imposed at inlets, a zero-pressure (unit-density)
 //! condition at outlets, and halfway bounce-back at walls. The update is
-//! data-parallel over destination cells (`hemocloud_rt::par`), which is
-//! race-free by construction for the pull scheme: every cell writes only
-//! its own distributions, and the chunked schedule partitions the
-//! destination array without reordering any arithmetic — so parallel and
-//! serial steps are bit-identical.
+//! data-parallel over destination cells on the persistent shared worker
+//! pool (`hemocloud_rt::pool`), which is race-free by construction for
+//! the pull scheme: every cell writes only its own distributions, and the
+//! chunked schedule partitions the destination array without reordering
+//! any arithmetic — so parallel and serial steps are bit-identical, and a
+//! whole run spawns no OS threads beyond the pool's fixed complement.
+//!
+//! The per-cell boundary dispatch is hoisted out of the kernel: cells are
+//! sorted into per-kind index lists (bulk-like / inlet / outlet) once at
+//! construction, so the hot bulk loop carries no branch on cell type.
 
 use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
 use crate::lattice::{opposite, Q19, W19};
 use crate::mesh::{FluidMesh, SOLID};
 use hemocloud_geometry::voxel::CellType;
-use hemocloud_rt::par::par_chunks_mut;
+use hemocloud_rt::pool;
 
 /// Tunable parameters of a simulation.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +73,43 @@ pub struct Solver {
     inlet_slot: Vec<u32>,
     /// Prescribed velocity for each inlet cell.
     inlet_vel: Vec<[f64; 3]>,
+    /// Cells sorted by update kind, precomputed once so the hot loop does
+    /// not re-dispatch on `mesh.cell_type(cell)` every step.
+    kinds: KindLists,
     steps_taken: u64,
+}
+
+/// Ascending per-kind cell index lists. `bulk` holds every cell that
+/// takes the plain BGK collide path (bulk *and* wall fluid — bounce-back
+/// is handled in the gather, exactly as the old `_ =>` match arm did);
+/// `inlet` and `outlet` hold the Dirichlet/zero-pressure cells.
+struct KindLists {
+    bulk: Vec<u32>,
+    inlet: Vec<u32>,
+    outlet: Vec<u32>,
+}
+
+impl KindLists {
+    fn build(mesh: &FluidMesh) -> Self {
+        let mut bulk = Vec::new();
+        let mut inlet = Vec::new();
+        let mut outlet = Vec::new();
+        for cell in 0..mesh.len() {
+            match mesh.cell_type(cell) {
+                CellType::Inlet => inlet.push(cell as u32),
+                CellType::Outlet => outlet.push(cell as u32),
+                _ => bulk.push(cell as u32),
+            }
+        }
+        Self { bulk, inlet, outlet }
+    }
+
+    /// The sub-range of an (ascending) list falling in `[first, end)`.
+    fn in_range(list: &[u32], first: usize, end: usize) -> &[u32] {
+        let lo = list.partition_point(|&c| (c as usize) < first);
+        let hi = list.partition_point(|&c| (c as usize) < end);
+        &list[lo..hi]
+    }
 }
 
 /// Default minimum mesh size before thread parallelism pays for itself.
@@ -89,6 +130,7 @@ impl Solver {
         let f_tmp = f.clone();
 
         let (inlet_slot, inlet_vel) = Self::poiseuille_profile(&mesh, &config);
+        let kinds = KindLists::build(&mesh);
 
         Self {
             mesh,
@@ -98,6 +140,7 @@ impl Solver {
             config,
             inlet_slot,
             inlet_vel,
+            kinds,
             steps_taken: 0,
         }
     }
@@ -189,21 +232,11 @@ impl Solver {
         self.steps_taken
     }
 
-    /// One pull-scheme update for destination cell `cell`, writing the 19
-    /// post-collision values to `out`.
+    /// Pull-scheme gather with bounce-back: the value arriving along `q`
+    /// comes from the neighbor opposite `q`; a solid link reflects this
+    /// cell's own opposite-direction value from the previous step.
     #[inline]
-    fn update_cell(
-        mesh: &FluidMesh,
-        src: &[f64],
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
-        cell: usize,
-        out: &mut [f64],
-    ) {
-        // Gather with bounce-back: the value arriving along q comes from the
-        // neighbor opposite q; a solid link reflects this cell's own
-        // opposite-direction value from the previous step.
+    fn gather(mesh: &FluidMesh, src: &[f64], cell: usize) -> [f64; Q19] {
         let mut fin = [0.0f64; Q19];
         let row = mesh.neighbor_row(cell);
         for q in 0..Q19 {
@@ -214,29 +247,84 @@ impl Solver {
                 src[nb as usize * Q19 + q]
             };
         }
+        fin
+    }
 
+    /// BGK collide for a bulk (or wall) fluid cell — the branch-free hot
+    /// kernel.
+    #[inline]
+    fn update_bulk_cell(mesh: &FluidMesh, src: &[f64], omega: f64, cell: usize, out: &mut [f64]) {
+        let fin = Self::gather(mesh, src, cell);
         let (rho, ux, uy, uz) = macroscopics_d3q19(&fin);
         let mut feq = [0.0f64; Q19];
-        match mesh.cell_type(cell) {
-            CellType::Inlet => {
-                // Dirichlet velocity: equilibrium at the prescribed profile
-                // velocity and the gathered density.
-                let v = inlet_vel[inlet_slot[cell] as usize];
-                equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
-                out[..Q19].copy_from_slice(&feq);
-            }
-            CellType::Outlet => {
-                // Zero-pressure: equilibrium at unit density and the
-                // gathered velocity.
-                equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
-                out[..Q19].copy_from_slice(&feq);
-            }
-            _ => {
-                equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
-                for q in 0..Q19 {
-                    out[q] = fin[q] - omega * (fin[q] - feq[q]);
-                }
-            }
+        equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
+        for q in 0..Q19 {
+            out[q] = fin[q] - omega * (fin[q] - feq[q]);
+        }
+    }
+
+    /// Dirichlet velocity inlet: equilibrium at the prescribed profile
+    /// velocity and the gathered density.
+    #[inline]
+    fn update_inlet_cell(
+        mesh: &FluidMesh,
+        src: &[f64],
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        out: &mut [f64],
+    ) {
+        let fin = Self::gather(mesh, src, cell);
+        let (rho, _, _, _) = macroscopics_d3q19(&fin);
+        let v = inlet_vel[inlet_slot[cell] as usize];
+        let mut feq = [0.0f64; Q19];
+        equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
+        out[..Q19].copy_from_slice(&feq);
+    }
+
+    /// Zero-pressure outlet: equilibrium at unit density and the gathered
+    /// velocity.
+    #[inline]
+    fn update_outlet_cell(mesh: &FluidMesh, src: &[f64], cell: usize, out: &mut [f64]) {
+        let fin = Self::gather(mesh, src, cell);
+        let (_, ux, uy, uz) = macroscopics_d3q19(&fin);
+        let mut feq = [0.0f64; Q19];
+        equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
+        out[..Q19].copy_from_slice(&feq);
+    }
+
+    /// Update every destination cell in `[first_cell, first_cell + out.len()
+    /// / Q19)`, with `out` the corresponding sub-slice of the destination
+    /// array. Runs the three kind loops (bulk, inlet, outlet) over the
+    /// precomputed index lists; each cell's 19 values are a pure function
+    /// of `src`, so any partition of the cell range produces bit-identical
+    /// results.
+    #[allow(clippy::too_many_arguments)]
+    fn update_range(
+        mesh: &FluidMesh,
+        src: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        kinds: &KindLists,
+        first_cell: usize,
+        out: &mut [f64],
+    ) {
+        let end_cell = first_cell + out.len() / Q19;
+        for &cell in KindLists::in_range(&kinds.bulk, first_cell, end_cell) {
+            let cell = cell as usize;
+            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
+            Self::update_bulk_cell(mesh, src, omega, cell, out);
+        }
+        for &cell in KindLists::in_range(&kinds.inlet, first_cell, end_cell) {
+            let cell = cell as usize;
+            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
+            Self::update_inlet_cell(mesh, src, inlet_slot, inlet_vel, cell, out);
+        }
+        for &cell in KindLists::in_range(&kinds.outlet, first_cell, end_cell) {
+            let cell = cell as usize;
+            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
+            Self::update_outlet_cell(mesh, src, cell, out);
         }
     }
 
@@ -247,16 +335,23 @@ impl Solver {
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
+        let kinds = &self.kinds;
         let dst = &mut self.f_tmp;
 
         if self.config.parallel && mesh.len() >= self.config.parallel_threshold {
-            par_chunks_mut(dst, Q19, |cell, out| {
-                Self::update_cell(mesh, src, omega, inlet_slot, inlet_vel, cell, out);
+            // One contiguous block of whole cells per pool worker; the
+            // pool is spawned once per process, so stepping never spawns
+            // OS threads.
+            let pool = pool::global();
+            let cells_per_block = mesh.len().div_ceil(pool.threads()).max(1);
+            pool.par_chunks_mut(dst, cells_per_block * Q19, |block, out| {
+                let first_cell = block * cells_per_block;
+                Self::update_range(
+                    mesh, src, omega, inlet_slot, inlet_vel, kinds, first_cell, out,
+                );
             });
         } else {
-            for (cell, out) in dst.chunks_exact_mut(Q19).enumerate() {
-                Self::update_cell(mesh, src, omega, inlet_slot, inlet_vel, cell, out);
-            }
+            Self::update_range(mesh, src, omega, inlet_slot, inlet_vel, kinds, 0, dst);
         }
 
         std::mem::swap(&mut self.f, &mut self.f_tmp);
@@ -346,8 +441,8 @@ mod tests {
     #[test]
     fn closed_box_conserves_mass() {
         let mut s = closed_box_solver();
-        // Perturb: bump one cell's rest population.
-        s.f[0] += 0.01;
+        // Perturb through the public API: bump one cell's rest population.
+        s.bump_first_cell(0.01);
         let m0 = s.total_mass();
         for _ in 0..50 {
             s.step();
@@ -357,6 +452,27 @@ mod tests {
             (m0 - m1).abs() < 1e-9 * m0,
             "mass drifted: {m0} -> {m1}"
         );
+    }
+
+    #[test]
+    fn bump_first_cell_touches_only_the_rest_population() {
+        let mut s = closed_box_solver();
+        let before = s.distributions().to_vec();
+        let (rho0, ux0, uy0, uz0) = s.macroscopics(0);
+        s.bump_first_cell(0.01);
+        let after = s.distributions();
+        // Exactly one entry changed: the rest population (q = 0) of cell 0.
+        assert_eq!(after[0], before[0] + 0.01);
+        for (i, (a, b)) in after.iter().zip(&before).enumerate().skip(1) {
+            assert_eq!(a, b, "entry {i} changed");
+        }
+        // The rest direction carries no momentum: density rises, velocity
+        // momentum is untouched (velocity = momentum / density).
+        let (rho1, ux1, uy1, uz1) = s.macroscopics(0);
+        assert_eq!(rho1, rho0 + 0.01);
+        assert_eq!(ux1 * rho1, ux0 * rho0);
+        assert_eq!(uy1 * rho1, uy0 * rho0);
+        assert_eq!(uz1 * rho1, uz0 * rho0);
     }
 
     #[test]
@@ -417,6 +533,40 @@ mod tests {
         for (x, y) in a.distributions().iter().zip(b.distributions()) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn stepping_never_spawns_threads_beyond_the_pool() {
+        // The motivating bug for the pool: `step()` used to spawn and
+        // join fresh OS threads on every call. Now thread spawns are
+        // bounded by the pool's fixed complement for an entire run.
+        let pool = hemocloud_rt::pool::global();
+        let spawned_before = pool.spawned_threads();
+        assert!(
+            spawned_before < pool.threads(),
+            "pool spawns are bounded by its width minus the caller"
+        );
+        let g = CylinderSpec::default()
+            .with_dimensions(3.0, 12.0)
+            .with_resolution(8)
+            .build();
+        let mut s = Solver::new(
+            FluidMesh::build(&g),
+            SolverConfig {
+                parallel: true,
+                parallel_threshold: 0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..100 {
+            s.step();
+        }
+        assert_eq!(
+            pool.spawned_threads(),
+            spawned_before,
+            "100 steps must not spawn a single extra OS thread"
+        );
+        assert!(s.distributions().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //! achievable by LBM kernels"). The thread sweep reproduces the Fig. 5
 //! methodology on the host machine: one thread per core, arrays much
 //! larger than cache.
+//!
+//! Workers come from the persistent shared pool (`hemocloud_rt::pool`) —
+//! STREAM numbers must measure memory bandwidth, not thread spawn/join
+//! overhead, and the solver whose MFLUPS the model divides against runs
+//! on the same pool.
 
 use crate::timing::best_of;
+use hemocloud_rt::pool::{self, SendPtr};
 
 /// The four STREAM kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,36 +88,56 @@ pub fn stream_kernel(
     let mut b = vec![2.0f64; elements];
     let mut c = vec![0.0f64; elements];
 
+    // Disjoint per-worker ranges of all three arrays, executed as one job
+    // on the persistent shared pool per repetition — STREAM must measure
+    // memory bandwidth, not per-measurement thread spawn/join overhead.
+    let pool = pool::global();
+    let (pa, pb, pc) = (
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+    );
     let seconds = best_of(reps, || {
-        // Split all three arrays into matching per-thread chunks.
-        let chunk = elements.div_ceil(threads);
-        let a_chunks = a.chunks_mut(chunk);
-        let b_chunks = b.chunks_mut(chunk);
-        let c_chunks = c.chunks_mut(chunk);
-        std::thread::scope(|scope| {
-            for ((ca, cb), cc) in a_chunks.zip(b_chunks).zip(c_chunks) {
-                scope.spawn(move || match kernel {
-                    StreamKernel::Copy => {
-                        for (x, y) in cc.iter_mut().zip(ca.iter()) {
-                            *x = *y;
-                        }
+        pool.run(threads, &move |w: usize| {
+            // Rebind so the closure captures the `SendPtr`s themselves
+            // rather than their raw (non-Sync) fields.
+            let (pa, pb, pc) = (pa, pb, pc);
+            // Balanced split: worker w owns `[start, start + len)`.
+            let base = elements / threads;
+            let extra = elements % threads;
+            let start = w * base + w.min(extra);
+            let len = base + usize::from(w < extra);
+            // Safety: worker ranges tile `0..elements` disjointly, and
+            // `pool.run` blocks until every worker finishes, keeping the
+            // arrays' borrows alive for the duration.
+            let (ca, cb, cc) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pa.0.add(start), len),
+                    std::slice::from_raw_parts_mut(pb.0.add(start), len),
+                    std::slice::from_raw_parts_mut(pc.0.add(start), len),
+                )
+            };
+            match kernel {
+                StreamKernel::Copy => {
+                    for (x, y) in cc.iter_mut().zip(ca.iter()) {
+                        *x = *y;
                     }
-                    StreamKernel::Scale => {
-                        for (x, y) in cb.iter_mut().zip(cc.iter()) {
-                            *x = scalar * *y;
-                        }
+                }
+                StreamKernel::Scale => {
+                    for (x, y) in cb.iter_mut().zip(cc.iter()) {
+                        *x = scalar * *y;
                     }
-                    StreamKernel::Add => {
-                        for ((x, y), z) in cc.iter_mut().zip(ca.iter()).zip(cb.iter()) {
-                            *x = *y + *z;
-                        }
+                }
+                StreamKernel::Add => {
+                    for ((x, y), z) in cc.iter_mut().zip(ca.iter()).zip(cb.iter()) {
+                        *x = *y + *z;
                     }
-                    StreamKernel::Triad => {
-                        for ((x, y), z) in ca.iter_mut().zip(cb.iter()).zip(cc.iter()) {
-                            *x = *y + scalar * *z;
-                        }
+                }
+                StreamKernel::Triad => {
+                    for ((x, y), z) in ca.iter_mut().zip(cb.iter()).zip(cc.iter()) {
+                        *x = *y + scalar * *z;
                     }
-                });
+                }
             }
         });
     });

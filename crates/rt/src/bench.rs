@@ -183,6 +183,17 @@ fn fast_mode() -> bool {
     std::env::var("RT_BENCH_FAST").is_ok_and(|v| v != "0")
 }
 
+/// Measure a closure outside the [`Harness`] CLI plumbing and return the
+/// raw [`Stats`] instead of printing them. Honors `RT_BENCH_FAST` exactly
+/// like [`Harness`]-driven benches; used by regeneration binaries (e.g.
+/// `bench_baseline`) that persist numbers to disk.
+pub fn sample_stats<F>(sample_size: usize, mut body: F) -> Stats
+where
+    F: FnMut(&mut Bencher),
+{
+    measure(sample_size.max(2), fast_mode(), &mut body)
+}
+
 fn measure<F>(sample_size: usize, fast: bool, body: &mut F) -> Stats
 where
     F: FnMut(&mut Bencher),

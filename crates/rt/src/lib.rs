@@ -9,9 +9,12 @@
 //!
 //! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG with uniform
 //!   ranges and a Box-Muller `gaussian()` (replaces `rand`).
-//! * [`par`] — a `std::thread::scope`-based chunked parallel-for that
-//!   preserves the race-free destination-partitioned LBM update
-//!   (replaces `rayon`).
+//! * [`pool`] — a persistent worker pool (parked threads, condvar
+//!   wakeup, panic propagation) so the LBM hot path amortizes thread
+//!   spawns over an entire run instead of paying them every step.
+//! * [`par`] — the chunked parallel-for API, preserved as thin wrappers
+//!   over the shared [`pool`]; keeps the race-free
+//!   destination-partitioned LBM update (replaces `rayon`).
 //! * [`check`] — a minimal property-testing harness with seeded case
 //!   generation and failing-seed replay (replaces `proptest`).
 //! * [`bench`] — a tiny timing harness with warmup, sampling and
@@ -20,4 +23,5 @@
 pub mod bench;
 pub mod check;
 pub mod par;
+pub mod pool;
 pub mod rng;

@@ -1,4 +1,4 @@
-//! Chunked data-parallelism on scoped threads.
+//! Chunked data-parallelism — compatibility wrappers over [`crate::pool`].
 //!
 //! [`par_chunks_mut`] is the replacement for rayon's
 //! `par_chunks_mut(..).enumerate().for_each(..)` in the LBM
@@ -9,6 +9,14 @@
 //! chunk and reads only the (shared, immutable) source array, the
 //! parallel schedule is race-free by construction and bit-identical to
 //! the serial one — there is no floating-point reassociation anywhere.
+//!
+//! Historically these functions spawned fresh scoped threads per call;
+//! they now delegate to the process-wide persistent [`crate::pool`], so a
+//! run of thousands of `Solver::step()` calls costs at most
+//! `max_threads() - 1` thread spawns total. `threads` arguments denote
+//! *logical* workers (chunk-run partitions), which the pool executes on
+//! however many OS threads it owns — the partition, enumeration order,
+//! and results are unchanged.
 
 use std::num::NonZeroUsize;
 
@@ -40,50 +48,23 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    par_chunks_mut_with_threads(data, chunk_size, max_threads(), f);
+    crate::pool::global().par_chunks_mut(data, chunk_size, f);
 }
 
-/// [`par_chunks_mut`] with an explicit worker count (≥ 1). Exposed so
-/// callers (and tests) can pin the schedule regardless of the host's
-/// available parallelism.
+/// [`par_chunks_mut`] with an explicit logical worker count (≥ 1).
+/// Exposed so callers (and tests) can pin the schedule regardless of the
+/// host's available parallelism.
+///
+/// Chunk runs are distributed balanced: `n_chunks % threads` workers get
+/// one extra chunk, so every requested worker receives work whenever
+/// `n_chunks >= threads` (the old ceil-based split could leave trailing
+/// workers idle: 5 chunks on 4 threads gave 2+2+1+0).
 pub fn par_chunks_mut_with_threads<T, F>(data: &mut [T], chunk_size: usize, threads: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    assert!(chunk_size > 0, "chunk_size must be positive");
-    assert!(threads > 0, "thread count must be positive");
-    if data.is_empty() {
-        return;
-    }
-    let n_chunks = data.len().div_ceil(chunk_size);
-    let threads = threads.min(n_chunks);
-    if threads <= 1 {
-        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
-            f(i, chunk);
-        }
-        return;
-    }
-
-    // Split the slice into `threads` contiguous runs of whole chunks.
-    let chunks_per_worker = n_chunks.div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut first_chunk = 0usize;
-        while !rest.is_empty() {
-            let take = (chunks_per_worker * chunk_size).min(rest.len());
-            let (run, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let base = first_chunk;
-            first_chunk += run.len().div_ceil(chunk_size);
-            scope.spawn(move || {
-                for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
-                    f(base + i, chunk);
-                }
-            });
-        }
-    });
+    crate::pool::global().par_chunks_mut_workers(data, chunk_size, threads, f);
 }
 
 #[cfg(test)]
@@ -167,6 +148,32 @@ mod tests {
     fn zero_chunk_size_rejected() {
         let mut data = vec![0u8; 4];
         par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn all_requested_workers_receive_work() {
+        // Regression: the old ceil-based split (`chunks_per_worker =
+        // ceil(n_chunks / threads)`) undersubscribed — 5 chunks on 4
+        // threads gave runs of 2+2+1+0, idling the 4th worker. The
+        // balanced partition must feed every requested worker whenever
+        // `n_chunks >= threads`.
+        for (n_chunks, threads) in [(5usize, 4usize), (7, 3), (9, 8), (12, 12), (101, 7)] {
+            for w in 0..threads {
+                let (_, count) = crate::pool::balanced_runs(n_chunks, threads, w);
+                assert!(
+                    count >= 1,
+                    "worker {w} idle with {n_chunks} chunks on {threads} threads"
+                );
+            }
+        }
+        // And the wrapper still visits every element exactly once under
+        // the balanced schedule of the regression shape (5 chunks / 4
+        // threads).
+        let mut data = vec![0u32; 5 * 3];
+        par_chunks_mut_with_threads(&mut data, 3, 4, |_, c| {
+            c.iter_mut().for_each(|v| *v += 1)
+        });
+        assert!(data.iter().all(|&v| v == 1));
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Persistent worker pool for the LBM hot path.
+//!
+//! The paper's performance model treats the collide-stream kernel as
+//! memory-bandwidth-bound (Eqs. 6/9); that only holds when threading
+//! overhead is amortized. Spawning and joining OS threads inside every
+//! `Solver::step()` — what [`crate::par`] did on scoped threads — costs
+//! tens of microseconds per step and has nothing to do with bandwidth, so
+//! it distorts every MFLUPS number the models are validated against. This
+//! module replaces it with a pool of parked worker threads that is spawned
+//! once and reused for the lifetime of the process.
+//!
+//! ## Execution model
+//!
+//! A job is a pure task `f(run_index)` executed for every run index in
+//! `0..n_runs`. *Runs* are logical workers: the partition of the data is
+//! decided by the requested worker count, not by how many OS threads the
+//! pool happens to own, so a job asking for 8 workers produces the exact
+//! same 8 contiguous chunk runs — and therefore bit-identical results —
+//! whether the host has 1 core or 64. Pool threads (plus the submitting
+//! caller, which always participates) claim run indices from a shared
+//! counter under the pool mutex and execute them.
+//!
+//! ## Wakeup protocol
+//!
+//! All coordination state lives in one `Mutex<State>` with two condvars:
+//!
+//! * workers park on `work` and wake when a job with unclaimed runs is
+//!   published;
+//! * the caller publishes the job under the lock, notifies `work`, then
+//!   claims runs itself; once every run is claimed it parks on `done`
+//!   until the last in-flight run completes (`pending == 0`).
+//!
+//! The caller does not return until `pending == 0`, which is what makes
+//! the lifetime erasure sound: the task is passed as a reference, its
+//! borrow provably outlives every worker's use of it.
+//!
+//! ## Determinism
+//!
+//! [`Pool::par_chunks_mut`] splits the destination slice into contiguous
+//! runs of whole chunks (balanced: `n_chunks % workers` runs get one
+//! extra chunk) and hands each run to one logical worker. Within a run,
+//! chunks are visited in serial order with their serial `chunk_index`; no
+//! arithmetic is reordered, no partial chunks are created. For any `f`
+//! that is a pure function of `(chunk_index, chunk)`, results are bitwise
+//! identical to the serial loop regardless of worker count or which OS
+//! thread executes which run.
+//!
+//! ## Panics
+//!
+//! A panic inside a task is caught on the worker, stored, and re-raised
+//! on the caller *after* the job fully drains — so the pool (and the
+//! borrow) is never left in a torn state, and the pool remains usable for
+//! subsequent jobs.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A raw pointer that may cross thread boundaries. Used to hand disjoint
+/// sub-slices of one allocation to pool workers; the caller is
+/// responsible for ensuring the ranges touched by different workers do
+/// not overlap (the pool's own helpers uphold this by construction).
+pub struct SendPtr<T>(pub *mut T);
+
+// Manual impls: the derived ones would needlessly bound `T: Copy`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// Safety: SendPtr is a plain address; sending it between threads is safe
+// as long as the *uses* are disjoint, which every constructor in this
+// module guarantees by partitioning index ranges.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Lifetime-erased task pointer stored in the shared job slot. Valid only
+/// while the submitting `run()` call is blocked, which [`Pool::run`]
+/// enforces by draining the job before returning.
+struct RawTask(*const (dyn Fn(usize) + Sync + 'static));
+
+// Safety: the pointee is `Sync` (shared calls from many threads are fine)
+// and the pointer itself is only dereferenced while the owning borrow is
+// provably alive (see module docs on the wakeup protocol).
+unsafe impl Send for RawTask {}
+
+struct State {
+    /// Current job's task, present only while a job is in flight.
+    task: Option<RawTask>,
+    /// Number of runs (logical workers) in the current job.
+    n_runs: usize,
+    /// Next unclaimed run index.
+    next_run: usize,
+    /// Runs claimed but not yet completed, plus runs not yet claimed.
+    pending: usize,
+    /// First panic payload raised by any run of the current job.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// Set by `Drop` to retire the workers.
+    shutdown: bool,
+}
+
+/// Lock a mutex, stripping poison: a panicking job unwinds through the
+/// caller while guards are held, but the protocol only unwinds *after*
+/// the job has fully drained and the slot was cleared, so the protected
+/// state is always consistent.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn wait<'a, T>(
+    condvar: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here waiting for a job with unclaimed runs.
+    work: Condvar,
+    /// The caller parks here waiting for the last run to complete.
+    done: Condvar,
+}
+
+/// A persistent pool of parked worker threads executing chunked
+/// data-parallel jobs with serial-identical results. See the module docs
+/// for the execution model and determinism argument.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes job submission: the pool runs one job at a time.
+    submit: Mutex<()>,
+    /// Logical width: default worker count for jobs (background threads
+    /// plus the participating caller).
+    threads: usize,
+    /// Background OS threads actually spawned (== `threads - 1`).
+    spawned: usize,
+    jobs: AtomicU64,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool of logical width `threads` (≥ 1): `threads - 1`
+    /// parked background workers plus the submitting caller. A width-1
+    /// pool spawns nothing and runs every job inline.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool width must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                task: None,
+                n_runs: 0,
+                next_run: 0,
+                pending: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let spawned = threads - 1;
+        let handles = (0..spawned)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hemocloud-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            submit: Mutex::new(()),
+            threads,
+            spawned,
+            jobs: AtomicU64::new(0),
+            handles,
+        }
+    }
+
+    /// Logical width of the pool (background workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Background OS threads this pool has spawned over its entire
+    /// lifetime. Constant after construction: the whole point of the pool
+    /// is that running more jobs never spawns more threads.
+    pub fn spawned_threads(&self) -> usize {
+        self.spawned
+    }
+
+    /// Total jobs executed so far (parallel and inline).
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Execute `task(run)` for every `run in 0..n_runs`, distributing runs
+    /// over the pool's workers and the calling thread. Blocks until every
+    /// run has completed. Panics in `task` propagate to the caller after
+    /// the job drains; the pool stays usable.
+    ///
+    /// Not reentrant: `task` must not submit to the same pool.
+    pub fn run(&self, n_runs: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_runs == 0 {
+            return;
+        }
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        if n_runs == 1 || self.spawned == 0 {
+            // Nothing to hand out (or nobody to hand it to): run inline.
+            for run in 0..n_runs {
+                task(run);
+            }
+            return;
+        }
+
+        let _submission = lock(&self.submit);
+        // Erase the borrow's lifetime so the task can sit in the shared
+        // slot; sound because this call does not return (and the slot is
+        // cleared) until `pending == 0`.
+        let raw: RawTask = {
+            let ptr = task as *const (dyn Fn(usize) + Sync);
+            RawTask(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(ptr)
+            })
+        };
+        {
+            let mut g = lock(&self.shared.state);
+            debug_assert!(g.task.is_none(), "pool job slot already occupied");
+            g.task = Some(raw);
+            g.n_runs = n_runs;
+            g.next_run = 0;
+            g.pending = n_runs;
+            g.panic = None;
+        }
+        self.shared.work.notify_all();
+
+        // The caller is a worker too: claim runs until none are left,
+        // then wait for stragglers.
+        let mut g = lock(&self.shared.state);
+        loop {
+            if g.next_run < g.n_runs {
+                let run = g.next_run;
+                g.next_run += 1;
+                drop(g);
+                let result = catch_unwind(AssertUnwindSafe(|| task(run)));
+                g = lock(&self.shared.state);
+                if let Err(payload) = result {
+                    if g.panic.is_none() {
+                        g.panic = Some(payload);
+                    }
+                }
+                g.pending -= 1;
+            } else if g.pending > 0 {
+                g = wait(&self.shared.done, g);
+            } else {
+                g.task = None;
+                let panic = g.panic.take();
+                drop(g);
+                if let Some(payload) = panic {
+                    resume_unwind(payload);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Apply `f(chunk_index, chunk)` to every `chunk_size`-sized chunk of
+    /// `data` (the last chunk may be shorter), using the pool's full
+    /// logical width. Same guarantees as [`crate::par::par_chunks_mut`]:
+    /// exact serial chunk enumeration, bit-identical results, panics
+    /// propagate.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        self.par_chunks_mut_workers(data, chunk_size, self.threads, f);
+    }
+
+    /// [`Pool::par_chunks_mut`] with an explicit logical worker count
+    /// (≥ 1). The chunk-run partition is a pure function of
+    /// `(data.len(), chunk_size, workers)` — see [`balanced_runs`] — so
+    /// the schedule is reproducible on any host.
+    pub fn par_chunks_mut_workers<T, F>(
+        &self,
+        data: &mut [T],
+        chunk_size: usize,
+        workers: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        assert!(workers > 0, "thread count must be positive");
+        if data.is_empty() {
+            return;
+        }
+        let n_chunks = data.len().div_ceil(chunk_size);
+        let workers = workers.min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+
+        let len = data.len();
+        let ptr = SendPtr(data.as_mut_ptr());
+        let task = move |w: usize| {
+            // Rebind the wrapper so the closure captures `SendPtr` itself
+            // (edition-2021 precise capture would otherwise grab the raw
+            // `ptr.0` field, which is not `Sync`).
+            let ptr = ptr;
+            let (first_chunk, n_chunks_here) = balanced_runs(n_chunks, workers, w);
+            let start = first_chunk * chunk_size;
+            let end = ((first_chunk + n_chunks_here) * chunk_size).min(len);
+            // Safety: runs tile `0..n_chunks` disjointly (balanced_runs),
+            // so element ranges of different workers never overlap, and
+            // `run()` keeps `data`'s borrow alive until every worker is
+            // done.
+            let run = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+            for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                f(first_chunk + i, chunk);
+            }
+        };
+        self.run(workers, &task);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut g = lock(&self.shared.state);
+            g.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut g = lock(&shared.state);
+    loop {
+        if g.shutdown {
+            return;
+        }
+        if g.task.is_some() && g.next_run < g.n_runs {
+            let run = g.next_run;
+            g.next_run += 1;
+            let task = g.task.as_ref().unwrap().0;
+            drop(g);
+            // Safety: the submitting caller blocks until `pending == 0`,
+            // so the pointee outlives this call.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(run) }));
+            g = lock(&shared.state);
+            if let Err(payload) = result {
+                if g.panic.is_none() {
+                    g.panic = Some(payload);
+                }
+            }
+            g.pending -= 1;
+            if g.pending == 0 {
+                shared.done.notify_all();
+            }
+        } else {
+            g = wait(&shared.work, g);
+        }
+    }
+}
+
+/// The balanced partition of `n_chunks` chunks over `workers` runs:
+/// returns `(first_chunk, n_chunks)` of run `w`. The first
+/// `n_chunks % workers` runs get one extra chunk, so every run is
+/// non-empty whenever `n_chunks >= workers` — the ceil-based split the
+/// scoped implementation used could leave trailing workers idle (5 chunks
+/// on 4 threads gave runs of 2+2+1+0).
+pub fn balanced_runs(n_chunks: usize, workers: usize, w: usize) -> (usize, usize) {
+    debug_assert!(w < workers);
+    let base = n_chunks / workers;
+    let extra = n_chunks % workers;
+    let first = w * base + w.min(extra);
+    let count = base + usize::from(w < extra);
+    (first, count)
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide shared pool, lazily initialized at the host's
+/// available parallelism on first use. All hot-path callers
+/// (`Solver::step`, `RankedSolver::step`, the STREAM microbenchmark, the
+/// [`crate::par`] compatibility wrappers) share it, so an entire run
+/// spawns at most `max_threads() - 1` OS threads total.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(crate::par::max_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_runs_tile_exactly_and_feed_every_worker() {
+        for n_chunks in 1..40usize {
+            for workers in 1..=n_chunks {
+                let mut next = 0usize;
+                for w in 0..workers {
+                    let (first, count) = balanced_runs(n_chunks, workers, w);
+                    assert_eq!(first, next, "gap at worker {w} ({n_chunks}/{workers})");
+                    assert!(count >= 1, "worker {w} idle with {n_chunks} chunks on {workers}");
+                    next = first + count;
+                }
+                assert_eq!(next, n_chunks, "partition does not tile {n_chunks}/{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn five_chunks_on_four_workers_feeds_all_four() {
+        // The regression the scoped implementation had: ceil(5/4) = 2 gave
+        // runs of 2+2+1+0.
+        let runs: Vec<_> = (0..4).map(|w| balanced_runs(5, 4, w)).collect();
+        assert_eq!(runs, vec![(0, 2), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn pool_width_one_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.spawned_threads(), 0);
+        let mut data = vec![0u64; 17];
+        pool.par_chunks_mut(&mut data, 4, |i, c| c.iter_mut().for_each(|v| *v = i as u64));
+        for (i, c) in data.chunks(4).enumerate() {
+            assert!(c.iter().all(|&v| v == i as u64));
+        }
+        // The single-worker fast path runs serially without submitting a
+        // job at all.
+        assert_eq!(pool.jobs_run(), 0);
+    }
+
+    #[test]
+    fn results_match_serial_for_many_worker_counts() {
+        let n = 4096;
+        let src: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let work = |i: usize, c: &mut [f64]| {
+            for (j, v) in c.iter_mut().enumerate() {
+                let k = i * 11 + j;
+                *v = src[k % n] * 0.75 + (k as f64).sqrt();
+            }
+        };
+        let mut serial = vec![0.0f64; n];
+        for (i, c) in serial.chunks_mut(11).enumerate() {
+            work(i, c);
+        }
+        let pool = Pool::new(3);
+        for workers in [1usize, 2, 3, 8, 64] {
+            let mut parallel = vec![0.0f64; n];
+            pool.par_chunks_mut_workers(&mut parallel, 11, workers, work);
+            assert_eq!(serial, parallel, "diverged at {workers} logical workers");
+        }
+    }
+
+    #[test]
+    fn run_invokes_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let pool = Pool::new(4);
+        let counts: Vec<AtomicU32> = (0..23).map(|_| AtomicU32::new(0)).collect();
+        pool.run(23, &|run| {
+            counts[run].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "run {i}");
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized_to_the_host() {
+        let p = global();
+        assert_eq!(p.threads(), crate::par::max_threads());
+        assert!(std::ptr::eq(p, global()));
+    }
+}

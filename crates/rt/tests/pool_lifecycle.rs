@@ -1,0 +1,92 @@
+//! Lifecycle tests of the persistent worker pool: serial equivalence
+//! across worker counts, reuse without respawning, and panic recovery.
+
+use hemocloud_rt::pool::{self, Pool};
+
+fn reference_work(i: usize, c: &mut [f64]) {
+    for (j, v) in c.iter_mut().enumerate() {
+        let k = (i * 13 + j) as f64;
+        *v = (k * 0.01).sin() * 2.5 + k.sqrt();
+    }
+}
+
+#[test]
+fn results_bit_identical_to_serial_across_worker_counts() {
+    let n = 10_000;
+    let chunk = 23;
+    let mut serial = vec![0.0f64; n];
+    for (i, c) in serial.chunks_mut(chunk).enumerate() {
+        reference_work(i, c);
+    }
+    let pool = Pool::new(4);
+    for workers in [1usize, 2, 3, 8] {
+        let mut parallel = vec![0.0f64; n];
+        pool.par_chunks_mut_workers(&mut parallel, chunk, workers, reference_work);
+        assert_eq!(serial, parallel, "diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn pool_is_reused_across_many_jobs_without_respawning() {
+    let pool = Pool::new(3);
+    let spawned_at_birth = pool.spawned_threads();
+    assert_eq!(spawned_at_birth, 2);
+
+    let mut data = vec![0u64; 1024];
+    for _ in 0..120 {
+        pool.par_chunks_mut(&mut data, 16, |_, c| {
+            c.iter_mut().for_each(|v| *v += 1);
+        });
+    }
+    assert!(data.iter().all(|&v| v == 120), "a job lost updates");
+    assert_eq!(
+        pool.spawned_threads(),
+        spawned_at_birth,
+        "pool respawned threads across jobs"
+    );
+    assert_eq!(pool.jobs_run(), 120);
+}
+
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let pool = Pool::new(4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut data = vec![0u8; 64];
+        pool.par_chunks_mut_workers(&mut data, 1, 8, |i, _| {
+            if i == 63 {
+                panic!("boom in run tail");
+            }
+        });
+    }));
+    assert!(result.is_err(), "panic did not propagate to the caller");
+
+    // The pool must stay fully usable after the panic drained.
+    let mut data = vec![1u32; 512];
+    pool.par_chunks_mut(&mut data, 8, |_, c| {
+        c.iter_mut().for_each(|v| *v *= 3);
+    });
+    assert!(data.iter().all(|&v| v == 3), "pool unusable after a panic");
+    assert_eq!(
+        pool.spawned_threads(),
+        3,
+        "panic recovery must not respawn workers"
+    );
+}
+
+#[test]
+fn global_pool_spawns_are_bounded_for_a_whole_run() {
+    let pool = pool::global();
+    let spawned = pool.spawned_threads();
+    assert!(spawned < pool.threads(), "background workers exclude the caller");
+    let mut data = vec![0.0f64; 4096];
+    for _ in 0..150 {
+        pool.par_chunks_mut(&mut data, 19, |i, c| {
+            c.iter_mut().for_each(|v| *v += i as f64);
+        });
+    }
+    assert_eq!(
+        pool.spawned_threads(),
+        spawned,
+        "global pool spawned threads while running jobs"
+    );
+}

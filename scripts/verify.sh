@@ -15,6 +15,35 @@ cargo build --release --offline
 echo "== cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
+echo "== bench smoke: bench_baseline (RT_BENCH_FAST=1)"
+# Every PR regenerates a comparable perf record. The smoke run writes to
+# target/ so it never clobbers the committed full-size BENCH_lbm.json;
+# regenerate that one with a plain
+# `cargo run --release -p hemocloud-bench --bin bench_baseline`.
+smoke_json="target/BENCH_lbm.json"
+rm -f "$smoke_json"
+RT_BENCH_FAST=1 BENCH_OUT="$smoke_json" \
+  cargo run -q --release --offline -p hemocloud-bench --bin bench_baseline
+
+if [ ! -f "$smoke_json" ]; then
+  echo "ERROR: bench smoke did not produce $smoke_json" >&2
+  exit 1
+fi
+if grep -qiE '(nan|inf)' "$smoke_json"; then
+  echo "ERROR: non-finite throughput in $smoke_json:" >&2
+  grep -iE '(nan|inf)' "$smoke_json" >&2
+  exit 1
+fi
+# Every throughput value (solver MFLUPS and STREAM GB/s) must be > 0.
+if ! grep -oE '"(mflups|gb_s)": *[0-9.eE+-]+' "$smoke_json" \
+    | awk -F': *' 'BEGIN { n = 0 } { n++; if ($2 + 0 <= 0) bad = 1 }
+                   END { exit (bad || n < 3) }'; then
+  echo "ERROR: zero/missing throughput values in $smoke_json:" >&2
+  cat "$smoke_json" >&2
+  exit 1
+fi
+echo "bench smoke: OK ($smoke_json)"
+
 echo "== cargo tree: checking for non-workspace dependencies"
 if cargo tree --offline --workspace --edges normal,dev,build \
     | grep -v "hemocloud" | grep -q "v[0-9]"; then

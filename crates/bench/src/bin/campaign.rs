@@ -1,0 +1,89 @@
+//! Campaign-scheduler record: run the seeded demo campaign end-to-end
+//! and persist its [`CampaignReport`] JSON next to the perf baseline, so
+//! every PR carries a comparable scheduling record alongside
+//! `BENCH_lbm.json`.
+//!
+//! * `CAMPAIGN_SEED=<u64>` picks the campaign seed (default 42 — the
+//!   committed `CAMPAIGN_sched.json` uses this).
+//! * `CAMPAIGN_OUT=<path>` redirects the JSON (default:
+//!   `CAMPAIGN_sched.json` in the current directory).
+//!
+//! The binary exits non-zero if the report violates the campaign's
+//! operational invariants (non-finite cost/makespan, empty placement log,
+//! jobs unaccounted for, or — at the default seed — a refinement loop
+//! that failed to reduce placement error), so the verify gate cannot
+//! record a broken campaign.
+//!
+//! [`CampaignReport`]: hemocloud_sched::CampaignReport
+
+use hemocloud_sched::run_demo;
+
+fn main() {
+    let seed: u64 = std::env::var("CAMPAIGN_SEED")
+        .ok()
+        .map(|v| v.parse().expect("CAMPAIGN_SEED must be a u64"))
+        .unwrap_or(42);
+    let out = std::env::var("CAMPAIGN_OUT").unwrap_or_else(|_| "CAMPAIGN_sched.json".to_string());
+
+    let report = run_demo(seed);
+    let json = report.to_json();
+
+    let mut failures = Vec::new();
+    if !(report.makespan_s.is_finite() && report.makespan_s > 0.0) {
+        failures.push(format!("non-finite or non-positive makespan {}", report.makespan_s));
+    }
+    if !(report.total_cost_dollars.is_finite() && report.total_cost_dollars > 0.0) {
+        failures.push(format!(
+            "non-finite or non-positive total cost {}",
+            report.total_cost_dollars
+        ));
+    }
+    if report.placements.is_empty() {
+        failures.push("empty placement log".to_string());
+    }
+    if report.completed + report.guard_kills + report.failed + report.rejected != report.jobs {
+        failures.push("job outcomes do not sum to the job count".to_string());
+    }
+    for p in &report.platforms {
+        if !(p.utilization.is_finite() && p.utilization <= 1.0 + 1e-9) {
+            failures.push(format!("{}: utilization {} out of range", p.platform, p.utilization));
+        }
+    }
+    if seed == 42 {
+        // The committed demo seed must demonstrate the full loop.
+        if report.guard_kills < 1 {
+            failures.push("demo seed produced no guard kills".to_string());
+        }
+        if report.retried_jobs_completed < 1 {
+            failures.push("demo seed produced no successful fault retry".to_string());
+        }
+        if !(report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct) {
+            failures.push(format!(
+                "refinement failed: calibrated MAPE {} !< uncalibrated Q1 MAPE {}",
+                report.mape_calibrated_pct, report.mape_first_quartile_uncalibrated_pct
+            ));
+        }
+    }
+
+    std::fs::write(&out, &json).expect("write campaign JSON");
+    println!(
+        "campaign seed {seed}: {} jobs -> {} completed, {} guard-killed, {} failed, {} rejected",
+        report.jobs, report.completed, report.guard_kills, report.failed, report.rejected
+    );
+    println!(
+        "  faults {} / retries {} (jobs recovered: {}), makespan {:.0} s, total ${:.2}",
+        report.faults, report.retries, report.retried_jobs_completed, report.makespan_s, report.total_cost_dollars
+    );
+    println!(
+        "  placement MAPE: uncalibrated Q1 {:.1}% -> calibrated {:.1}%",
+        report.mape_first_quartile_uncalibrated_pct, report.mape_calibrated_pct
+    );
+    println!("  wrote {out}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("CAMPAIGN INVARIANT VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -238,6 +238,99 @@ pub fn simulate(
     }
 }
 
+/// A decomposed workload pinned to one platform, ready to run in
+/// resumable time slices.
+///
+/// The expensive, step-count-independent preparation (RCB partition, halo
+/// census, placement, per-task byte counts, kernel-variant overheads) is
+/// done once in [`PreparedRun::new`]; [`PreparedRun::run_slice`] then
+/// times any window of timesteps at any wall-clock hour. A campaign
+/// scheduler uses this to advance a job slice by slice — checking guards
+/// and injecting faults between slices — without re-decomposing the
+/// geometry, and with the temporally correlated noise still following the
+/// simulated clock.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    platform: Platform,
+    analysis: DecompAnalysis,
+    placement: Placement,
+    task_bytes: Vec<f64>,
+    comm_bytes_per_point: f64,
+    /// Effective overheads with the kernel variant's CPU efficiency
+    /// already folded in.
+    overheads: Overheads,
+}
+
+impl PreparedRun {
+    /// Decompose `grid` into `ranks` fluid-balanced RCB subdomains at one
+    /// rank per core (HARVEY's load-balancing style) and derive byte
+    /// counts from the kernel's access profile.
+    ///
+    /// Returns `None` when the rank count is zero, exceeds the platform's
+    /// cores, or exceeds the geometry's fluid-point count.
+    pub fn new(
+        platform: &Platform,
+        grid: &VoxelGrid,
+        config: &KernelConfig,
+        ranks: usize,
+        overheads: &Overheads,
+    ) -> Option<Self> {
+        if ranks == 0 || ranks > platform.total_cores || ranks > grid.fluid_count() {
+            return None;
+        }
+        let partition = RcbPartition::new(grid, ranks);
+        let analysis = DecompAnalysis::analyze(grid, &partition);
+        let placement = Placement::contiguous(ranks, platform.cores_per_node);
+        let avg_links = measured_avg_solid_links(grid);
+        let profile = AccessProfile::for_kernel(config, avg_links);
+        let task_bytes =
+            bytes_per_task(grid, &partition, profile.bulk_bytes, profile.wall_bytes);
+        Some(Self {
+            platform: platform.clone(),
+            analysis,
+            placement,
+            task_bytes,
+            comm_bytes_per_point: profile.boundary_point_bytes,
+            overheads: Overheads {
+                lbm_bandwidth_efficiency: overheads.lbm_bandwidth_efficiency
+                    * kernel_cpu_efficiency(config),
+                ..*overheads
+            },
+        })
+    }
+
+    /// Whole nodes the run occupies.
+    pub fn nodes(&self) -> usize {
+        self.placement.n_nodes()
+    }
+
+    /// Ranks (tasks) the run uses.
+    pub fn ranks(&self) -> usize {
+        self.analysis.n_tasks
+    }
+
+    /// Fluid points updated per timestep.
+    pub fn fluid_points(&self) -> usize {
+        self.analysis.total_points
+    }
+
+    /// Time a window of `steps` timesteps starting at wall-clock hour
+    /// `time_h`. Slices of the same prepared run are independent noise
+    /// draws (`seed` picks the stream; `time_h` moves the temporally
+    /// correlated component), so resuming a run hour by hour reproduces
+    /// the same variability a monolithic run would have seen.
+    pub fn run_slice(&self, steps: u64, seed: u64, time_h: f64) -> SimulatedRun {
+        let workload = WorkloadTiming {
+            analysis: &self.analysis,
+            placement: &self.placement,
+            task_bytes: &self.task_bytes,
+            comm_bytes_per_point: self.comm_bytes_per_point,
+            steps,
+        };
+        simulate(&self.platform, &workload, &self.overheads, seed, time_h)
+    }
+}
+
 /// Convenience wrapper: decompose `grid` into `ranks` fluid-balanced RCB
 /// subdomains at one rank per core (HARVEY's load-balancing style), derive
 /// byte counts from the kernel's access profile, and time `steps`
@@ -256,28 +349,8 @@ pub fn simulate_geometry(
     seed: u64,
     time_h: f64,
 ) -> Option<SimulatedRun> {
-    if ranks == 0 || ranks > platform.total_cores || ranks > grid.fluid_count() {
-        return None;
-    }
-    let partition = RcbPartition::new(grid, ranks);
-    let analysis = DecompAnalysis::analyze(grid, &partition);
-    let placement = Placement::contiguous(ranks, platform.cores_per_node);
-    let avg_links = measured_avg_solid_links(grid);
-    let profile = AccessProfile::for_kernel(config, avg_links);
-    let task_bytes = bytes_per_task(grid, &partition, profile.bulk_bytes, profile.wall_bytes);
-    let workload = WorkloadTiming {
-        analysis: &analysis,
-        placement: &placement,
-        task_bytes: &task_bytes,
-        comm_bytes_per_point: profile.boundary_point_bytes,
-        steps,
-    };
-    let variant_overheads = Overheads {
-        lbm_bandwidth_efficiency: overheads.lbm_bandwidth_efficiency
-            * kernel_cpu_efficiency(config),
-        ..*overheads
-    };
-    Some(simulate(platform, &workload, &variant_overheads, seed, time_h))
+    PreparedRun::new(platform, grid, config, ranks, overheads)
+        .map(|prepared| prepared.run_slice(steps, seed, time_h))
 }
 
 /// Average solid-link count over wall cells of a grid (see
@@ -547,5 +620,53 @@ mod tests {
     fn avg_solid_links_zero_for_all_bulk() {
         let g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
         assert_eq!(measured_avg_solid_links(&g), 0.0);
+    }
+
+    #[test]
+    fn prepared_run_matches_one_shot_simulation() {
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let prepared = PreparedRun::new(&p, &g, &cfg, 16, &oh).unwrap();
+        let sliced = prepared.run_slice(10, 1, 0.0);
+        let one_shot = simulate_geometry(&p, &g, &cfg, 16, 10, &oh, 1, 0.0).unwrap();
+        assert_eq!(sliced, one_shot, "slice path must equal the one-shot path");
+        assert_eq!(prepared.ranks(), 16);
+        assert_eq!(prepared.nodes(), one_shot.nodes_used);
+        assert_eq!(prepared.fluid_points(), g.fluid_count());
+    }
+
+    #[test]
+    fn prepared_run_slices_compose_to_the_whole() {
+        // Two back-to-back slices at the same hour/seed cover the same
+        // steps as one long slice: per-step time is identical, so total
+        // wall time adds exactly.
+        let g = cylinder();
+        let prepared = PreparedRun::new(
+            &Platform::csp1(),
+            &g,
+            &KernelConfig::harvey(),
+            8,
+            &Overheads::default(),
+        )
+        .unwrap();
+        let whole = prepared.run_slice(100, 5, 2.0);
+        let a = prepared.run_slice(60, 5, 2.0);
+        let b = prepared.run_slice(40, 5, 2.0);
+        assert!((a.total_time_s + b.total_time_s - whole.total_time_s).abs() < 1e-12);
+        // Advancing the clock moves the correlated noise: a later slice
+        // times differently.
+        let later = prepared.run_slice(40, 5, 8.0);
+        assert_ne!(later.step_time_s, b.step_time_s);
+    }
+
+    #[test]
+    fn prepared_run_rejects_infeasible_ranks() {
+        let g = cylinder();
+        let oh = Overheads::default();
+        let cfg = KernelConfig::harvey();
+        assert!(PreparedRun::new(&Platform::csp1(), &g, &cfg, 0, &oh).is_none());
+        assert!(PreparedRun::new(&Platform::csp1(), &g, &cfg, 4096, &oh).is_none());
     }
 }

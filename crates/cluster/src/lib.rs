@@ -23,9 +23,11 @@ pub mod network;
 pub mod noise;
 pub mod pingpong;
 pub mod platform;
+pub mod pool;
 pub mod pricing;
 pub mod stream_bench;
 
-pub use exec::{SimulatedRun, WorkloadTiming};
+pub use exec::{PreparedRun, SimulatedRun, WorkloadTiming};
 pub use platform::Platform;
+pub use pool::NodePool;
 pub use pricing::PriceSheet;

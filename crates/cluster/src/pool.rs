@@ -1,0 +1,155 @@
+//! Capacity-limited node pools: how many whole nodes of a platform a
+//! campaign may occupy at once.
+//!
+//! The paper's dashboard prices *one* job against an unlimited provider;
+//! an operational campaign (Discussion §IV) runs many jobs against a
+//! bounded allocation — a reserved-instance block, a quota, or a cluster
+//! partition. [`NodePool`] tracks free/busy nodes and accumulates
+//! busy-node-seconds so a campaign report can state per-platform
+//! utilization.
+
+use crate::platform::Platform;
+
+/// A bounded allocation of whole nodes on one platform.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    /// The platform the nodes belong to.
+    pub platform: Platform,
+    nodes_total: usize,
+    nodes_free: usize,
+    busy_node_seconds: f64,
+}
+
+impl NodePool {
+    /// A pool of `nodes_total` nodes, capped at the platform's maximum
+    /// allocation ([`Platform::max_nodes`]).
+    ///
+    /// # Panics
+    /// Panics on a zero-node pool.
+    pub fn new(platform: Platform, nodes_total: usize) -> Self {
+        assert!(nodes_total > 0, "zero-node pool on {}", platform.abbrev);
+        let capped = nodes_total.min(platform.max_nodes());
+        Self {
+            platform,
+            nodes_total: capped,
+            nodes_free: capped,
+            busy_node_seconds: 0.0,
+        }
+    }
+
+    /// Total nodes in the pool.
+    pub fn nodes_total(&self) -> usize {
+        self.nodes_total
+    }
+
+    /// Nodes currently free.
+    pub fn nodes_free(&self) -> usize {
+        self.nodes_free
+    }
+
+    /// Nodes currently allocated to jobs.
+    pub fn nodes_busy(&self) -> usize {
+        self.nodes_total - self.nodes_free
+    }
+
+    /// Whether `nodes` nodes could ever fit in this pool (ignoring the
+    /// current occupancy).
+    pub fn can_host(&self, nodes: usize) -> bool {
+        nodes > 0 && nodes <= self.nodes_total
+    }
+
+    /// Try to allocate `nodes` nodes now. Returns `false` (and changes
+    /// nothing) when fewer are free.
+    pub fn try_alloc(&mut self, nodes: usize) -> bool {
+        if nodes == 0 || nodes > self.nodes_free {
+            return false;
+        }
+        self.nodes_free -= nodes;
+        true
+    }
+
+    /// Return `nodes` nodes held for `held_seconds` of simulated time.
+    ///
+    /// # Panics
+    /// Panics when releasing more nodes than are busy or on a negative
+    /// hold time.
+    pub fn release(&mut self, nodes: usize, held_seconds: f64) {
+        assert!(
+            nodes <= self.nodes_busy(),
+            "releasing {nodes} nodes, only {} busy on {}",
+            self.nodes_busy(),
+            self.platform.abbrev
+        );
+        assert!(held_seconds >= 0.0, "negative hold time");
+        self.nodes_free += nodes;
+        self.busy_node_seconds += nodes as f64 * held_seconds;
+    }
+
+    /// Accumulated busy node-seconds over every completed allocation.
+    pub fn busy_node_seconds(&self) -> f64 {
+        self.busy_node_seconds
+    }
+
+    /// Fraction of the pool's node-seconds used over a horizon (e.g. the
+    /// campaign makespan). Zero for a zero-length horizon.
+    pub fn utilization(&self, horizon_seconds: f64) -> f64 {
+        let capacity = self.nodes_total as f64 * horizon_seconds;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.busy_node_seconds / capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release_round_trip() {
+        let mut pool = NodePool::new(Platform::csp2(), 3);
+        assert_eq!(pool.nodes_total(), 3);
+        assert!(pool.try_alloc(2));
+        assert_eq!(pool.nodes_free(), 1);
+        assert_eq!(pool.nodes_busy(), 2);
+        assert!(!pool.try_alloc(2), "only one node free");
+        pool.release(2, 100.0);
+        assert_eq!(pool.nodes_free(), 3);
+        assert!((pool.busy_node_seconds() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_is_capped_at_platform_allocation() {
+        // CSP-2 offers 144 cores at 36/node = 4 nodes.
+        let pool = NodePool::new(Platform::csp2(), 100);
+        assert_eq!(pool.nodes_total(), 4);
+        assert!(pool.can_host(4));
+        assert!(!pool.can_host(5));
+        assert!(!pool.can_host(0));
+    }
+
+    #[test]
+    fn utilization_over_a_horizon() {
+        let mut pool = NodePool::new(Platform::csp1(), 2);
+        assert!(pool.try_alloc(1));
+        pool.release(1, 50.0);
+        // 50 node-seconds of 2 nodes × 100 s capacity.
+        assert!((pool.utilization(100.0) - 0.25).abs() < 1e-12);
+        assert_eq!(pool.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_alloc_is_refused() {
+        let mut pool = NodePool::new(Platform::trc(), 2);
+        assert!(!pool.try_alloc(0));
+        assert_eq!(pool.nodes_free(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut pool = NodePool::new(Platform::csp1(), 2);
+        pool.release(1, 0.0);
+    }
+}

@@ -50,6 +50,30 @@ impl PriceSheet {
         self.cost(platform, run.nodes_used, run.total_time_s)
     }
 
+    /// Cost of a job whose node occupancy was split into several separate
+    /// *attempts* (a preempted-and-retried run releases its nodes and
+    /// re-acquires them later).
+    ///
+    /// Billing is per attempt, because that is how providers meter: each
+    /// attempt is its own allocation, so under [`Billing::PerHour`] every
+    /// attempt's partial final hour rounds up **independently** — two
+    /// 30-minute attempts bill two node-hours, not one. The job never gets
+    /// to sum its attempts before rounding. Under [`Billing::PerSecond`]
+    /// the split changes nothing. Zero-length attempts (a node lost at the
+    /// instant of acquisition) are not billed.
+    pub fn attempts_cost(
+        &self,
+        platform: &Platform,
+        nodes: usize,
+        attempt_seconds: &[f64],
+    ) -> f64 {
+        attempt_seconds
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| self.cost(platform, nodes, s))
+            .sum()
+    }
+
     /// Throughput per dollar: MFLUPS-seconds of work per dollar spent —
     /// the paper's "flops/dollar"-style decision metric.
     pub fn updates_per_dollar(&self, platform: &Platform, run: &SimulatedRun) -> f64 {
@@ -114,5 +138,56 @@ mod tests {
         let sheet = PriceSheet::default();
         let run = dummy_run(4, 0.0, 0.0);
         assert_eq!(sheet.run_cost(&Platform::trc(), &run), 0.0);
+    }
+
+    #[test]
+    fn per_hour_attempts_round_up_independently() {
+        // The interrupted-job semantics: a job preempted at 30 minutes and
+        // rerun for 30 more bills TWO node-hours under per-hour billing —
+        // each attempt is a fresh allocation whose partial hour rounds up.
+        let sheet = PriceSheet {
+            billing: Billing::PerHour,
+        };
+        let p = Platform::csp1();
+        let split = sheet.attempts_cost(&p, 1, &[1800.0, 1800.0]);
+        let whole = sheet.cost(&p, 1, 3600.0);
+        assert!((split - 2.0 * p.price_per_node_hour).abs() < 1e-9);
+        assert!((whole - p.price_per_node_hour).abs() < 1e-9);
+        assert!(split > whole, "per-attempt rounding must cost more");
+    }
+
+    #[test]
+    fn per_hour_attempts_scale_with_nodes_and_count() {
+        let sheet = PriceSheet {
+            billing: Billing::PerHour,
+        };
+        let p = Platform::csp2();
+        // Three attempts (90 min + 10 s + 59 min) on 2 nodes:
+        // 2 + 1 + 1 hours × 2 nodes.
+        let cost = sheet.attempts_cost(&p, 2, &[5400.0, 10.0, 3540.0]);
+        assert!((cost - 4.0 * 2.0 * p.price_per_node_hour).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_second_attempts_sum_exactly() {
+        // Per-second billing is indifferent to how the job was split.
+        let sheet = PriceSheet::default();
+        let p = Platform::trc();
+        let split = sheet.attempts_cost(&p, 3, &[100.0, 250.0, 3.5]);
+        let whole = sheet.cost(&p, 3, 353.5);
+        assert!((split - whole).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_attempts_are_not_billed() {
+        let sheet = PriceSheet {
+            billing: Billing::PerHour,
+        };
+        let p = Platform::csp1();
+        // cost() bills a minimum hour even at 0 s (cluster-style minimum),
+        // but a zero-length *attempt* never acquired usable time.
+        assert_eq!(sheet.attempts_cost(&p, 1, &[0.0, 0.0]), 0.0);
+        assert!((sheet.attempts_cost(&p, 1, &[0.0, 60.0]) - p.price_per_node_hour).abs() < 1e-9);
+        assert_eq!(sheet.attempts_cost(&p, 1, &[]), 0.0);
     }
 }

@@ -30,17 +30,44 @@ pub struct JobGuard {
 }
 
 /// Outcome of checking observed usage against a guard.
+///
+/// # Verdict semantics
+///
+/// Both limits are **inclusive**: usage *exactly at* a limit
+/// (`elapsed == max_seconds`, `spent == max_dollars`) is still
+/// [`WithinLimits`] — the guard grants the full budget it quoted, and
+/// [`Exceeded`] requires strictly crossing a limit. This holds for
+/// zero-tolerance guards too, where `max_seconds == predicted_seconds`:
+/// a job that lands exactly on its prediction is compliant; the first
+/// representable instant beyond it is not.
+///
+/// The companion queries agree with that boundary: at the exact limit
+/// [`JobGuard::remaining_seconds`] returns `0` and
+/// [`JobGuard::has_budget`] returns `false` while [`JobGuard::check`]
+/// still says [`WithinLimits`]. A slice-driven scheduler should therefore
+/// use `has_budget` to decide whether to *dispatch more work* and `check`
+/// to decide whether to *kill* — a job sitting exactly on the boundary is
+/// stopped cleanly rather than flagged as an overrun.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GuardVerdict {
-    /// Usage is within every limit.
+    /// Usage is within every limit (boundaries included).
     WithinLimits,
-    /// A limit was crossed: the job should be stopped and flagged.
+    /// A limit was strictly crossed: the job should be stopped and
+    /// flagged.
     Exceeded {
-        /// Elapsed seconds over the wall-clock limit (0 if within).
+        /// Elapsed seconds over the wall-clock limit (0 if that limit
+        /// held).
         seconds_over: f64,
-        /// Dollars over the cost limit (0 if within).
+        /// Dollars over the cost limit (0 if that limit held).
         dollars_over: f64,
     },
+}
+
+impl GuardVerdict {
+    /// Whether the verdict is [`GuardVerdict::Exceeded`].
+    pub fn is_exceeded(&self) -> bool {
+        matches!(self, GuardVerdict::Exceeded { .. })
+    }
 }
 
 impl JobGuard {
@@ -74,6 +101,9 @@ impl JobGuard {
     }
 
     /// Check observed elapsed time and spend against the limits.
+    ///
+    /// Limits are inclusive — see [`GuardVerdict`] for the exact boundary
+    /// semantics.
     pub fn check(&self, elapsed_seconds: f64, dollars_spent: f64) -> GuardVerdict {
         let seconds_over = (elapsed_seconds - self.max_seconds).max(0.0);
         let dollars_over = (dollars_spent - self.max_dollars).max(0.0);
@@ -87,9 +117,20 @@ impl JobGuard {
         }
     }
 
-    /// Remaining wall-clock budget after `elapsed_seconds`.
+    /// Remaining wall-clock budget after `elapsed_seconds`, floored at
+    /// zero. Exactly at the limit this is `0` while [`JobGuard::check`]
+    /// still reports [`GuardVerdict::WithinLimits`] — no budget left is
+    /// not the same as a violation.
     pub fn remaining_seconds(&self, elapsed_seconds: f64) -> f64 {
         (self.max_seconds - elapsed_seconds).max(0.0)
+    }
+
+    /// Whether strictly positive wall-clock budget remains — the dispatch
+    /// gate for slice-driven execution: schedule another slice only while
+    /// `has_budget` holds, and let [`JobGuard::check`] decide afterwards
+    /// whether what actually ran was an overrun.
+    pub fn has_budget(&self, elapsed_seconds: f64) -> bool {
+        self.remaining_seconds(elapsed_seconds) > 0.0
     }
 }
 
@@ -163,5 +204,71 @@ mod tests {
         let p = prediction();
         let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.0);
         assert_eq!(guard.remaining_seconds(guard.max_seconds * 3.0), 0.0);
+    }
+
+    #[test]
+    fn exact_limit_is_within_on_both_dimensions() {
+        // The inclusive boundary, pinned on seconds and dollars at once:
+        // sitting exactly on both limits is compliant.
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.10);
+        assert_eq!(
+            guard.check(guard.max_seconds, guard.max_dollars),
+            GuardVerdict::WithinLimits
+        );
+        assert!(!guard.check(guard.max_seconds, guard.max_dollars).is_exceeded());
+        // ...but the exact boundary exhausts the budget.
+        assert_eq!(guard.remaining_seconds(guard.max_seconds), 0.0);
+        assert!(!guard.has_budget(guard.max_seconds));
+        assert!(guard.has_budget(guard.max_seconds * 0.999));
+    }
+
+    #[test]
+    fn first_instant_beyond_the_limit_trips() {
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.10);
+        let just_over = f64::from_bits(guard.max_seconds.to_bits() + 1);
+        match guard.check(just_over, 0.0) {
+            GuardVerdict::Exceeded {
+                seconds_over,
+                dollars_over,
+            } => {
+                assert!(seconds_over > 0.0);
+                assert_eq!(dollars_over, 0.0, "cost limit held");
+            }
+            v => panic!("expected exceed, got {v:?}"),
+        }
+        let cost_over = f64::from_bits(guard.max_dollars.to_bits() + 1);
+        assert!(guard.check(0.0, cost_over).is_exceeded());
+    }
+
+    #[test]
+    fn zero_tolerance_guard_boundaries() {
+        // tolerance = 0: the limit IS the prediction. Landing exactly on
+        // it is compliant; any strict excess trips.
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.0);
+        assert_eq!(guard.max_seconds, guard.predicted_seconds);
+        assert_eq!(
+            guard.check(guard.predicted_seconds, 0.0),
+            GuardVerdict::WithinLimits
+        );
+        assert!(guard
+            .check(f64::from_bits(guard.predicted_seconds.to_bits() + 1), 0.0)
+            .is_exceeded());
+        assert_eq!(guard.remaining_seconds(guard.predicted_seconds), 0.0);
+        assert!(!guard.has_budget(guard.predicted_seconds));
+        // Partway through, the remaining budget is exact.
+        let half = guard.predicted_seconds / 2.0;
+        assert!((guard.remaining_seconds(half) - half).abs() < 1e-12);
+        assert!(guard.has_budget(half));
+    }
+
+    #[test]
+    fn zero_usage_is_within_even_for_zero_tolerance() {
+        let p = prediction();
+        let guard = JobGuard::from_prediction(&p, 1000, &Platform::csp2(), 0.0);
+        assert_eq!(guard.check(0.0, 0.0), GuardVerdict::WithinLimits);
+        assert!((guard.remaining_seconds(0.0) - guard.max_seconds).abs() < 1e-12);
     }
 }

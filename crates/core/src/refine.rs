@@ -12,6 +12,7 @@
 //! observation — one scalar recovers most of the bias; the residual MAPE
 //! quantifies what a richer model would have to explain.
 
+use crate::composition::{Composition, Prediction};
 use hemocloud_fitting::linear::fit_proportional;
 use hemocloud_fitting::metrics::mape;
 
@@ -85,6 +86,33 @@ impl ModelCalibrator {
         predicted_step_s * self.correction_factor()
     }
 
+    /// Apply the calibration to a whole model [`Prediction`] — the hook a
+    /// scheduler uses so that *placement* decisions (dashboard entries,
+    /// guards, deadlines) run on refined numbers, closing the paper's
+    /// predict → run → refine loop.
+    ///
+    /// The calibration is one multiplicative efficiency factor, so every
+    /// composition term scales uniformly and the breakdown's *shape* is
+    /// preserved; throughput scales by the inverse. With no observations
+    /// the prediction is returned unchanged.
+    pub fn corrected_prediction(&self, prediction: &Prediction) -> Prediction {
+        let k = self.correction_factor();
+        let c = prediction.composition;
+        Prediction {
+            ranks: prediction.ranks,
+            step_time_s: prediction.step_time_s * k,
+            mflups: if k > 0.0 { prediction.mflups / k } else { 0.0 },
+            composition: Composition {
+                mem_s: c.mem_s * k,
+                intra_s: c.intra_s * k,
+                inter_s: c.inter_s * k,
+                comm_bandwidth_s: c.comm_bandwidth_s * k,
+                comm_latency_s: c.comm_latency_s * k,
+                compute_s: c.compute_s * k,
+            },
+        }
+    }
+
     /// MAPE (%) of the raw model over the stored observations.
     pub fn raw_error_pct(&self) -> f64 {
         let pred: Vec<f64> = self.observations.iter().map(|o| o.predicted_step_s).collect();
@@ -150,5 +178,47 @@ mod tests {
     #[should_panic(expected = "non-positive step time")]
     fn rejects_zero_times() {
         ModelCalibrator::new().record(1, 0.0, 1.0);
+    }
+
+    #[test]
+    fn corrected_prediction_scales_uniformly() {
+        let mut c = ModelCalibrator::new();
+        for pred in [0.010, 0.006, 0.004] {
+            c.record(8, pred, pred * 1.6);
+        }
+        let raw = Prediction::from_composition(
+            16,
+            1_000_000,
+            Composition {
+                mem_s: 0.002,
+                comm_bandwidth_s: 0.0005,
+                comm_latency_s: 0.0015,
+                ..Default::default()
+            },
+        );
+        let cal = c.corrected_prediction(&raw);
+        assert_eq!(cal.ranks, raw.ranks);
+        assert!((cal.step_time_s - raw.step_time_s * 1.6).abs() < 1e-12);
+        assert!((cal.mflups - raw.mflups / 1.6).abs() < 1e-9);
+        // The breakdown shape is preserved: every term scales by the same k.
+        assert!((cal.composition.mem_s - raw.composition.mem_s * 1.6).abs() < 1e-12);
+        assert!(
+            (cal.composition.comm_latency_s - raw.composition.comm_latency_s * 1.6).abs() < 1e-12
+        );
+        assert!((cal.composition.total_s() - cal.step_time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrected_prediction_is_identity_without_data() {
+        let c = ModelCalibrator::new();
+        let raw = Prediction::from_composition(
+            4,
+            10_000,
+            Composition {
+                mem_s: 0.001,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.corrected_prediction(&raw), raw);
     }
 }

@@ -1,0 +1,38 @@
+//! `hemocloud-sched` — a discrete-event cloud campaign scheduler that
+//! closes the paper's predict → run → guard → refine loop.
+//!
+//! The paper's Discussion sketches an operational deployment: a
+//! performance model prices every (platform, ranks) option, a dashboard
+//! recommends one under the user's objective, guards kill runs that blow
+//! past their predicted budgets, and every measured run feeds back into
+//! the model. The other crates in this workspace each build one of those
+//! pieces; this crate is the control loop that runs them *together*,
+//! against many jobs at once, on capacity-limited pools, over simulated
+//! time:
+//!
+//! * [`events`] — the deterministic discrete-event clock.
+//! * [`job`] — what users submit ([`JobSpec`]) and how runs end
+//!   ([`JobOutcome`]).
+//! * [`scheduler`] — the [`Campaign`] engine: admission, model-driven
+//!   placement through `Dashboard::recommend`, sliced execution through
+//!   `cluster::exec`, guard enforcement mid-run, seeded fault injection
+//!   with checkpoint-rollback retries, and continuous model calibration.
+//! * [`report`] — the [`CampaignReport`]: utilization, cost, SLO
+//!   attainment, guard/retry accounting, and the placement-MAPE
+//!   refinement trajectory, with deterministic JSON output.
+//! * [`demo`] — the seeded reference campaign the bench driver, example,
+//!   and acceptance tests all share.
+//!
+//! Everything is reproducible: same seed, same report, byte for byte.
+
+pub mod demo;
+pub mod events;
+pub mod job;
+pub mod report;
+pub mod scheduler;
+
+pub use demo::{demo_config, demo_jobs, demo_pools, run_demo};
+pub use events::{Event, EventQueue};
+pub use job::{JobOutcome, JobSpec};
+pub use report::{placement_mape, CampaignReport, JobReport, PlacementRecord, PlatformReport};
+pub use scheduler::{Campaign, CampaignConfig, PoolSpec};

@@ -1,0 +1,379 @@
+//! The campaign report: what the paper's Discussion says an operational
+//! deployment must surface — per-platform utilization and cost, SLO
+//! attainment, guard activity, retry accounting, and the model-refinement
+//! trajectory (placement MAPE dropping as observations accumulate).
+//!
+//! [`CampaignReport::to_json`] renders a stable, hand-rolled JSON
+//! document (the workspace is dependency-free — no serde): same campaign
+//! seed, same bytes.
+
+/// One placement decision and how reality answered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRecord {
+    /// Job index in submission order.
+    pub job: usize,
+    /// Job name.
+    pub job_name: String,
+    /// Attempt number this placement started (1 = first run).
+    pub attempt: u32,
+    /// Platform chosen by `Dashboard::recommend`.
+    pub platform: String,
+    /// Ranks of the chosen option.
+    pub ranks: usize,
+    /// Whole nodes occupied.
+    pub nodes: usize,
+    /// Whether the prediction behind this placement was calibrated (a
+    /// platform or global `ModelCalibrator` had enough observations).
+    pub calibrated: bool,
+    /// The step time the placement decision believed, seconds.
+    pub predicted_step_s: f64,
+    /// The first measured step time of the attempt, seconds. `None` only
+    /// if the attempt died before its first slice finished.
+    pub measured_step_s: Option<f64>,
+    /// Campaign clock at dispatch, seconds.
+    pub time_s: f64,
+}
+
+impl PlacementRecord {
+    /// Absolute percentage error of the placement prediction, if
+    /// measured.
+    pub fn abs_pct_error(&self) -> Option<f64> {
+        self.measured_step_s.map(|m| {
+            100.0 * (self.predicted_step_s - m).abs() / m
+        })
+    }
+}
+
+/// Mean absolute percentage error over a set of placements; `None` when
+/// no placement in the set has a measurement.
+pub fn placement_mape(records: &[&PlacementRecord]) -> Option<f64> {
+    let errs: Vec<f64> = records.iter().filter_map(|r| r.abs_pct_error()).collect();
+    if errs.is_empty() {
+        None
+    } else {
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+}
+
+/// Per-platform campaign accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformReport {
+    /// Platform abbreviation.
+    pub platform: String,
+    /// Pool size, nodes.
+    pub nodes_total: usize,
+    /// Attempts dispatched here.
+    pub attempts: usize,
+    /// Node preemptions/failures injected here.
+    pub faults: usize,
+    /// Guard kills here.
+    pub guard_kills: usize,
+    /// Dollars billed here.
+    pub cost_dollars: f64,
+    /// Busy node-seconds accumulated.
+    pub busy_node_seconds: f64,
+    /// busy node-seconds / (nodes × makespan).
+    pub utilization: f64,
+}
+
+/// Per-job campaign accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Outcome label (`completed`, `guard_killed`, `failed`, `rejected`).
+    pub outcome: String,
+    /// Dollars billed across all attempts.
+    pub cost_dollars: f64,
+    /// Node-occupancy wall seconds across all attempts.
+    pub run_seconds: f64,
+    /// Attempts started.
+    pub attempts: u32,
+    /// Faults suffered.
+    pub faults: u32,
+    /// Steps lost to checkpoint rollback and killed slices.
+    pub wasted_steps: u64,
+    /// Campaign clock when the job left the system.
+    pub finish_s: f64,
+    /// Deadline-SLO verdict: `None` for jobs without a deadline
+    /// objective.
+    pub slo_met: Option<bool>,
+}
+
+/// The full campaign summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs killed by their guard.
+    pub guard_kills: usize,
+    /// Jobs that exhausted retries.
+    pub failed: usize,
+    /// Jobs admission rejected.
+    pub rejected: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// Retry attempts dispatched.
+    pub retries: usize,
+    /// Jobs that faulted at least once and still completed — successful
+    /// retries.
+    pub retried_jobs_completed: usize,
+    /// Campaign makespan, seconds (last event processed).
+    pub makespan_s: f64,
+    /// Total dollars billed.
+    pub total_cost_dollars: f64,
+    /// Steps lost to rollback/kills, campaign-wide.
+    pub wasted_steps: u64,
+    /// Deadline jobs that met their deadline.
+    pub slo_attained: usize,
+    /// Deadline jobs total.
+    pub slo_total: usize,
+    /// MAPE (%) of uncalibrated placements within the first quartile of
+    /// all placements — the "before" of the refinement loop.
+    pub mape_first_quartile_uncalibrated_pct: f64,
+    /// MAPE (%) of calibrated placements — the "after".
+    pub mape_calibrated_pct: f64,
+    /// Per-platform accounting.
+    pub platforms: Vec<PlatformReport>,
+    /// Per-job accounting, submission order.
+    pub job_reports: Vec<JobReport>,
+    /// Every placement in dispatch order.
+    pub placements: Vec<PlacementRecord>,
+}
+
+impl CampaignReport {
+    /// Compute the refinement-trajectory MAPEs from `placements`:
+    /// the uncalibrated slice of the chronologically first quartile
+    /// versus all calibrated placements. Sets the fields and returns
+    /// `(first_quartile_uncalibrated, calibrated)`.
+    pub fn compute_mapes(&mut self) -> (f64, f64) {
+        let n = self.placements.len();
+        let q1 = n.div_ceil(4);
+        let first_q: Vec<&PlacementRecord> = self
+            .placements
+            .iter()
+            .take(q1)
+            .filter(|r| !r.calibrated)
+            .collect();
+        let calibrated: Vec<&PlacementRecord> =
+            self.placements.iter().filter(|r| r.calibrated).collect();
+        self.mape_first_quartile_uncalibrated_pct =
+            placement_mape(&first_q).unwrap_or(f64::NAN);
+        self.mape_calibrated_pct = placement_mape(&calibrated).unwrap_or(f64::NAN);
+        (
+            self.mape_first_quartile_uncalibrated_pct,
+            self.mape_calibrated_pct,
+        )
+    }
+
+    /// Render the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"report\": \"hemocloud_campaign\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"guard_kills\": {},\n", self.guard_kills));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
+        s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"faults\": {},\n", self.faults));
+        s.push_str(&format!("  \"retries\": {},\n", self.retries));
+        s.push_str(&format!(
+            "  \"retried_jobs_completed\": {},\n",
+            self.retried_jobs_completed
+        ));
+        s.push_str(&format!("  \"makespan_s\": {:.3},\n", self.makespan_s));
+        s.push_str(&format!(
+            "  \"total_cost_dollars\": {:.6},\n",
+            self.total_cost_dollars
+        ));
+        s.push_str(&format!("  \"wasted_steps\": {},\n", self.wasted_steps));
+        s.push_str(&format!(
+            "  \"slo\": {{\"attained\": {}, \"total\": {}}},\n",
+            self.slo_attained, self.slo_total
+        ));
+        s.push_str(&format!(
+            "  \"refinement\": {{\"mape_first_quartile_uncalibrated_pct\": {:.4}, \"mape_calibrated_pct\": {:.4}}},\n",
+            self.mape_first_quartile_uncalibrated_pct, self.mape_calibrated_pct
+        ));
+        s.push_str("  \"platforms\": [\n");
+        for (i, p) in self.platforms.iter().enumerate() {
+            let comma = if i + 1 < self.platforms.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"nodes_total\": {}, \"attempts\": {}, \"faults\": {}, \"guard_kills\": {}, \"cost_dollars\": {:.6}, \"busy_node_seconds\": {:.3}, \"utilization\": {:.6}}}{comma}\n",
+                p.platform,
+                p.nodes_total,
+                p.attempts,
+                p.faults,
+                p.guard_kills,
+                p.cost_dollars,
+                p.busy_node_seconds,
+                p.utilization,
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"job_reports\": [\n");
+        for (i, j) in self.job_reports.iter().enumerate() {
+            let comma = if i + 1 < self.job_reports.len() { "," } else { "" };
+            let slo = match j.slo_met {
+                None => "null".to_string(),
+                Some(b) => b.to_string(),
+            };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"outcome\": \"{}\", \"cost_dollars\": {:.6}, \"run_seconds\": {:.3}, \"attempts\": {}, \"faults\": {}, \"wasted_steps\": {}, \"finish_s\": {:.3}, \"slo_met\": {slo}}}{comma}\n",
+                j.name,
+                j.outcome,
+                j.cost_dollars,
+                j.run_seconds,
+                j.attempts,
+                j.faults,
+                j.wasted_steps,
+                j.finish_s,
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"placements\": [\n");
+        for (i, r) in self.placements.iter().enumerate() {
+            let comma = if i + 1 < self.placements.len() { "," } else { "" };
+            let measured = match r.measured_step_s {
+                None => "null".to_string(),
+                Some(m) => format!("{m:.9}"),
+            };
+            s.push_str(&format!(
+                "    {{\"job\": {}, \"name\": \"{}\", \"attempt\": {}, \"platform\": \"{}\", \"ranks\": {}, \"nodes\": {}, \"calibrated\": {}, \"predicted_step_s\": {:.9}, \"measured_step_s\": {measured}, \"time_s\": {:.3}}}{comma}\n",
+                r.job,
+                r.job_name,
+                r.attempt,
+                r.platform,
+                r.ranks,
+                r.nodes,
+                r.calibrated,
+                r.predicted_step_s,
+                r.time_s,
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(order: usize, calibrated: bool, pred: f64, meas: Option<f64>) -> PlacementRecord {
+        PlacementRecord {
+            job: order,
+            job_name: format!("job-{order}"),
+            attempt: 1,
+            platform: "CSP-2".into(),
+            ranks: 16,
+            nodes: 1,
+            calibrated,
+            predicted_step_s: pred,
+            measured_step_s: meas,
+            time_s: order as f64,
+        }
+    }
+
+    #[test]
+    fn abs_pct_error_is_relative_to_measurement() {
+        let r = record(0, false, 0.5, Some(1.0));
+        assert!((r.abs_pct_error().unwrap() - 50.0).abs() < 1e-12);
+        assert!(record(0, false, 0.5, None).abs_pct_error().is_none());
+    }
+
+    #[test]
+    fn mapes_split_first_quartile_uncalibrated_vs_calibrated() {
+        // 8 placements: first 2 (= ceil(8/4)) uncalibrated with 50% error,
+        // the rest calibrated with 10% error.
+        let mut placements = Vec::new();
+        for i in 0..8 {
+            let calibrated = i >= 2;
+            let err = if calibrated { 0.9 } else { 0.5 };
+            placements.push(record(i, calibrated, err, Some(1.0)));
+        }
+        let mut report = CampaignReport {
+            seed: 1,
+            jobs: 8,
+            completed: 8,
+            guard_kills: 0,
+            failed: 0,
+            rejected: 0,
+            faults: 0,
+            retries: 0,
+            retried_jobs_completed: 0,
+            makespan_s: 8.0,
+            total_cost_dollars: 1.0,
+            wasted_steps: 0,
+            slo_attained: 0,
+            slo_total: 0,
+            mape_first_quartile_uncalibrated_pct: f64::NAN,
+            mape_calibrated_pct: f64::NAN,
+            platforms: vec![],
+            job_reports: vec![],
+            placements,
+        };
+        let (q1, cal) = report.compute_mapes();
+        assert!((q1 - 50.0).abs() < 1e-9, "q1 {q1}");
+        assert!((cal - 10.0).abs() < 1e-9, "cal {cal}");
+        assert!(cal < q1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_tagged() {
+        let mut report = CampaignReport {
+            seed: 7,
+            jobs: 1,
+            completed: 1,
+            guard_kills: 0,
+            failed: 0,
+            rejected: 0,
+            faults: 0,
+            retries: 0,
+            retried_jobs_completed: 0,
+            makespan_s: 10.0,
+            total_cost_dollars: 0.5,
+            wasted_steps: 0,
+            slo_attained: 0,
+            slo_total: 0,
+            mape_first_quartile_uncalibrated_pct: f64::NAN,
+            mape_calibrated_pct: f64::NAN,
+            platforms: vec![PlatformReport {
+                platform: "CSP-1".into(),
+                nodes_total: 2,
+                attempts: 1,
+                faults: 0,
+                guard_kills: 0,
+                cost_dollars: 0.5,
+                busy_node_seconds: 10.0,
+                utilization: 0.5,
+            }],
+            job_reports: vec![JobReport {
+                name: "only".into(),
+                outcome: "completed".into(),
+                cost_dollars: 0.5,
+                run_seconds: 10.0,
+                attempts: 1,
+                faults: 0,
+                wasted_steps: 0,
+                finish_s: 10.0,
+                slo_met: None,
+            }],
+            placements: vec![record(0, false, 0.5, Some(1.0))],
+        };
+        report.compute_mapes();
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"report\": \"hemocloud_campaign\""));
+        assert!(a.contains("\"slo_met\": null"));
+        assert!(a.starts_with('{') && a.ends_with("}\n"));
+    }
+}

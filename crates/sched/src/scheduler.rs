@@ -1,0 +1,799 @@
+//! The campaign scheduler: a deterministic discrete-event loop that
+//! closes the paper's predict → run → guard → refine cycle over many jobs
+//! and capacity-limited platform pools.
+//!
+//! * **Predict / admit / place** — every waiting job's (platform, ranks)
+//!   options are priced with the generalized model, corrected by the
+//!   freshest [`ModelCalibrator`] fit, filtered to pools with free nodes
+//!   and to the job's dollar budget, and handed to
+//!   [`Dashboard::recommend`] under the job's objective. Full pools queue
+//!   the job; a job with no feasible option even on empty pools is
+//!   rejected.
+//! * **Run** — placed jobs advance in time slices through
+//!   [`PreparedRun::run_slice`], so the simulated platform noise follows
+//!   the campaign clock hour by hour.
+//! * **Guard** — each attempt carries a [`JobGuard`] built from the same
+//!   (calibrated) prediction the placement used. The wall-clock budget
+//!   truncates a slice mid-flight (the kill happens *at* the limit, not
+//!   at the next boundary), and the dollar limit is checked every slice.
+//! * **Faults** — node preemption is drawn per slice from the campaign's
+//!   seeded PRNG at a per-node-hour rate; a faulted attempt rolls back to
+//!   its last checkpoint, releases its nodes, and retries after bounded
+//!   exponential backoff.
+//! * **Refine** — every completed slice records (raw-predicted, measured)
+//!   step times into per-platform and global calibrators; later
+//!   placements and guards run on the corrected predictions, which is
+//!   what drives the report's placement-MAPE trajectory down.
+//!
+//! Determinism: the only clock is the event queue ([`crate::events`]),
+//! every random draw is derived from the campaign seed via SplitMix64,
+//! and all iteration is over `Vec`/`BTreeMap` — reports are
+//! byte-for-byte reproducible per seed.
+
+use std::collections::BTreeMap;
+
+use hemocloud_cluster::exec::{Overheads, PreparedRun};
+use hemocloud_cluster::platform::Platform;
+use hemocloud_cluster::pool::NodePool;
+use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud_core::characterize::{characterize, PlatformCharacterization};
+use hemocloud_core::composition::Prediction;
+use hemocloud_core::dashboard::{Dashboard, DashboardEntry};
+use hemocloud_core::general::GeneralModel;
+use hemocloud_core::guard::JobGuard;
+use hemocloud_core::refine::ModelCalibrator;
+use hemocloud_rt::rng::{Rng, SplitMix64};
+
+use crate::events::{Event, EventQueue};
+use crate::job::{JobOutcome, JobSpec};
+use crate::report::{CampaignReport, JobReport, PlacementRecord, PlatformReport};
+
+/// Campaign-wide knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for every stochastic element (faults, slice noise streams).
+    pub seed: u64,
+    /// Seed for the one-time platform characterizations.
+    pub characterization_seed: u64,
+    /// Rank counts the dashboard may offer.
+    pub rank_options: Vec<usize>,
+    /// Steps per execution slice (guard checks and fault draws happen at
+    /// this granularity).
+    pub slice_steps: u64,
+    /// Expected node failures per node-hour of occupancy (0 disables
+    /// fault injection).
+    pub fault_rate_per_node_hour: f64,
+    /// Base retry backoff, seconds; doubles per retry of the same job.
+    pub retry_backoff_s: f64,
+    /// Observations a calibrator needs before its correction is trusted
+    /// for placement.
+    pub min_calibration_obs: usize,
+    /// Billing model.
+    pub prices: PriceSheet,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            characterization_seed: 2023,
+            rank_options: vec![8, 16, 32, 36, 64, 72],
+            slice_steps: 25_000,
+            fault_rate_per_node_hour: 0.0,
+            retry_backoff_s: 30.0,
+            min_calibration_obs: 5,
+            prices: PriceSheet::default(),
+        }
+    }
+}
+
+/// One capacity-limited platform pool offered to the campaign.
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// The platform.
+    pub platform: Platform,
+    /// Nodes the campaign may occupy at once (capped at the platform's
+    /// allocation).
+    pub nodes: usize,
+    /// The *actual* machine behavior for jobs run here — the unmodeled
+    /// overheads the performance model will consistently miss until the
+    /// calibrator learns them.
+    pub overheads: Overheads,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    pool: NodePool,
+    overheads: Overheads,
+    character: PlatformCharacterization,
+    calibrator: ModelCalibrator,
+    attempts: usize,
+    faults: usize,
+    guard_kills: usize,
+    cost: f64,
+}
+
+/// Why the current slice's end event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceEnd {
+    /// The slice ran its full step window.
+    Ran,
+    /// A node fault cut it short; the attempt aborts.
+    Fault,
+    /// The guard's wall-clock budget ran out mid-slice; the job dies at
+    /// exactly its limit.
+    GuardKill,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSlice {
+    steps: u64,
+    /// Measured seconds per step for this slice.
+    step_s: f64,
+    /// How the slice ends.
+    end: SliceEnd,
+    /// Actual occupancy seconds until the end event.
+    dur_s: f64,
+}
+
+#[derive(Debug)]
+struct ActiveRun {
+    pool_idx: usize,
+    ranks: usize,
+    nodes: usize,
+    prepared: PreparedRun,
+    guard: JobGuard,
+    /// Uncalibrated model step prediction — what the calibrator learns
+    /// against.
+    raw_step_pred_s: f64,
+    attempt_elapsed_s: f64,
+    slice_idx: u64,
+    placement_idx: usize,
+    pending: Option<PendingSlice>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    spec: JobSpec,
+    outcome: Option<JobOutcome>,
+    waiting: bool,
+    completed_steps: u64,
+    attempts: u32,
+    retries_used: u32,
+    faults: u32,
+    run: Option<ActiveRun>,
+    cost: f64,
+    prior_attempts_s: f64,
+    wasted_steps: u64,
+    finish_s: f64,
+}
+
+impl JobState {
+    fn new(spec: JobSpec) -> Self {
+        Self {
+            spec,
+            outcome: None,
+            waiting: false,
+            completed_steps: 0,
+            attempts: 0,
+            retries_used: 0,
+            faults: 0,
+            run: None,
+            cost: 0.0,
+            prior_attempts_s: 0.0,
+            wasted_steps: 0,
+            finish_s: 0.0,
+        }
+    }
+}
+
+/// Derive a child seed from mixed parts (SplitMix64 chaining — the same
+/// construction `rt::check` uses for per-case seeds).
+fn derive_seed(parts: &[u64]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for &p in parts {
+        acc = SplitMix64::new(acc ^ p).next_u64();
+    }
+    acc
+}
+
+/// A candidate (pool, ranks) option for one waiting job.
+struct Candidate {
+    pool_idx: usize,
+    ranks: usize,
+    nodes: usize,
+    raw: Prediction,
+    corrected: Prediction,
+    calibrated: bool,
+    fits_now: bool,
+    entry: DashboardEntry,
+}
+
+enum PlaceResult {
+    Placed,
+    Wait,
+    Reject(String),
+}
+
+/// The campaign scheduler.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    pools: Vec<PoolState>,
+    jobs: Vec<JobState>,
+    events: EventQueue,
+    clock_s: f64,
+    global_calibrator: ModelCalibrator,
+    /// `GeneralModel` cache keyed by (pool, geometry/kernel identity).
+    models: BTreeMap<(usize, String), GeneralModel>,
+    /// `PreparedRun` cache keyed by (pool, geometry/kernel identity,
+    /// ranks) — the RCB decomposition behind a placement is deterministic
+    /// per key, so repeat placements reuse it.
+    prepared: BTreeMap<(usize, String, usize), PreparedRun>,
+    placements: Vec<PlacementRecord>,
+    retries: usize,
+}
+
+impl Campaign {
+    /// Set up a campaign over `pools`.
+    ///
+    /// # Panics
+    /// Panics on an empty pool list or duplicate platform abbreviations
+    /// (placement matches recommendations back by `(platform, ranks)`).
+    pub fn new(config: CampaignConfig, pools: Vec<PoolSpec>) -> Self {
+        assert!(!pools.is_empty(), "campaign needs at least one pool");
+        let mut seen: Vec<&str> = Vec::new();
+        for p in &pools {
+            assert!(
+                !seen.contains(&p.platform.abbrev),
+                "duplicate pool platform {}",
+                p.platform.abbrev
+            );
+            seen.push(p.platform.abbrev);
+        }
+        let characterization_seed = config.characterization_seed;
+        let pools = pools
+            .into_iter()
+            .map(|spec| PoolState {
+                character: characterize(&spec.platform, characterization_seed),
+                pool: NodePool::new(spec.platform, spec.nodes),
+                overheads: spec.overheads,
+                calibrator: ModelCalibrator::new(),
+                attempts: 0,
+                faults: 0,
+                guard_kills: 0,
+                cost: 0.0,
+            })
+            .collect();
+        Self {
+            config,
+            pools,
+            jobs: Vec::new(),
+            events: EventQueue::new(),
+            clock_s: 0.0,
+            global_calibrator: ModelCalibrator::new(),
+            models: BTreeMap::new(),
+            prepared: BTreeMap::new(),
+            placements: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    /// Submit a job; returns its index.
+    ///
+    /// # Panics
+    /// Panics on invalid specs (negative tolerance, non-positive budget
+    /// or hidden-step factor, zero declared steps).
+    pub fn submit(&mut self, spec: JobSpec) -> usize {
+        assert!(spec.tolerance >= 0.0, "negative tolerance on {}", spec.name);
+        assert!(
+            spec.budget_dollars > 0.0,
+            "non-positive budget on {}",
+            spec.name
+        );
+        assert!(
+            spec.hidden_steps_factor > 0.0,
+            "non-positive hidden_steps_factor on {}",
+            spec.name
+        );
+        assert!(spec.workload.steps > 0, "zero-step job {}", spec.name);
+        let idx = self.jobs.len();
+        self.events.push(spec.submit_s, Event::Arrive { job: idx });
+        self.jobs.push(JobState::new(spec));
+        idx
+    }
+
+    /// Number of submitted jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Drain every event and return the campaign report.
+    pub fn run(&mut self) -> CampaignReport {
+        while let Some((t, event)) = self.events.pop() {
+            debug_assert!(t >= self.clock_s, "clock moved backwards");
+            self.clock_s = t;
+            match event {
+                Event::Arrive { job } => {
+                    self.jobs[job].waiting = true;
+                }
+                Event::SliceDone { job, attempt } => self.on_slice_done(job, attempt),
+            }
+            self.dispatch();
+        }
+        // Anything still waiting can never be placed again: no running
+        // job remains to free nodes.
+        for job in &mut self.jobs {
+            if job.outcome.is_none() {
+                assert!(job.run.is_none(), "drained queue with a live run");
+                job.outcome = Some(JobOutcome::Rejected {
+                    reason: "starved: no pool ever had room".into(),
+                });
+                job.finish_s = self.clock_s;
+            }
+        }
+        self.build_report()
+    }
+
+    // ---- placement ----------------------------------------------------
+
+    fn model_key(spec: &JobSpec) -> String {
+        format!("{}|{}", spec.model_key, spec.workload.kernel.name())
+    }
+
+    /// Correct a raw prediction with the freshest trusted calibrator:
+    /// the pool's own if it has enough observations, else the global one,
+    /// else identity.
+    fn corrected(&self, pool_idx: usize, raw: &Prediction) -> (Prediction, bool) {
+        let min = self.config.min_calibration_obs.max(1);
+        let local = &self.pools[pool_idx].calibrator;
+        if local.len() >= min {
+            (local.corrected_prediction(raw), true)
+        } else if self.global_calibrator.len() >= min {
+            (self.global_calibrator.corrected_prediction(raw), true)
+        } else {
+            (*raw, false)
+        }
+    }
+
+    fn candidates(&mut self, job_idx: usize) -> Vec<Candidate> {
+        let spec = &self.jobs[job_idx].spec;
+        let key_tail = Self::model_key(spec);
+        let mut out = Vec::new();
+        for pool_idx in 0..self.pools.len() {
+            let key = (pool_idx, key_tail.clone());
+            if !self.models.contains_key(&key) {
+                let model = GeneralModel::from_characterization(
+                    &self.pools[pool_idx].character,
+                    &spec.workload,
+                );
+                self.models.insert(key.clone(), model);
+            }
+            let model = &self.models[&key];
+            let state = &self.pools[pool_idx];
+            let platform = &state.pool.platform;
+            for &ranks in &self.config.rank_options {
+                if ranks == 0
+                    || ranks > platform.total_cores
+                    || ranks > spec.workload.grid.fluid_count()
+                {
+                    continue;
+                }
+                let nodes = platform.nodes_for_ranks(ranks);
+                if !state.pool.can_host(nodes) {
+                    continue;
+                }
+                let raw = model.predict(ranks);
+                if !(raw.step_time_s > 0.0) || !raw.step_time_s.is_finite() {
+                    continue;
+                }
+                let (corrected, calibrated) = self.corrected(pool_idx, &raw);
+                let time = corrected.time_for_steps(spec.workload.steps);
+                let cost = self.config.prices.cost(platform, nodes, time);
+                if cost > spec.budget_dollars {
+                    continue; // admission: never offer an over-budget option
+                }
+                out.push(Candidate {
+                    pool_idx,
+                    ranks,
+                    nodes,
+                    raw,
+                    corrected,
+                    calibrated,
+                    fits_now: nodes <= state.pool.nodes_free(),
+                    entry: DashboardEntry {
+                        platform: platform.abbrev.to_string(),
+                        ranks,
+                        nodes,
+                        predicted_mflups: corrected.mflups,
+                        time_to_solution_s: time,
+                        cost_dollars: cost,
+                        updates_per_dollar: if cost > 0.0 {
+                            spec.workload.total_updates() / cost
+                        } else {
+                            f64::INFINITY
+                        },
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Run `Dashboard::recommend` over a candidate subset; returns the
+    /// winning index into `candidates`.
+    fn recommend_index(
+        &self,
+        job_idx: usize,
+        candidates: &[Candidate],
+        subset: &[usize],
+    ) -> Option<usize> {
+        if subset.is_empty() {
+            return None;
+        }
+        let dashboard = Dashboard {
+            workload_name: self.jobs[job_idx].spec.workload.name.clone(),
+            entries: subset.iter().map(|&i| candidates[i].entry.clone()).collect(),
+        };
+        let choice = dashboard.recommend(self.jobs[job_idx].spec.objective)?;
+        let pos = dashboard
+            .entries
+            .iter()
+            .position(|e| e == choice)
+            .expect("recommendation is one of the entries");
+        Some(subset[pos])
+    }
+
+    fn try_place(&mut self, job_idx: usize) -> PlaceResult {
+        let candidates = self.candidates(job_idx);
+        let free: Vec<usize> = (0..candidates.len())
+            .filter(|&i| candidates[i].fits_now)
+            .collect();
+        if let Some(win) = self.recommend_index(job_idx, &candidates, &free) {
+            self.place(job_idx, &candidates[win]);
+            return PlaceResult::Placed;
+        }
+        // Nothing fits right now — would anything fit on an empty pool?
+        let all: Vec<usize> = (0..candidates.len()).collect();
+        if self.recommend_index(job_idx, &candidates, &all).is_some() {
+            PlaceResult::Wait
+        } else {
+            PlaceResult::Reject(
+                "no (platform, ranks) option satisfies the objective and budget".into(),
+            )
+        }
+    }
+
+    fn place(&mut self, job_idx: usize, chosen: &Candidate) {
+        let state = &mut self.pools[chosen.pool_idx];
+        assert!(state.pool.try_alloc(chosen.nodes), "placement raced capacity");
+        state.attempts += 1;
+        let platform = state.pool.platform.clone();
+        let overheads = state.overheads;
+
+        let prep_key = (
+            chosen.pool_idx,
+            Self::model_key(&self.jobs[job_idx].spec),
+            chosen.ranks,
+        );
+        if !self.prepared.contains_key(&prep_key) {
+            let spec = &self.jobs[job_idx].spec;
+            let built = PreparedRun::new(
+                &platform,
+                &spec.workload.grid,
+                &spec.workload.kernel,
+                chosen.ranks,
+                &overheads,
+            )
+            .expect("candidate was validated feasible");
+            self.prepared.insert(prep_key.clone(), built);
+        }
+        let prepared = self.prepared[&prep_key].clone();
+
+        let job = &mut self.jobs[job_idx];
+        job.waiting = false;
+        job.attempts += 1;
+        let spec = &job.spec;
+        let mut guard =
+            JobGuard::from_prediction(&chosen.corrected, spec.workload.steps, &platform, spec.tolerance);
+        guard.max_dollars = guard.max_dollars.min(spec.budget_dollars);
+
+        let placement_idx = self.placements.len();
+        self.placements.push(PlacementRecord {
+            job: job_idx,
+            job_name: spec.name.clone(),
+            attempt: job.attempts,
+            platform: platform.abbrev.to_string(),
+            ranks: chosen.ranks,
+            nodes: chosen.nodes,
+            calibrated: chosen.calibrated,
+            predicted_step_s: chosen.corrected.step_time_s,
+            measured_step_s: None,
+            time_s: self.clock_s,
+        });
+        job.run = Some(ActiveRun {
+            pool_idx: chosen.pool_idx,
+            ranks: chosen.ranks,
+            nodes: chosen.nodes,
+            prepared,
+            guard,
+            raw_step_pred_s: chosen.raw.step_time_s,
+            attempt_elapsed_s: 0.0,
+            slice_idx: 0,
+            placement_idx,
+            pending: None,
+        });
+        self.schedule_slice(job_idx);
+    }
+
+    fn dispatch(&mut self) {
+        for job_idx in 0..self.jobs.len() {
+            let job = &self.jobs[job_idx];
+            if !job.waiting || job.outcome.is_some() || job.run.is_some() {
+                continue;
+            }
+            match self.try_place(job_idx) {
+                PlaceResult::Placed => {}
+                PlaceResult::Wait => {}
+                PlaceResult::Reject(reason) => {
+                    let job = &mut self.jobs[job_idx];
+                    job.waiting = false;
+                    job.outcome = Some(JobOutcome::Rejected { reason });
+                    job.finish_s = self.clock_s;
+                }
+            }
+        }
+    }
+
+    // ---- execution ----------------------------------------------------
+
+    fn schedule_slice(&mut self, job_idx: usize) {
+        let seed_base = self.config.seed;
+        let fault_rate = self.config.fault_rate_per_node_hour;
+        let slice_cap = self.config.slice_steps.max(1);
+        let clock = self.clock_s;
+
+        let job = &mut self.jobs[job_idx];
+        let attempt = job.attempts;
+        let run = job.run.as_mut().expect("slice for idle job");
+        let remaining = job.spec.true_steps().saturating_sub(job.completed_steps);
+        let steps = remaining.min(slice_cap).max(1);
+
+        let noise_seed = derive_seed(&[seed_base, job_idx as u64, attempt as u64, run.slice_idx, 0x51]);
+        let sim = run.prepared.run_slice(steps, noise_seed, clock / 3600.0);
+
+        // Pre-draw the fault for this slice from the campaign stream.
+        let mut rng = Rng::new(derive_seed(&[
+            seed_base,
+            job_idx as u64,
+            attempt as u64,
+            run.slice_idx,
+            0xFA,
+        ]));
+        let expected_faults =
+            fault_rate * run.nodes as f64 * (sim.total_time_s / 3600.0);
+        let fault = rng.next_f64() < -(-expected_faults).exp_m1();
+        let fault_at = sim.total_time_s * rng.next_f64();
+
+        // Whichever intervenes first ends the slice: the pre-drawn fault
+        // or the guard's wall-clock budget running dry.
+        let budget_left = run
+            .guard
+            .remaining_seconds(job.prior_attempts_s + run.attempt_elapsed_s);
+        let (end, dur_s) = if fault && fault_at <= sim.total_time_s.min(budget_left) {
+            (SliceEnd::Fault, fault_at)
+        } else if budget_left < sim.total_time_s {
+            (SliceEnd::GuardKill, budget_left)
+        } else {
+            (SliceEnd::Ran, sim.total_time_s)
+        };
+        run.pending = Some(PendingSlice {
+            steps,
+            step_s: sim.step_time_s,
+            end,
+            dur_s,
+        });
+        run.slice_idx += 1;
+        self.events
+            .push(clock + dur_s, Event::SliceDone { job: job_idx, attempt });
+    }
+
+    /// Close the books on the current attempt: bill it, free its nodes.
+    fn finalize_attempt(&mut self, job_idx: usize) {
+        let job = &mut self.jobs[job_idx];
+        let run = job.run.take().expect("no attempt to finalize");
+        let state = &mut self.pools[run.pool_idx];
+        let attempt_s = run.attempt_elapsed_s;
+        // Per-attempt billing: each attempt is its own allocation (the
+        // PerHour partial-hour round-up applies per attempt).
+        let cost = self
+            .config
+            .prices
+            .attempts_cost(&state.pool.platform, run.nodes, &[attempt_s]);
+        job.cost += cost;
+        job.prior_attempts_s += attempt_s;
+        state.cost += cost;
+        state.pool.release(run.nodes, attempt_s);
+    }
+
+    fn on_slice_done(&mut self, job_idx: usize, attempt: u32) {
+        let job = &mut self.jobs[job_idx];
+        assert_eq!(job.attempts, attempt, "stale slice event");
+        let run = job.run.as_mut().expect("slice for idle job");
+        let pending = run.pending.take().expect("slice event without a pending slice");
+        run.attempt_elapsed_s += pending.dur_s;
+
+        match pending.end {
+            SliceEnd::Fault => {
+                job.faults += 1;
+                // Roll back to the last durable checkpoint: the faulted
+                // slice's steps were never credited, and any credited
+                // steps past the checkpoint are lost too.
+                let ckpt = job.spec.checkpoint_steps.max(1);
+                let rollback = job.completed_steps % ckpt;
+                job.completed_steps -= rollback;
+                job.wasted_steps += rollback;
+                let pool_idx = run.pool_idx;
+                let can_retry = job.retries_used < job.spec.max_retries;
+                self.pools[pool_idx].faults += 1;
+                self.finalize_attempt(job_idx);
+                if can_retry {
+                    let job = &mut self.jobs[job_idx];
+                    job.retries_used += 1;
+                    self.retries += 1;
+                    let backoff = self.config.retry_backoff_s
+                        * 2f64.powi(job.retries_used as i32 - 1);
+                    self.events
+                        .push(self.clock_s + backoff, Event::Arrive { job: job_idx });
+                } else {
+                    let job = &mut self.jobs[job_idx];
+                    job.outcome = Some(JobOutcome::Failed);
+                    job.finish_s = self.clock_s;
+                }
+            }
+            SliceEnd::GuardKill => {
+                // Killed at exactly the wall-clock limit: the in-flight
+                // slice is discarded.
+                job.wasted_steps += pending.steps;
+                let pool_idx = run.pool_idx;
+                self.pools[pool_idx].guard_kills += 1;
+                self.finalize_attempt(job_idx);
+                let job = &mut self.jobs[job_idx];
+                job.outcome = Some(JobOutcome::GuardKilled);
+                job.finish_s = self.clock_s;
+            }
+            SliceEnd::Ran => {
+                job.completed_steps += pending.steps;
+                let pool_idx = run.pool_idx;
+                let ranks = run.ranks;
+                let nodes = run.nodes;
+                let raw_pred = run.raw_step_pred_s;
+                let placement_idx = run.placement_idx;
+                let elapsed = job.prior_attempts_s + run.attempt_elapsed_s;
+                let attempt_cost = self.config.prices.attempts_cost(
+                    &self.pools[pool_idx].pool.platform,
+                    nodes,
+                    &[run.attempt_elapsed_s],
+                );
+                let spent = job.cost + attempt_cost;
+                let guard = run.guard;
+                let done = job.completed_steps >= job.spec.true_steps();
+
+                // Refinement: every completed slice feeds the calibrators.
+                self.pools[pool_idx]
+                    .calibrator
+                    .record(ranks, raw_pred, pending.step_s);
+                self.global_calibrator.record(ranks, raw_pred, pending.step_s);
+                if self.placements[placement_idx].measured_step_s.is_none() {
+                    self.placements[placement_idx].measured_step_s = Some(pending.step_s);
+                }
+
+                if guard.check(elapsed, spent).is_exceeded() {
+                    // The dollar limit (or a boundary-exact overrun) trips
+                    // post-slice.
+                    self.pools[pool_idx].guard_kills += 1;
+                    self.finalize_attempt(job_idx);
+                    let job = &mut self.jobs[job_idx];
+                    job.outcome = Some(JobOutcome::GuardKilled);
+                    job.finish_s = self.clock_s;
+                } else if done {
+                    self.finalize_attempt(job_idx);
+                    let job = &mut self.jobs[job_idx];
+                    job.outcome = Some(JobOutcome::Completed);
+                    job.finish_s = self.clock_s;
+                } else if !guard.has_budget(elapsed) {
+                    // Budget exhausted to the exact second with work left:
+                    // stop cleanly at the boundary (see GuardVerdict docs).
+                    self.pools[pool_idx].guard_kills += 1;
+                    self.finalize_attempt(job_idx);
+                    let job = &mut self.jobs[job_idx];
+                    job.outcome = Some(JobOutcome::GuardKilled);
+                    job.finish_s = self.clock_s;
+                } else {
+                    self.schedule_slice(job_idx);
+                }
+            }
+        }
+    }
+
+    // ---- reporting ----------------------------------------------------
+
+    fn build_report(&mut self) -> CampaignReport {
+        let makespan = self.clock_s;
+        let mut report = CampaignReport {
+            seed: self.config.seed,
+            jobs: self.jobs.len(),
+            completed: 0,
+            guard_kills: 0,
+            failed: 0,
+            rejected: 0,
+            faults: 0,
+            retries: self.retries,
+            retried_jobs_completed: 0,
+            makespan_s: makespan,
+            total_cost_dollars: 0.0,
+            wasted_steps: 0,
+            slo_attained: 0,
+            slo_total: 0,
+            mape_first_quartile_uncalibrated_pct: f64::NAN,
+            mape_calibrated_pct: f64::NAN,
+            platforms: Vec::new(),
+            job_reports: Vec::new(),
+            placements: self.placements.clone(),
+        };
+        for job in &self.jobs {
+            let outcome = job.outcome.clone().expect("job left without outcome");
+            match &outcome {
+                JobOutcome::Completed => {
+                    report.completed += 1;
+                    if job.faults > 0 {
+                        report.retried_jobs_completed += 1;
+                    }
+                }
+                JobOutcome::GuardKilled => report.guard_kills += 1,
+                JobOutcome::Failed => report.failed += 1,
+                JobOutcome::Rejected { .. } => report.rejected += 1,
+            }
+            report.faults += job.faults as usize;
+            report.total_cost_dollars += job.cost;
+            report.wasted_steps += job.wasted_steps;
+            let slo_met = match job.spec.objective {
+                hemocloud_core::dashboard::Objective::Deadline(d) => {
+                    report.slo_total += 1;
+                    let met = outcome == JobOutcome::Completed
+                        && job.finish_s - job.spec.submit_s <= d;
+                    if met {
+                        report.slo_attained += 1;
+                    }
+                    Some(met)
+                }
+                _ => None,
+            };
+            report.job_reports.push(JobReport {
+                name: job.spec.name.clone(),
+                outcome: outcome.label().to_string(),
+                cost_dollars: job.cost,
+                run_seconds: job.prior_attempts_s,
+                attempts: job.attempts,
+                faults: job.faults,
+                wasted_steps: job.wasted_steps,
+                finish_s: job.finish_s,
+                slo_met,
+            });
+        }
+        for state in &self.pools {
+            report.platforms.push(PlatformReport {
+                platform: state.pool.platform.abbrev.to_string(),
+                nodes_total: state.pool.nodes_total(),
+                attempts: state.attempts,
+                faults: state.faults,
+                guard_kills: state.guard_kills,
+                cost_dollars: state.cost,
+                busy_node_seconds: state.pool.busy_node_seconds(),
+                utilization: state.pool.utilization(makespan),
+            });
+        }
+        report.compute_mapes();
+        report
+    }
+}

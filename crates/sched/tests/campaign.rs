@@ -1,0 +1,224 @@
+//! Acceptance tests for the campaign scheduler: the seeded demo campaign
+//! must be byte-for-byte reproducible, show the guard and retry machinery
+//! firing, and show placement error dropping once calibration kicks in.
+
+use std::sync::OnceLock;
+
+use hemocloud_cluster::exec::Overheads;
+use hemocloud_cluster::platform::Platform;
+use hemocloud_core::dashboard::Objective;
+use hemocloud_core::workload::Workload;
+use hemocloud_geometry::anatomy::CylinderSpec;
+use hemocloud_sched::{
+    run_demo, Campaign, CampaignConfig, CampaignReport, JobSpec, PoolSpec,
+};
+
+/// The demo campaign is expensive in debug builds; run it once and share
+/// the report (and its JSON) across tests.
+fn demo() -> &'static (CampaignReport, String) {
+    static DEMO: OnceLock<(CampaignReport, String)> = OnceLock::new();
+    DEMO.get_or_init(|| {
+        let report = run_demo(42);
+        let json = report.to_json();
+        (report, json)
+    })
+}
+
+fn tiny_config(seed: u64, fault_rate: f64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        characterization_seed: 7,
+        rank_options: vec![8, 16],
+        slice_steps: 100_000,
+        fault_rate_per_node_hour: fault_rate,
+        retry_backoff_s: 10.0,
+        min_calibration_obs: 3,
+        prices: Default::default(),
+    }
+}
+
+fn tiny_job(name: &str, steps: u64, tolerance: f64, hidden: f64, submit_s: f64) -> JobSpec {
+    let grid = CylinderSpec::default().with_resolution(8).build();
+    JobSpec {
+        name: name.to_string(),
+        workload: Workload::harvey(&grid, steps),
+        model_key: "cyl8".to_string(),
+        objective: Objective::MinCost,
+        tolerance,
+        budget_dollars: 100.0,
+        max_retries: 2,
+        checkpoint_steps: 200_000,
+        hidden_steps_factor: hidden,
+        submit_s,
+    }
+}
+
+fn one_pool(nodes: usize) -> Vec<PoolSpec> {
+    vec![PoolSpec {
+        platform: Platform::csp1(),
+        nodes,
+        overheads: Overheads::default(),
+    }]
+}
+
+#[test]
+fn demo_campaign_is_byte_for_byte_reproducible() {
+    let (_, first) = demo();
+    let second = run_demo(42).to_json();
+    assert_eq!(first, &second, "same seed must produce identical reports");
+}
+
+#[test]
+fn demo_campaign_meets_the_acceptance_invariants() {
+    let (report, _) = demo();
+    // Scale floors.
+    assert!(report.jobs >= 20, "jobs {}", report.jobs);
+    assert!(report.platforms.len() >= 3, "platforms {}", report.platforms.len());
+    // Fault injection was on and at least one job recovered via retry.
+    assert!(report.faults >= 1, "no faults injected");
+    assert!(report.retries >= 1, "no retries dispatched");
+    assert!(
+        report.retried_jobs_completed >= 1,
+        "no job completed after a fault retry"
+    );
+    // The guard killed at least one runaway mid-run.
+    assert!(report.guard_kills >= 1, "no guard kills");
+    // The refinement loop: calibrated placements must beat the
+    // uncalibrated first quartile.
+    assert!(
+        report.mape_first_quartile_uncalibrated_pct.is_finite()
+            && report.mape_calibrated_pct.is_finite(),
+        "MAPEs must be measurable"
+    );
+    assert!(
+        report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct,
+        "calibrated MAPE {} must beat uncalibrated first-quartile MAPE {}",
+        report.mape_calibrated_pct,
+        report.mape_first_quartile_uncalibrated_pct
+    );
+    // Every job is accounted for exactly once.
+    assert_eq!(
+        report.completed + report.guard_kills + report.failed + report.rejected,
+        report.jobs
+    );
+    // Sanity of the headline numbers.
+    assert!(report.makespan_s.is_finite() && report.makespan_s > 0.0);
+    assert!(report.total_cost_dollars.is_finite() && report.total_cost_dollars > 0.0);
+    assert!(!report.placements.is_empty());
+}
+
+#[test]
+fn demo_runaways_are_guard_killed_and_doomed_budget_is_rejected() {
+    let (report, _) = demo();
+    for j in &report.job_reports {
+        if j.name.starts_with("runaway-") {
+            assert_eq!(j.outcome, "guard_killed", "{}", j.name);
+            assert!(j.run_seconds > 0.0, "{} must die mid-run, not at admission", j.name);
+        }
+        if j.name == "doomed-budget" {
+            assert_eq!(j.outcome, "rejected");
+            assert_eq!(j.attempts, 0, "rejected jobs never run");
+            assert_eq!(j.cost_dollars, 0.0);
+        }
+    }
+}
+
+#[test]
+fn demo_utilization_respects_pool_capacity() {
+    let (report, _) = demo();
+    for p in &report.platforms {
+        assert!(
+            p.utilization <= 1.0 + 1e-9,
+            "{} utilization {} exceeds capacity",
+            p.platform,
+            p.utilization
+        );
+        assert!(p.busy_node_seconds >= 0.0);
+    }
+    // Placements only ever use node counts a pool can host.
+    for r in &report.placements {
+        let pool = report
+            .platforms
+            .iter()
+            .find(|p| p.platform == r.platform)
+            .expect("placement on an unknown platform");
+        assert!(
+            r.nodes <= pool.nodes_total,
+            "{} nodes {} > pool {}",
+            r.job_name,
+            r.nodes,
+            pool.nodes_total
+        );
+    }
+}
+
+#[test]
+fn single_node_pool_serializes_contending_jobs() {
+    let mut campaign = Campaign::new(tiny_config(1, 0.0), one_pool(1));
+    for i in 0..3 {
+        campaign.submit(tiny_job(&format!("contender-{i}"), 400_000, 10.0, 1.0, 0.0));
+    }
+    let report = campaign.run();
+    assert_eq!(report.completed, 3, "{}", report.to_json());
+    // One node: placements must not overlap — each next job starts at or
+    // after the previous finish.
+    for w in report.placements.windows(2) {
+        assert!(
+            w[1].time_s >= w[0].time_s,
+            "placements out of order: {} then {}",
+            w[0].time_s,
+            w[1].time_s
+        );
+    }
+    let busy = report.platforms[0].busy_node_seconds;
+    assert!(
+        busy <= report.makespan_s + 1e-6,
+        "1-node pool can't do {busy} busy seconds in {} wall seconds",
+        report.makespan_s
+    );
+}
+
+#[test]
+fn runaway_is_killed_mid_run_without_faults() {
+    let mut campaign = Campaign::new(tiny_config(5, 0.0), one_pool(2));
+    campaign.submit(tiny_job("honest", 500_000, 10.0, 1.0, 0.0));
+    campaign.submit(tiny_job("runaway", 500_000, 0.2, 6.0, 0.0));
+    let report = campaign.run();
+    let honest = &report.job_reports[0];
+    let runaway = &report.job_reports[1];
+    assert_eq!(honest.outcome, "completed");
+    assert_eq!(runaway.outcome, "guard_killed");
+    assert!(runaway.run_seconds > 0.0, "killed mid-run, not at admission");
+    assert!(runaway.wasted_steps > 0, "the in-flight slice is discarded");
+    assert_eq!(report.guard_kills, 1);
+}
+
+#[test]
+fn fault_retries_are_bounded_and_roll_back_to_checkpoints() {
+    // A fault rate this extreme faults every slice: the job must burn its
+    // first attempt plus max_retries retries, then fail.
+    let mut campaign = Campaign::new(tiny_config(9, 50_000.0), one_pool(1));
+    campaign.submit(tiny_job("unlucky", 400_000, 10.0, 1.0, 0.0));
+    let report = campaign.run();
+    let job = &report.job_reports[0];
+    assert_eq!(job.outcome, "failed", "{}", report.to_json());
+    assert_eq!(job.attempts, 3, "1 initial + max_retries = 2 retries");
+    assert_eq!(job.faults, 3);
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.failed, 1);
+}
+
+#[test]
+fn different_seeds_change_the_outcome_stream() {
+    let run = |seed: u64| {
+        let mut campaign = Campaign::new(tiny_config(seed, 40.0), one_pool(1));
+        for i in 0..4 {
+            campaign.submit(tiny_job(&format!("j{i}"), 400_000, 10.0, 1.0, 0.0));
+        }
+        campaign.run().to_json()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a, b, "fault draws must depend on the campaign seed");
+    assert_eq!(a, run(1), "and stay reproducible per seed");
+}

@@ -1,113 +1,93 @@
-//! Planning a multi-patient simulation campaign under a budget, with
-//! iterative model refinement — the paper's closing loop ("storing all
-//! measured performance along with the estimated performance model
-//! prediction will be critical to iteratively refining the performance
-//! models").
+//! Planning and *running* a multi-patient simulation campaign — the
+//! paper's closing loop, end to end, through the `hemocloud-sched`
+//! discrete-event scheduler.
 //!
-//! The planner runs patients one at a time on the chosen instance. After
-//! each run it records predicted-vs-measured step times; the calibrated
-//! model re-prices the remaining campaign, and the per-job guards tighten
-//! from the raw model's optimistic limits to realistic ones.
+//! Where the `csp_dashboard` example prices a single workload, this one
+//! drives a whole campaign: 26 jobs across four vascular geometries are
+//! submitted to four capacity-limited cloud pools. Each placement is
+//! chosen by `Dashboard::recommend` under the job's own objective
+//! (min-cost, max-throughput, or deadline), runs in time slices with a
+//! `JobGuard` watching wall-clock and dollars, survives seeded node
+//! faults via checkpoint-rollback retries, and feeds every measured slice
+//! back into `ModelCalibrator`s — so late placements run on refined
+//! predictions and the placement error visibly drops.
 //!
 //! Run: `cargo run --release --example campaign_planner`
 
 use hemocloud::prelude::*;
-use hemocloud_cluster::exec::{simulate_geometry, Overheads};
-use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud::sched::{demo_config, demo_jobs, demo_pools};
 
 fn main() {
-    let platform = Platform::csp2_ec();
-    let character = characterize(&platform, 2023);
-    let prices = PriceSheet::default();
-    let overheads = Overheads::default();
-    let steps = 50_000u64;
-    let ranks = 72;
+    let seed = 42;
+    let pools = demo_pools();
+    let jobs = demo_jobs();
 
-    // Five "patients": anatomies of varying size (different resolutions
-    // stand in for different vessel trees).
-    let patients: Vec<(String, _)> = (0..5)
-        .map(|i| {
-            let res = 14 + 3 * i;
-            (
-                format!("patient-{:02} (res {res})", i + 1),
-                AortaSpec::default().with_resolution(res).build(),
-            )
-        })
-        .collect();
+    println!("Campaign: {} jobs over {} platform pools (seed {seed})\n", jobs.len(), pools.len());
+    println!("{:<14} {:>6} {:>12}", "pool", "nodes", "$/node-hour");
+    for p in &pools {
+        println!(
+            "{:<14} {:>6} {:>12.2}",
+            p.platform.abbrev,
+            p.nodes.min(p.platform.max_nodes()),
+            p.platform.price_per_node_hour
+        );
+    }
 
-    let mut calibrator = ModelCalibrator::new();
-    let mut total_cost = 0.0;
-    let mut total_predicted_raw = 0.0;
-    let mut total_predicted_cal = 0.0;
-    let mut total_measured = 0.0;
+    let mut campaign = Campaign::new(demo_config(seed), pools);
+    for job in jobs {
+        campaign.submit(job);
+    }
+    let report = campaign.run();
 
-    println!(
-        "Campaign: {} patients x {steps} steps on {} @ {ranks} ranks\n",
-        patients.len(),
-        platform.abbrev
-    );
-    for (i, (name, grid)) in patients.iter().enumerate() {
-        let workload = Workload::harvey(grid, steps);
-        let model = GeneralModel::from_characterization(&character, &workload);
-        let raw = model.predict(ranks);
-        let raw_time = raw.time_for_steps(steps);
-        let cal_time = calibrator.corrected_step_s(raw.step_time_s) * steps as f64;
-
-        // Guard from the *calibrated* prediction once we have data.
-        let tolerance = 0.10;
-        let budget_time = cal_time * (1.0 + tolerance);
-
-        let run = simulate_geometry(
-            &platform,
-            grid,
-            &workload.kernel,
-            ranks,
-            steps,
-            &overheads,
-            31 + i as u64,
-            i as f64 * 12.0,
-        )
-        .expect("feasible run");
-        let cost = prices.run_cost(&platform, &run);
-        total_cost += cost;
-        total_predicted_raw += raw_time;
-        total_predicted_cal += cal_time;
-        total_measured += run.total_time_s;
-
-        let flag = if run.total_time_s > budget_time {
-            "OVERRUN FLAG"
-        } else {
-            "within guard"
+    println!("\n{:<20} {:>12} {:>9} {:>8} {:>7} {:>10}", "job", "outcome", "run s", "$", "tries", "slo");
+    for j in &report.job_reports {
+        let slo = match j.slo_met {
+            None => "-",
+            Some(true) => "met",
+            Some(false) => "missed",
         };
         println!(
-            "{name}: {:>8} pts | raw pred {:>7.1} s | calibrated {:>7.1} s | measured {:>7.1} s | ${:.4} | {flag}",
-            workload.points(),
-            raw_time,
-            cal_time,
-            run.total_time_s,
-            cost
+            "{:<20} {:>12} {:>9.0} {:>8.3} {:>7} {:>10}",
+            j.name, j.outcome, j.run_seconds, j.cost_dollars, j.attempts, slo
         );
+    }
 
-        calibrator.record(ranks, raw.step_time_s, run.step_time_s);
+    println!("\n{:<14} {:>6} {:>9} {:>7} {:>7} {:>9} {:>12}", "platform", "nodes", "attempts", "faults", "kills", "$", "utilization");
+    for p in &report.platforms {
+        println!(
+            "{:<14} {:>6} {:>9} {:>7} {:>7} {:>9.3} {:>11.1}%",
+            p.platform,
+            p.nodes_total,
+            p.attempts,
+            p.faults,
+            p.guard_kills,
+            p.cost_dollars,
+            100.0 * p.utilization
+        );
     }
 
     println!(
-        "\nCampaign totals: measured {total_measured:.1} s, ${total_cost:.4} on {} nodes",
-        platform.nodes_for_ranks(ranks)
+        "\nCampaign: {} completed, {} guard-killed, {} failed, {} rejected in {:.1} h for ${:.2}",
+        report.completed,
+        report.guard_kills,
+        report.failed,
+        report.rejected,
+        report.makespan_s / 3600.0,
+        report.total_cost_dollars
     );
     println!(
-        "Raw model underestimated time by {:.1}% overall; after calibration the gap is {:.1}%.",
-        100.0 * (total_measured - total_predicted_raw) / total_measured,
-        100.0 * (total_measured - total_predicted_cal) / total_measured,
+        "Faults {} / retries {} — {} job(s) recovered; SLO {} of {} deadline jobs met.",
+        report.faults, report.retries, report.retried_jobs_completed, report.slo_attained, report.slo_total
     );
     println!(
-        "Fitted efficiency factor: {:.3} (raw MAPE {:.1}% -> calibrated {:.1}%)",
-        calibrator.correction_factor(),
-        calibrator.raw_error_pct(),
-        calibrator.calibrated_error_pct()
+        "Refinement: placement MAPE {:.1}% on the uncalibrated first quartile -> {:.1}% once calibrated.",
+        report.mape_first_quartile_uncalibrated_pct, report.mape_calibrated_pct
     );
+
     assert!(
-        calibrator.calibrated_error_pct() <= calibrator.raw_error_pct(),
-        "refinement must not increase error"
+        report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct,
+        "refinement must reduce placement error"
     );
+    assert!(report.guard_kills >= 1, "the runaways must be killed");
+    assert!(report.retried_jobs_completed >= 1, "a faulted job must recover");
 }

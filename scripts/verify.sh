@@ -44,6 +44,40 @@ if ! grep -oE '"(mflups|gb_s)": *[0-9.eE+-]+' "$smoke_json" \
 fi
 echo "bench smoke: OK ($smoke_json)"
 
+echo "== campaign smoke: demo campaign at the committed seed"
+# The scheduler's demo campaign must stay healthy: reproducible at seed
+# 42, finite economics, and a non-empty placement log. The committed
+# full record is CAMPAIGN_sched.json; the smoke run writes to target/ and
+# the campaign binary itself exits non-zero on invariant violations
+# (guard kills, retry success, and the calibration MAPE drop).
+campaign_json="target/CAMPAIGN_sched.json"
+rm -f "$campaign_json"
+CAMPAIGN_SEED=42 CAMPAIGN_OUT="$campaign_json" \
+  cargo run -q --release --offline -p hemocloud-bench --bin campaign
+
+if [ ! -f "$campaign_json" ]; then
+  echo "ERROR: campaign smoke did not produce $campaign_json" >&2
+  exit 1
+fi
+if grep -qiE '(nan|inf)' "$campaign_json"; then
+  echo "ERROR: non-finite values in $campaign_json:" >&2
+  grep -iE '(nan|inf)' "$campaign_json" >&2
+  exit 1
+fi
+# Makespan and total cost must be strictly positive, and at least one
+# placement must have been recorded.
+if ! grep -oE '"(makespan_s|total_cost_dollars)": *[0-9.eE+-]+' "$campaign_json" \
+    | awk -F': *' 'BEGIN { n = 0 } { n++; if ($2 + 0 <= 0) bad = 1 }
+                   END { exit (bad || n != 2) }'; then
+  echo "ERROR: non-positive makespan/cost in $campaign_json" >&2
+  exit 1
+fi
+if ! grep -q '"measured_step_s"' "$campaign_json"; then
+  echo "ERROR: empty placement log in $campaign_json" >&2
+  exit 1
+fi
+echo "campaign smoke: OK ($campaign_json)"
+
 echo "== cargo tree: checking for non-workspace dependencies"
 if cargo tree --offline --workspace --edges normal,dev,build \
     | grep -v "hemocloud" | grep -q "v[0-9]"; then

@@ -20,6 +20,9 @@
 //! * [`core`] — the paper's contribution: direct and generalized
 //!   performance models, the CSP Option Dashboard, cost optimizers, job
 //!   guards and the iterative refinement loop.
+//! * [`sched`] — the discrete-event campaign scheduler that runs the
+//!   predict → run → guard → refine loop end-to-end over many jobs on
+//!   capacity-limited platform pools.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use hemocloud_fitting as fitting;
 pub use hemocloud_geometry as geometry;
 pub use hemocloud_lbm as lbm;
 pub use hemocloud_microbench as microbench;
+pub use hemocloud_sched as sched;
 
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
@@ -70,5 +74,8 @@ pub mod prelude {
     pub use hemocloud_lbm::{
         kernel::{KernelConfig, Layout, Propagation},
         solver::Solver,
+    };
+    pub use hemocloud_sched::{
+        Campaign, CampaignConfig, CampaignReport, JobOutcome, JobSpec, PoolSpec,
     };
 }

@@ -4,6 +4,16 @@
 //! throughput data (the paper's whole premise — Eqs. 6/9 — is that these
 //! two numbers are linked by memory bandwidth).
 //!
+//! Beyond the headline solver number, the baseline now sweeps every
+//! runtime kernel configuration of the sparse solver (AB/AA × AoS/SoA) and
+//! records, per config: measured MFLUPS, the Eq. 9 *modeled* bytes per
+//! update, and the *implied* bytes per update (measured update time ×
+//! STREAM-Copy bandwidth) — so the committed JSON shows both the AB→AA
+//! speedup and how tight the byte model tracks the machine. It also runs
+//! the AA/AB moment-equivalence smoke (AA natural-order moments vs AB
+//! post-stream moments) and refuses to write a baseline where the two
+//! kernels disagree.
+//!
 //! * `RT_BENCH_FAST=1` shrinks the mesh, array sizes, and sample counts
 //!   so CI can smoke-run it in seconds (`scripts/verify.sh` does).
 //! * `BENCH_OUT=<path>` redirects the JSON (default: `BENCH_lbm.json` in
@@ -12,7 +22,11 @@
 //! The binary exits non-zero if any throughput it measured is non-finite
 //! or non-positive, so the verify gate cannot silently record garbage.
 
+use hemocloud_bench::provenance;
 use hemocloud_geometry::anatomy::CylinderSpec;
+use hemocloud_geometry::stats::GeometryStats;
+use hemocloud_lbm::access_profile::{average_solid_links, AccessProfile};
+use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
 use hemocloud_lbm::mesh::FluidMesh;
 use hemocloud_lbm::solver::{Solver, SolverConfig};
 use hemocloud_microbench::stream::{stream_kernel, StreamKernel, StreamMeasurement};
@@ -23,31 +37,83 @@ fn fast_mode() -> bool {
     std::env::var("RT_BENCH_FAST").is_ok_and(|v| v != "0")
 }
 
+/// One measured kernel configuration of the sparse solver.
+struct KernelRow {
+    config: KernelConfig,
+    mflups: f64,
+    ns_per_update: f64,
+    /// Eq. 9 bytes per fluid-point update for this config on this mesh.
+    modeled_bytes_per_update: f64,
+    /// Update time × STREAM-Copy bandwidth: the bytes the memory system
+    /// could have moved in the time one update took.
+    implied_bytes_per_update: f64,
+}
+
 struct Baseline {
     threads: usize,
     mesh_cells: usize,
     mflups: f64,
     ns_per_step: f64,
     stream: Vec<StreamMeasurement>,
+    kernels: Vec<KernelRow>,
+    /// Max component-wise moment difference between the AA solver's
+    /// natural-order readout and the AB solver's post-stream readout.
+    aa_ab_moment_max_diff: f64,
     pool_spawned: usize,
     pool_jobs: u64,
+}
+
+/// The four kernel configurations the sparse solver executes.
+fn sparse_configs() -> [KernelConfig; 4] {
+    [
+        KernelConfig::sparse(Propagation::Ab, Layout::Aos),
+        KernelConfig::sparse(Propagation::Ab, Layout::Soa),
+        KernelConfig::sparse(Propagation::Aa, Layout::Aos),
+        KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+    ]
+}
+
+/// Max component-wise difference between AA natural-order moments and AB
+/// post-stream moments after `steps` (even) steps from the shared rest
+/// start — the fast correctness smoke for the in-place kernel.
+fn aa_ab_moment_max_diff(mesh: &FluidMesh, steps: u64) -> f64 {
+    assert!(steps % 2 == 0, "AA readout needs an even step count");
+    let mut ab = Solver::new(mesh.clone(), SolverConfig::default());
+    let mut aa = Solver::new(
+        mesh.clone(),
+        SolverConfig {
+            kernel: KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+            ..Default::default()
+        },
+    );
+    for _ in 0..steps {
+        ab.step();
+        aa.step();
+    }
+    let mut max_diff = 0.0f64;
+    for cell in 0..mesh.len() {
+        let (r0, x0, y0, z0) = ab.post_stream_macroscopics(cell);
+        let (r1, x1, y1, z1) = aa.macroscopics(cell);
+        for d in [r0 - r1, x0 - x1, y0 - y1, z0 - z1] {
+            max_diff = max_diff.max(d.abs());
+        }
+    }
+    max_diff
 }
 
 fn measure() -> Baseline {
     let fast = fast_mode();
 
-    // Solver MFLUPS on a cylinder sized like the kernel benches.
+    // Shared geometry for every solver measurement.
     let resolution = if fast { 10 } else { 20 };
     let grid = CylinderSpec::default().with_resolution(resolution).build();
+    let stats = GeometryStats::measure(&grid);
     let mesh = FluidMesh::build(&grid);
     let mesh_cells = mesh.len();
-    let mut solver = Solver::new(mesh, SolverConfig::default());
-    solver.run(2); // warm: touch both distribution arrays
-    let stats = sample_stats(10, |b| b.iter(|| solver.step()));
-    let ns_per_step = stats.median_ns;
-    let mflups = mesh_cells as f64 / (ns_per_step * 1e-9) / 1e6;
+    let avg_links = average_solid_links(&mesh);
 
-    // STREAM Copy + Triad at full host width, cache-busting sizes.
+    // STREAM Copy + Triad at full host width, cache-busting sizes. Copy
+    // bandwidth feeds the implied-bytes column below.
     let threads = par::max_threads();
     let elements = if fast { 1 << 21 } else { 1 << 24 };
     let reps = if fast { 2 } else { 5 };
@@ -55,6 +121,45 @@ fn measure() -> Baseline {
         stream_kernel(StreamKernel::Copy, threads, elements, reps),
         stream_kernel(StreamKernel::Triad, threads, elements, reps),
     ];
+    let copy_gb_s = stream[0].bandwidth_mb_s / 1e3;
+
+    // Sweep every runtime kernel config. Steps are timed in pairs so AA
+    // (whose even/odd steps do different work and must end in natural
+    // order) is measured over a full cycle, and AB identically for
+    // fairness.
+    let samples = if fast { 6 } else { 10 };
+    let kernels: Vec<KernelRow> = sparse_configs()
+        .into_iter()
+        .map(|config| {
+            let mut solver = Solver::new(mesh.clone(), SolverConfig {
+                kernel: config,
+                ..Default::default()
+            });
+            solver.run(2); // warm: touch every resident array
+            let st = sample_stats(samples, |b| {
+                b.iter(|| {
+                    solver.step();
+                    solver.step();
+                })
+            });
+            let ns_per_update = st.median_ns / 2.0 / mesh_cells as f64;
+            let profile = AccessProfile::for_kernel(&config, avg_links);
+            KernelRow {
+                config,
+                mflups: 1e3 / ns_per_update,
+                ns_per_update,
+                modeled_bytes_per_update: profile.bytes_per_point(&stats),
+                implied_bytes_per_update: copy_gb_s * ns_per_update,
+            }
+        })
+        .collect();
+
+    // Headline solver numbers = the HARVEY default config's row.
+    let ab_row = &kernels[0];
+    let mflups = ab_row.mflups;
+    let ns_per_step = ab_row.ns_per_update * mesh_cells as f64;
+
+    let moment_diff = aa_ab_moment_max_diff(&mesh, 8);
 
     let pool = pool::global();
     Baseline {
@@ -63,6 +168,8 @@ fn measure() -> Baseline {
         mflups,
         ns_per_step,
         stream,
+        kernels,
+        aa_ab_moment_max_diff: moment_diff,
         pool_spawned: pool.spawned_threads(),
         pool_jobs: pool.jobs_run(),
     }
@@ -72,6 +179,12 @@ fn to_json(b: &Baseline) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"lbm_baseline\",\n");
+    s.push_str(&format!(
+        "  \"provenance\": {{\"git_rev\": \"{}\", \"rustc\": \"{}\", \"kernel_config\": \"{}\"}},\n",
+        provenance::json_escape(&provenance::git_rev()),
+        provenance::json_escape(&provenance::rustc_version()),
+        provenance::json_escape(&KernelConfig::harvey().name()),
+    ));
     s.push_str(&format!("  \"fast_mode\": {},\n", fast_mode()));
     s.push_str(&format!("  \"threads\": {},\n", b.threads));
     s.push_str(&format!("  \"mesh_cells\": {},\n", b.mesh_cells));
@@ -79,6 +192,24 @@ fn to_json(b: &Baseline) -> String {
     s.push_str(&format!("    \"mflups\": {:.3},\n", b.mflups));
     s.push_str(&format!("    \"ns_per_step\": {:.1}\n", b.ns_per_step));
     s.push_str("  },\n");
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in b.kernels.iter().enumerate() {
+        let comma = if i + 1 < b.kernels.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"config\": \"{}\", \"mflups\": {:.3}, \"ns_per_update\": {:.3}, \"modeled_bytes_per_update\": {:.3}, \"implied_bytes_per_update\": {:.3}, \"measured_over_modeled\": {:.4}}}{comma}\n",
+            k.config.name(),
+            k.mflups,
+            k.ns_per_update,
+            k.modeled_bytes_per_update,
+            k.implied_bytes_per_update,
+            k.implied_bytes_per_update / k.modeled_bytes_per_update,
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"aa_ab_moment_max_diff\": {:e},\n",
+        b.aa_ab_moment_max_diff
+    ));
     s.push_str("  \"stream\": [\n");
     for (i, m) in b.stream.iter().enumerate() {
         let comma = if i + 1 < b.stream.len() { "," } else { "" };
@@ -102,9 +233,28 @@ fn to_json(b: &Baseline) -> String {
 fn main() {
     let baseline = measure();
 
-    let mut ok = baseline.mflups.is_finite() && baseline.mflups > 0.0;
+    let mut failures = Vec::new();
+    if !(baseline.mflups.is_finite() && baseline.mflups > 0.0) {
+        failures.push(format!("solver mflups {}", baseline.mflups));
+    }
     for m in &baseline.stream {
-        ok &= m.bandwidth_mb_s.is_finite() && m.bandwidth_mb_s > 0.0;
+        if !(m.bandwidth_mb_s.is_finite() && m.bandwidth_mb_s > 0.0) {
+            failures.push(format!("stream {} {}", m.kernel.name(), m.bandwidth_mb_s));
+        }
+    }
+    for k in &baseline.kernels {
+        if !(k.mflups.is_finite() && k.mflups > 0.0)
+            || !(k.modeled_bytes_per_update.is_finite() && k.modeled_bytes_per_update > 0.0)
+            || !(k.implied_bytes_per_update.is_finite() && k.implied_bytes_per_update > 0.0)
+        {
+            failures.push(format!("kernel row {} has bad numbers", k.config.name()));
+        }
+    }
+    if !(baseline.aa_ab_moment_max_diff <= 1e-12) {
+        failures.push(format!(
+            "AA/AB moment divergence {} exceeds 1e-12",
+            baseline.aa_ab_moment_max_diff
+        ));
     }
 
     let json = to_json(&baseline);
@@ -123,10 +273,26 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
     );
+    for k in &baseline.kernels {
+        println!(
+            "bench_baseline: {:<22} {:>8.2} MFLUPS  modeled {:>6.1} B/update  implied {:>6.1} B/update (x{:.2})",
+            k.config.name(),
+            k.mflups,
+            k.modeled_bytes_per_update,
+            k.implied_bytes_per_update,
+            k.implied_bytes_per_update / k.modeled_bytes_per_update,
+        );
+    }
+    println!(
+        "bench_baseline: AA/AB moment max diff {:.2e}",
+        baseline.aa_ab_moment_max_diff
+    );
     println!("bench_baseline: wrote {path}");
 
-    if !ok {
-        eprintln!("bench_baseline: ERROR: non-finite or non-positive throughput measured");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_baseline: ERROR: {f}");
+        }
         std::process::exit(1);
     }
 }

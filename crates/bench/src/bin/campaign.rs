@@ -16,6 +16,7 @@
 //!
 //! [`CampaignReport`]: hemocloud_sched::CampaignReport
 
+use hemocloud_bench::provenance;
 use hemocloud_sched::run_demo;
 
 fn main() {
@@ -26,7 +27,9 @@ fn main() {
     let out = std::env::var("CAMPAIGN_OUT").unwrap_or_else(|_| "CAMPAIGN_sched.json".to_string());
 
     let report = run_demo(seed);
-    let json = report.to_json();
+    let git_rev = provenance::json_escape(&provenance::git_rev());
+    let rustc = provenance::json_escape(&provenance::rustc_version());
+    let json = report.to_json_with_provenance(&[("git_rev", &git_rev), ("rustc", &rustc)]);
 
     let mut failures = Vec::new();
     if !(report.makespan_s.is_finite() && report.makespan_s > 0.0) {

@@ -1,0 +1,79 @@
+//! Run provenance for persisted benchmark artifacts.
+//!
+//! `BENCH_lbm.json` and `CAMPAIGN_sched.json` are committed and compared
+//! across PRs; a number without the commit and toolchain that produced it
+//! is unreviewable. These helpers shell out to `git`/`rustc` and degrade
+//! to `"unknown"` when either is unavailable (e.g. an unpacked source
+//! tarball), so the benches never fail on missing provenance.
+
+use std::process::Command;
+
+fn first_line_of(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim().to_string();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// The current commit (short hash), or `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    first_line_of("git", &["rev-parse", "--short=12", "HEAD"])
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The compiler version line (`rustc -V`), or `"unknown"`.
+pub fn rustc_version() -> String {
+    first_line_of("rustc", &["-V"]).unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_strings_are_single_nonempty_lines() {
+        for s in [git_rev(), rustc_version()] {
+            assert!(!s.is_empty());
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn rustc_version_is_detected_in_a_build_environment() {
+        // The bench binaries are built by rustc, so it must be present.
+        let v = rustc_version();
+        assert!(v.starts_with("rustc "), "unexpected: {v}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -21,7 +21,7 @@ use crate::characterize::PlatformCharacterization;
 use crate::composition::{Composition, Prediction};
 use crate::workload::Workload;
 use hemocloud_cluster::network::LinkKind;
-use hemocloud_decomp::halo::{bytes_per_task, DecompAnalysis};
+use hemocloud_decomp::halo::{bytes_per_task, resident_bytes_per_task, DecompAnalysis};
 use hemocloud_decomp::placement::Placement;
 use hemocloud_decomp::rcb::RcbPartition;
 
@@ -127,6 +127,28 @@ impl DirectModel {
     pub fn sweep(&self, ranks: &[usize]) -> Vec<Prediction> {
         ranks.iter().filter_map(|&r| self.predict(r)).collect()
     }
+
+    /// Per-task *resident* memory at `ranks` tasks, decomposed exactly as
+    /// [`DirectModel::predict`] decomposes: each task's fluid points times
+    /// the configured kernel's `resident_bytes_per_point`. AA kernels
+    /// report half the distribution storage of AB (no second array) — the
+    /// footprint that decides whether a subdomain fits in a node's memory.
+    /// Returns `None` for the same infeasible rank counts as `predict`.
+    pub fn resident_task_bytes(&self, ranks: usize) -> Option<Vec<f64>> {
+        let grid = &self.workload.grid;
+        if ranks == 0
+            || ranks > self.character.platform.total_cores
+            || ranks > grid.fluid_count()
+        {
+            return None;
+        }
+        let partition = RcbPartition::new(grid, ranks);
+        Some(resident_bytes_per_task(
+            grid,
+            &partition,
+            self.workload.kernel.resident_bytes_per_point(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +220,33 @@ mod tests {
                 measured.mflups
             );
         }
+    }
+
+    #[test]
+    fn aa_kernel_halves_resident_distribution_storage_per_task() {
+        let grid = CylinderSpec::default().with_resolution(12).build();
+        let character = characterize(&Platform::csp2(), 42);
+        let mut aa_kernel = hemocloud_lbm::kernel::KernelConfig::harvey();
+        aa_kernel.propagation = hemocloud_lbm::kernel::Propagation::Aa;
+        let ab = DirectModel::new(
+            character.clone(),
+            Workload::harvey(&grid, 100),
+        );
+        let aa = DirectModel::new(
+            character,
+            Workload::new("HARVEY-AA", &grid, aa_kernel, 100),
+        );
+        for ranks in [1usize, 8] {
+            let ab_bytes = ab.resident_task_bytes(ranks).unwrap();
+            let aa_bytes = aa.resident_task_bytes(ranks).unwrap();
+            assert_eq!(ab_bytes.len(), ranks);
+            for (b, a) in ab_bytes.iter().zip(&aa_bytes) {
+                // AB: 2×19×8 + 19×4 = 380 B/point; AA drops one 152-byte
+                // array → 228 B/point.
+                assert!((a / b - 228.0 / 380.0).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+        assert!(aa.resident_task_bytes(0).is_none());
     }
 
     #[test]

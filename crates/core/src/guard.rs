@@ -35,8 +35,8 @@ pub struct JobGuard {
 ///
 /// Both limits are **inclusive**: usage *exactly at* a limit
 /// (`elapsed == max_seconds`, `spent == max_dollars`) is still
-/// [`WithinLimits`] — the guard grants the full budget it quoted, and
-/// [`Exceeded`] requires strictly crossing a limit. This holds for
+/// [`GuardVerdict::WithinLimits`] — the guard grants the full budget it quoted, and
+/// [`GuardVerdict::Exceeded`] requires strictly crossing a limit. This holds for
 /// zero-tolerance guards too, where `max_seconds == predicted_seconds`:
 /// a job that lands exactly on its prediction is compliant; the first
 /// representable instant beyond it is not.
@@ -44,7 +44,7 @@ pub struct JobGuard {
 /// The companion queries agree with that boundary: at the exact limit
 /// [`JobGuard::remaining_seconds`] returns `0` and
 /// [`JobGuard::has_budget`] returns `false` while [`JobGuard::check`]
-/// still says [`WithinLimits`]. A slice-driven scheduler should therefore
+/// still says [`GuardVerdict::WithinLimits`]. A slice-driven scheduler should therefore
 /// use `has_budget` to decide whether to *dispatch more work* and `check`
 /// to decide whether to *kill* — a job sitting exactly on the boundary is
 /// stopped cleanly rather than flagged as an overrun.

@@ -3,7 +3,7 @@
 //!
 //! The pipeline mirrors the framework of the paper's Fig. 1:
 //!
-//! 1. **Characterize** ([`characterize`]) — run the microbenchmarks on a
+//! 1. **Characterize** ([`characterize()`]) — run the microbenchmarks on a
 //!    platform (STREAM thread sweep, PingPong message sweep) and fit the
 //!    two-line bandwidth model (Eq. 8) and linear communication model
 //!    (Eq. 12).

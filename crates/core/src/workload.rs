@@ -55,6 +55,23 @@ impl Workload {
         Self::new("HARVEY", grid, KernelConfig::harvey(), steps)
     }
 
+    /// Describe the workload a [`hemocloud_lbm::solver::Solver`] would
+    /// actually execute under `config`: the byte accounting (Eq. 9 inputs
+    /// and resident footprint) is taken from the *configured* kernel —
+    /// an AA solver run is priced as AA, never silently as AB.
+    pub fn for_solver(
+        grid: &VoxelGrid,
+        config: &hemocloud_lbm::solver::SolverConfig,
+        steps: u64,
+    ) -> Self {
+        Self::new(
+            format!("solver {}", config.kernel.name()),
+            grid,
+            config.kernel,
+            steps,
+        )
+    }
+
     /// A proxy-app workload with an explicit kernel variant.
     pub fn proxy(grid: &VoxelGrid, kernel: KernelConfig, steps: u64) -> Self {
         Self::new(format!("lbm-proxy-app {}", kernel.name()), grid, kernel, steps)
@@ -150,6 +167,23 @@ mod tests {
             s.stats.bulk_points + s.stats.wall_points + s.stats.inlet_points
                 + s.stats.outlet_points
         );
+    }
+
+    #[test]
+    fn for_solver_prices_the_configured_kernel_not_ab() {
+        use hemocloud_lbm::solver::SolverConfig;
+        let g = CylinderSpec::default().with_resolution(8).build();
+        let aa_cfg = SolverConfig {
+            kernel: KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+            ..Default::default()
+        };
+        let aa = Workload::for_solver(&g, &aa_cfg, 10);
+        let ab = Workload::for_solver(&g, &SolverConfig::default(), 10);
+        assert_eq!(aa.kernel, aa_cfg.kernel);
+        assert_eq!(ab.kernel, KernelConfig::harvey());
+        // The configured kernel drives both traffic and footprint.
+        assert!(aa.serial_bytes < ab.serial_bytes);
+        assert!(aa.kernel.resident_bytes_per_point() < ab.kernel.resident_bytes_per_point());
     }
 
     #[test]

@@ -159,6 +159,29 @@ pub fn bytes_per_task<P: Ownership>(
     bytes
 }
 
+/// Per-task *resident-memory* byte totals: every fluid point owned by a
+/// task contributes `point_bytes` of storage (distribution arrays plus the
+/// streaming-index row — the kernel's `resident_bytes_per_point`, not its
+/// per-step traffic). This is what capacity planning compares against a
+/// node's memory, and it depends on the propagation pattern: AA kernels
+/// never allocate the second distribution array, so their footprint is
+/// computed from a smaller `point_bytes` than AB's — the accounting can no
+/// longer silently assume two arrays.
+pub fn resident_bytes_per_task<P: Ownership>(
+    grid: &VoxelGrid,
+    partition: &P,
+    point_bytes: f64,
+) -> Vec<f64> {
+    let mut bytes = vec![0.0; partition.task_count()];
+    for (x, y, z, c) in grid.iter_cells() {
+        if !c.is_fluid() {
+            continue;
+        }
+        bytes[partition.owner(x, y, z)] += point_bytes;
+    }
+    bytes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +293,35 @@ mod tests {
         let t1: f64 = bytes_per_task(&g, &p1, 380.0, 320.0).iter().sum();
         let t8: f64 = bytes_per_task(&g, &p8, 380.0, 320.0).iter().sum();
         assert!((t1 - t8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resident_bytes_count_every_fluid_point_once() {
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let p = BlockPartition::new(g.dims(), 8);
+        let a = DecompAnalysis::analyze(&g, &p);
+        let resident = resident_bytes_per_task(&g, &p, 228.0);
+        assert_eq!(resident.len(), 8);
+        let total: f64 = resident.iter().sum();
+        assert!((total - a.total_points as f64 * 228.0).abs() < 1e-6);
+        // Per task, the footprint is exactly points × point_bytes.
+        for (task, &b) in resident.iter().enumerate() {
+            assert_eq!(b, a.points_per_task[task] as f64 * 228.0);
+        }
+    }
+
+    #[test]
+    fn resident_bytes_scale_linearly_with_point_cost() {
+        // The AB→AA memory saving flows straight through: a kernel whose
+        // per-point footprint is 228/380 of AB's yields per-task footprints
+        // scaled by the same ratio on every task.
+        let g = CylinderSpec::default().with_resolution(10).build();
+        let p = BlockPartition::new(g.dims(), 4);
+        let ab = resident_bytes_per_task(&g, &p, 380.0);
+        let aa = resident_bytes_per_task(&g, &p, 228.0);
+        for (a, b) in ab.iter().zip(&aa) {
+            assert!((b / a - 228.0 / 380.0).abs() < 1e-12);
+        }
     }
 
     #[test]

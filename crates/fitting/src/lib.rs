@@ -8,7 +8,7 @@
 //! * **Continuous two-line fits** ([`two_line`]) — node memory bandwidth
 //!   vs. thread count follows two regimes (core-limited, then
 //!   subsystem-limited) joined at a breakpoint `a3` (paper Eq. 8).
-//! * **General nonlinear fits** ([`nelder_mead`]) — the load-imbalance
+//! * **General nonlinear fits** ([`mod@nelder_mead`]) — the load-imbalance
 //!   model `z(n)` (Eq. 11) and the message-event model (Eq. 15) have no
 //!   closed-form estimator, so they are fit with a derivative-free
 //!   Nelder-Mead simplex search.

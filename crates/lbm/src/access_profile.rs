@@ -235,4 +235,48 @@ mod tests {
         let p = AccessProfile::for_kernel(&KernelConfig::harvey(), 5.0);
         assert_eq!(p.boundary_point_bytes, 40.0);
     }
+
+    #[test]
+    fn aa_wall_bytes_pinned_at_reference_solid_link_counts() {
+        // Pin the AA double-precision profile at the solid-link extremes
+        // and a typical vessel value, per link count k:
+        //   reads (19-k)·8 + writes 19·8 + index (19-k)·4·0.5
+        let aa = KernelConfig::sparse(Propagation::Aa, Layout::Aos);
+        for (k, bulk, wall) in [(0.0, 342.0, 342.0), (5.0, 342.0, 292.0), (18.0, 342.0, 162.0)] {
+            let p = AccessProfile::for_kernel(&aa, k);
+            assert_eq!(p.bulk_bytes, bulk, "bulk at k={k}");
+            assert_eq!(p.wall_bytes, wall, "wall at k={k}");
+        }
+    }
+
+    #[test]
+    fn aa_is_cheaper_than_ab_for_every_precision_and_layout() {
+        // The AA advantage (halved index traffic) must hold across the
+        // whole kernel space the model prices, at bulk and wall points.
+        for precision in [Precision::Single, Precision::Double, Precision::Quad] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                for k in [0.0, 5.0, 18.0] {
+                    let mut ab = KernelConfig::sparse(Propagation::Ab, layout);
+                    ab.precision = precision;
+                    let mut aa = KernelConfig::sparse(Propagation::Aa, layout);
+                    aa.precision = precision;
+                    let pab = AccessProfile::for_kernel(&ab, k);
+                    let paa = AccessProfile::for_kernel(&aa, k);
+                    assert!(
+                        paa.bulk_bytes < pab.bulk_bytes,
+                        "{precision:?}/{layout:?} bulk: AA {} !< AB {}",
+                        paa.bulk_bytes,
+                        pab.bulk_bytes
+                    );
+                    if k < 18.0 {
+                        assert!(paa.wall_bytes < pab.wall_bytes, "{precision:?}/{layout:?} k={k}");
+                    } else {
+                        // One remaining fluid link still carries half an
+                        // index entry's saving.
+                        assert!(paa.wall_bytes <= pab.wall_bytes);
+                    }
+                }
+            }
+        }
+    }
 }

@@ -58,6 +58,40 @@ impl Precision {
     }
 }
 
+/// Compile-time distribution indexing for a storage [`Layout`], shared by
+/// every kernel that is generic over layout (the dense proxy app and the
+/// sparse production solvers). Monomorphizing over this trait keeps the
+/// index arithmetic branch-free in the hot loops while `KernelConfig`
+/// stays a runtime value.
+pub trait LayoutIdx: Copy {
+    /// The [`Layout`] this indexer implements.
+    const LAYOUT: Layout;
+    /// Flat index of `(cell, q)` in an `n`-cell array.
+    fn at(cell: usize, q: usize, n: usize) -> usize;
+}
+
+/// Structure-of-arrays indexing: `f[q * n + cell]`.
+#[derive(Clone, Copy)]
+pub struct SoaIdx;
+impl LayoutIdx for SoaIdx {
+    const LAYOUT: Layout = Layout::Soa;
+    #[inline(always)]
+    fn at(cell: usize, q: usize, n: usize) -> usize {
+        q * n + cell
+    }
+}
+
+/// Array-of-structures indexing: `f[cell * 19 + q]`.
+#[derive(Clone, Copy)]
+pub struct AosIdx;
+impl LayoutIdx for AosIdx {
+    const LAYOUT: Layout = Layout::Aos;
+    #[inline(always)]
+    fn at(cell: usize, q: usize, _n: usize) -> usize {
+        cell * Q19 + q
+    }
+}
+
 /// Addressing scheme: dense grids use constant strides; sparse (HARVEY)
 /// meshes read a per-cell neighbor index row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +141,21 @@ impl KernelConfig {
         }
     }
 
+    /// A sparse-mesh production variant: indirect addressing, double
+    /// precision, unrolled — the space the runtime
+    /// [`crate::solver::Solver`] can actually execute
+    /// (`propagation × layout`; [`Self::harvey`] is
+    /// `sparse(Ab, Aos)`).
+    pub fn sparse(propagation: Propagation, layout: Layout) -> Self {
+        Self {
+            layout,
+            propagation,
+            precision: Precision::Double,
+            addressing: Addressing::Indirect,
+            unrolled: true,
+        }
+    }
+
     /// All four proxy variants shown in the paper's Fig. 4 (SoA unrolled and
     /// AoS, for each propagation pattern).
     pub fn fig4_variants() -> Vec<(String, Self)> {
@@ -141,6 +190,21 @@ impl KernelConfig {
             Propagation::Ab => 2,
             Propagation::Aa => 1,
         }
+    }
+
+    /// Resident distribution-storage bytes per fluid point: `arrays × q ×
+    /// d_size`, plus the streaming-index row for indirect addressing. AA
+    /// configurations halve the distribution term — the paper's §III-D
+    /// motivation for AA beyond bandwidth — because the second (`f_tmp`)
+    /// array is never allocated.
+    #[inline]
+    pub fn resident_bytes_per_point(&self) -> f64 {
+        let distributions = (self.arrays() * self.q() * self.precision.bytes()) as f64;
+        let index = match self.addressing {
+            Addressing::Dense => 0.0,
+            Addressing::Indirect => self.q() as f64 * crate::access_profile::INDEX_BYTES,
+        };
+        distributions + index
     }
 
     /// Short display name, e.g. `"AB/AOS/indirect/f64"`.
@@ -208,6 +272,43 @@ mod tests {
     fn fig8_variants_are_all_soa() {
         for (_, k) in KernelConfig::fig8_variants() {
             assert_eq!(k.layout, Layout::Soa);
+        }
+    }
+
+    #[test]
+    fn sparse_constructor_spans_the_runtime_space() {
+        assert_eq!(KernelConfig::sparse(Propagation::Ab, Layout::Aos), KernelConfig::harvey());
+        let aa = KernelConfig::sparse(Propagation::Aa, Layout::Soa);
+        assert_eq!(aa.addressing, Addressing::Indirect);
+        assert_eq!(aa.name(), "AA/SOA/indirect/f64");
+    }
+
+    #[test]
+    fn aa_halves_resident_distribution_bytes() {
+        let ab = KernelConfig::harvey();
+        let aa = KernelConfig::sparse(Propagation::Aa, Layout::Aos);
+        // AB: 2×19×8 + 19×4 = 380; AA drops one 152-byte array.
+        assert_eq!(ab.resident_bytes_per_point(), 380.0);
+        assert_eq!(aa.resident_bytes_per_point(), 228.0);
+        // Dense proxy configs carry no index row.
+        let dense = KernelConfig::proxy(Layout::Soa, Propagation::Aa, true);
+        assert_eq!(dense.resident_bytes_per_point(), 152.0);
+    }
+
+    #[test]
+    fn layout_indexers_are_inverse_transposes() {
+        let n = 37;
+        // Every (cell, q) maps to a unique flat slot in both layouts.
+        let mut seen_soa = vec![false; n * Q19];
+        let mut seen_aos = vec![false; n * Q19];
+        for cell in 0..n {
+            for q in 0..Q19 {
+                let s = SoaIdx::at(cell, q, n);
+                let a = AosIdx::at(cell, q, n);
+                assert!(!seen_soa[s] && !seen_aos[a]);
+                seen_soa[s] = true;
+                seen_aos[a] = true;
+            }
         }
     }
 }

@@ -19,36 +19,10 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::equilibrium::{equilibrium_d3q19, moments_d3q19};
-use crate::kernel::{KernelConfig, Layout, Propagation};
+use crate::kernel::{AosIdx, KernelConfig, Layout, LayoutIdx, Propagation, SoaIdx};
 use crate::lattice::{opposite, C19, Q19, W19};
 use crate::solver::RunStats;
 use std::hint::black_box;
-
-/// Distribution indexing for a storage layout.
-trait LayoutIdx: Copy {
-    /// Flat index of `(cell, q)` in an `n`-cell array.
-    fn at(cell: usize, q: usize, n: usize) -> usize;
-}
-
-/// Structure-of-arrays indexing: `f[q * n + cell]`.
-#[derive(Clone, Copy)]
-struct SoaIdx;
-impl LayoutIdx for SoaIdx {
-    #[inline(always)]
-    fn at(cell: usize, q: usize, n: usize) -> usize {
-        q * n + cell
-    }
-}
-
-/// Array-of-structures indexing: `f[cell * 19 + q]`.
-#[derive(Clone, Copy)]
-struct AosIdx;
-impl LayoutIdx for AosIdx {
-    #[inline(always)]
-    fn at(cell: usize, q: usize, _n: usize) -> usize {
-        cell * Q19 + q
-    }
-}
 
 /// The proxy application state.
 pub struct ProxyApp {

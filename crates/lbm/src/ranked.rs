@@ -2,19 +2,36 @@
 //!
 //! HARVEY runs under MPI: the mesh is split among ranks, each rank updates
 //! its own cells, and boundary distributions are exchanged every step. This
-//! module reproduces that structure in-process: each rank owns a contiguous
-//! range of fluid cells, remote reads go through per-step halo snapshots,
-//! and the per-rank message ledger records exactly the bytes and events the
+//! module reproduces that structure in-process: each rank owns a set of
+//! fluid cells, remote reads go through per-step halo snapshots, and the
+//! per-rank message ledger records exactly the bytes and events the
 //! performance model costs (paper Eqs. 5, 13, 15).
 //!
+//! The ranked solver honors the same runtime
+//! [`crate::solver::SolverConfig::kernel`] as the global solver:
+//!
+//! * **AB**: exchange before every step, pull-stream into `f_tmp`, swap.
+//! * **AA**: the even step is purely cell-local, so *no exchange happens
+//!   at all* (the ledgers record zero traffic — AA halves the exchange
+//!   count on top of halving index traffic). Before an odd step the
+//!   boundary is snapshotted as usual; remote *reads* come from the
+//!   snapshot and remote *writes* (the scatter into `+c_q` neighbors)
+//!   land directly in the distribution array — the push half of the
+//!   exchange. This is MPI-faithful: the AA odd step's write set equals
+//!   its read set per cell and the sets are disjoint across cells
+//!   (see `crate::solver` module docs), so no rank can observe another
+//!   rank's current-step writes through its own reads.
+//!
 //! The ranked solver must produce the *same physics* as the global
-//! [`crate::solver::Solver`]; the equivalence test at the bottom is the
+//! [`crate::solver::Solver`]; the equivalence tests at the bottom are the
 //! core integration check between the LBM and decomposition machinery.
 
-use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
-use crate::lattice::{opposite, Q19, W19};
+use crate::kernel::{AosIdx, Layout, LayoutIdx, Propagation, SoaIdx};
+use crate::lattice::{opposite, Q19};
 use crate::mesh::{FluidMesh, SOLID};
+use crate::solver::{bulk_out, flat_index, inlet_out, outlet_out, rest_distributions};
 use hemocloud_geometry::voxel::CellType;
+use hemocloud_rt::pool::{self, DisjointMut};
 
 /// Assignment of fluid cells to ranks: `owner[cell]` is the rank index.
 #[derive(Debug, Clone)]
@@ -69,10 +86,12 @@ pub struct RankedSolver {
     mesh: FluidMesh,
     assignment: RankAssignment,
     f: Vec<f64>,
+    /// Second distribution array — AB only; AA streams in place and this
+    /// stays empty, same as the global solver.
     f_tmp: Vec<f64>,
     /// Snapshot of remote distributions needed by each rank, rebuilt each
-    /// step: `halo[cell * 19 + q]` is valid only for cells in some rank's
-    /// receive set.
+    /// exchange: indexed by the configured layout, valid only for cells in
+    /// some rank's receive set.
     halo: Vec<f64>,
     /// For each rank, the list of (remote cell) indices it must receive
     /// before updating, grouped by sending rank for message accounting.
@@ -81,11 +100,12 @@ pub struct RankedSolver {
     inlet_slot: Vec<u32>,
     inlet_vel: Vec<[f64; 3]>,
     /// Update cells on the shared worker pool (same gating as
-    /// [`crate::solver::SolverConfig::parallel`]). Race-free: the update
-    /// reads only `f` and the `halo` snapshot, both immutable during the
-    /// sweep, and writes only the destination cell.
+    /// [`crate::solver::SolverConfig::parallel`]). Race-free: AB writes
+    /// only the destination cell's slots; AA touches only per-cell
+    /// disjoint slot sets (module docs).
     parallel: bool,
     parallel_threshold: usize,
+    kernel: crate::kernel::KernelConfig,
     steps_taken: u64,
     ledgers: Vec<CommLedger>,
 }
@@ -101,15 +121,16 @@ impl RankedSolver {
         assert_eq!(assignment.owner.len(), mesh.len(), "assignment size");
         assert!(config.tau > 0.5, "tau must exceed 1/2 for stability");
         let n = mesh.len();
-        let mut f = vec![0.0; n * Q19];
-        for cell in 0..n {
-            for q in 0..Q19 {
-                f[cell * Q19 + q] = W19[q];
-            }
-        }
+        let f = rest_distributions(config.kernel.layout, n);
+        let f_tmp = match config.kernel.propagation {
+            Propagation::Ab => f.clone(),
+            Propagation::Aa => Vec::new(),
+        };
 
         // Receive sets: for each rank, the remote cells read by its pull
-        // updates, grouped by owner.
+        // updates, grouped by owner. (The AA odd step reads the same
+        // neighbor cells — only the slot within the neighbor's row
+        // differs — so one receive-set construction serves both.)
         let mut recv: Vec<std::collections::BTreeMap<u32, std::collections::BTreeSet<u32>>> =
             vec![Default::default(); assignment.n_ranks];
         for cell in 0..n {
@@ -138,7 +159,7 @@ impl RankedSolver {
 
         let ledgers = vec![CommLedger::default(); assignment.n_ranks];
         Self {
-            f_tmp: f.clone(),
+            f_tmp,
             halo: vec![0.0; n * Q19],
             f,
             mesh,
@@ -149,25 +170,33 @@ impl RankedSolver {
             inlet_vel,
             parallel: config.parallel,
             parallel_threshold: config.parallel_threshold,
+            kernel: config.kernel,
             steps_taken: 0,
             ledgers,
+        }
+    }
+
+    fn clear_ledgers(&mut self) {
+        for ledger in &mut self.ledgers {
+            ledger.bytes_sent = 0;
+            ledger.messages_sent = 0;
         }
     }
 
     /// Exchange phase: snapshot every boundary distribution into `halo` and
     /// charge each sending rank's ledger.
     fn exchange(&mut self) {
-        for ledger in &mut self.ledgers {
-            ledger.bytes_sent = 0;
-            ledger.messages_sent = 0;
-        }
-        for (rank, groups) in self.recv_sets.iter().enumerate() {
-            let _ = rank;
+        self.clear_ledgers();
+        let n = self.mesh.len();
+        let layout = self.kernel.layout;
+        for groups in self.recv_sets.iter() {
             for (sender, cells) in groups {
                 let mut bytes = 0u64;
                 for &cell in cells {
-                    let base = cell as usize * Q19;
-                    self.halo[base..base + Q19].copy_from_slice(&self.f[base..base + Q19]);
+                    for q in 0..Q19 {
+                        let i = flat_index(layout, cell as usize, q, n);
+                        self.halo[i] = self.f[i];
+                    }
                     bytes += (Q19 * std::mem::size_of::<f64>()) as u64;
                 }
                 let ledger = &mut self.ledgers[*sender as usize];
@@ -177,12 +206,12 @@ impl RankedSolver {
         }
     }
 
-    /// One pull-scheme update for destination cell `cell`, reading remote
-    /// neighbors only from the halo snapshot. Pure in its inputs, so the
-    /// serial and pool-parallel sweeps are bit-identical.
+    /// One AB pull-scheme update for destination cell `cell`, reading
+    /// remote neighbors only from the halo snapshot. Pure in its inputs,
+    /// so the serial and pool-parallel sweeps are bit-identical.
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn update_cell(
+    fn ab_update_cell<L: LayoutIdx>(
         mesh: &FluidMesh,
         owner: &[u32],
         src: &[f64],
@@ -191,48 +220,122 @@ impl RankedSolver {
         inlet_slot: &[u32],
         inlet_vel: &[[f64; 3]],
         cell: usize,
-        out: &mut [f64],
+        out: &DisjointMut<'_, f64>,
     ) {
+        let n = mesh.len();
         let me = owner[cell];
         let mut fin = [0.0f64; Q19];
         let row = mesh.neighbor_row(cell);
         for q in 0..Q19 {
             let nb = row[opposite(q)];
             fin[q] = if nb == SOLID {
-                src[cell * Q19 + opposite(q)]
+                src[L::at(cell, opposite(q), n)]
             } else if owner[nb as usize] != me {
-                halo[nb as usize * Q19 + q]
+                halo[L::at(nb as usize, q, n)]
             } else {
-                src[nb as usize * Q19 + q]
+                src[L::at(nb as usize, q, n)]
             };
         }
-        let (rho, ux, uy, uz) = macroscopics_d3q19(&fin);
-        let mut feq = [0.0f64; Q19];
-        match mesh.cell_type(cell) {
-            CellType::Inlet => {
-                let v = inlet_vel[inlet_slot[cell] as usize];
-                equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
-                out[..Q19].copy_from_slice(&feq);
-            }
-            CellType::Outlet => {
-                equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
-                out[..Q19].copy_from_slice(&feq);
-            }
-            _ => {
-                equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
-                for q in 0..Q19 {
-                    out[q] = fin[q] - omega * (fin[q] - feq[q]);
-                }
+        let fout = match mesh.cell_type(cell) {
+            CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            CellType::Outlet => outlet_out(&fin),
+            _ => bulk_out(&fin, omega),
+        };
+        for q in 0..Q19 {
+            // Safety: slot (cell, q) of the destination array belongs to
+            // `cell` alone.
+            unsafe { out.write(L::at(cell, q, n), fout[q]) };
+        }
+    }
+
+    /// One AA even-step update: purely cell-local (read own row, collide,
+    /// write the opposite slots). No halo, no index, no cross-rank data.
+    #[inline]
+    fn aa_even_cell<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let mut fin = [0.0f64; Q19];
+        for (q, v) in fin.iter_mut().enumerate() {
+            // Safety: slot (cell, q) belongs to `cell` alone this step.
+            *v = unsafe { f.read(L::at(cell, q, n)) };
+        }
+        let fout = match mesh.cell_type(cell) {
+            CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            CellType::Outlet => outlet_out(&fin),
+            _ => bulk_out(&fin, omega),
+        };
+        for q in 0..Q19 {
+            // Safety: same per-cell slot set; fully read before writing.
+            unsafe { f.write(L::at(cell, opposite(q), n), fout[q]) };
+        }
+    }
+
+    /// One AA odd-step update: gather arriving values from `-c_q`
+    /// neighbors' opposite slots (remote neighbors via the halo snapshot),
+    /// collide, scatter forward into `+c_q` neighbors' slots — including
+    /// remote ones, the push half of the exchange. The touched slot set is
+    /// exactly this cell's AA-odd set, disjoint from every other cell's.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn aa_odd_cell<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        halo: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let me = owner[cell];
+        let row = mesh.neighbor_row(cell);
+        let mut fin = [0.0f64; Q19];
+        for q in 0..Q19 {
+            let nb = row[opposite(q)];
+            fin[q] = if nb == SOLID {
+                // Safety: (cell, q) is in this cell's AA-odd slot set.
+                unsafe { f.read(L::at(cell, q, n)) }
+            } else if owner[nb as usize] != me {
+                halo[L::at(nb as usize, opposite(q), n)]
+            } else {
+                // Safety: (nb, opp(q)) is claimed by `cell` alone — the
+                // streaming index is reciprocal (solver module docs).
+                unsafe { f.read(L::at(nb as usize, opposite(q), n)) }
+            };
+        }
+        let fout = match mesh.cell_type(cell) {
+            CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            CellType::Outlet => outlet_out(&fin),
+            _ => bulk_out(&fin, omega),
+        };
+        for q in 0..Q19 {
+            let nb = row[q];
+            // Safety: identical slot set as the gather, read before write.
+            if nb == SOLID {
+                unsafe { f.write(L::at(cell, opposite(q), n), fout[q]) };
+            } else {
+                unsafe { f.write(L::at(nb as usize, q, n), fout[q]) };
             }
         }
     }
 
-    /// Advance one timestep: exchange, then per-rank updates reading
-    /// remote data only from the halo snapshot. Like the global solver,
-    /// the sweep runs on the persistent shared worker pool when the mesh
-    /// is large enough — no OS threads are spawned per step.
-    pub fn step(&mut self) {
-        self.exchange();
+    fn workers(&self) -> usize {
+        if self.parallel && self.mesh.len() >= self.parallel_threshold {
+            pool::global().threads()
+        } else {
+            1
+        }
+    }
+
+    fn step_ab<L: LayoutIdx>(&mut self) {
+        let workers = self.workers();
         let mesh = &self.mesh;
         let owner = &self.assignment.owner;
         let src = &self.f;
@@ -240,21 +343,66 @@ impl RankedSolver {
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
-
-        if self.parallel && mesh.len() >= self.parallel_threshold {
-            hemocloud_rt::pool::global().par_chunks_mut(&mut self.f_tmp, Q19, |cell, out| {
-                Self::update_cell(
-                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
-                );
-            });
-        } else {
-            for (cell, out) in self.f_tmp.chunks_exact_mut(Q19).enumerate() {
-                Self::update_cell(
+        let n = mesh.len();
+        pool::global().par_owner_mut_workers(&mut self.f_tmp, n, workers, |cells, out| {
+            for cell in cells {
+                Self::ab_update_cell::<L>(
                     mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
                 );
             }
-        }
+        });
         std::mem::swap(&mut self.f, &mut self.f_tmp);
+    }
+
+    fn step_aa<L: LayoutIdx>(&mut self, even: bool) {
+        let workers = self.workers();
+        let mesh = &self.mesh;
+        let owner = &self.assignment.owner;
+        let halo = &self.halo;
+        let omega = self.omega;
+        let inlet_slot = &self.inlet_slot;
+        let inlet_vel = &self.inlet_vel;
+        let n = mesh.len();
+        pool::global().par_owner_mut_workers(&mut self.f, n, workers, |cells, f| {
+            for cell in cells {
+                if even {
+                    Self::aa_even_cell::<L>(mesh, omega, inlet_slot, inlet_vel, cell, f);
+                } else {
+                    Self::aa_odd_cell::<L>(
+                        mesh, owner, halo, omega, inlet_slot, inlet_vel, cell, f,
+                    );
+                }
+            }
+        });
+    }
+
+    /// Advance one timestep. AB exchanges every step; AA exchanges only
+    /// before odd steps (the even step is cell-local — the ledgers record
+    /// genuinely zero traffic for it). Like the global solver, the sweep
+    /// runs on the persistent shared worker pool when the mesh is large
+    /// enough — no OS threads are spawned per step.
+    pub fn step(&mut self) {
+        match self.kernel.propagation {
+            Propagation::Ab => {
+                self.exchange();
+                match self.kernel.layout {
+                    Layout::Aos => self.step_ab::<AosIdx>(),
+                    Layout::Soa => self.step_ab::<SoaIdx>(),
+                }
+            }
+            Propagation::Aa => {
+                let even = self.steps_taken.is_multiple_of(2);
+                if even {
+                    self.clear_ledgers();
+                } else {
+                    self.exchange();
+                }
+                match self.kernel.layout {
+                    Layout::Aos => self.step_aa::<AosIdx>(even),
+                    Layout::Soa => self.step_aa::<SoaIdx>(even),
+                }
+            }
+        }
         self.steps_taken += 1;
     }
 
@@ -263,7 +411,8 @@ impl RankedSolver {
         &self.ledgers
     }
 
-    /// Raw distributions (natural order).
+    /// Raw distributions (storage order: the configured layout; natural
+    /// direction order only after an even number of AA steps).
     pub fn distributions(&self) -> &[f64] {
         &self.f
     }
@@ -271,6 +420,12 @@ impl RankedSolver {
     /// The ownership assignment.
     pub fn assignment(&self) -> &RankAssignment {
         &self.assignment
+    }
+
+    /// Bytes resident in distribution arrays (`f` plus `f_tmp` when
+    /// allocated) — AA halves this, exactly as in the global solver.
+    pub fn distribution_bytes(&self) -> usize {
+        (self.f.len() + self.f_tmp.len()) * std::mem::size_of::<f64>()
     }
 
     /// Maximum bytes sent by any rank in the most recent step.
@@ -291,6 +446,7 @@ impl RankedSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelConfig;
     use crate::solver::{Solver, SolverConfig};
     use hemocloud_geometry::anatomy::CylinderSpec;
 
@@ -329,35 +485,71 @@ mod tests {
     }
 
     #[test]
+    fn ranked_matches_global_solver_bitwise_for_every_kernel_config() {
+        // The tentpole equivalence: halo-mediated AA/SoA execution is
+        // bit-identical to the global in-place solver — remote reads from
+        // the snapshot see exactly the pre-step values the global solver
+        // reads in place (25 steps covers both parities).
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let config = SolverConfig {
+                    parallel: false,
+                    kernel: KernelConfig::sparse(prop, layout),
+                    ..Default::default()
+                };
+                let mut global = Solver::new(mesh.clone(), config);
+                let assignment = slab_assignment(mesh.len(), 4);
+                let mut ranked = RankedSolver::new(mesh.clone(), assignment, config);
+                for _ in 0..25 {
+                    global.step();
+                    ranked.step();
+                }
+                for (a, b) in global.distributions().iter().zip(ranked.distributions()) {
+                    assert_eq!(a, b, "{prop:?}/{layout:?} ranked diverged from global");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn ranked_pool_path_matches_serial_bitwise() {
         // parallel_threshold: 0 forces the per-rank update through the
         // shared worker pool; the sweep must stay bit-identical to the
-        // serial one.
+        // serial one — for the AB default and the AA in-place kernels.
         let mesh = cylinder_mesh();
         let assignment = slab_assignment(mesh.len(), 4);
-        let mut serial = RankedSolver::new(
-            mesh.clone(),
-            assignment.clone(),
-            SolverConfig {
-                parallel: false,
-                ..Default::default()
-            },
-        );
-        let mut pooled = RankedSolver::new(
-            mesh,
-            assignment,
-            SolverConfig {
-                parallel: true,
-                parallel_threshold: 0,
-                ..Default::default()
-            },
-        );
-        for _ in 0..20 {
-            serial.step();
-            pooled.step();
-        }
-        for (a, b) in serial.distributions().iter().zip(pooled.distributions()) {
-            assert_eq!(a, b, "pool-path ranked update diverged from serial");
+        for kernel in [
+            KernelConfig::harvey(),
+            KernelConfig::sparse(Propagation::Aa, Layout::Aos),
+            KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+        ] {
+            let mut serial = RankedSolver::new(
+                mesh.clone(),
+                assignment.clone(),
+                SolverConfig {
+                    parallel: false,
+                    kernel,
+                    ..Default::default()
+                },
+            );
+            let mut pooled = RankedSolver::new(
+                mesh.clone(),
+                assignment.clone(),
+                SolverConfig {
+                    parallel: true,
+                    parallel_threshold: 0,
+                    kernel,
+                    ..Default::default()
+                },
+            );
+            for _ in 0..20 {
+                serial.step();
+                pooled.step();
+            }
+            for (a, b) in serial.distributions().iter().zip(pooled.distributions()) {
+                assert_eq!(a, b, "pool-path ranked update diverged from serial");
+            }
         }
     }
 
@@ -369,6 +561,44 @@ mod tests {
         s.step();
         assert_eq!(s.max_bytes_sent(), 0);
         assert_eq!(s.max_messages_sent(), 0);
+    }
+
+    #[test]
+    fn aa_exchanges_only_before_odd_steps() {
+        // AA halves the exchange count: even steps are cell-local and
+        // must charge no ledger at all; odd steps exchange the same
+        // boundary set AB does.
+        let mesh = cylinder_mesh();
+        let assignment = slab_assignment(mesh.len(), 4);
+        let config = SolverConfig {
+            kernel: KernelConfig::sparse(Propagation::Aa, Layout::Aos),
+            ..Default::default()
+        };
+        let mut s = RankedSolver::new(mesh, assignment, config);
+        s.step(); // step 0: even, local
+        assert_eq!(s.max_bytes_sent(), 0, "even AA step must not exchange");
+        assert_eq!(s.max_messages_sent(), 0);
+        s.step(); // step 1: odd, exchanges
+        assert!(s.max_bytes_sent() > 0, "odd AA step must exchange");
+        assert!(s.max_messages_sent() > 0);
+    }
+
+    #[test]
+    fn aa_ranked_never_allocates_the_scratch_array() {
+        let mesh = cylinder_mesh();
+        let n = mesh.len();
+        let assignment = slab_assignment(n, 4);
+        let aa = RankedSolver::new(
+            mesh.clone(),
+            assignment.clone(),
+            SolverConfig {
+                kernel: KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+                ..Default::default()
+            },
+        );
+        let ab = RankedSolver::new(mesh, assignment, SolverConfig::default());
+        assert_eq!(aa.distribution_bytes(), n * Q19 * 8);
+        assert_eq!(ab.distribution_bytes(), 2 * n * Q19 * 8);
     }
 
     #[test]

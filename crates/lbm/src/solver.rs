@@ -1,25 +1,59 @@
 //! The HARVEY-style flow solver: D3Q19 BGK on an indirect-addressed fluid
-//! mesh with AB (two-array) pull streaming.
+//! mesh, with a runtime-selectable kernel configuration.
 //!
 //! Boundary conditions follow the paper's setup (§II-C): a Poiseuille
 //! velocity profile imposed at inlets, a zero-pressure (unit-density)
-//! condition at outlets, and halfway bounce-back at walls. The update is
-//! data-parallel over destination cells on the persistent shared worker
-//! pool (`hemocloud_rt::pool`), which is race-free by construction for
-//! the pull scheme: every cell writes only its own distributions, and the
-//! chunked schedule partitions the destination array without reordering
-//! any arithmetic — so parallel and serial steps are bit-identical, and a
-//! whole run spawns no OS threads beyond the pool's fixed complement.
+//! condition at outlets, and halfway bounce-back at walls. The per-cell
+//! boundary dispatch is hoisted out of the kernel: cells are sorted into
+//! per-kind index lists (bulk-like / inlet / outlet) once at construction,
+//! so the hot loops carry no branch on cell type.
 //!
-//! The per-cell boundary dispatch is hoisted out of the kernel: cells are
-//! sorted into per-kind index lists (bulk-like / inlet / outlet) once at
-//! construction, so the hot bulk loop carries no branch on cell type.
+//! ## Kernel configurations
+//!
+//! [`SolverConfig::kernel`] selects the point in the paper's kernel space
+//! the solver actually executes — `propagation × layout` (precision is
+//! always f64 at runtime; `Single`/`Quad` remain model-only):
+//!
+//! * **AB** ([`Propagation::Ab`]): two distribution arrays, pull-stream
+//!   from `f` into `f_tmp`, swap. Every step reads the full streaming
+//!   index row.
+//! * **AA** ([`Propagation::Aa`], Bailey et al.): one resident array
+//!   updated in place. The **even** step is purely cell-local — read the
+//!   cell's own row, collide, write back to the *opposite* slots; no
+//!   `f_tmp`, no index traffic. The **odd** step gathers each arriving
+//!   value from the `-c_q` neighbor's opposite slot through the streaming
+//!   index, collides, and scatters forward into the `+c_q` neighbors'
+//!   slots. Averaged over a step pair the index traffic halves and the
+//!   second array disappears — exactly what
+//!   [`crate::access_profile::AccessProfile`] prices (the paper's "AA
+//!   shifted upwards from AB", §III-D).
+//! * **AoS / SoA** ([`Layout`]): `f[cell][q]` vs `f[q][cell]` storage,
+//!   monomorphized through [`LayoutIdx`] so the hot loop carries no
+//!   layout branch.
+//!
+//! ## AA in-place safety (and why the parallel sweep is race-free)
+//!
+//! Let `S(c)` be the set of flat slots cell `c` touches in one AA step.
+//! *Even* step: `S(c) = {(c, q)}` — its own row. *Odd* step: cell `c`
+//! reads `(c − c_q, opp(q))` for every `q` and writes `(c + c_q, q)`;
+//! substituting `q → opp(q)` shows the two sets are equal, and a solid
+//! link folds both accesses onto the cell's own `(c, q)`/`(c, opp(q))`
+//! pair. For distinct cells these sets are **pairwise disjoint** (the
+//! streaming index is reciprocal: `(c + c_q, q)` is claimed only by `c`),
+//! so the update is in-place safe serially and race-free under any
+//! partition of the cell range — the owner-computes contract of
+//! [`hemocloud_rt::pool::Pool::par_owner_mut`], the primitive every
+//! parallel path here runs on. Within a run cells are visited in
+//! ascending order and each cell's arithmetic is a pure function of the
+//! pre-step state, so parallel and serial steps are bit-identical at any
+//! logical worker count.
 
 use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
+use crate::kernel::{AosIdx, KernelConfig, Layout, LayoutIdx, Propagation, SoaIdx};
 use crate::lattice::{opposite, Q19, W19};
 use crate::mesh::{FluidMesh, SOLID};
 use hemocloud_geometry::voxel::CellType;
-use hemocloud_rt::pool;
+use hemocloud_rt::pool::{self, DisjointMut};
 
 /// Tunable parameters of a simulation.
 #[derive(Debug, Clone, Copy)]
@@ -31,12 +65,18 @@ pub struct SolverConfig {
     pub u_max: f64,
     /// Unit vector of the inlet flow direction.
     pub flow_dir: (f64, f64, f64),
-    /// Update cells in parallel (scoped threads) when the mesh has at
-    /// least [`SolverConfig::parallel_threshold`] cells.
+    /// Update cells in parallel (persistent worker pool) when the mesh
+    /// has at least [`SolverConfig::parallel_threshold`] cells.
     pub parallel: bool,
     /// Minimum mesh size before parallelism pays for itself. Lower it to
     /// force the parallel path on small meshes (equivalence tests do).
     pub parallel_threshold: usize,
+    /// Kernel variant to execute: `propagation` and `layout` are honored
+    /// at runtime (`addressing` is always indirect on the sparse mesh and
+    /// distributions are stored in f64 regardless of `precision`). The
+    /// same value feeds the performance model's byte accounting, so
+    /// modeled and executed kernels can no longer diverge silently.
+    pub kernel: KernelConfig,
 }
 
 impl Default for SolverConfig {
@@ -47,6 +87,7 @@ impl Default for SolverConfig {
             flow_dir: (0.0, 0.0, 1.0),
             parallel: true,
             parallel_threshold: PARALLEL_THRESHOLD,
+            kernel: KernelConfig::harvey(),
         }
     }
 }
@@ -66,6 +107,8 @@ pub struct RunStats {
 pub struct Solver {
     mesh: FluidMesh,
     f: Vec<f64>,
+    /// Second distribution array — allocated for AB only; AA runs in
+    /// place and this stays empty (half the resident solver memory).
     f_tmp: Vec<f64>,
     omega: f64,
     config: SolverConfig,
@@ -83,14 +126,14 @@ pub struct Solver {
 /// takes the plain BGK collide path (bulk *and* wall fluid — bounce-back
 /// is handled in the gather, exactly as the old `_ =>` match arm did);
 /// `inlet` and `outlet` hold the Dirichlet/zero-pressure cells.
-struct KindLists {
-    bulk: Vec<u32>,
-    inlet: Vec<u32>,
-    outlet: Vec<u32>,
+pub(crate) struct KindLists {
+    pub(crate) bulk: Vec<u32>,
+    pub(crate) inlet: Vec<u32>,
+    pub(crate) outlet: Vec<u32>,
 }
 
 impl KindLists {
-    fn build(mesh: &FluidMesh) -> Self {
+    pub(crate) fn build(mesh: &FluidMesh) -> Self {
         let mut bulk = Vec::new();
         let mut inlet = Vec::new();
         let mut outlet = Vec::new();
@@ -105,7 +148,7 @@ impl KindLists {
     }
 
     /// The sub-range of an (ascending) list falling in `[first, end)`.
-    fn in_range(list: &[u32], first: usize, end: usize) -> &[u32] {
+    pub(crate) fn in_range(list: &[u32], first: usize, end: usize) -> &[u32] {
         let lo = list.partition_point(|&c| (c as usize) < first);
         let hi = list.partition_point(|&c| (c as usize) < end);
         &list[lo..hi]
@@ -115,19 +158,74 @@ impl KindLists {
 /// Default minimum mesh size before thread parallelism pays for itself.
 const PARALLEL_THRESHOLD: usize = 8192;
 
+/// Flat index of `(cell, q)` for a runtime [`Layout`] value — the
+/// non-monomorphized twin of [`LayoutIdx::at`], for cold paths
+/// (initialization, readouts, halo snapshots).
+#[inline]
+pub(crate) fn flat_index(layout: Layout, cell: usize, q: usize, n: usize) -> usize {
+    match layout {
+        Layout::Soa => SoaIdx::at(cell, q, n),
+        Layout::Aos => AosIdx::at(cell, q, n),
+    }
+}
+
+/// Rest-equilibrium initial distributions for an `n`-cell mesh in the
+/// given layout.
+pub(crate) fn rest_distributions(layout: Layout, n: usize) -> Vec<f64> {
+    let mut f = vec![0.0; n * Q19];
+    for cell in 0..n {
+        for q in 0..Q19 {
+            f[flat_index(layout, cell, q, n)] = W19[q];
+        }
+    }
+    f
+}
+
+/// Post-collision row of a bulk (or wall) fluid cell: plain BGK.
+#[inline]
+pub(crate) fn bulk_out(fin: &[f64; Q19], omega: f64) -> [f64; Q19] {
+    let (rho, ux, uy, uz) = macroscopics_d3q19(fin);
+    let mut feq = [0.0f64; Q19];
+    equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
+    let mut out = [0.0f64; Q19];
+    for q in 0..Q19 {
+        out[q] = fin[q] - omega * (fin[q] - feq[q]);
+    }
+    out
+}
+
+/// Post-update row of a Dirichlet velocity inlet: equilibrium at the
+/// prescribed profile velocity and the gathered density.
+#[inline]
+pub(crate) fn inlet_out(fin: &[f64; Q19], v: [f64; 3]) -> [f64; Q19] {
+    let (rho, _, _, _) = macroscopics_d3q19(fin);
+    let mut feq = [0.0f64; Q19];
+    equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
+    feq
+}
+
+/// Post-update row of a zero-pressure outlet: equilibrium at unit density
+/// and the gathered velocity.
+#[inline]
+pub(crate) fn outlet_out(fin: &[f64; Q19]) -> [f64; Q19] {
+    let (_, ux, uy, uz) = macroscopics_d3q19(fin);
+    let mut feq = [0.0f64; Q19];
+    equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
+    feq
+}
+
 impl Solver {
     /// Initialize the solver at rest (`ρ = 1`, `u = 0`) and precompute the
     /// inlet Poiseuille profile.
     pub fn new(mesh: FluidMesh, config: SolverConfig) -> Self {
         assert!(config.tau > 0.5, "tau must exceed 1/2 for stability");
         let n = mesh.len();
-        let mut f = vec![0.0; n * Q19];
-        for cell in 0..n {
-            for q in 0..Q19 {
-                f[cell * Q19 + q] = W19[q];
-            }
-        }
-        let f_tmp = f.clone();
+        let f = rest_distributions(config.kernel.layout, n);
+        // AA streams in place: the scratch array is never allocated.
+        let f_tmp = match config.kernel.propagation {
+            Propagation::Ab => f.clone(),
+            Propagation::Aa => Vec::new(),
+        };
 
         let (inlet_slot, inlet_vel) = Self::poiseuille_profile(&mesh, &config);
         let kinds = KindLists::build(&mesh);
@@ -232,129 +330,243 @@ impl Solver {
         self.steps_taken
     }
 
-    /// Pull-scheme gather with bounce-back: the value arriving along `q`
-    /// comes from the neighbor opposite `q`; a solid link reflects this
-    /// cell's own opposite-direction value from the previous step.
+    /// Whether the distributions are currently in natural storage order:
+    /// always for AB; for AA only after an even number of steps (mid-pair
+    /// the array holds the rotated even-step state).
+    pub fn in_natural_order(&self) -> bool {
+        match self.config.kernel.propagation {
+            Propagation::Ab => true,
+            Propagation::Aa => self.steps_taken.is_multiple_of(2),
+        }
+    }
+
+    /// Bytes resident in distribution arrays (`f` plus `f_tmp` when the
+    /// propagation pattern allocates it). AA configs hold exactly one
+    /// array — the "halved solver memory" the per-task accounting in
+    /// `hemocloud_decomp::halo::resident_bytes_per_task` prices.
+    pub fn distribution_bytes(&self) -> usize {
+        (self.f.len() + self.f_tmp.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// AB pull-scheme gather: the value arriving along `q` comes from the
+    /// neighbor opposite `q`; a solid link reflects this cell's own
+    /// opposite-direction value from the previous step.
     #[inline]
-    fn gather(mesh: &FluidMesh, src: &[f64], cell: usize) -> [f64; Q19] {
+    fn gather_ab<L: LayoutIdx>(mesh: &FluidMesh, src: &[f64], n: usize, cell: usize) -> [f64; Q19] {
         let mut fin = [0.0f64; Q19];
         let row = mesh.neighbor_row(cell);
         for q in 0..Q19 {
             let nb = row[opposite(q)];
             fin[q] = if nb == SOLID {
-                src[cell * Q19 + opposite(q)]
+                src[L::at(cell, opposite(q), n)]
             } else {
-                src[nb as usize * Q19 + q]
+                src[L::at(nb as usize, q, n)]
             };
         }
         fin
     }
 
-    /// BGK collide for a bulk (or wall) fluid cell — the branch-free hot
-    /// kernel.
-    #[inline]
-    fn update_bulk_cell(mesh: &FluidMesh, src: &[f64], omega: f64, cell: usize, out: &mut [f64]) {
-        let fin = Self::gather(mesh, src, cell);
-        let (rho, ux, uy, uz) = macroscopics_d3q19(&fin);
-        let mut feq = [0.0f64; Q19];
-        equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
-        for q in 0..Q19 {
-            out[q] = fin[q] - omega * (fin[q] - feq[q]);
-        }
-    }
-
-    /// Dirichlet velocity inlet: equilibrium at the prescribed profile
-    /// velocity and the gathered density.
-    #[inline]
-    fn update_inlet_cell(
-        mesh: &FluidMesh,
-        src: &[f64],
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
-        cell: usize,
-        out: &mut [f64],
-    ) {
-        let fin = Self::gather(mesh, src, cell);
-        let (rho, _, _, _) = macroscopics_d3q19(&fin);
-        let v = inlet_vel[inlet_slot[cell] as usize];
-        let mut feq = [0.0f64; Q19];
-        equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
-        out[..Q19].copy_from_slice(&feq);
-    }
-
-    /// Zero-pressure outlet: equilibrium at unit density and the gathered
-    /// velocity.
-    #[inline]
-    fn update_outlet_cell(mesh: &FluidMesh, src: &[f64], cell: usize, out: &mut [f64]) {
-        let fin = Self::gather(mesh, src, cell);
-        let (_, ux, uy, uz) = macroscopics_d3q19(&fin);
-        let mut feq = [0.0f64; Q19];
-        equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
-        out[..Q19].copy_from_slice(&feq);
-    }
-
-    /// Update every destination cell in `[first_cell, first_cell + out.len()
-    /// / Q19)`, with `out` the corresponding sub-slice of the destination
-    /// array. Runs the three kind loops (bulk, inlet, outlet) over the
-    /// precomputed index lists; each cell's 19 values are a pure function
-    /// of `src`, so any partition of the cell range produces bit-identical
-    /// results.
+    /// AB update of every destination cell in `cells`: gather from `src`,
+    /// collide/apply boundary conditions, write the destination view.
+    /// Each cell's 19 values are a pure function of `src` and the write
+    /// slots of distinct cells are disjoint (`LayoutIdx::at` is injective),
+    /// so any partition of the cell range is race-free and bit-identical
+    /// to serial.
     #[allow(clippy::too_many_arguments)]
-    fn update_range(
+    fn ab_update_range<L: LayoutIdx>(
         mesh: &FluidMesh,
         src: &[f64],
         omega: f64,
         inlet_slot: &[u32],
         inlet_vel: &[[f64; 3]],
         kinds: &KindLists,
-        first_cell: usize,
-        out: &mut [f64],
+        cells: std::ops::Range<usize>,
+        out: &DisjointMut<'_, f64>,
     ) {
-        let end_cell = first_cell + out.len() / Q19;
-        for &cell in KindLists::in_range(&kinds.bulk, first_cell, end_cell) {
+        let n = mesh.len();
+        let write = |cell: usize, row: &[f64; Q19]| {
+            for q in 0..Q19 {
+                // Safety: slot (cell, q) belongs to `cell` alone.
+                unsafe { out.write(L::at(cell, q, n), row[q]) };
+            }
+        };
+        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
             let cell = cell as usize;
-            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
-            Self::update_bulk_cell(mesh, src, omega, cell, out);
+            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+            write(cell, &bulk_out(&fin, omega));
         }
-        for &cell in KindLists::in_range(&kinds.inlet, first_cell, end_cell) {
+        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
             let cell = cell as usize;
-            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
-            Self::update_inlet_cell(mesh, src, inlet_slot, inlet_vel, cell, out);
+            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+            write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
         }
-        for &cell in KindLists::in_range(&kinds.outlet, first_cell, end_cell) {
+        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
             let cell = cell as usize;
-            let out = &mut out[(cell - first_cell) * Q19..][..Q19];
-            Self::update_outlet_cell(mesh, src, cell, out);
+            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+            write(cell, &outlet_out(&fin));
         }
     }
 
-    /// Advance one timestep.
-    pub fn step(&mut self) {
+    /// AA even step over `cells`: purely cell-local — read the cell's own
+    /// row, collide, write the opposite slots in place. No streaming-index
+    /// traffic, no scratch array.
+    #[allow(clippy::too_many_arguments)]
+    fn aa_even_range<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        kinds: &KindLists,
+        cells: std::ops::Range<usize>,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let read_own = |cell: usize| {
+            let mut fin = [0.0f64; Q19];
+            for q in 0..Q19 {
+                // Safety: slot (cell, q) belongs to `cell` alone this step.
+                fin[q] = unsafe { f.read(L::at(cell, q, n)) };
+            }
+            fin
+        };
+        let write_opposite = |cell: usize, row: &[f64; Q19]| {
+            for q in 0..Q19 {
+                // Safety: same per-cell slot set the reads used; `row` was
+                // fully gathered before the first write.
+                unsafe { f.write(L::at(cell, opposite(q), n), row[q]) };
+            }
+        };
+        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = read_own(cell);
+            write_opposite(cell, &bulk_out(&fin, omega));
+        }
+        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = read_own(cell);
+            write_opposite(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+        }
+        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = read_own(cell);
+            write_opposite(cell, &outlet_out(&fin));
+        }
+    }
+
+    /// AA odd step over `cells`: gather each arriving value from the
+    /// `-c_q` neighbor's opposite slot (bounce-back folds onto the cell's
+    /// own slot), collide, scatter forward into the `+c_q` neighbors'
+    /// slots. Per cell the write set equals the read set and the sets of
+    /// distinct cells are disjoint (module docs), so the scattered writes
+    /// are race-free under any cell partition.
+    #[allow(clippy::too_many_arguments)]
+    fn aa_odd_range<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        kinds: &KindLists,
+        cells: std::ops::Range<usize>,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let gather = |cell: usize| {
+            let mut fin = [0.0f64; Q19];
+            let row = mesh.neighbor_row(cell);
+            for q in 0..Q19 {
+                let nb = row[opposite(q)];
+                // Safety: slot belongs to `cell`'s AA-odd slot set.
+                fin[q] = if nb == SOLID {
+                    unsafe { f.read(L::at(cell, q, n)) }
+                } else {
+                    unsafe { f.read(L::at(nb as usize, opposite(q), n)) }
+                };
+            }
+            fin
+        };
+        let scatter = |cell: usize, out: &[f64; Q19]| {
+            let row = mesh.neighbor_row(cell);
+            for q in 0..Q19 {
+                let nb = row[q];
+                // Safety: identical slot set as the gather above, fully
+                // read before the first write.
+                if nb == SOLID {
+                    unsafe { f.write(L::at(cell, opposite(q), n), out[q]) };
+                } else {
+                    unsafe { f.write(L::at(nb as usize, q, n), out[q]) };
+                }
+            }
+        };
+        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = gather(cell);
+            scatter(cell, &bulk_out(&fin, omega));
+        }
+        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = gather(cell);
+            scatter(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+        }
+        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
+            let cell = cell as usize;
+            let fin = gather(cell);
+            scatter(cell, &outlet_out(&fin));
+        }
+    }
+
+    fn step_ab<L: LayoutIdx>(&mut self, workers: usize) {
         let mesh = &self.mesh;
         let src = &self.f;
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
         let kinds = &self.kinds;
-        let dst = &mut self.f_tmp;
-
-        if self.config.parallel && mesh.len() >= self.config.parallel_threshold {
-            // One contiguous block of whole cells per pool worker; the
-            // pool is spawned once per process, so stepping never spawns
-            // OS threads.
-            let pool = pool::global();
-            let cells_per_block = mesh.len().div_ceil(pool.threads()).max(1);
-            pool.par_chunks_mut(dst, cells_per_block * Q19, |block, out| {
-                let first_cell = block * cells_per_block;
-                Self::update_range(
-                    mesh, src, omega, inlet_slot, inlet_vel, kinds, first_cell, out,
-                );
-            });
-        } else {
-            Self::update_range(mesh, src, omega, inlet_slot, inlet_vel, kinds, 0, dst);
-        }
-
+        let n = mesh.len();
+        pool::global().par_owner_mut_workers(&mut self.f_tmp, n, workers, |cells, out| {
+            Self::ab_update_range::<L>(mesh, src, omega, inlet_slot, inlet_vel, kinds, cells, out);
+        });
         std::mem::swap(&mut self.f, &mut self.f_tmp);
+    }
+
+    fn step_aa<L: LayoutIdx>(&mut self, workers: usize) {
+        let even = self.steps_taken.is_multiple_of(2);
+        let mesh = &self.mesh;
+        let omega = self.omega;
+        let inlet_slot = &self.inlet_slot;
+        let inlet_vel = &self.inlet_vel;
+        let kinds = &self.kinds;
+        let n = mesh.len();
+        pool::global().par_owner_mut_workers(&mut self.f, n, workers, |cells, f| {
+            if even {
+                Self::aa_even_range::<L>(mesh, omega, inlet_slot, inlet_vel, kinds, cells, f);
+            } else {
+                Self::aa_odd_range::<L>(mesh, omega, inlet_slot, inlet_vel, kinds, cells, f);
+            }
+        });
+    }
+
+    /// Advance one timestep.
+    pub fn step(&mut self) {
+        let workers = if self.config.parallel && self.mesh.len() >= self.config.parallel_threshold
+        {
+            pool::global().threads()
+        } else {
+            1
+        };
+        self.step_with_workers(workers);
+    }
+
+    /// Advance one timestep with an explicit logical worker count (≥ 1).
+    /// Results are bit-identical for every count — the partition of the
+    /// cell range never reorders any cell's arithmetic — so equivalence
+    /// tests can pin the schedule without a host-width pool.
+    pub fn step_with_workers(&mut self, workers: usize) {
+        match (self.config.kernel.propagation, self.config.kernel.layout) {
+            (Propagation::Ab, Layout::Aos) => self.step_ab::<AosIdx>(workers),
+            (Propagation::Ab, Layout::Soa) => self.step_ab::<SoaIdx>(workers),
+            (Propagation::Aa, Layout::Aos) => self.step_aa::<AosIdx>(workers),
+            (Propagation::Aa, Layout::Soa) => self.step_aa::<SoaIdx>(workers),
+        }
         self.steps_taken += 1;
     }
 
@@ -378,10 +590,55 @@ impl Solver {
     }
 
     /// Density and velocity at a fluid cell.
+    ///
+    /// # Panics
+    /// Panics when an AA state is mid-pair (odd step count): the rotated
+    /// in-place storage is only readable in natural order.
     pub fn macroscopics(&self, cell: usize) -> (f64, f64, f64, f64) {
+        assert!(
+            self.in_natural_order(),
+            "AA state is only readable after an even number of steps"
+        );
+        let n = self.mesh.len();
+        let layout = self.config.kernel.layout;
         let mut f = [0.0; Q19];
-        f.copy_from_slice(&self.f[cell * Q19..(cell + 1) * Q19]);
+        for (q, v) in f.iter_mut().enumerate() {
+            *v = self.f[flat_index(layout, cell, q, n)];
+        }
         macroscopics_d3q19(&f)
+    }
+
+    /// Density and velocity of the *post-stream* state at a cell: moments
+    /// of the gathered (streamed, pre-collision) distributions, without
+    /// advancing the simulation. Only meaningful for AB configs.
+    ///
+    /// This exists for the AA/AB equivalence check, mirroring
+    /// [`crate::proxy::ProxyApp::post_stream_macroscopics`]: from the
+    /// stream-invariant rest start, the AA array after an even number of
+    /// steps equals the AB array with one extra streaming applied
+    /// (`AA_2k = S(AB_2k)`), so AA's natural-order moments must match
+    /// AB's post-stream moments exactly.
+    ///
+    /// # Panics
+    /// Panics for AA configs.
+    pub fn post_stream_macroscopics(&self, cell: usize) -> (f64, f64, f64, f64) {
+        assert!(
+            matches!(self.config.kernel.propagation, Propagation::Ab),
+            "post-stream readout is defined for AB configs"
+        );
+        let n = self.mesh.len();
+        let layout = self.config.kernel.layout;
+        let row = self.mesh.neighbor_row(cell);
+        let mut fin = [0.0; Q19];
+        for (q, v) in fin.iter_mut().enumerate() {
+            let nb = row[opposite(q)];
+            *v = if nb == SOLID {
+                self.f[flat_index(layout, cell, opposite(q), n)]
+            } else {
+                self.f[flat_index(layout, nb as usize, q, n)]
+            };
+        }
+        macroscopics_d3q19(&fin)
     }
 
     /// Total mass (sum of densities over all cells).
@@ -399,15 +656,22 @@ impl Solver {
             .fold(0.0, f64::max)
     }
 
-    /// Raw distribution access for checkpoint/equivalence tests.
+    /// Raw distribution access for checkpoint/equivalence tests (storage
+    /// order: the configured layout; natural direction order only when
+    /// [`Solver::in_natural_order`]).
     pub fn distributions(&self) -> &[f64] {
         &self.f
     }
 
     /// Add `delta` to the rest population of the first fluid cell — a
     /// local mass/pressure perturbation, useful for conservation tests and
-    /// relaxation demos.
+    /// relaxation demos. (The rest population of cell 0 is flat index 0 in
+    /// both layouts; for AA the state must be in natural order.)
     pub fn bump_first_cell(&mut self, delta: f64) {
+        assert!(
+            self.in_natural_order(),
+            "AA state is only writable after an even number of steps"
+        );
         self.f[0] += delta;
     }
 }
@@ -418,12 +682,29 @@ mod tests {
     use hemocloud_geometry::anatomy::CylinderSpec;
     use hemocloud_geometry::classify::classify_walls;
     use hemocloud_geometry::voxel::VoxelGrid;
+    use hemocloud_rt::check::{self, Config};
 
     fn closed_box_solver() -> Solver {
         // A sealed box: no inlets/outlets, so mass is exactly conserved.
         let mut g = VoxelGrid::filled(6, 6, 6, 1.0, CellType::Bulk);
         classify_walls(&mut g);
         Solver::new(FluidMesh::build(&g), SolverConfig::default())
+    }
+
+    fn cylinder_mesh() -> FluidMesh {
+        let g = CylinderSpec::default()
+            .with_dimensions(3.0, 12.0)
+            .with_resolution(8)
+            .build();
+        FluidMesh::build(&g)
+    }
+
+    fn config_for(kernel: KernelConfig) -> SolverConfig {
+        SolverConfig {
+            parallel: false,
+            kernel,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -435,6 +716,29 @@ mod tests {
         }
         for (a, b) in before.iter().zip(s.distributions()) {
             assert!((a - b).abs() < 1e-14, "rest state drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rest_state_is_stationary_for_every_kernel_config() {
+        let mut g = VoxelGrid::filled(6, 6, 6, 1.0, CellType::Bulk);
+        classify_walls(&mut g);
+        let mesh = FluidMesh::build(&g);
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let mut s = Solver::new(
+                    mesh.clone(),
+                    config_for(KernelConfig::sparse(prop, layout)),
+                );
+                for _ in 0..4 {
+                    s.step();
+                }
+                for cell in 0..s.mesh().len() {
+                    let (rho, ux, uy, uz) = s.macroscopics(cell);
+                    assert!((rho - 1.0).abs() < 1e-13, "{prop:?}/{layout:?}");
+                    assert!(ux.abs() < 1e-13 && uy.abs() < 1e-13 && uz.abs() < 1e-13);
+                }
+            }
         }
     }
 
@@ -452,6 +756,23 @@ mod tests {
             (m0 - m1).abs() < 1e-9 * m0,
             "mass drifted: {m0} -> {m1}"
         );
+    }
+
+    #[test]
+    fn aa_closed_box_conserves_mass() {
+        let mut g = VoxelGrid::filled(6, 6, 6, 1.0, CellType::Bulk);
+        classify_walls(&mut g);
+        let mut s = Solver::new(
+            FluidMesh::build(&g),
+            config_for(KernelConfig::sparse(Propagation::Aa, Layout::Aos)),
+        );
+        s.bump_first_cell(0.01);
+        let m0 = s.total_mass();
+        for _ in 0..50 {
+            s.step();
+        }
+        let m1 = s.total_mass();
+        assert!((m0 - m1).abs() < 1e-9 * m0, "mass drifted: {m0} -> {m1}");
     }
 
     #[test]
@@ -506,11 +827,7 @@ mod tests {
     fn parallel_and_serial_agree_bitwise() {
         // parallel_threshold: 0 forces the threaded path on this small
         // cylinder, so the test genuinely compares the two schedules.
-        let g = CylinderSpec::default()
-            .with_dimensions(3.0, 12.0)
-            .with_resolution(8)
-            .build();
-        let mesh = FluidMesh::build(&g);
+        let mesh = cylinder_mesh();
         let mut a = Solver::new(
             mesh.clone(),
             SolverConfig {
@@ -536,6 +853,120 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_bitwise_for_every_kernel_config() {
+        // The acceptance bar for the owner-computes primitive: AA (both
+        // layouts) and AB/SoA must be bit-identical to serial at 1, 2, 3,
+        // and 8 logical workers — including mid-pair (odd) AA states.
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse(prop, layout);
+                let mut reference = Solver::new(mesh.clone(), config_for(kernel));
+                for _ in 0..21 {
+                    reference.step_with_workers(1);
+                }
+                for workers in [1usize, 2, 3, 8] {
+                    let mut s = Solver::new(mesh.clone(), config_for(kernel));
+                    for _ in 0..21 {
+                        s.step_with_workers(workers);
+                    }
+                    for (a, b) in reference.distributions().iter().zip(s.distributions()) {
+                        assert_eq!(a, b, "{prop:?}/{layout:?} diverged at {workers} workers");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aa_moments_match_ab_post_stream_on_the_sparse_mesh() {
+        // The sparse-mesh twin of the proxy's AA/AB equivalence: from the
+        // shared rest start, after an even number of steps the AA state is
+        // the AB state with one extra streaming applied, at every fluid
+        // cell (bulk, wall, inlet, and outlet alike).
+        let mesh = cylinder_mesh();
+        let mut ab = Solver::new(mesh.clone(), config_for(KernelConfig::harvey()));
+        for _ in 0..24 {
+            ab.step();
+        }
+        for layout in [Layout::Aos, Layout::Soa] {
+            let mut aa = Solver::new(
+                mesh.clone(),
+                config_for(KernelConfig::sparse(Propagation::Aa, layout)),
+            );
+            for _ in 0..24 {
+                aa.step();
+            }
+            assert!(aa.in_natural_order());
+            for cell in 0..mesh.len() {
+                let (r0, x0, y0, z0) = ab.post_stream_macroscopics(cell);
+                let (r1, x1, y1, z1) = aa.macroscopics(cell);
+                assert!(
+                    (r0 - r1).abs() < 1e-12
+                        && (x0 - x1).abs() < 1e-12
+                        && (y0 - y1).abs() < 1e-12
+                        && (z0 - z1).abs() < 1e-12,
+                    "AA/{layout:?} diverged at cell {cell}: rho {r0} vs {r1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_matches_aos_macroscopics_exactly() {
+        // Layout is pure storage: identical arithmetic per cell, so the
+        // moments agree bitwise for both propagation patterns.
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            let mut aos = Solver::new(
+                mesh.clone(),
+                config_for(KernelConfig::sparse(prop, Layout::Aos)),
+            );
+            let mut soa = Solver::new(
+                mesh.clone(),
+                config_for(KernelConfig::sparse(prop, Layout::Soa)),
+            );
+            for _ in 0..10 {
+                aos.step();
+                soa.step();
+            }
+            for cell in 0..mesh.len() {
+                assert_eq!(aos.macroscopics(cell), soa.macroscopics(cell), "{prop:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aa_never_allocates_the_scratch_array() {
+        let mesh = cylinder_mesh();
+        let n = mesh.len();
+        let mut aa = Solver::new(
+            mesh.clone(),
+            config_for(KernelConfig::sparse(Propagation::Aa, Layout::Aos)),
+        );
+        let mut ab = Solver::new(mesh, config_for(KernelConfig::harvey()));
+        for _ in 0..6 {
+            aa.step();
+            ab.step();
+        }
+        assert_eq!(aa.distribution_bytes(), n * Q19 * 8, "AA must hold one array");
+        assert_eq!(ab.distribution_bytes(), 2 * n * Q19 * 8);
+        assert_eq!(aa.distribution_bytes() * 2, ab.distribution_bytes());
+    }
+
+    #[test]
+    fn aa_state_unreadable_mid_pair() {
+        let mut s = Solver::new(
+            cylinder_mesh(),
+            config_for(KernelConfig::sparse(Propagation::Aa, Layout::Aos)),
+        );
+        s.step();
+        assert!(!s.in_natural_order());
+        s.step();
+        assert!(s.in_natural_order());
+    }
+
+    #[test]
     fn stepping_never_spawns_threads_beyond_the_pool() {
         // The motivating bug for the pool: `step()` used to spawn and
         // join fresh OS threads on every call. Now thread spawns are
@@ -550,23 +981,29 @@ mod tests {
             .with_dimensions(3.0, 12.0)
             .with_resolution(8)
             .build();
-        let mut s = Solver::new(
-            FluidMesh::build(&g),
-            SolverConfig {
-                parallel: true,
-                parallel_threshold: 0,
-                ..Default::default()
-            },
-        );
-        for _ in 0..100 {
-            s.step();
+        for kernel in [
+            KernelConfig::harvey(),
+            KernelConfig::sparse(Propagation::Aa, Layout::Soa),
+        ] {
+            let mut s = Solver::new(
+                FluidMesh::build(&g),
+                SolverConfig {
+                    parallel: true,
+                    parallel_threshold: 0,
+                    kernel,
+                    ..Default::default()
+                },
+            );
+            for _ in 0..100 {
+                s.step();
+            }
+            assert!(s.distributions().iter().all(|v| v.is_finite()));
         }
         assert_eq!(
             pool.spawned_threads(),
             spawned_before,
-            "100 steps must not spawn a single extra OS thread"
+            "200 steps must not spawn a single extra OS thread"
         );
-        assert!(s.distributions().iter().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -597,6 +1034,76 @@ mod tests {
             SolverConfig {
                 tau: 0.4,
                 ..Default::default()
+            },
+        );
+    }
+
+    // ---- KindLists::in_range -------------------------------------------
+
+    #[test]
+    fn in_range_of_empty_list_is_empty() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(KindLists::in_range(&empty, 0, 0).is_empty());
+        assert!(KindLists::in_range(&empty, 0, 100).is_empty());
+        assert!(KindLists::in_range(&empty, 50, 60).is_empty());
+    }
+
+    #[test]
+    fn in_range_splits_a_list_at_interior_boundaries() {
+        let list = [2u32, 5, 9];
+        assert_eq!(KindLists::in_range(&list, 0, 3), &[2]);
+        assert_eq!(KindLists::in_range(&list, 3, 9), &[5]);
+        assert_eq!(KindLists::in_range(&list, 9, 10), &[9]);
+        assert_eq!(KindLists::in_range(&list, 0, 10), &[2, 5, 9]);
+        assert_eq!(KindLists::in_range(&list, 5, 6), &[5]);
+        assert_eq!(KindLists::in_range(&list, 6, 9), &[] as &[u32]);
+    }
+
+    #[test]
+    fn in_range_with_first_equal_to_end_is_empty() {
+        let list = [2u32, 5, 9];
+        for at in 0..11 {
+            assert!(
+                KindLists::in_range(&list, at, at).is_empty(),
+                "[{at}, {at}) must be empty"
+            );
+        }
+    }
+
+    #[test]
+    fn in_range_subranges_partition_each_kind_list_exactly() {
+        // Property: for any random kind partition of 0..n and any random
+        // chunk partition of the cell range, concatenating the per-chunk
+        // sub-ranges reproduces each kind list exactly — the invariant the
+        // parallel sweep relies on for full, duplicate-free coverage.
+        check::run(
+            "in_range_subranges_partition_each_kind_list_exactly",
+            Config::cases(32),
+            |rng| {
+                let n = rng.range_usize(1, 400);
+                let mut bulk = Vec::new();
+                let mut inlet = Vec::new();
+                let mut outlet = Vec::new();
+                for cell in 0..n as u32 {
+                    match rng.range_usize(0, 3) {
+                        0 => bulk.push(cell),
+                        1 => inlet.push(cell),
+                        _ => outlet.push(cell),
+                    }
+                }
+                // Random ascending chunk boundaries over [0, n].
+                let mut cuts = vec![0usize, n];
+                for _ in 0..rng.range_usize(0, 8) {
+                    cuts.push(rng.range_usize(0, n + 1));
+                }
+                cuts.sort_unstable();
+                for list in [&bulk, &inlet, &outlet] {
+                    let mut rebuilt = Vec::new();
+                    for pair in cuts.windows(2) {
+                        rebuilt.extend_from_slice(KindLists::in_range(list, pair[0], pair[1]));
+                    }
+                    assert_eq!(&rebuilt, list, "chunked sub-ranges lost or duplicated cells");
+                }
             },
         );
     }

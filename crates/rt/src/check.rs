@@ -1,7 +1,7 @@
 //! A minimal property-testing harness (the in-tree `proptest`
 //! replacement).
 //!
-//! A property is a closure taking a seeded [`Rng`](crate::rng::Rng) and
+//! A property is a closure taking a seeded [`Rng`] and
 //! panicking (via the normal `assert!` family) when the invariant fails.
 //! [`run`] executes it for a configurable number of cases, each with a
 //! deterministic per-case seed derived from the suite seed; when a case

@@ -17,7 +17,7 @@
 //!   destination-partitioned LBM update (replaces `rayon`).
 //! * [`check`] — a minimal property-testing harness with seeded case
 //!   generation and failing-seed replay (replaces `proptest`).
-//! * [`bench`] — a tiny timing harness with warmup, sampling and
+//! * [`mod@bench`] — a tiny timing harness with warmup, sampling and
 //!   median/min/throughput reporting (replaces `criterion`).
 
 pub mod bench;

@@ -52,6 +52,7 @@
 //! borrow) is never left in a torn state, and the pool remains usable for
 //! subsequent jobs.
 
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -75,6 +76,84 @@ impl<T> Copy for SendPtr<T> {}
 // module guarantees by partitioning index ranges.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// A shared view of one mutable slice that many logical workers may read
+/// and write **concurrently**, under an owner-computes contract the caller
+/// upholds: the job associates every *item* (e.g. a mesh cell) with a set
+/// of element indices, the per-item sets are pairwise disjoint, and each
+/// worker only touches the slots of the items it owns.
+///
+/// This is the primitive behind sparse-mesh kernels whose writes are
+/// scattered but provably disjoint — the AA propagation pattern's odd step
+/// writes each cell's post-collision values into *neighbor* rows, and a
+/// SoA layout strides one cell's 19 values across the whole array, so no
+/// contiguous sub-slice partition exists. [`Pool::par_owner_mut`] hands
+/// every worker the same `DisjointMut` plus a contiguous *item* range;
+/// disjointness of the per-item slot sets makes that race-free even though
+/// the element ranges interleave.
+///
+/// Accessors are `unsafe`: the bounds check is a `debug_assert!` and the
+/// no-two-workers-share-a-slot obligation cannot be checked at runtime at
+/// all. Soundness is argued once per kernel (see
+/// `hemocloud_lbm::solver`'s AA safety notes), not per access.
+pub struct DisjointMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: the view is just an address + length; concurrent use is sound
+// under the documented disjointness contract, which every caller of
+// `par_owner_mut` must uphold (and the serial constructor trivially does).
+unsafe impl<T: Send> Send for DisjointMut<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointMut<'_, T> {}
+
+impl<'a, T: Copy> DisjointMut<'a, T> {
+    /// Wrap a slice. Holding the view borrows the slice mutably for its
+    /// whole lifetime, so no safe alias can observe the torn intermediate
+    /// states of an in-flight job.
+    pub fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i < len()`, and no other worker may write slot `i` during the
+    /// current job (slot `i` belongs to one of the caller's items).
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> T {
+        debug_assert!(i < self.len, "DisjointMut read out of bounds: {i}");
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i < len()`, and no other worker may read or write slot `i` during
+    /// the current job (slot `i` belongs to one of the caller's items).
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len, "DisjointMut write out of bounds: {i}");
+        unsafe { self.ptr.add(i).write(value) }
+    }
+}
 
 /// Lifetime-erased task pointer stored in the shared job slot. Valid only
 /// while the submitting `run()` call is blocked, which [`Pool::run`]
@@ -332,6 +411,72 @@ impl Pool {
         };
         self.run(workers, &task);
     }
+
+    /// Owner-computes parallel-for over `n_items` logical items backed by
+    /// one shared slice: item `i`'s computation may read and write
+    /// arbitrary slots of `data`, provided the slot sets of distinct items
+    /// are pairwise disjoint. Each logical worker receives a contiguous,
+    /// ascending item range ([`balanced_runs`] over the pool's full width)
+    /// plus a [`DisjointMut`] view of all of `data`.
+    ///
+    /// This is the scatter-capable sibling of [`Pool::par_chunks_mut`]:
+    /// chunked jobs require each worker's *element* range to be
+    /// contiguous, which AA in-place streaming (writes into neighbor rows)
+    /// and SoA layouts (one item strided across the array) cannot satisfy.
+    ///
+    /// Guarantees, inherited from [`Pool::run`]:
+    /// * **bit-identical to serial** — for an `f` that visits its items in
+    ///   ascending order and computes each item purely from the pre-job
+    ///   state and the item's own slots, any worker count produces exactly
+    ///   the serial result, because the run partition is a pure function
+    ///   of `(n_items, workers)` and no item's slots are touched by two
+    ///   workers;
+    /// * **panic propagation** — a panic in any run drains the job, then
+    ///   re-raises on the caller; the pool stays usable.
+    ///
+    /// # Contract
+    /// `f(items, view)` must only access slots belonging to items in
+    /// `items`. The per-item slot sets must be pairwise disjoint across
+    /// *all* items. Violations are data races (undefined behavior), which
+    /// is why [`DisjointMut`]'s accessors are `unsafe`.
+    pub fn par_owner_mut<T, F>(&self, data: &mut [T], n_items: usize, f: F)
+    where
+        T: Copy + Send,
+        F: Fn(std::ops::Range<usize>, &DisjointMut<'_, T>) + Sync,
+    {
+        self.par_owner_mut_workers(data, n_items, self.threads, f);
+    }
+
+    /// [`Pool::par_owner_mut`] with an explicit logical worker count
+    /// (≥ 1). A single worker runs inline on the caller without
+    /// submitting a job — the serial reference path tests compare
+    /// against.
+    pub fn par_owner_mut_workers<T, F>(
+        &self,
+        data: &mut [T],
+        n_items: usize,
+        workers: usize,
+        f: F,
+    ) where
+        T: Copy + Send,
+        F: Fn(std::ops::Range<usize>, &DisjointMut<'_, T>) + Sync,
+    {
+        assert!(workers > 0, "worker count must be positive");
+        if n_items == 0 {
+            return;
+        }
+        let workers = workers.min(n_items);
+        let view = DisjointMut::new(data);
+        if workers <= 1 {
+            f(0..n_items, &view);
+            return;
+        }
+        let task = move |w: usize| {
+            let (first, count) = balanced_runs(n_items, workers, w);
+            f(first..first + count, &view);
+        };
+        self.run(workers, &task);
+    }
 }
 
 impl Drop for Pool {
@@ -478,6 +623,76 @@ mod tests {
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "run {i}");
         }
+    }
+
+    /// A strided "SoA transpose" through the owner-computes API: item `i`
+    /// owns slots `{i, i + n, i + 2n}` — interleaved across workers, so no
+    /// contiguous chunk partition exists, yet the per-item sets are
+    /// disjoint.
+    fn strided_fill(view: &DisjointMut<'_, f64>, items: std::ops::Range<usize>, n: usize) {
+        for i in items {
+            for lane in 0..3 {
+                let prev = unsafe { view.read(lane * n + i) };
+                unsafe { view.write(lane * n + i, prev + (i * 7 + lane) as f64) };
+            }
+        }
+    }
+
+    #[test]
+    fn owner_mut_matches_serial_for_many_worker_counts() {
+        let n = 1000;
+        let mut serial = vec![0.5f64; 3 * n];
+        {
+            let view = DisjointMut::new(&mut serial);
+            strided_fill(&view, 0..n, n);
+        }
+        let pool = Pool::new(3);
+        for workers in [1usize, 2, 3, 8, 64] {
+            let mut parallel = vec![0.5f64; 3 * n];
+            pool.par_owner_mut_workers(&mut parallel, n, workers, |items, view| {
+                strided_fill(view, items, n)
+            });
+            assert_eq!(serial, parallel, "diverged at {workers} logical workers");
+        }
+    }
+
+    #[test]
+    fn owner_mut_scattered_disjoint_writes_cover_every_item_once() {
+        // Item i writes slot (i * 17) % n — a permutation of 0..n for n
+        // coprime with 17, i.e. scattered-but-disjoint like the AA odd
+        // step's neighbor writes.
+        let n = 1021; // prime
+        let pool = Pool::new(4);
+        let mut data = vec![0u64; n];
+        pool.par_owner_mut(&mut data, n, |items, view| {
+            for i in items {
+                unsafe { view.write(i * 17 % n, i as u64 + 1) };
+            }
+        });
+        let mut seen = vec![false; n];
+        for (slot, &v) in data.iter().enumerate() {
+            assert!(v > 0, "slot {slot} never written");
+            let i = (v - 1) as usize;
+            assert_eq!(i * 17 % n, slot);
+            assert!(!seen[i], "item {i} wrote twice");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn owner_mut_empty_and_single_item_run_inline() {
+        let pool = Pool::new(2);
+        let jobs_before = pool.jobs_run();
+        let mut data = vec![0u8; 4];
+        pool.par_owner_mut(&mut data, 0, |_, _| panic!("no items, no calls"));
+        pool.par_owner_mut(&mut data, 1, |items, view| {
+            assert_eq!(items, 0..1);
+            for i in 0..view.len() {
+                unsafe { view.write(i, 9) };
+            }
+        });
+        assert_eq!(data, vec![9u8; 4]);
+        assert_eq!(pool.jobs_run(), jobs_before, "inline paths must not submit jobs");
     }
 
     #[test]

@@ -74,6 +74,59 @@ fn worker_panic_propagates_and_pool_survives() {
 }
 
 #[test]
+fn owner_mut_panic_propagates_and_pool_survives() {
+    let pool = Pool::new(4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut data = vec![0u8; 64];
+        pool.par_owner_mut_workers(&mut data, 64, 8, |items, _| {
+            if items.contains(&63) {
+                panic!("boom in owner tail");
+            }
+        });
+    }));
+    assert!(result.is_err(), "panic did not propagate to the caller");
+
+    // The pool must stay fully usable for both job flavors afterwards.
+    let mut data = vec![1u32; 512];
+    pool.par_owner_mut(&mut data, 512, |items, view| {
+        for i in items {
+            let v = unsafe { view.read(i) };
+            unsafe { view.write(i, v * 3) };
+        }
+    });
+    assert!(data.iter().all(|&v| v == 3), "pool unusable after a panic");
+    assert_eq!(pool.spawned_threads(), 3, "panic recovery must not respawn workers");
+}
+
+#[test]
+fn owner_mut_is_bit_identical_across_worker_counts() {
+    // The determinism contract the AA solver relies on: ascending item
+    // order within runs + disjoint slot sets => serial-identical floats.
+    let n = 5000;
+    let stride_work = |items: std::ops::Range<usize>, view: &pool::DisjointMut<'_, f64>| {
+        for i in items {
+            // Item i owns slots {i, n + (i*31 % n)}: one dense, one
+            // scattered lane (31 is coprime with 5000, so the scattered
+            // lane is a permutation and the sets stay disjoint).
+            let dense = (i as f64 * 0.37).sin();
+            unsafe { view.write(i, dense) };
+            unsafe { view.write(n + (i * 31 % n), dense * 0.5 + 1.0) };
+        }
+    };
+    let mut serial = vec![0.0f64; 2 * n];
+    {
+        let view = pool::DisjointMut::new(&mut serial);
+        stride_work(0..n, &view);
+    }
+    let p = Pool::new(4);
+    for workers in [1usize, 2, 3, 8] {
+        let mut parallel = vec![0.0f64; 2 * n];
+        p.par_owner_mut_workers(&mut parallel, n, workers, stride_work);
+        assert_eq!(serial, parallel, "diverged at {workers} workers");
+    }
+}
+
+#[test]
 fn global_pool_spawns_are_bounded_for_a_whole_run() {
     let pool = pool::global();
     let spawned = pool.spawned_threads();

@@ -261,6 +261,32 @@ impl CampaignReport {
         s.push_str("}\n");
         s
     }
+
+    /// Render as deterministic JSON with a leading `"provenance"` object
+    /// built from `(key, value)` string fields (e.g. the git revision and
+    /// `rustc -V` of the run that produced the report). Values must
+    /// already be JSON-escaped; with no fields this is exactly
+    /// [`CampaignReport::to_json`], so committed artifacts only change
+    /// when a caller opts in.
+    pub fn to_json_with_provenance(&self, fields: &[(&str, &str)]) -> String {
+        let base = self.to_json();
+        if fields.is_empty() {
+            return base;
+        }
+        let head_end = base.find('\n').map_or(0, |i| i + 1);
+        let mut s = String::with_capacity(base.len() + 128);
+        s.push_str(&base[..head_end]);
+        s.push_str("  \"provenance\": {");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{k}\": \"{v}\""));
+        }
+        s.push_str("},\n");
+        s.push_str(&base[head_end..]);
+        s
+    }
 }
 
 #[cfg(test)]
@@ -375,5 +401,13 @@ mod tests {
         assert!(a.contains("\"report\": \"hemocloud_campaign\""));
         assert!(a.contains("\"slo_met\": null"));
         assert!(a.starts_with('{') && a.ends_with("}\n"));
+
+        // Provenance prepends one object right after the opening brace and
+        // leaves the rest of the rendering byte-identical.
+        assert_eq!(report.to_json_with_provenance(&[]), a);
+        let p = report.to_json_with_provenance(&[("git_rev", "abc123"), ("rustc", "rustc 1.0")]);
+        let expected_head = "{\n  \"provenance\": {\"git_rev\": \"abc123\", \"rustc\": \"rustc 1.0\"},\n";
+        assert!(p.starts_with(expected_head), "got head: {}", &p[..120.min(p.len())]);
+        assert_eq!(&p[expected_head.len()..], &a[2..]);
     }
 }

@@ -29,9 +29,11 @@ if [ ! -f "$smoke_json" ]; then
   echo "ERROR: bench smoke did not produce $smoke_json" >&2
   exit 1
 fi
-if grep -qiE '(nan|inf)' "$smoke_json"; then
+# Match only bare nan/inf *values* (`"x": NaN`), not substrings of
+# legitimate strings such as "indirect".
+if grep -qiE ': *-?(nan|inf)' "$smoke_json"; then
   echo "ERROR: non-finite throughput in $smoke_json:" >&2
-  grep -iE '(nan|inf)' "$smoke_json" >&2
+  grep -iE ': *-?(nan|inf)' "$smoke_json" >&2
   exit 1
 fi
 # Every throughput value (solver MFLUPS and STREAM GB/s) must be > 0.
@@ -43,6 +45,59 @@ if ! grep -oE '"(mflups|gb_s)": *[0-9.eE+-]+' "$smoke_json" \
   exit 1
 fi
 echo "bench smoke: OK ($smoke_json)"
+
+echo "== perf regression gate: fresh fast-mode vs committed BENCH_lbm.json"
+# The committed baseline is full-size and the smoke run is the fast mesh,
+# so the numbers are not identical — but a healthy checkout lands well
+# within 2x of the committed values on the machine class that produced
+# them. Fail on non-finite values or a >50% regression; this catches
+# silent hot-path regressions without requiring the slow full-size run.
+committed_json="BENCH_lbm.json"
+if [ -f "$committed_json" ]; then
+  perf_gate() { # label fresh committed
+    awk -v fresh="$2" -v base="$3" -v label="$1" 'BEGIN {
+      if (fresh == "" || base == "" || fresh + 0 != fresh || base + 0 != base) {
+        printf "ERROR: perf gate %s: non-numeric values (fresh=%s committed=%s)\n", label, fresh, base
+        exit 1
+      }
+      if (fresh + 0 < 0.5 * (base + 0)) {
+        printf "ERROR: perf gate %s: fresh %s is <50%% of committed %s\n", label, fresh, base
+        exit 1
+      }
+      printf "  %s: fresh %s vs committed %s: OK\n", label, fresh, base
+    }'
+  }
+  fresh_mflups=$(grep -m1 '"mflups"' "$smoke_json" | grep -oE '[0-9.]+' | head -1)
+  base_mflups=$(grep -m1 '"mflups"' "$committed_json" | grep -oE '[0-9.]+' | head -1)
+  perf_gate "solver MFLUPS" "$fresh_mflups" "$base_mflups"
+  fresh_copy=$(grep -oE '"gb_s": *[0-9.]+' "$smoke_json" | head -1 | grep -oE '[0-9.]+$')
+  base_copy=$(grep -oE '"gb_s": *[0-9.]+' "$committed_json" | head -1 | grep -oE '[0-9.]+$')
+  perf_gate "STREAM Copy GB/s" "$fresh_copy" "$base_copy"
+  fresh_triad=$(grep -oE '"gb_s": *[0-9.]+' "$smoke_json" | sed -n 2p | grep -oE '[0-9.]+$')
+  base_triad=$(grep -oE '"gb_s": *[0-9.]+' "$committed_json" | sed -n 2p | grep -oE '[0-9.]+$')
+  perf_gate "STREAM Triad GB/s" "$fresh_triad" "$base_triad"
+
+  # The committed baseline must carry the kernel-config sweep, and its
+  # best AA row must be at least as fast as the AB/AoS (HARVEY) row —
+  # the AB->AA speedup is the point of recording the sweep.
+  ab_mflups=$(grep -oE '\{"config": "AB/AOS[^}]*' "$committed_json" \
+    | grep -oE '"mflups": [0-9.]+' | grep -oE '[0-9.]+')
+  best_aa_mflups=$(grep -oE '\{"config": "AA/[^}]*' "$committed_json" \
+    | grep -oE '"mflups": [0-9.]+' | grep -oE '[0-9.]+' | sort -g | tail -1)
+  if [ -z "$ab_mflups" ] || [ -z "$best_aa_mflups" ]; then
+    echo "ERROR: committed $committed_json lacks AB/AA kernel rows" >&2
+    exit 1
+  fi
+  if ! awk -v aa="$best_aa_mflups" -v ab="$ab_mflups" 'BEGIN { exit !(aa + 0 >= ab + 0) }'; then
+    echo "ERROR: committed best AA row ($best_aa_mflups MFLUPS) is slower than AB ($ab_mflups MFLUPS)" >&2
+    exit 1
+  fi
+  echo "  committed kernel sweep: best AA $best_aa_mflups >= AB $ab_mflups MFLUPS: OK"
+else
+  echo "ERROR: committed $committed_json missing" >&2
+  exit 1
+fi
+echo "perf regression gate: OK"
 
 echo "== campaign smoke: demo campaign at the committed seed"
 # The scheduler's demo campaign must stay healthy: reproducible at seed
@@ -59,9 +114,9 @@ if [ ! -f "$campaign_json" ]; then
   echo "ERROR: campaign smoke did not produce $campaign_json" >&2
   exit 1
 fi
-if grep -qiE '(nan|inf)' "$campaign_json"; then
+if grep -qiE ': *-?(nan|inf)' "$campaign_json"; then
   echo "ERROR: non-finite values in $campaign_json:" >&2
-  grep -iE '(nan|inf)' "$campaign_json" >&2
+  grep -iE ': *-?(nan|inf)' "$campaign_json" >&2
   exit 1
 fi
 # Makespan and total cost must be strictly positive, and at least one
@@ -77,6 +132,12 @@ if ! grep -q '"measured_step_s"' "$campaign_json"; then
   exit 1
 fi
 echo "campaign smoke: OK ($campaign_json)"
+
+echo "== cargo doc --no-deps --offline"
+# The API docs must build cleanly: the AA safety argument and the kernel
+# accounting live in doc comments, so broken intra-doc links or bad
+# rustdoc syntax are regressions.
+cargo doc --no-deps --offline --workspace -q
 
 echo "== cargo tree: checking for non-workspace dependencies"
 if cargo tree --offline --workspace --edges normal,dev,build \

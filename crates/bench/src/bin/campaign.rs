@@ -7,6 +7,10 @@
 //!   committed `CAMPAIGN_sched.json` uses this).
 //! * `CAMPAIGN_OUT=<path>` redirects the JSON (default:
 //!   `CAMPAIGN_sched.json` in the current directory).
+//! * `OBS_OUT=<path>` writes the campaign's metrics snapshot (its private
+//!   virtual-clock registry merged with the process-global one) as
+//!   deterministic JSON — byte-identical per seed, which
+//!   `scripts/verify.sh` diffs across two runs.
 //!
 //! The binary exits non-zero if the report violates the campaign's
 //! operational invariants (non-finite cost/makespan, empty placement log,
@@ -17,7 +21,7 @@
 //! [`CampaignReport`]: hemocloud_sched::CampaignReport
 
 use hemocloud_bench::provenance;
-use hemocloud_sched::run_demo;
+use hemocloud_sched::run_demo_with_obs;
 
 fn main() {
     let seed: u64 = std::env::var("CAMPAIGN_SEED")
@@ -26,7 +30,7 @@ fn main() {
         .unwrap_or(42);
     let out = std::env::var("CAMPAIGN_OUT").unwrap_or_else(|_| "CAMPAIGN_sched.json".to_string());
 
-    let report = run_demo(seed);
+    let (report, obs) = run_demo_with_obs(seed);
     let git_rev = provenance::json_escape(&provenance::git_rev());
     let rustc = provenance::json_escape(&provenance::rustc_version());
     let json = report.to_json_with_provenance(&[("git_rev", &git_rev), ("rustc", &rustc)]);
@@ -82,6 +86,18 @@ fn main() {
         report.mape_first_quartile_uncalibrated_pct, report.mape_calibrated_pct
     );
     println!("  wrote {out}");
+
+    // The campaign's private virtual-clock metrics, merged with anything
+    // the process-global registry collected along the way (disjoint name
+    // spaces: sched.* vs pool.*/lbm.*).
+    let snapshot = obs.merged_with(hemocloud_obs::global().snapshot());
+    println!("  metrics snapshot ({} entries):", snapshot.entries().len());
+    print!("{}", snapshot.to_text(hemocloud_obs::Render::Deterministic));
+    if let Ok(obs_path) = std::env::var("OBS_OUT") {
+        let obs_json = snapshot.to_json(hemocloud_obs::Render::Deterministic);
+        std::fs::write(&obs_path, &obs_json).unwrap_or_else(|e| panic!("writing {obs_path}: {e}"));
+        println!("  wrote {obs_path}");
+    }
 
     if !failures.is_empty() {
         for f in &failures {

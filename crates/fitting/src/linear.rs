@@ -27,17 +27,25 @@ impl LineFit {
     }
 }
 
+/// True iff every sample is finite. A single NaN would otherwise poison
+/// the normal-equation sums *without* tripping the `sxx == 0` degeneracy
+/// check (`NaN != 0`), yielding a `Some(LineFit)` full of NaNs.
+pub(crate) fn all_finite(vs: &[f64]) -> bool {
+    vs.iter().all(|v| v.is_finite())
+}
+
 /// Ordinary least-squares fit of `y = a*x + b`.
 ///
-/// Returns `None` when fewer than two points are supplied or when all `x`
-/// values coincide (the slope is then unidentifiable).
+/// Returns `None` when fewer than two points are supplied, when any
+/// sample is non-finite, or when all `x` values coincide (the slope is
+/// then unidentifiable).
 ///
 /// # Panics
 /// Panics if `xs` and `ys` have different lengths.
 pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
     assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
     let n = xs.len();
-    if n < 2 {
+    if n < 2 || !all_finite(xs) || !all_finite(ys) {
         return None;
     }
     let nf = n as f64;
@@ -74,9 +82,13 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
 ///
 /// This implements the paper's convention of defining latency as the
 /// measured zero-byte communication time: the intercept is pinned and only
-/// the slope minimizes the SSE. Returns `None` if no point has `x != 0`.
+/// the slope minimizes the SSE. Returns `None` if no point has `x != 0`,
+/// or if any sample (or the pinned intercept) is non-finite.
 pub fn fit_line_fixed_intercept(xs: &[f64], ys: &[f64], intercept: f64) -> Option<LineFit> {
     assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    if !intercept.is_finite() || !all_finite(xs) || !all_finite(ys) {
+        return None;
+    }
     let mut sxx = 0.0;
     let mut sxy = 0.0;
     for (&x, &y) in xs.iter().zip(ys) {
@@ -144,6 +156,19 @@ mod tests {
         assert!(fit_line(&[], &[]).is_none());
         assert!(fit_line(&[1.0], &[2.0]).is_none());
         assert!(fit_line(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_return_none() {
+        // Regression: a NaN x made sxx NaN, which passed the `sxx == 0`
+        // degeneracy check and returned Some(LineFit) full of NaNs.
+        assert!(fit_line(&[0.0, 1.0, f64::NAN], &[0.0, 1.0, 2.0]).is_none());
+        assert!(fit_line(&[0.0, 1.0, 2.0], &[0.0, f64::NAN, 2.0]).is_none());
+        assert!(fit_line(&[0.0, 1.0, f64::INFINITY], &[0.0, 1.0, 2.0]).is_none());
+        assert!(fit_line_fixed_intercept(&[1.0, f64::NAN], &[1.0, 2.0], 0.0).is_none());
+        assert!(fit_line_fixed_intercept(&[1.0, 2.0], &[f64::NAN, 2.0], 0.0).is_none());
+        assert!(fit_line_fixed_intercept(&[1.0, 2.0], &[1.0, 2.0], f64::NAN).is_none());
+        assert!(fit_proportional(&[1.0, 2.0], &[2.0, f64::NEG_INFINITY]).is_none());
     }
 
     #[test]

@@ -49,10 +49,12 @@ impl ImbalanceModel {
 /// Measured `z` values come from decomposition sweeps: the maximum per-task
 /// byte count divided by the perfectly balanced share (paper Eq. 10).
 /// Parameters are constrained non-negative (a negative rate or amplitude is
-/// meaningless for imbalance). Returns `None` for fewer than two points.
+/// meaningless for imbalance). Returns `None` for fewer than two points
+/// or any non-finite measurement (a NaN `z` would make every candidate's
+/// SSE non-finite and the minimization meaningless).
 pub fn fit_imbalance(task_counts: &[usize], z_values: &[f64]) -> Option<ImbalanceModel> {
     assert_eq!(task_counts.len(), z_values.len(), "length mismatch");
-    if task_counts.len() < 2 {
+    if task_counts.len() < 2 || !z_values.iter().all(|z| z.is_finite()) {
         return None;
     }
     let objective = |p: &[f64]| -> f64 {
@@ -118,9 +120,9 @@ impl EventModel {
 ///
 /// Measured event counts come from counting the halo messages of the most
 /// connected task in real decompositions. Returns `None` for fewer than two
-/// samples.
+/// samples or any non-finite measured event count.
 pub fn fit_events(samples: &[(usize, usize, f64)]) -> Option<EventModel> {
-    if samples.len() < 2 {
+    if samples.len() < 2 || !samples.iter().all(|&(_, _, e)| e.is_finite()) {
         return None;
     }
     let objective = |p: &[f64]| -> f64 {
@@ -198,6 +200,17 @@ mod tests {
     #[test]
     fn fit_imbalance_rejects_tiny_input() {
         assert!(fit_imbalance(&[4], &[1.2]).is_none());
+    }
+
+    #[test]
+    fn non_finite_measurements_return_none() {
+        // Regression: a NaN measurement made every candidate's SSE NaN;
+        // Nelder-Mead then "converged" to whatever start it was given and
+        // the fit came back Some with garbage parameters.
+        assert!(fit_imbalance(&[1, 2, 4], &[1.0, f64::NAN, 1.3]).is_none());
+        assert!(fit_imbalance(&[1, 2], &[1.0, f64::INFINITY]).is_none());
+        assert!(fit_events(&[(8, 2, 4.0), (16, 2, f64::NAN)]).is_none());
+        assert!(fit_events(&[(8, 2, f64::NEG_INFINITY), (16, 2, 5.0)]).is_none());
     }
 
     #[test]

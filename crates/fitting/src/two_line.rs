@@ -105,6 +105,11 @@ pub fn fit_two_line(threads: &[f64], bandwidths: &[f64]) -> Option<TwoLineFit> {
     if threads.len() < 3 {
         return None;
     }
+    // NaN samples would slip through the min/max fold below (`f64::min`
+    // ignores NaN) and poison every slope solve, so refuse them outright.
+    if !crate::linear::all_finite(threads) || !crate::linear::all_finite(bandwidths) {
+        return None;
+    }
     let min_n = threads.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_n = threads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if !(min_n.is_finite() && max_n.is_finite()) || min_n == max_n {
@@ -231,6 +236,28 @@ mod tests {
     #[test]
     fn too_few_points_is_none() {
         assert!(fit_two_line(&[1.0, 2.0], &[10.0, 20.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_return_none() {
+        let ns: Vec<f64> = (1..=10).map(|n| n as f64).collect();
+        let bs: Vec<f64> = ns.iter().map(|&n| 100.0 * n).collect();
+        // NaN in the thread axis used to slip past the range check (the
+        // min/max folds skip NaN) and poison every slope solve.
+        let mut bad_ns = ns.clone();
+        bad_ns[3] = f64::NAN;
+        assert!(fit_two_line(&bad_ns, &bs).is_none());
+        let mut bad_bs = bs.clone();
+        bad_bs[7] = f64::NAN;
+        assert!(fit_two_line(&ns, &bad_bs).is_none());
+        assert!(fit_two_line(&[1.0, 2.0, f64::INFINITY], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn coincident_thread_counts_return_none() {
+        // All-equal x: the breakpoint range is empty and no slope is
+        // identifiable.
+        assert!(fit_two_line(&[4.0, 4.0, 4.0], &[1.0, 2.0, 3.0]).is_none());
     }
 
     #[test]

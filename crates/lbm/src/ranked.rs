@@ -31,7 +31,9 @@ use crate::lattice::{opposite, Q19};
 use crate::mesh::{FluidMesh, SOLID};
 use crate::solver::{bulk_out, flat_index, inlet_out, outlet_out, rest_distributions};
 use hemocloud_geometry::voxel::CellType;
+use hemocloud_obs::{Counter, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
+use std::sync::Arc;
 
 /// Assignment of fluid cells to ranks: `owner[cell]` is the rank index.
 #[derive(Debug, Clone)]
@@ -108,6 +110,14 @@ pub struct RankedSolver {
     kernel: crate::kernel::KernelConfig,
     steps_taken: u64,
     ledgers: Vec<CommLedger>,
+    /// Cumulative halo traffic across all ranks and steps (the per-step
+    /// ledgers reset every step; these observability counters never do).
+    /// Deterministic: the exchange schedule is a pure function of the
+    /// mesh, assignment, and kernel config — the cross-check test pins
+    /// them against `DecompAnalysis`' Eq. 9 message accounting.
+    obs_halo_bytes: Arc<Counter>,
+    obs_halo_messages: Arc<Counter>,
+    obs_steps: Arc<Counter>,
 }
 
 impl RankedSolver {
@@ -158,6 +168,7 @@ impl RankedSolver {
         let (inlet_slot, inlet_vel) = crate::solver::poiseuille_profile_for(&mesh, &config);
 
         let ledgers = vec![CommLedger::default(); assignment.n_ranks];
+        let reg = hemocloud_obs::global();
         Self {
             f_tmp,
             halo: vec![0.0; n * Q19],
@@ -173,7 +184,19 @@ impl RankedSolver {
             kernel: config.kernel,
             steps_taken: 0,
             ledgers,
+            obs_halo_bytes: reg.counter("lbm.ranked.halo_bytes"),
+            obs_halo_messages: reg.counter("lbm.ranked.halo_messages"),
+            obs_steps: reg.counter("lbm.ranked.steps"),
         }
+    }
+
+    /// Rebind this solver's metrics to `registry` (default: the global
+    /// registry). Tests use private registries so their counters start
+    /// at zero and cannot be polluted by concurrently running tests.
+    pub fn use_registry(&mut self, registry: &Registry) {
+        self.obs_halo_bytes = registry.counter("lbm.ranked.halo_bytes");
+        self.obs_halo_messages = registry.counter("lbm.ranked.halo_messages");
+        self.obs_steps = registry.counter("lbm.ranked.steps");
     }
 
     fn clear_ledgers(&mut self) {
@@ -202,6 +225,8 @@ impl RankedSolver {
                 let ledger = &mut self.ledgers[*sender as usize];
                 ledger.bytes_sent += bytes;
                 ledger.messages_sent += 1;
+                self.obs_halo_bytes.add(bytes);
+                self.obs_halo_messages.inc();
             }
         }
     }
@@ -404,6 +429,7 @@ impl RankedSolver {
             }
         }
         self.steps_taken += 1;
+        self.obs_steps.inc();
     }
 
     /// Per-rank communication ledgers for the most recent step.
@@ -629,5 +655,71 @@ mod tests {
         for l in s.ledgers() {
             assert!(l.messages_sent <= (n_ranks - 1) as u64);
         }
+    }
+
+    #[test]
+    fn measured_halo_traffic_matches_decomp_analysis() {
+        // The measured ledgers must agree *exactly* with the static census
+        // the direct model's Eq. 9 communication terms are built from:
+        // `DecompAnalysis.messages[a][b]` counts the boundary points rank
+        // `a` ships to `b` each step, and the solver moves all Q19
+        // distributions (19 × 8 bytes) per shipped point. Both sides see
+        // the same RCB partition, so the executed exchange schedule is the
+        // model's message graph realized.
+        use hemocloud_decomp::halo::DecompAnalysis;
+        use hemocloud_decomp::rcb::RcbPartition;
+        use hemocloud_geometry::anatomy::CylinderSpec;
+
+        let grid = CylinderSpec::default()
+            .with_dimensions(3.0, 12.0)
+            .with_resolution(8)
+            .build();
+        let mesh = FluidMesh::build(&grid);
+        let n_ranks = 4;
+        let rcb = RcbPartition::new(&grid, n_ranks);
+        let analysis = DecompAnalysis::analyze(&grid, &rcb);
+
+        use hemocloud_decomp::partition::Ownership;
+        let owner: Vec<u32> = (0..mesh.len())
+            .map(|cell| {
+                let (x, y, z) = mesh.coords(cell);
+                rcb.owner(x, y, z) as u32
+            })
+            .collect();
+        let assignment = RankAssignment::new(owner, n_ranks);
+
+        let registry = Registry::new();
+        let mut s = RankedSolver::new(mesh, assignment, SolverConfig::default());
+        s.use_registry(&registry);
+        s.step(); // AB: one exchange per step
+
+        let point_bytes = (Q19 * std::mem::size_of::<f64>()) as u64;
+        let mut total_bytes = 0u64;
+        let mut total_messages = 0u64;
+        for (rank, ledger) in s.ledgers().iter().enumerate() {
+            let send_points: usize = analysis.messages[rank].values().sum();
+            let peers = analysis.messages[rank].len() as u64;
+            assert_eq!(
+                ledger.bytes_sent,
+                send_points as u64 * point_bytes,
+                "rank {rank}: measured bytes diverge from Eq. 9 accounting"
+            );
+            assert_eq!(
+                ledger.messages_sent, peers,
+                "rank {rank}: measured message count diverges from peer count"
+            );
+            total_bytes += ledger.bytes_sent;
+            total_messages += ledger.messages_sent;
+        }
+        assert!(total_bytes > 0, "RCB at 4 ranks must communicate");
+
+        // The cumulative observability counters carry the same totals.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lbm.ranked.halo_bytes"), Some(total_bytes));
+        assert_eq!(
+            snap.counter("lbm.ranked.halo_messages"),
+            Some(total_messages)
+        );
+        assert_eq!(snap.counter("lbm.ranked.steps"), Some(1));
     }
 }

@@ -53,7 +53,9 @@ use crate::kernel::{AosIdx, KernelConfig, Layout, LayoutIdx, Propagation, SoaIdx
 use crate::lattice::{opposite, Q19, W19};
 use crate::mesh::{FluidMesh, SOLID};
 use hemocloud_geometry::voxel::CellType;
+use hemocloud_obs::{Counter, Histogram, HistogramKind, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
+use std::sync::Arc;
 
 /// Tunable parameters of a simulation.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +122,57 @@ pub struct Solver {
     /// not re-dispatch on `mesh.cell_type(cell)` every step.
     kinds: KindLists,
     steps_taken: u64,
+    obs: SolverObs,
+}
+
+/// Handles into an [`hemocloud_obs`] registry, fetched once at
+/// construction so per-step recording is a handful of lock-free atomic
+/// adds. Step/cell counters are deterministic (pure functions of the
+/// stepping program); the timing histograms are wall-clock and export
+/// count-only in deterministic snapshots.
+pub(crate) struct SolverObs {
+    pub(crate) steps: Arc<Counter>,
+    pub(crate) cells_bulk: Arc<Counter>,
+    pub(crate) cells_inlet: Arc<Counter>,
+    pub(crate) cells_outlet: Arc<Counter>,
+    pub(crate) step_seconds: Arc<Histogram>,
+    pub(crate) step_mflups: Arc<Histogram>,
+}
+
+impl SolverObs {
+    pub(crate) fn from_registry(reg: &Registry) -> Self {
+        Self {
+            steps: reg.counter("lbm.steps"),
+            cells_bulk: reg.counter("lbm.cell_updates.bulk"),
+            cells_inlet: reg.counter("lbm.cell_updates.inlet"),
+            cells_outlet: reg.counter("lbm.cell_updates.outlet"),
+            step_seconds: reg.histogram(
+                "lbm.step_seconds",
+                HistogramKind::WallTime,
+                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
+            ),
+            step_mflups: reg.histogram(
+                "lbm.step_mflups",
+                HistogramKind::WallTime,
+                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+            ),
+        }
+    }
+
+    /// Record one completed step over a mesh with the given per-kind cell
+    /// counts and wall duration.
+    pub(crate) fn record_step(&self, kinds: &KindLists, seconds: f64) {
+        self.steps.inc();
+        self.cells_bulk.add(kinds.bulk.len() as u64);
+        self.cells_inlet.add(kinds.inlet.len() as u64);
+        self.cells_outlet.add(kinds.outlet.len() as u64);
+        self.step_seconds.record(seconds);
+        let cells = (kinds.bulk.len() + kinds.inlet.len() + kinds.outlet.len()) as f64;
+        // Recorded unconditionally so the sample count stays one-per-step
+        // (deterministic); a zero-duration step yields a non-finite rate,
+        // which the histogram banks in its overflow bucket.
+        self.step_mflups.record(cells / seconds / 1e6);
+    }
 }
 
 /// Ascending per-kind cell index lists. `bulk` holds every cell that
@@ -240,7 +293,15 @@ impl Solver {
             inlet_vel,
             kinds,
             steps_taken: 0,
+            obs: SolverObs::from_registry(hemocloud_obs::global()),
         }
+    }
+
+    /// Rebind this solver's metrics to `registry` (default: the global
+    /// registry). Tests use private registries so `cargo test`'s
+    /// process-level parallelism cannot cross-pollute their counters.
+    pub fn use_registry(&mut self, registry: &Registry) {
+        self.obs = SolverObs::from_registry(registry);
     }
 
     /// Compute the prescribed inlet velocities: a parabolic profile over
@@ -561,6 +622,7 @@ impl Solver {
     /// cell range never reorders any cell's arithmetic — so equivalence
     /// tests can pin the schedule without a host-width pool.
     pub fn step_with_workers(&mut self, workers: usize) {
+        let start = std::time::Instant::now();
         match (self.config.kernel.propagation, self.config.kernel.layout) {
             (Propagation::Ab, Layout::Aos) => self.step_ab::<AosIdx>(workers),
             (Propagation::Ab, Layout::Soa) => self.step_ab::<SoaIdx>(workers),
@@ -568,6 +630,7 @@ impl Solver {
             (Propagation::Aa, Layout::Soa) => self.step_aa::<SoaIdx>(workers),
         }
         self.steps_taken += 1;
+        self.obs.record_step(&self.kinds, start.elapsed().as_secs_f64());
     }
 
     /// Run `steps` timesteps and report throughput.

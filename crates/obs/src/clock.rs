@@ -1,0 +1,162 @@
+//! Pluggable time sources.
+//!
+//! Everything in this crate that needs "now" takes a `&dyn Clock`, so
+//! the same span/timing machinery serves three regimes:
+//!
+//! * [`WallClock`] — monotonic wall time for real benchmark runs.
+//!   Readings are *not* reproducible across runs, so snapshots flag
+//!   anything derived from it as nondeterministic.
+//! * [`ManualClock`] driven by the scheduler — `hemocloud-sched` is a
+//!   discrete-event simulation; its only meaningful time is the virtual
+//!   event clock, and metrics recorded against it are exactly
+//!   reproducible for a given seed.
+//! * [`ManualClock`] in tests — advanced by hand to pin span durations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source reporting seconds since an arbitrary origin.
+pub trait Clock: Send + Sync {
+    /// Seconds since this clock's origin. Must be non-decreasing.
+    fn now_s(&self) -> f64;
+
+    /// Whether readings are reproducible across identical runs.
+    ///
+    /// Metrics derived from a nondeterministic clock are demoted to
+    /// count-only in [`Render::Deterministic`] snapshots.
+    ///
+    /// [`Render::Deterministic`]: crate::snapshot::Render::Deterministic
+    fn is_deterministic(&self) -> bool;
+}
+
+/// Monotonic wall clock anchored at construction time.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_s(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// A clock that only moves when told to — the scheduler syncs it to the
+/// virtual event time, tests advance it by hand.
+///
+/// The reading is stored as `f64` bits in an `AtomicU64` so `now_s` is
+/// lock-free; writers are expected to be serial (the event loop), which
+/// is what makes the readings deterministic.
+#[derive(Debug)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_s` seconds.
+    ///
+    /// # Panics
+    /// If `start_s` is non-finite or negative.
+    pub fn new(start_s: f64) -> Self {
+        assert!(
+            start_s.is_finite() && start_s >= 0.0,
+            "bad clock start {start_s}"
+        );
+        Self {
+            bits: AtomicU64::new(start_s.to_bits()),
+        }
+    }
+
+    /// Move the clock to `t_s`. Time must not run backwards.
+    ///
+    /// # Panics
+    /// If `t_s` is non-finite or earlier than the current reading.
+    pub fn set_s(&self, t_s: f64) {
+        let now = f64::from_bits(self.bits.load(Ordering::Acquire));
+        assert!(
+            t_s.is_finite() && t_s >= now,
+            "manual clock moved backwards: {now} -> {t_s}"
+        );
+        self.bits.store(t_s.to_bits(), Ordering::Release);
+    }
+
+    /// Advance the clock by `dt_s` seconds.
+    pub fn advance_s(&self, dt_s: f64) {
+        assert!(dt_s.is_finite() && dt_s >= 0.0, "bad clock advance {dt_s}");
+        let now = f64::from_bits(self.bits.load(Ordering::Acquire));
+        self.set_s(now + dt_s);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_s(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_nondeterministic() {
+        let c = WallClock::new();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a && a >= 0.0);
+        assert!(!c.is_deterministic());
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new(1.5);
+        assert_eq!(c.now_s(), 1.5);
+        c.advance_s(2.5);
+        assert_eq!(c.now_s(), 4.0);
+        c.set_s(10.0);
+        assert_eq!(c.now_s(), 10.0);
+        assert!(c.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_backwards_time() {
+        let c = ManualClock::new(5.0);
+        c.set_s(4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad clock advance")]
+    fn manual_clock_rejects_nan_advance() {
+        ManualClock::new(0.0).advance_s(f64::NAN);
+    }
+}

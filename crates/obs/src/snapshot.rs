@@ -1,0 +1,395 @@
+//! Snapshot rendering: one sorted map of instrument samples, exported
+//! as text or JSON with no timestamps, no hashing order, and no
+//! environment leakage — byte-for-byte reproducible in
+//! [`Render::Deterministic`] mode.
+//!
+//! Floats render with Rust's shortest-roundtrip `{:?}` formatting,
+//! which is fully determined by the value's bits. Non-finite values
+//! render as `NaN`/`inf` on purpose: the verify gate greps snapshots
+//! for exactly those tokens, so a non-finite metric fails loudly
+//! instead of being silently prettified.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metric::HistogramKind;
+
+/// How much of a snapshot to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Render {
+    /// Only interleaving- and wall-clock-independent statistics: two
+    /// identical seeded runs at the same worker count produce identical
+    /// bytes. Wall-time histograms and wall-clock spans export only
+    /// their sample counts; f64 sums are omitted.
+    Deterministic,
+    /// Everything, including wall-time statistics and f64 sums — for
+    /// human diagnosis, not for diffing.
+    Full,
+}
+
+impl Render {
+    fn label(self) -> &'static str {
+        match self {
+            Render::Deterministic => "deterministic",
+            Render::Full => "full",
+        }
+    }
+}
+
+/// One instrument's sampled state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(f64),
+    /// A histogram's full state; `counts` has one overflow cell beyond
+    /// `bounds`.
+    Histogram {
+        /// Sample provenance (decides deterministic exportability).
+        kind: HistogramKind,
+        /// Bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts, overflow last.
+        counts: Vec<u64>,
+        /// Total samples.
+        count: u64,
+        /// Smallest finite sample (`+inf` when none).
+        min: f64,
+        /// Largest finite sample (`-inf` when none).
+        max: f64,
+        /// Interleaving-dependent f64 sum.
+        sum: f64,
+    },
+    /// A span total.
+    Span {
+        /// Whether the feeding clock was deterministic.
+        deterministic: bool,
+        /// Completed spans.
+        count: u64,
+        /// Total elapsed seconds.
+        total_s: f64,
+    },
+}
+
+/// Shortest-roundtrip float formatting — deterministic for given bits.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn fmt_f64_list(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|&v| fmt_f64(v)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn fmt_u64_list(vs: &[u64]) -> String {
+    let items: Vec<String> = vs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// A point-in-time copy of a [`Registry`](crate::registry::Registry),
+/// sorted by instrument name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    entries: BTreeMap<String, Sample>,
+}
+
+impl Snapshot {
+    pub(crate) fn from_entries(entries: BTreeMap<String, Sample>) -> Self {
+        Self { entries }
+    }
+
+    /// All samples, sorted by name.
+    pub fn entries(&self) -> &BTreeMap<String, Sample> {
+        &self.entries
+    }
+
+    /// Look up one sample by instrument name.
+    pub fn get(&self, name: &str) -> Option<&Sample> {
+        self.entries.get(name)
+    }
+
+    /// A counter's value, when `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(Sample::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Merge `other` into this snapshot (e.g. the scheduler's private
+    /// registry alongside the process-global one).
+    ///
+    /// # Panics
+    /// On a name collision — the workspace namespaces instruments by
+    /// layer (`pool.`, `lbm.`, `sched.`), so a collision is a bug.
+    pub fn merged_with(mut self, other: Snapshot) -> Snapshot {
+        for (name, sample) in other.entries {
+            let prior = self.entries.insert(name.clone(), sample);
+            assert!(prior.is_none(), "obs snapshot merge collision on {name:?}");
+        }
+        self
+    }
+
+    /// Render as one instrument per line, sorted by name.
+    pub fn to_text(&self, render: Render) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# obs snapshot ({})", render.label());
+        for (name, sample) in &self.entries {
+            match sample {
+                Sample::Counter(v) => {
+                    let _ = writeln!(out, "counter {name} {v}");
+                }
+                Sample::Gauge(v) => {
+                    let _ = writeln!(out, "gauge {name} {}", fmt_f64(*v));
+                }
+                Sample::Histogram {
+                    kind,
+                    bounds,
+                    counts,
+                    count,
+                    min,
+                    max,
+                    sum,
+                } => {
+                    let wall = *kind == HistogramKind::WallTime;
+                    if wall && render == Render::Deterministic {
+                        let _ = writeln!(out, "histogram(wall) {name} count={count}");
+                        continue;
+                    }
+                    let tag = if wall { "histogram(wall)" } else { "histogram" };
+                    let _ = write!(out, "{tag} {name} count={count}");
+                    if *count > counts[bounds.len()] {
+                        // At least one finite sample: min/max are real.
+                        let _ = write!(out, " min={} max={}", fmt_f64(*min), fmt_f64(*max));
+                    }
+                    if render == Render::Full {
+                        let _ = write!(out, " sum={}", fmt_f64(*sum));
+                    }
+                    let _ = writeln!(
+                        out,
+                        " bounds={} counts={}",
+                        fmt_f64_list(bounds),
+                        fmt_u64_list(counts)
+                    );
+                }
+                Sample::Span {
+                    deterministic,
+                    count,
+                    total_s,
+                } => {
+                    if !deterministic && render == Render::Deterministic {
+                        let _ = writeln!(out, "span(wall) {name} count={count}");
+                    } else {
+                        let tag = if *deterministic { "span" } else { "span(wall)" };
+                        let _ = writeln!(
+                            out,
+                            "{tag} {name} count={count} total_s={}",
+                            fmt_f64(*total_s)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object with sorted keys — the same hand-rolled
+    /// deterministic style the bench and campaign records use.
+    pub fn to_json(&self, render: Render) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"render\": \"{}\",", render.label());
+        out.push_str("  \"metrics\": {\n");
+        let last = self.entries.len().saturating_sub(1);
+        for (i, (name, sample)) in self.entries.iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": ");
+            match sample {
+                Sample::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                Sample::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {}}}", fmt_f64(*v));
+                }
+                Sample::Histogram {
+                    kind,
+                    bounds,
+                    counts,
+                    count,
+                    min,
+                    max,
+                    sum,
+                } => {
+                    let wall = *kind == HistogramKind::WallTime;
+                    let kind_label = if wall { "wall_time" } else { "value" };
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"kind\": \"{kind_label}\", \"count\": {count}"
+                    );
+                    if !(wall && render == Render::Deterministic) {
+                        if *count > counts[bounds.len()] {
+                            let _ = write!(
+                                out,
+                                ", \"min\": {}, \"max\": {}",
+                                fmt_f64(*min),
+                                fmt_f64(*max)
+                            );
+                        }
+                        if render == Render::Full {
+                            let _ = write!(out, ", \"sum\": {}", fmt_f64(*sum));
+                        }
+                        let _ = write!(
+                            out,
+                            ", \"bounds\": {}, \"counts\": {}",
+                            fmt_f64_list(bounds),
+                            fmt_u64_list(counts)
+                        );
+                    }
+                    out.push('}');
+                }
+                Sample::Span {
+                    deterministic,
+                    count,
+                    total_s,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"span\", \"deterministic\": {deterministic}, \"count\": {count}"
+                    );
+                    if *deterministic || render == Render::Full {
+                        let _ = write!(out, ", \"total_s\": {}", fmt_f64(*total_s));
+                    }
+                    out.push('}');
+                }
+            }
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::HistogramKind;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("pool.jobs").add(7);
+        r.gauge("sched.mape_pct").set(12.25);
+        let h = r.histogram("lbm.halo_bytes", HistogramKind::Value, &[100.0, 1000.0]);
+        h.record(152.0);
+        h.record(152.0);
+        let w = r.histogram("pool.run_seconds", HistogramKind::WallTime, &[0.001, 0.1]);
+        w.record(0.0125);
+        r.record_span_s("sched.event.arrive", 3.5, true);
+        r.record_span_s("wall.span", 0.25, false);
+        r
+    }
+
+    #[test]
+    fn deterministic_text_hides_wall_values() {
+        let text = sample_registry().snapshot().to_text(Render::Deterministic);
+        assert!(text.contains("counter pool.jobs 7"));
+        assert!(text.contains("gauge sched.mape_pct 12.25"));
+        assert!(text.contains("histogram lbm.halo_bytes count=2 min=152.0 max=152.0"));
+        // Wall histogram: count only, no min/max/buckets.
+        assert!(text.contains("histogram(wall) pool.run_seconds count=1\n"));
+        assert!(!text.contains("0.0125"));
+        // Deterministic span keeps its total; wall span keeps only count.
+        assert!(text.contains("span sched.event.arrive count=1 total_s=3.5"));
+        assert!(text.contains("span(wall) wall.span count=1\n"));
+        assert!(!text.contains("0.25"));
+    }
+
+    #[test]
+    fn full_render_exposes_everything() {
+        let text = sample_registry().snapshot().to_text(Render::Full);
+        assert!(text.contains("0.0125"));
+        assert!(text.contains("sum=304.0"));
+        assert!(text.contains("span(wall) wall.span count=1 total_s=0.25"));
+    }
+
+    #[test]
+    fn json_is_sorted_and_parsable_shape() {
+        let json = sample_registry().snapshot().to_json(Render::Deterministic);
+        let lbm = json.find("lbm.halo_bytes").unwrap();
+        let pool = json.find("pool.jobs").unwrap();
+        let sched = json.find("sched.event.arrive").unwrap();
+        assert!(lbm < pool && pool < sched, "keys must be sorted");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"render\": \"deterministic\""));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_nonfinite_min_max() {
+        let r = Registry::new();
+        r.histogram("empty", HistogramKind::Value, &[1.0]);
+        let json = r.snapshot().to_json(Render::Deterministic);
+        assert!(json.contains("\"count\": 0"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn identical_ops_produce_identical_bytes() {
+        let a = sample_registry().snapshot();
+        let b = sample_registry().snapshot();
+        assert_eq!(
+            a.to_text(Render::Deterministic),
+            b.to_text(Render::Deterministic)
+        );
+        assert_eq!(
+            a.to_json(Render::Deterministic),
+            b.to_json(Render::Deterministic)
+        );
+    }
+
+    #[test]
+    fn merged_with_combines_disjoint_namespaces() {
+        let a = sample_registry().snapshot();
+        let r = Registry::new();
+        r.counter("sched.faults").add(3);
+        let merged = a.merged_with(r.snapshot());
+        assert_eq!(merged.counter("pool.jobs"), Some(7));
+        assert_eq!(merged.counter("sched.faults"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "merge collision")]
+    fn merged_with_rejects_collisions() {
+        let r = Registry::new();
+        r.counter("pool.jobs").inc();
+        let _ = sample_registry().snapshot().merged_with(r.snapshot());
+    }
+
+    #[test]
+    fn snapshot_determinism_across_threads() {
+        // The satellite property test: the same multiset of operations
+        // performed from N racing threads must export the same bytes
+        // as any other interleaving (here: a second identical run).
+        let run = || {
+            let r = std::sync::Arc::new(Registry::new());
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let r = std::sync::Arc::clone(&r);
+                    std::thread::spawn(move || {
+                        let c = r.counter("t.ops");
+                        let h = r.histogram("t.values", HistogramKind::Value, &[4.0, 16.0]);
+                        for i in 0..500u64 {
+                            c.add(1 + t % 2);
+                            h.record(((i * 7 + t) % 32) as f64);
+                        }
+                        r.record_span_s("t.span", 0.5, true);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            r.snapshot().to_json(Render::Deterministic)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,72 @@
+//! Nested span tracking.
+//!
+//! Each thread keeps a stack of open span names; a span opened while
+//! others are open records under the "/"-joined path (so
+//! `campaign/slice` is time inside `slice` while `campaign` is open on
+//! the same thread). The stack is thread-local — spans do not follow
+//! work across `rt::pool` workers, which keeps the bookkeeping
+//! lock-free and the paths unambiguous.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::metric::SpanTotal;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Push `name` onto this thread's span stack; returns the full
+/// "/"-joined path including `name`.
+pub(crate) fn push(name: &str) -> String {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    })
+}
+
+pub(crate) fn pop() {
+    SPAN_STACK.with(|stack| {
+        stack.borrow_mut().pop();
+    });
+}
+
+/// RAII guard for one open span: created by
+/// [`Registry::scope`](crate::registry::Registry::scope), records the
+/// elapsed clock time into its [`SpanTotal`] on drop and pops the
+/// thread's span stack. Drop in LIFO order.
+#[derive(Debug)]
+pub struct SpanGuard<'c> {
+    total: Arc<SpanTotal>,
+    clock: &'c dyn Clock,
+    start_s: f64,
+}
+
+impl<'c> SpanGuard<'c> {
+    pub(crate) fn new(total: Arc<SpanTotal>, clock: &'c dyn Clock) -> Self {
+        Self {
+            total,
+            clock,
+            start_s: clock.now_s(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.total.record_s(self.clock.now_s() - self.start_s);
+        pop();
+    }
+}
+
+impl std::fmt::Debug for dyn Clock + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Clock(deterministic={})", self.is_deterministic())
+    }
+}

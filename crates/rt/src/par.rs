@@ -19,12 +19,28 @@
 //! and results are unchanged.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads a parallel region will use.
+/// Number of worker threads a parallel region will use: the host's
+/// available parallelism, unless `RT_POOL_THREADS=<n>` (n ≥ 1) pins the
+/// logical width of the process-wide pool — the verify gate uses this
+/// to reproduce runs at fixed worker counts. Read once and cached (the
+/// global pool is sized from it exactly once anyway).
+///
+/// # Panics
+/// If `RT_POOL_THREADS` is set to anything but a positive integer.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("RT_POOL_THREADS") {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("RT_POOL_THREADS must be a positive integer, got {v:?}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    })
 }
 
 /// Apply `f(chunk_index, chunk)` to every `chunk_size`-sized chunk of

@@ -56,6 +56,9 @@ use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use hemocloud_obs::{Counter, Histogram, HistogramKind};
 
 /// A raw pointer that may cross thread boundaries. Used to hand disjoint
 /// sub-slices of one allocation to pool workers; the caller is
@@ -165,6 +168,44 @@ struct RawTask(*const (dyn Fn(usize) + Sync + 'static));
 // provably alive (see module docs on the wakeup protocol).
 unsafe impl Send for RawTask {}
 
+/// Handles into the global [`hemocloud_obs`] registry, fetched once at
+/// pool construction so the hot path records lock-free. Every pool in a
+/// process aggregates into the same `pool.*` instruments; the counts
+/// are deterministic for a fixed program (one `pool.jobs` per submitted
+/// job, one `pool.run_seconds`/`pool.queue_wait_seconds` sample per
+/// claimed run), while the timing *values* are wall-clock and therefore
+/// export count-only in deterministic snapshots.
+struct PoolMetrics {
+    jobs: Arc<Counter>,
+    runs: Arc<Counter>,
+    panics: Arc<Counter>,
+    spawned: Arc<Counter>,
+    queue_wait_s: Arc<Histogram>,
+    run_s: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        let reg = hemocloud_obs::global();
+        Self {
+            jobs: reg.counter("pool.jobs"),
+            runs: reg.counter("pool.runs"),
+            panics: reg.counter("pool.panics"),
+            spawned: reg.counter("pool.spawned_threads"),
+            queue_wait_s: reg.histogram(
+                "pool.queue_wait_seconds",
+                HistogramKind::WallTime,
+                &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0],
+            ),
+            run_s: reg.histogram(
+                "pool.run_seconds",
+                HistogramKind::WallTime,
+                &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
+            ),
+        }
+    }
+}
+
 struct State {
     /// Current job's task, present only while a job is in flight.
     task: Option<RawTask>,
@@ -176,6 +217,9 @@ struct State {
     pending: usize,
     /// First panic payload raised by any run of the current job.
     panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// When the current job was published — queue-wait samples measure
+    /// claim time against this.
+    epoch: Option<Instant>,
     /// Set by `Drop` to retire the workers.
     shutdown: bool,
 }
@@ -203,6 +247,30 @@ struct Shared {
     work: Condvar,
     /// The caller parks here waiting for the last run to complete.
     done: Condvar,
+    metrics: PoolMetrics,
+}
+
+/// Execute one claimed run with its timing + panic instrumentation:
+/// records the queue wait (publish → claim) and run time, bumps the
+/// panic counter on unwind, and returns the caught result.
+fn timed_run(
+    shared: &Shared,
+    epoch: Option<Instant>,
+    task: impl FnOnce(),
+) -> Result<(), Box<dyn std::any::Any + Send + 'static>> {
+    let claimed = Instant::now();
+    if let Some(epoch) = epoch {
+        shared
+            .metrics
+            .queue_wait_s
+            .record(claimed.duration_since(epoch).as_secs_f64());
+    }
+    let result = catch_unwind(AssertUnwindSafe(task));
+    shared.metrics.run_s.record(claimed.elapsed().as_secs_f64());
+    if result.is_err() {
+        shared.metrics.panics.inc();
+    }
+    result
 }
 
 /// A persistent pool of parked worker threads executing chunked
@@ -234,12 +302,15 @@ impl Pool {
                 next_run: 0,
                 pending: 0,
                 panic: None,
+                epoch: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            metrics: PoolMetrics::new(),
         });
         let spawned = threads - 1;
+        shared.metrics.spawned.add(spawned as u64);
         let handles = (0..spawned)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -287,10 +358,15 @@ impl Pool {
             return;
         }
         self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.jobs.inc();
+        self.shared.metrics.runs.add(n_runs as u64);
         if n_runs == 1 || self.spawned == 0 {
             // Nothing to hand out (or nobody to hand it to): run inline.
+            // No queue-wait sample — inline runs are never queued.
             for run in 0..n_runs {
-                task(run);
+                if let Err(payload) = timed_run(&self.shared, None, || task(run)) {
+                    resume_unwind(payload);
+                }
             }
             return;
         }
@@ -316,6 +392,7 @@ impl Pool {
             g.next_run = 0;
             g.pending = n_runs;
             g.panic = None;
+            g.epoch = Some(Instant::now());
         }
         self.shared.work.notify_all();
 
@@ -326,8 +403,9 @@ impl Pool {
             if g.next_run < g.n_runs {
                 let run = g.next_run;
                 g.next_run += 1;
+                let epoch = g.epoch;
                 drop(g);
-                let result = catch_unwind(AssertUnwindSafe(|| task(run)));
+                let result = timed_run(&self.shared, epoch, || task(run));
                 g = lock(&self.shared.state);
                 if let Err(payload) = result {
                     if g.panic.is_none() {
@@ -502,10 +580,11 @@ fn worker_loop(shared: &Shared) {
             let run = g.next_run;
             g.next_run += 1;
             let task = g.task.as_ref().unwrap().0;
+            let epoch = g.epoch;
             drop(g);
             // Safety: the submitting caller blocks until `pending == 0`,
             // so the pointee outlives this call.
-            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(run) }));
+            let result = timed_run(shared, epoch, || unsafe { (*task)(run) });
             g = lock(&shared.state);
             if let Err(payload) = result {
                 if g.panic.is_none() {
@@ -528,7 +607,16 @@ fn worker_loop(shared: &Shared) {
 /// non-empty whenever `n_chunks >= workers` — the ceil-based split the
 /// scoped implementation used could leave trailing workers idle (5 chunks
 /// on 4 threads gave runs of 2+2+1+0).
+///
+/// Total on every input: `n_chunks == 0` or `workers == 0` yields the
+/// empty run `(0, 0)` (`workers == 0` used to divide by zero), and when
+/// `n_chunks < workers` the first `n_chunks` runs get one chunk each
+/// while the rest get `(n_chunks, 0)` — the runs still tile
+/// `0..n_chunks` exactly.
 pub fn balanced_runs(n_chunks: usize, workers: usize, w: usize) -> (usize, usize) {
+    if n_chunks == 0 || workers == 0 {
+        return (0, 0);
+    }
     debug_assert!(w < workers);
     let base = n_chunks / workers;
     let extra = n_chunks % workers;
@@ -562,6 +650,34 @@ mod tests {
                     assert_eq!(first, next, "gap at worker {w} ({n_chunks}/{workers})");
                     assert!(count >= 1, "worker {w} idle with {n_chunks} chunks on {workers}");
                     next = first + count;
+                }
+                assert_eq!(next, n_chunks, "partition does not tile {n_chunks}/{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_runs_edge_cases_are_total_and_still_tile() {
+        // workers == 0 used to divide by zero; n_chunks == 0 must hand
+        // out nothing; both degenerate to the empty run.
+        for w in 0..4 {
+            assert_eq!(balanced_runs(0, 0, w), (0, 0));
+            assert_eq!(balanced_runs(7, 0, w), (0, 0));
+            assert_eq!(balanced_runs(0, 4, w), (0, 0));
+        }
+        // n_chunks < workers: the first n_chunks runs get one chunk
+        // each, the rest are empty, and the non-empty runs tile
+        // 0..n_chunks in order with no gaps or overlaps.
+        for n_chunks in 0..12usize {
+            for workers in n_chunks + 1..24 {
+                let mut next = 0usize;
+                for w in 0..workers {
+                    let (first, count) = balanced_runs(n_chunks, workers, w);
+                    assert!(count <= 1, "{n_chunks}/{workers} gave run {w} count {count}");
+                    if count == 1 {
+                        assert_eq!(first, next, "gap at worker {w} ({n_chunks}/{workers})");
+                        next = first + count;
+                    }
                 }
                 assert_eq!(next, n_chunks, "partition does not tile {n_chunks}/{workers}");
             }

@@ -66,6 +66,7 @@ pub fn demo_config(seed: u64) -> CampaignConfig {
         slice_steps: 2_000_000,
         fault_rate_per_node_hour: 0.15,
         retry_backoff_s: 60.0,
+        max_retry_backoff_s: 3600.0,
         min_calibration_obs: 6,
         prices: Default::default(),
     }
@@ -213,11 +214,21 @@ pub fn demo_jobs() -> Vec<JobSpec> {
 /// Build and run the whole demo campaign under `seed`; returns the
 /// report.
 pub fn run_demo(seed: u64) -> CampaignReport {
+    run_demo_with_obs(seed).0
+}
+
+/// [`run_demo`], also returning the campaign's metrics snapshot
+/// (admission/guard/retry/fault counters, per-event-type virtual-time
+/// spans, calibration gauges). Deterministic: same seed, same snapshot,
+/// byte for byte.
+pub fn run_demo_with_obs(seed: u64) -> (CampaignReport, hemocloud_obs::Snapshot) {
     let mut campaign = Campaign::new(demo_config(seed), demo_pools());
     for job in demo_jobs() {
         campaign.submit(job);
     }
-    campaign.run()
+    let report = campaign.run();
+    let snapshot = campaign.obs_snapshot();
+    (report, snapshot)
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 //! byte-for-byte reproducible per seed.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use hemocloud_cluster::exec::{Overheads, PreparedRun};
 use hemocloud_cluster::platform::Platform;
@@ -42,6 +43,7 @@ use hemocloud_core::dashboard::{Dashboard, DashboardEntry};
 use hemocloud_core::general::GeneralModel;
 use hemocloud_core::guard::JobGuard;
 use hemocloud_core::refine::ModelCalibrator;
+use hemocloud_obs::{Counter, Registry, Snapshot};
 use hemocloud_rt::rng::{Rng, SplitMix64};
 
 use crate::events::{Event, EventQueue};
@@ -60,11 +62,22 @@ pub struct CampaignConfig {
     /// Steps per execution slice (guard checks and fault draws happen at
     /// this granularity).
     pub slice_steps: u64,
-    /// Expected node failures per node-hour of occupancy (0 disables
-    /// fault injection).
+    /// Node-fault intensity, in **faults per node-hour** of occupancy
+    /// (0 disables fault injection). A slice occupying `nodes` nodes for
+    /// `dur_s` seconds expects `rate × nodes × dur_s / 3600` faults
+    /// ([`expected_faults`]); the per-slice fault draw fires with the
+    /// Poisson hit probability `1 − e^(−λ)` ([`fault_probability`]). At
+    /// the demo's 0.15, a 2-node half-hour slice expects 0.15 faults and
+    /// is interrupted with probability ≈ 0.139.
     pub fault_rate_per_node_hour: f64,
-    /// Base retry backoff, seconds; doubles per retry of the same job.
+    /// Base retry backoff, seconds; doubles per retry of the same job up
+    /// to [`CampaignConfig::max_retry_backoff_s`].
     pub retry_backoff_s: f64,
+    /// Ceiling on a single retry's backoff, seconds. Doubling is clamped
+    /// here so a job with a large `max_retries` cannot push its re-arrival
+    /// into an astronomically late (or, past ~1070 retries, non-finite)
+    /// event time — the event queue rejects non-finite times outright.
+    pub max_retry_backoff_s: f64,
     /// Observations a calibrator needs before its correction is trusted
     /// for placement.
     pub min_calibration_obs: usize,
@@ -81,6 +94,7 @@ impl Default for CampaignConfig {
             slice_steps: 25_000,
             fault_rate_per_node_hour: 0.0,
             retry_backoff_s: 30.0,
+            max_retry_backoff_s: 3600.0,
             min_calibration_obs: 5,
             prices: PriceSheet::default(),
         }
@@ -187,6 +201,47 @@ impl JobState {
     }
 }
 
+/// Expected fault count `λ` for occupying `nodes` nodes over `dur_s`
+/// seconds at `rate_per_node_hour` faults per node-hour (the unit of
+/// [`CampaignConfig::fault_rate_per_node_hour`]):
+/// `λ = rate × nodes × dur_s / 3600`.
+pub fn expected_faults(rate_per_node_hour: f64, nodes: usize, dur_s: f64) -> f64 {
+    rate_per_node_hour * nodes as f64 * (dur_s / 3600.0)
+}
+
+/// Probability that at least one fault lands in a window whose expected
+/// fault count is `lambda`, under Poisson arrivals: `1 − e^(−λ)`.
+/// Computed via `exp_m1` so tiny rates keep full precision.
+pub fn fault_probability(lambda: f64) -> f64 {
+    -(-lambda).exp_m1()
+}
+
+/// Bounded exponential retry backoff: `base_s × 2^(retry−1)` for the
+/// `retry`-th retry (1-based), clamped to `max_s`. The doubling stops as
+/// soon as the cap is reached, so any `retry` count — even one far past
+/// the ~1070 doublings that would overflow `f64` — yields a finite,
+/// monotonically non-decreasing delay.
+pub fn retry_backoff_s(base_s: f64, max_s: f64, retry: u32) -> f64 {
+    if !(base_s > 0.0) {
+        return 0.0;
+    }
+    // A non-positive or non-finite cap means "no cap" — which still must
+    // not produce a non-finite delay, so fall back to f64::MAX.
+    let max_s = if max_s > 0.0 && max_s.is_finite() {
+        max_s
+    } else {
+        f64::MAX
+    };
+    let mut backoff = base_s;
+    for _ in 1..retry {
+        if backoff >= max_s {
+            break;
+        }
+        backoff *= 2.0;
+    }
+    backoff.min(max_s)
+}
+
 /// Derive a child seed from mixed parts (SplitMix64 chaining — the same
 /// construction `rt::check` uses for per-case seeds).
 fn derive_seed(parts: &[u64]) -> u64 {
@@ -215,6 +270,39 @@ enum PlaceResult {
     Reject(String),
 }
 
+/// The campaign's observability handles. The campaign owns a *private*
+/// [`Registry`] (not the process-global one): everything in here advances
+/// on the virtual event clock and per-seed determinism matters, so the
+/// counters must not mix with wall-clock metrics or with a second
+/// campaign running in the same process.
+#[derive(Debug)]
+struct SchedObs {
+    registry: Registry,
+    submitted: Arc<Counter>,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    slices: Arc<Counter>,
+    guard_kills: Arc<Counter>,
+    faults: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl SchedObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            submitted: registry.counter("sched.jobs.submitted"),
+            admitted: registry.counter("sched.placements"),
+            rejected: registry.counter("sched.jobs.rejected"),
+            slices: registry.counter("sched.slices"),
+            guard_kills: registry.counter("sched.guard_kills"),
+            faults: registry.counter("sched.faults"),
+            retries: registry.counter("sched.retries"),
+            registry,
+        }
+    }
+}
+
 /// The campaign scheduler.
 #[derive(Debug)]
 pub struct Campaign {
@@ -232,6 +320,7 @@ pub struct Campaign {
     prepared: BTreeMap<(usize, String, usize), PreparedRun>,
     placements: Vec<PlacementRecord>,
     retries: usize,
+    obs: SchedObs,
 }
 
 impl Campaign {
@@ -276,7 +365,16 @@ impl Campaign {
             prepared: BTreeMap::new(),
             placements: Vec::new(),
             retries: 0,
+            obs: SchedObs::new(),
         }
+    }
+
+    /// Deterministic snapshot of the campaign's private metrics registry:
+    /// admission/guard/retry/fault counters, per-event-type virtual-time
+    /// span totals, and (after [`Campaign::run`]) calibration-error
+    /// gauges. Byte-for-byte reproducible per seed.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.obs.registry.snapshot()
     }
 
     /// Submit a job; returns its index.
@@ -300,6 +398,7 @@ impl Campaign {
         let idx = self.jobs.len();
         self.events.push(spec.submit_s, Event::Arrive { job: idx });
         self.jobs.push(JobState::new(spec));
+        self.obs.submitted.inc();
         idx
     }
 
@@ -312,6 +411,16 @@ impl Campaign {
     pub fn run(&mut self) -> CampaignReport {
         while let Some((t, event)) = self.events.pop() {
             debug_assert!(t >= self.clock_s, "clock moved backwards");
+            // Attribute the virtual time between consecutive events to the
+            // event type that closes the gap — a span on the event clock,
+            // so the totals are exactly reproducible per seed.
+            let span = match &event {
+                Event::Arrive { .. } => "sched.event.arrive",
+                Event::SliceDone { .. } => "sched.event.slice_done",
+            };
+            self.obs
+                .registry
+                .record_span_s(span, (t - self.clock_s).max(0.0), true);
             self.clock_s = t;
             match event {
                 Event::Arrive { job } => {
@@ -468,6 +577,7 @@ impl Campaign {
         let state = &mut self.pools[chosen.pool_idx];
         assert!(state.pool.try_alloc(chosen.nodes), "placement raced capacity");
         state.attempts += 1;
+        self.obs.admitted.inc();
         let platform = state.pool.platform.clone();
         let overheads = state.overheads;
 
@@ -540,6 +650,7 @@ impl Campaign {
                     job.waiting = false;
                     job.outcome = Some(JobOutcome::Rejected { reason });
                     job.finish_s = self.clock_s;
+                    self.obs.rejected.inc();
                 }
             }
         }
@@ -570,9 +681,8 @@ impl Campaign {
             run.slice_idx,
             0xFA,
         ]));
-        let expected_faults =
-            fault_rate * run.nodes as f64 * (sim.total_time_s / 3600.0);
-        let fault = rng.next_f64() < -(-expected_faults).exp_m1();
+        let lambda = expected_faults(fault_rate, run.nodes, sim.total_time_s);
+        let fault = rng.next_f64() < fault_probability(lambda);
         let fault_at = sim.total_time_s * rng.next_f64();
 
         // Whichever intervenes first ends the slice: the pre-drawn fault
@@ -617,6 +727,7 @@ impl Campaign {
     }
 
     fn on_slice_done(&mut self, job_idx: usize, attempt: u32) {
+        self.obs.slices.inc();
         let job = &mut self.jobs[job_idx];
         assert_eq!(job.attempts, attempt, "stale slice event");
         let run = job.run.as_mut().expect("slice for idle job");
@@ -636,13 +747,18 @@ impl Campaign {
                 let pool_idx = run.pool_idx;
                 let can_retry = job.retries_used < job.spec.max_retries;
                 self.pools[pool_idx].faults += 1;
+                self.obs.faults.inc();
                 self.finalize_attempt(job_idx);
                 if can_retry {
                     let job = &mut self.jobs[job_idx];
                     job.retries_used += 1;
                     self.retries += 1;
-                    let backoff = self.config.retry_backoff_s
-                        * 2f64.powi(job.retries_used as i32 - 1);
+                    self.obs.retries.inc();
+                    let backoff = retry_backoff_s(
+                        self.config.retry_backoff_s,
+                        self.config.max_retry_backoff_s,
+                        job.retries_used,
+                    );
                     self.events
                         .push(self.clock_s + backoff, Event::Arrive { job: job_idx });
                 } else {
@@ -657,6 +773,7 @@ impl Campaign {
                 job.wasted_steps += pending.steps;
                 let pool_idx = run.pool_idx;
                 self.pools[pool_idx].guard_kills += 1;
+                self.obs.guard_kills.inc();
                 self.finalize_attempt(job_idx);
                 let job = &mut self.jobs[job_idx];
                 job.outcome = Some(JobOutcome::GuardKilled);
@@ -692,6 +809,7 @@ impl Campaign {
                     // The dollar limit (or a boundary-exact overrun) trips
                     // post-slice.
                     self.pools[pool_idx].guard_kills += 1;
+                    self.obs.guard_kills.inc();
                     self.finalize_attempt(job_idx);
                     let job = &mut self.jobs[job_idx];
                     job.outcome = Some(JobOutcome::GuardKilled);
@@ -705,6 +823,7 @@ impl Campaign {
                     // Budget exhausted to the exact second with work left:
                     // stop cleanly at the boundary (see GuardVerdict docs).
                     self.pools[pool_idx].guard_kills += 1;
+                    self.obs.guard_kills.inc();
                     self.finalize_attempt(job_idx);
                     let job = &mut self.jobs[job_idx];
                     job.outcome = Some(JobOutcome::GuardKilled);
@@ -794,6 +913,86 @@ impl Campaign {
             });
         }
         report.compute_mapes();
+        // Calibration-error gauges, set serially (hence deterministic).
+        // A campaign with too few placements leaves the MAPEs NaN; those
+        // must not leak into snapshots the verify gate greps for
+        // non-finite values, so only finite values are exported.
+        let registry = &self.obs.registry;
+        let set_finite = |name: &str, v: f64| {
+            if v.is_finite() {
+                registry.gauge(name).set(v);
+            }
+        };
+        set_finite(
+            "sched.calibration.mape_uncalibrated_pct",
+            report.mape_first_quartile_uncalibrated_pct,
+        );
+        set_finite(
+            "sched.calibration.mape_calibrated_pct",
+            report.mape_calibrated_pct,
+        );
+        set_finite("sched.makespan_s", makespan);
+        registry
+            .gauge("sched.calibration.observations")
+            .set(self.global_calibrator.len() as f64);
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_expectation_is_rate_times_node_hours() {
+        // The pinning triple from the config rustdoc: 0.1 faults per
+        // node-hour on 2 nodes for half an hour expects 0.1 faults, and
+        // the slice is interrupted with probability 1 − e^(−0.1).
+        let lambda = expected_faults(0.1, 2, 1800.0);
+        assert_eq!(lambda, 0.1);
+        let p = fault_probability(lambda);
+        assert!((p - (1.0 - (-0.1f64).exp())).abs() < 1e-15, "p = {p}");
+        // Degenerate corners: no rate, no nodes, or no time ⇒ no faults.
+        assert_eq!(expected_faults(0.0, 8, 3600.0), 0.0);
+        assert_eq!(expected_faults(0.15, 0, 3600.0), 0.0);
+        assert_eq!(expected_faults(0.15, 8, 0.0), 0.0);
+        assert_eq!(fault_probability(0.0), 0.0);
+        // The demo rate: 0.15 per node-hour, 2 nodes, 30 minutes.
+        let demo = fault_probability(expected_faults(0.15, 2, 1800.0));
+        assert!((demo - 0.139_292_023_574_942_34).abs() < 1e-15, "{demo}");
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_saturates_finite() {
+        // Doubling run: 30, 60, 120, ... capped at one hour.
+        assert_eq!(retry_backoff_s(30.0, 3600.0, 1), 30.0);
+        assert_eq!(retry_backoff_s(30.0, 3600.0, 2), 60.0);
+        assert_eq!(retry_backoff_s(30.0, 3600.0, 5), 480.0);
+        assert_eq!(retry_backoff_s(30.0, 3600.0, 8), 3600.0);
+        // 60 retries (the regression shape): every delay finite, capped,
+        // and the re-arrival sequence monotonically ordered.
+        let mut clock = 0.0f64;
+        let mut prev_backoff = 0.0f64;
+        for retry in 1..=60u32 {
+            let b = retry_backoff_s(30.0, 3600.0, retry);
+            assert!(b.is_finite() && b > 0.0, "retry {retry}: {b}");
+            assert!(b <= 3600.0, "retry {retry} beyond cap: {b}");
+            assert!(b >= prev_backoff, "backoff shrank at retry {retry}");
+            prev_backoff = b;
+            let next = clock + b;
+            assert!(next > clock, "re-arrival did not advance at {retry}");
+            clock = next;
+        }
+        // Uncapped, the 60th retry would already be 30·2^59 ≈ 1.7e19 s;
+        // the clamp keeps the whole sequence within retries × cap.
+        assert!(clock <= 60.0 * 3600.0, "clock = {clock}");
+        // Exponents that overflow 2^e to infinity still come back capped.
+        assert_eq!(retry_backoff_s(30.0, 3600.0, 2000), 3600.0);
+        assert_eq!(retry_backoff_s(30.0, 3600.0, u32::MAX), 3600.0);
+        // A degenerate cap falls back to a finite ceiling, never inf.
+        assert!(retry_backoff_s(30.0, f64::INFINITY, 4000).is_finite());
+        assert!(retry_backoff_s(30.0, 0.0, 4000).is_finite());
+        // Non-positive bases mean "retry immediately".
+        assert_eq!(retry_backoff_s(0.0, 3600.0, 7), 0.0);
     }
 }

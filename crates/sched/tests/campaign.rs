@@ -32,6 +32,7 @@ fn tiny_config(seed: u64, fault_rate: f64) -> CampaignConfig {
         slice_steps: 100_000,
         fault_rate_per_node_hour: fault_rate,
         retry_backoff_s: 10.0,
+        max_retry_backoff_s: 600.0,
         min_calibration_obs: 3,
         prices: Default::default(),
     }
@@ -221,4 +222,77 @@ fn different_seeds_change_the_outcome_stream() {
     let b = run(2);
     assert_ne!(a, b, "fault draws must depend on the campaign seed");
     assert_eq!(a, run(1), "and stay reproducible per seed");
+}
+
+#[test]
+fn sixty_retry_job_rearrives_at_finite_bounded_times() {
+    // Regression: unclamped doubling would park the 60th re-arrival at
+    // 10·2^59 ≈ 5.8e18 simulated seconds (and overflow to +inf past
+    // ~1070 retries, which the event queue rejects). With the cap, a job
+    // that faults 61 straight times still drains in bounded virtual time.
+    let mut config = tiny_config(9, 50_000.0);
+    config.max_retry_backoff_s = 1800.0;
+    let mut campaign = Campaign::new(config, one_pool(1));
+    // Tolerance and budget are effectively unlimited so the retry loop —
+    // not the guard — decides the outcome.
+    let mut spec = tiny_job("retry-storm", 400_000, 1.0e9, 1.0, 0.0);
+    spec.max_retries = 60;
+    spec.budget_dollars = 1.0e12;
+    campaign.submit(spec);
+    let report = campaign.run();
+    let job = &report.job_reports[0];
+    assert_eq!(job.outcome, "failed", "{}", report.to_json());
+    assert_eq!(report.retries, 60);
+    assert_eq!(job.attempts, 61, "1 initial + 60 retries");
+    assert!(report.makespan_s.is_finite());
+    // 60 capped backoffs plus the faulted slices themselves: far below
+    // what even a single uncapped late-round backoff would add.
+    assert!(
+        report.makespan_s <= 60.0 * 1800.0 + 1.0e6,
+        "makespan {} suggests an uncapped backoff",
+        report.makespan_s
+    );
+}
+
+#[test]
+fn campaign_obs_snapshot_is_deterministic_and_matches_report() {
+    use hemocloud_obs::{Render, Sample};
+    use hemocloud_sched::run_demo_with_obs;
+
+    let (report, snap) = run_demo_with_obs(42);
+    // Counters agree with the report's own accounting.
+    assert_eq!(snap.counter("sched.jobs.submitted"), Some(report.jobs as u64));
+    assert_eq!(snap.counter("sched.faults"), Some(report.faults as u64));
+    assert_eq!(snap.counter("sched.retries"), Some(report.retries as u64));
+    assert_eq!(snap.counter("sched.jobs.rejected"), Some(report.rejected as u64));
+    let placements = snap.counter("sched.placements").expect("placements counter");
+    assert_eq!(placements, report.placements.len() as u64);
+    assert!(snap.counter("sched.slices").unwrap() >= placements);
+    // Per-event-type virtual spans partition the whole campaign
+    // timeline: their totals sum back to the makespan.
+    let span_total = |name: &str| match snap.get(name) {
+        Some(Sample::Span { total_s, deterministic, .. }) => {
+            assert!(deterministic, "{name} must ride the virtual clock");
+            *total_s
+        }
+        other => panic!("{name}: expected span, got {other:?}"),
+    };
+    let spanned = span_total("sched.event.arrive") + span_total("sched.event.slice_done");
+    assert!(
+        (spanned - report.makespan_s).abs() <= 1e-6 * report.makespan_s.max(1.0),
+        "span totals {spanned} vs makespan {}",
+        report.makespan_s
+    );
+    // The full render is byte-for-byte reproducible per seed.
+    let (_, again) = run_demo_with_obs(42);
+    assert_eq!(
+        snap.to_json(Render::Full),
+        again.to_json(Render::Full),
+        "same seed must produce identical snapshots"
+    );
+    assert_ne!(
+        snap.to_json(Render::Full),
+        run_demo_with_obs(7).1.to_json(Render::Full),
+        "snapshot must reflect the seed's event stream"
+    );
 }

@@ -133,6 +133,45 @@ if ! grep -q '"measured_step_s"' "$campaign_json"; then
 fi
 echo "campaign smoke: OK ($campaign_json)"
 
+echo "== obs smoke: deterministic metrics snapshots"
+# The observability layer's contract: two identical seeded runs render
+# byte-identical snapshots (Render::Deterministic demotes wall-clock
+# samples to counts; everything else is fixed-count instrumentation).
+# Checked at pool widths 1 and 8 for the bench baseline, and at the
+# committed seed for the campaign (whose registry runs on the virtual
+# clock, so its spans are deterministic even in Full render).
+obs_diff() { # label file_a file_b
+  if ! cmp -s "$2" "$3"; then
+    echo "ERROR: obs snapshots differ across identical runs ($1):" >&2
+    diff "$2" "$3" >&2 || true
+    exit 1
+  fi
+  if grep -qiE ': *-?(nan|inf)' "$2"; then
+    echo "ERROR: non-finite metric in $2:" >&2
+    grep -iE ': *-?(nan|inf)' "$2" >&2
+    exit 1
+  fi
+  echo "  $1: byte-identical, finite: OK"
+}
+for width in 1 8; do
+  for run in 1 2; do
+    RT_BENCH_FAST=1 RT_POOL_THREADS="$width" \
+      BENCH_OUT="target/OBS_bench_w${width}_${run}.bench.json" \
+      OBS_OUT="target/OBS_bench_w${width}_${run}.json" \
+      cargo run -q --release --offline -p hemocloud-bench --bin bench_baseline \
+      > /dev/null
+  done
+  obs_diff "bench_baseline width $width" \
+    "target/OBS_bench_w${width}_1.json" "target/OBS_bench_w${width}_2.json"
+done
+for run in 1 2; do
+  CAMPAIGN_SEED=42 CAMPAIGN_OUT="target/OBS_campaign_${run}.campaign.json" \
+    OBS_OUT="target/OBS_campaign_${run}.json" \
+    cargo run -q --release --offline -p hemocloud-bench --bin campaign > /dev/null
+done
+obs_diff "campaign seed 42" "target/OBS_campaign_1.json" "target/OBS_campaign_2.json"
+echo "obs smoke: OK"
+
 echo "== cargo doc --no-deps --offline"
 # The API docs must build cleanly: the AA safety argument and the kernel
 # accounting live in doc comments, so broken intra-doc links or bad

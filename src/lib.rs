@@ -23,6 +23,8 @@
 //! * [`sched`] — the discrete-event campaign scheduler that runs the
 //!   predict → run → guard → refine loop end-to-end over many jobs on
 //!   capacity-limited platform pools.
+//! * [`obs`] — the deterministic metrics + tracing layer the runtime,
+//!   solver, and scheduler record into (byte-reproducible snapshots).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use hemocloud_fitting as fitting;
 pub use hemocloud_geometry as geometry;
 pub use hemocloud_lbm as lbm;
 pub use hemocloud_microbench as microbench;
+pub use hemocloud_obs as obs;
 pub use hemocloud_sched as sched;
 
 /// Commonly used items, re-exported for one-line imports.
@@ -75,6 +78,7 @@ pub mod prelude {
         kernel::{KernelConfig, Layout, Propagation},
         solver::Solver,
     };
+    pub use hemocloud_obs::{Registry, Render, Snapshot};
     pub use hemocloud_sched::{
         Campaign, CampaignConfig, CampaignReport, JobOutcome, JobSpec, PoolSpec,
     };

@@ -5,14 +5,19 @@
 //! two numbers are linked by memory bandwidth).
 //!
 //! Beyond the headline solver number, the baseline now sweeps every
-//! runtime kernel configuration of the sparse solver (AB/AA × AoS/SoA) and
-//! records, per config: measured MFLUPS, the Eq. 9 *modeled* bytes per
-//! update, and the *implied* bytes per update (measured update time ×
-//! STREAM-Copy bandwidth) — so the committed JSON shows both the AB→AA
-//! speedup and how tight the byte model tracks the machine. It also runs
-//! the AA/AB moment-equivalence smoke (AA natural-order moments vs AB
-//! post-stream moments) and refuses to write a baseline where the two
-//! kernels disagree.
+//! runtime kernel configuration of the sparse solver (AB/AA × AoS/SoA)
+//! crossed with three traversal configurations (natural, morton, tuned)
+//! and records, per row: measured MFLUPS, the Eq. 9 *modeled* bytes per
+//! update, the *implied* bytes per update (measured update time × the
+//! STREAM bandwidth whose shape matches the propagation pattern — Triad
+//! for AB pull, the Copy/Triad mean for AA's alternating pair), and their
+//! ratio `measured_over_modeled`, computed once and reused everywhere —
+//! so the committed JSON shows the AB→AA speedup, the traversal effect,
+//! and how tight the byte model tracks the machine. It also runs the
+//! AA/AB moment-equivalence smoke (AA natural-order moments vs AB
+//! post-stream moments) plus a bitwise default-vs-tuned-traversal
+//! equality check, and refuses to write a baseline where either
+//! disagrees.
 //!
 //! * `RT_BENCH_FAST=1` shrinks the mesh, array sizes, and sample counts
 //!   so CI can smoke-run it in seconds (`scripts/verify.sh` does).
@@ -32,10 +37,11 @@ use hemocloud_bench::provenance;
 use hemocloud_geometry::anatomy::CylinderSpec;
 use hemocloud_geometry::stats::GeometryStats;
 use hemocloud_lbm::access_profile::{average_solid_links, AccessProfile};
-use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation};
+use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation, StreamReference};
 use hemocloud_lbm::mesh::FluidMesh;
 use hemocloud_lbm::ranked::{RankAssignment, RankedSolver};
 use hemocloud_lbm::solver::{Solver, SolverConfig};
+use hemocloud_lbm::traversal::TraversalConfig;
 use hemocloud_microbench::stream::{stream_kernel, StreamKernel, StreamMeasurement};
 use hemocloud_rt::bench::sample_stats;
 use hemocloud_rt::{par, pool};
@@ -44,16 +50,23 @@ fn fast_mode() -> bool {
     std::env::var("RT_BENCH_FAST").is_ok_and(|v| v != "0")
 }
 
-/// One measured kernel configuration of the sparse solver.
+/// One measured (kernel × traversal) configuration of the sparse solver.
 struct KernelRow {
     config: KernelConfig,
+    traversal: TraversalConfig,
     mflups: f64,
     ns_per_update: f64,
     /// Eq. 9 bytes per fluid-point update for this config on this mesh.
     modeled_bytes_per_update: f64,
-    /// Update time × STREAM-Copy bandwidth: the bytes the memory system
-    /// could have moved in the time one update took.
+    /// The STREAM kernel whose shape matches this row's propagation
+    /// pattern (Triad for AB pull; Copy/Triad mean for AA's pair).
+    stream_ref: StreamReference,
+    /// Update time × the matching STREAM bandwidth: the bytes the memory
+    /// system could have moved in the time one update took.
     implied_bytes_per_update: f64,
+    /// `implied / modeled` — computed once here, used by the JSON, the
+    /// table, and the verify gate, so the three can never disagree.
+    measured_over_modeled: f64,
 }
 
 struct Baseline {
@@ -66,6 +79,10 @@ struct Baseline {
     /// Max component-wise moment difference between the AA solver's
     /// natural-order readout and the AB solver's post-stream readout.
     aa_ab_moment_max_diff: f64,
+    /// Whether the tuned-traversal solver (morton + blocking + prefetch +
+    /// stealing) produced bit-identical distributions to the default
+    /// natural-order solver over the instrumented pass.
+    traversal_bitwise_equal: bool,
     pool_spawned: usize,
     pool_jobs: u64,
     /// Global-registry snapshot captured after the fixed-step instrumented
@@ -131,7 +148,7 @@ fn measure() -> Baseline {
     // here, from this fixed workload, before anything adaptive touches the
     // registry — which is what makes `OBS_OUT` byte-identical across two
     // identical runs at the same `RT_POOL_THREADS`.
-    let obs = {
+    let (obs, traversal_bitwise_equal) = {
         let obs_steps = if fast { 12 } else { 32 };
         let mut solver = Solver::new(
             mesh.clone(),
@@ -141,6 +158,20 @@ fn measure() -> Baseline {
             },
         );
         solver.run(obs_steps);
+        // Same workload under the full locality package (morton + blocks +
+        // prefetch + stealing): must be bit-identical — the traversal
+        // knobs reorder work, never arithmetic. Stealing also puts the
+        // deterministic `pool.chunks` counter into the snapshot.
+        let mut tuned = Solver::new(
+            mesh.clone(),
+            SolverConfig {
+                parallel_threshold: 0,
+                traversal: TraversalConfig::tuned(),
+                ..Default::default()
+            },
+        );
+        tuned.run(obs_steps);
+        let bitwise_equal = solver.distributions() == tuned.distributions();
         // Contiguous 4-slab ownership: fixed halo traffic per step, so the
         // lbm.ranked.* byte/message counters land in the snapshot too.
         let ranks = 4usize;
@@ -153,11 +184,11 @@ fn measure() -> Baseline {
         );
         ranked.step();
         ranked.step();
-        hemocloud_obs::global().snapshot()
+        (hemocloud_obs::global().snapshot(), bitwise_equal)
     };
 
-    // STREAM Copy + Triad at full host width, cache-busting sizes. Copy
-    // bandwidth feeds the implied-bytes column below.
+    // STREAM Copy + Triad at full host width, cache-busting sizes. The
+    // pair feeds the per-pattern implied-bytes references below.
     let threads = par::max_threads();
     let elements = if fast { 1 << 21 } else { 1 << 24 };
     let reps = if fast { 2 } else { 5 };
@@ -166,19 +197,30 @@ fn measure() -> Baseline {
         stream_kernel(StreamKernel::Triad, threads, elements, reps),
     ];
     let copy_gb_s = stream[0].bandwidth_mb_s / 1e3;
+    let triad_gb_s = stream[1].bandwidth_mb_s / 1e3;
 
-    // Sweep every runtime kernel config. Steps are timed in pairs so AA
-    // (whose even/odd steps do different work and must end in natural
-    // order) is measured over a full cycle, and AB identically for
-    // fairness.
+    // Sweep every runtime kernel config × three traversal configs. Steps
+    // are timed in pairs so AA (whose even/odd steps do different work and
+    // must end in natural order) is measured over a full cycle, and AB
+    // identically for fairness. Row 0 stays the HARVEY default
+    // (AB/AoS/natural) so the headline is comparable across baselines.
+    let traversals = [
+        TraversalConfig::natural(),
+        TraversalConfig::morton(),
+        TraversalConfig::tuned(),
+    ];
     let samples = if fast { 6 } else { 10 };
-    let kernels: Vec<KernelRow> = sparse_configs()
-        .into_iter()
-        .map(|config| {
-            let mut solver = Solver::new(mesh.clone(), SolverConfig {
-                kernel: config,
-                ..Default::default()
-            });
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for config in sparse_configs() {
+        for traversal in traversals {
+            let mut solver = Solver::new(
+                mesh.clone(),
+                SolverConfig {
+                    kernel: config,
+                    traversal,
+                    ..Default::default()
+                },
+            );
             solver.run(2); // warm: touch every resident array
             let st = sample_stats(samples, |b| {
                 b.iter(|| {
@@ -188,15 +230,22 @@ fn measure() -> Baseline {
             });
             let ns_per_update = st.median_ns / 2.0 / mesh_cells as f64;
             let profile = AccessProfile::for_kernel(&config, avg_links);
-            KernelRow {
+            let modeled_bytes_per_update = profile.bytes_per_point(&stats);
+            let stream_ref = config.propagation.stream_reference();
+            let implied_bytes_per_update =
+                stream_ref.gb_s(copy_gb_s, triad_gb_s) * ns_per_update;
+            kernels.push(KernelRow {
                 config,
+                traversal,
                 mflups: 1e3 / ns_per_update,
                 ns_per_update,
-                modeled_bytes_per_update: profile.bytes_per_point(&stats),
-                implied_bytes_per_update: copy_gb_s * ns_per_update,
-            }
-        })
-        .collect();
+                modeled_bytes_per_update,
+                stream_ref,
+                implied_bytes_per_update,
+                measured_over_modeled: implied_bytes_per_update / modeled_bytes_per_update,
+            });
+        }
+    }
 
     // Headline solver numbers = the HARVEY default config's row.
     let ab_row = &kernels[0];
@@ -214,6 +263,7 @@ fn measure() -> Baseline {
         stream,
         kernels,
         aa_ab_moment_max_diff: moment_diff,
+        traversal_bitwise_equal,
         pool_spawned: pool.spawned_threads(),
         pool_jobs: pool.jobs_run(),
         obs,
@@ -241,16 +291,32 @@ fn to_json(b: &Baseline) -> String {
     for (i, k) in b.kernels.iter().enumerate() {
         let comma = if i + 1 < b.kernels.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"config\": \"{}\", \"mflups\": {:.3}, \"ns_per_update\": {:.3}, \"modeled_bytes_per_update\": {:.3}, \"implied_bytes_per_update\": {:.3}, \"measured_over_modeled\": {:.4}}}{comma}\n",
+            "    {{\"config\": \"{}\", \"traversal\": \"{}\", \"mflups\": {:.3}, \"ns_per_update\": {:.3}, \"modeled_bytes_per_update\": {:.3}, \"stream_ref\": \"{}\", \"implied_bytes_per_update\": {:.3}, \"measured_over_modeled\": {:.4}}}{comma}\n",
             k.config.name(),
+            k.traversal.name(),
             k.mflups,
             k.ns_per_update,
             k.modeled_bytes_per_update,
+            k.stream_ref.label(),
             k.implied_bytes_per_update,
-            k.implied_bytes_per_update / k.modeled_bytes_per_update,
+            k.measured_over_modeled,
         ));
     }
     s.push_str("  ],\n");
+    if let Some(best) = b.kernels.iter().max_by(|a, c| a.mflups.total_cmp(&c.mflups)) {
+        s.push_str(&format!(
+            "  \"best\": {{\"config\": \"{}\", \"traversal\": \"{}\", \"stealing\": {}, \"mflups\": {:.3}, \"measured_over_modeled\": {:.4}}},\n",
+            best.config.name(),
+            best.traversal.name(),
+            best.traversal.stealing,
+            best.mflups,
+            best.measured_over_modeled,
+        ));
+    }
+    s.push_str(&format!(
+        "  \"traversal_bitwise_equal\": {},\n",
+        b.traversal_bitwise_equal
+    ));
     s.push_str(&format!(
         "  \"aa_ab_moment_max_diff\": {:e},\n",
         b.aa_ab_moment_max_diff
@@ -291,8 +357,13 @@ fn main() {
         if !(k.mflups.is_finite() && k.mflups > 0.0)
             || !(k.modeled_bytes_per_update.is_finite() && k.modeled_bytes_per_update > 0.0)
             || !(k.implied_bytes_per_update.is_finite() && k.implied_bytes_per_update > 0.0)
+            || !(k.measured_over_modeled.is_finite() && k.measured_over_modeled > 0.0)
         {
-            failures.push(format!("kernel row {} has bad numbers", k.config.name()));
+            failures.push(format!(
+                "kernel row {} ({}) has bad numbers",
+                k.config.name(),
+                k.traversal.name()
+            ));
         }
     }
     if !(baseline.aa_ab_moment_max_diff <= 1e-12) {
@@ -300,6 +371,11 @@ fn main() {
             "AA/AB moment divergence {} exceeds 1e-12",
             baseline.aa_ab_moment_max_diff
         ));
+    }
+    if !baseline.traversal_bitwise_equal {
+        failures.push(
+            "tuned traversal diverged bitwise from the default-order solver".to_string(),
+        );
     }
 
     let json = to_json(&baseline);
@@ -320,17 +396,19 @@ fn main() {
     );
     for k in &baseline.kernels {
         println!(
-            "bench_baseline: {:<22} {:>8.2} MFLUPS  modeled {:>6.1} B/update  implied {:>6.1} B/update (x{:.2})",
+            "bench_baseline: {:<22} {:<24} {:>8.2} MFLUPS  modeled {:>6.1} B/update  implied {:>6.1} B/update vs {} (x{:.2})",
             k.config.name(),
+            k.traversal.name(),
             k.mflups,
             k.modeled_bytes_per_update,
             k.implied_bytes_per_update,
-            k.implied_bytes_per_update / k.modeled_bytes_per_update,
+            k.stream_ref.label(),
+            k.measured_over_modeled,
         );
     }
     println!(
-        "bench_baseline: AA/AB moment max diff {:.2e}",
-        baseline.aa_ab_moment_max_diff
+        "bench_baseline: AA/AB moment max diff {:.2e}; tuned traversal bitwise equal: {}",
+        baseline.aa_ab_moment_max_diff, baseline.traversal_bitwise_equal
     );
     println!("bench_baseline: wrote {path}");
 

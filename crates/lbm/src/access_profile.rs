@@ -4,8 +4,8 @@
 //! The performance model estimates per-task update time as *bytes accessed
 //! / sustained bandwidth*, so it needs the bytes each fluid-point update
 //! touches. Counting rules (matching the paper's conventions — plain reads
-//! plus writes, no write-allocate traffic, since the STREAM-copy bandwidth
-//! the model divides by is reported under the same convention):
+//! plus writes, no write-allocate traffic, since the STREAM bandwidths the
+//! model divides by are reported under the same convention):
 //!
 //! * **AB**: every step reads 19 distributions, writes 19, and reads the
 //!   19-entry streaming index row (4 bytes/entry; both HARVEY's sparse mesh
@@ -17,6 +17,18 @@
 //!   bounce-back read comes from the cell's own row (cache-resident), so
 //!   each solid link removes one remote read and one index read — the
 //!   reason the wall-heavy cerebral geometry performs best (paper §III-D).
+//!
+//! **Which STREAM rate divides the bytes matters.** The byte counts above
+//! are stream-shape-agnostic, but the *sustained bandwidth* they are
+//! divided by is not: AB pull (and the AA odd step) runs two load streams
+//! against one store stream — the shape STREAM **Triad** measures — while
+//! the AA even step is one load + one store, the shape STREAM **Copy**
+//! measures. On machines whose memcpy uses non-temporal stores, Triad can
+//! exceed Copy, so referencing everything to Copy (the old behavior)
+//! understates the bound for every gather/scatter loop. The benchmark
+//! therefore resolves the reference per pattern via
+//! [`crate::kernel::Propagation::stream_reference`]: Triad for AB, the
+//! Copy/Triad mean for AA's alternating pair.
 
 use crate::kernel::{KernelConfig, Propagation};
 use crate::lattice::Q19;

@@ -35,6 +35,63 @@ pub enum Propagation {
     Aa,
 }
 
+/// Which STREAM kernel bounds a propagation pattern's achievable
+/// bandwidth, used by the benchmark to turn modeled bytes into a modeled
+/// time. Returned by [`Propagation::stream_reference`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamReference {
+    /// STREAM Triad (`a[i] = b[i] + s*c[i]`): two load streams plus one
+    /// store stream.
+    Triad,
+    /// The mean of STREAM Copy (one load + one store) and Triad — for
+    /// patterns that alternate between the two shapes step by step.
+    CopyTriadMean,
+}
+
+impl StreamReference {
+    /// The reference bandwidth in GB/s given measured Copy and Triad
+    /// rates.
+    #[inline]
+    pub fn gb_s(self, copy_gb_s: f64, triad_gb_s: f64) -> f64 {
+        match self {
+            StreamReference::Triad => triad_gb_s,
+            StreamReference::CopyTriadMean => 0.5 * (copy_gb_s + triad_gb_s),
+        }
+    }
+
+    /// Short label for benchmark provenance, e.g. `"triad"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamReference::Triad => "triad",
+            StreamReference::CopyTriadMean => "mean(copy,triad)",
+        }
+    }
+}
+
+impl Propagation {
+    /// The STREAM kernel whose measured bandwidth bounds this pattern.
+    ///
+    /// **AB pull** gathers 19 old-array values and the neighbor-index row,
+    /// then stores 19 new-array values: per cell it runs two load streams
+    /// against one store stream — Triad-shaped, not Copy-shaped. **AA**
+    /// alternates: the even step reads and rewrites the cell's own 19
+    /// slots in place (Copy-shaped: one load + one store stream), while
+    /// the odd step gathers from neighbor slots and scatters back through
+    /// the index row (Triad-shaped like AB pull). Over the even/odd pair
+    /// the honest bound is the mean of the two STREAM rates.
+    ///
+    /// Using Copy for everything — the old behavior — understated the
+    /// bound for every gather/scatter loop on machines where Triad beats
+    /// Copy (non-temporal-store memcpy), flattering `measured/modeled`.
+    #[inline]
+    pub fn stream_reference(self) -> StreamReference {
+        match self {
+            Propagation::Ab => StreamReference::Triad,
+            Propagation::Aa => StreamReference::CopyTriadMean,
+        }
+    }
+}
+
 /// Floating-point precision of the distributions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
@@ -293,6 +350,25 @@ mod tests {
         // Dense proxy configs carry no index row.
         let dense = KernelConfig::proxy(Layout::Soa, Propagation::Aa, true);
         assert_eq!(dense.resident_bytes_per_point(), 152.0);
+    }
+
+    #[test]
+    fn stream_references_match_propagation_shapes() {
+        assert_eq!(
+            Propagation::Ab.stream_reference(),
+            StreamReference::Triad,
+            "AB pull is 2 loads + 1 store per cell"
+        );
+        assert_eq!(
+            Propagation::Aa.stream_reference(),
+            StreamReference::CopyTriadMean,
+            "AA alternates Copy-shaped even and Triad-shaped odd steps"
+        );
+        // Reference bandwidths resolve from the measured STREAM pair.
+        assert_eq!(StreamReference::Triad.gb_s(10.0, 16.0), 16.0);
+        assert_eq!(StreamReference::CopyTriadMean.gb_s(10.0, 16.0), 13.0);
+        assert_eq!(StreamReference::Triad.label(), "triad");
+        assert_eq!(StreamReference::CopyTriadMean.label(), "mean(copy,triad)");
     }
 
     #[test]

@@ -57,6 +57,31 @@ pub const W19: [f64; Q19] = [
     1.0 / 36.0,
 ];
 
+/// The x-components of [`C19`] as `f64` (exact integer conversions),
+/// precomputed so the hot kernels' inner direction loops multiply against
+/// flat `f64` tables instead of converting tuple fields — the form LLVM
+/// vectorizes cleanly.
+pub const CXF: [f64; Q19] = c19_component(0);
+/// The y-components of [`C19`] as `f64`.
+pub const CYF: [f64; Q19] = c19_component(1);
+/// The z-components of [`C19`] as `f64`.
+pub const CZF: [f64; Q19] = c19_component(2);
+
+const fn c19_component(axis: usize) -> [f64; Q19] {
+    let mut a = [0.0; Q19];
+    let mut q = 0;
+    while q < Q19 {
+        let (x, y, z) = C19[q];
+        a[q] = match axis {
+            0 => x,
+            1 => y,
+            _ => z,
+        } as f64;
+        q += 1;
+    }
+    a
+}
+
 /// Index of the direction opposite to `q` in [`C19`].
 #[inline]
 pub const fn opposite(q: usize) -> usize {
@@ -248,6 +273,17 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // `q` indexes four parallel tables
+    fn f64_component_tables_match_c19_exactly() {
+        for q in 0..Q19 {
+            let (x, y, z) = C19[q];
+            assert_eq!(CXF[q], x as f64);
+            assert_eq!(CYF[q], y as f64);
+            assert_eq!(CZF[q], z as f64);
         }
     }
 

@@ -25,9 +25,11 @@ pub mod mesh;
 pub mod proxy;
 pub mod ranked;
 pub mod solver;
+pub mod traversal;
 
 pub use access_profile::AccessProfile;
-pub use kernel::{KernelConfig, Layout, Precision, Propagation};
+pub use kernel::{KernelConfig, Layout, Precision, Propagation, StreamReference};
 pub use mesh::FluidMesh;
 pub use proxy::ProxyApp;
 pub use solver::{RunStats, Solver, SolverConfig};
+pub use traversal::{TraversalConfig, TraversalOrder};

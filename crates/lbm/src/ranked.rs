@@ -29,7 +29,8 @@
 use crate::kernel::{AosIdx, Layout, LayoutIdx, Propagation, SoaIdx};
 use crate::lattice::{opposite, Q19};
 use crate::mesh::{FluidMesh, SOLID};
-use crate::solver::{bulk_out, flat_index, inlet_out, outlet_out, rest_distributions};
+use crate::solver::{bulk_out, dispatch_owner, flat_index, inlet_out, outlet_out, rest_distributions};
+use crate::traversal::{self, TraversalConfig};
 use hemocloud_geometry::voxel::CellType;
 use hemocloud_obs::{Counter, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
@@ -108,6 +109,13 @@ pub struct RankedSolver {
     parallel: bool,
     parallel_threshold: usize,
     kernel: crate::kernel::KernelConfig,
+    traversal: TraversalConfig,
+    /// Traversal permutation: `order[p]` is the cell visited at position
+    /// `p`. The per-rank sweep iterates positions, so ranks inherit the
+    /// configured space-filling-curve order; the exchange schedule (and
+    /// therefore the halo ledgers) is a pure function of mesh and
+    /// assignment, untouched by the permutation.
+    order: Vec<u32>,
     steps_taken: u64,
     ledgers: Vec<CommLedger>,
     /// Cumulative halo traffic across all ranks and steps (the per-step
@@ -168,6 +176,7 @@ impl RankedSolver {
         let (inlet_slot, inlet_vel) = crate::solver::poiseuille_profile_for(&mesh, &config);
 
         let ledgers = vec![CommLedger::default(); assignment.n_ranks];
+        let order = traversal::permutation(&mesh, config.traversal.order);
         let reg = hemocloud_obs::global();
         Self {
             f_tmp,
@@ -182,6 +191,8 @@ impl RankedSolver {
             parallel: config.parallel,
             parallel_threshold: config.parallel_threshold,
             kernel: config.kernel,
+            traversal: config.traversal,
+            order,
             steps_taken: 0,
             ledgers,
             obs_halo_bytes: reg.counter("lbm.ranked.halo_bytes"),
@@ -359,8 +370,8 @@ impl RankedSolver {
         }
     }
 
-    fn step_ab<L: LayoutIdx>(&mut self) {
-        let workers = self.workers();
+    fn step_ab<L: LayoutIdx>(&mut self, workers: usize) {
+        let trav = self.traversal;
         let mesh = &self.mesh;
         let owner = &self.assignment.owner;
         let src = &self.f;
@@ -368,9 +379,11 @@ impl RankedSolver {
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
+        let order = &self.order;
         let n = mesh.len();
-        pool::global().par_owner_mut_workers(&mut self.f_tmp, n, workers, |cells, out| {
-            for cell in cells {
+        dispatch_owner(&trav, &mut self.f_tmp, n, workers, |positions, out| {
+            for p in positions {
+                let cell = order[p] as usize;
                 Self::ab_update_cell::<L>(
                     mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
                 );
@@ -379,17 +392,19 @@ impl RankedSolver {
         std::mem::swap(&mut self.f, &mut self.f_tmp);
     }
 
-    fn step_aa<L: LayoutIdx>(&mut self, even: bool) {
-        let workers = self.workers();
+    fn step_aa<L: LayoutIdx>(&mut self, even: bool, workers: usize) {
+        let trav = self.traversal;
         let mesh = &self.mesh;
         let owner = &self.assignment.owner;
         let halo = &self.halo;
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
+        let order = &self.order;
         let n = mesh.len();
-        pool::global().par_owner_mut_workers(&mut self.f, n, workers, |cells, f| {
-            for cell in cells {
+        dispatch_owner(&trav, &mut self.f, n, workers, |positions, f| {
+            for p in positions {
+                let cell = order[p] as usize;
                 if even {
                     Self::aa_even_cell::<L>(mesh, omega, inlet_slot, inlet_vel, cell, f);
                 } else {
@@ -407,12 +422,19 @@ impl RankedSolver {
     /// runs on the persistent shared worker pool when the mesh is large
     /// enough — no OS threads are spawned per step.
     pub fn step(&mut self) {
+        self.step_with_workers(self.workers());
+    }
+
+    /// Advance one timestep with an explicit logical worker count (≥ 1).
+    /// Bit-identical for every count — same guarantee, and same test
+    /// purpose, as [`crate::solver::Solver::step_with_workers`].
+    pub fn step_with_workers(&mut self, workers: usize) {
         match self.kernel.propagation {
             Propagation::Ab => {
                 self.exchange();
                 match self.kernel.layout {
-                    Layout::Aos => self.step_ab::<AosIdx>(),
-                    Layout::Soa => self.step_ab::<SoaIdx>(),
+                    Layout::Aos => self.step_ab::<AosIdx>(workers),
+                    Layout::Soa => self.step_ab::<SoaIdx>(workers),
                 }
             }
             Propagation::Aa => {
@@ -423,8 +445,8 @@ impl RankedSolver {
                     self.exchange();
                 }
                 match self.kernel.layout {
-                    Layout::Aos => self.step_aa::<AosIdx>(even),
-                    Layout::Soa => self.step_aa::<SoaIdx>(even),
+                    Layout::Aos => self.step_aa::<AosIdx>(even, workers),
+                    Layout::Soa => self.step_aa::<SoaIdx>(even, workers),
                 }
             }
         }
@@ -533,6 +555,73 @@ mod tests {
                 }
                 for (a, b) in global.distributions().iter().zip(ranked.distributions()) {
                     assert_eq!(a, b, "{prop:?}/{layout:?} ranked diverged from global");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_traversal_configs_preserve_distributions_and_halo_ledgers() {
+        // The ranked half of the traversal oracle: permuting, blocking,
+        // prefetching, or stealing the per-rank sweep changes neither the
+        // distributions nor the halo-byte ledgers — the exchange schedule
+        // is a pure function of mesh and assignment, so the ledgers must
+        // be *equal*, not merely equivalent. 13 steps covers both AA
+        // parities; `steal_chunk: 16` forces many chunks per worker so
+        // stealing genuinely engages on this small mesh.
+        let mesh = cylinder_mesh();
+        let traversals = [
+            TraversalConfig::morton(),
+            TraversalConfig {
+                stealing: true,
+                steal_chunk: 16,
+                ..TraversalConfig::natural()
+            },
+            TraversalConfig {
+                steal_chunk: 16,
+                ..TraversalConfig::tuned()
+            },
+        ];
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse(prop, layout);
+                let config = SolverConfig {
+                    parallel: false,
+                    kernel,
+                    ..Default::default()
+                };
+                let assignment = slab_assignment(mesh.len(), 4);
+                let mut reference =
+                    RankedSolver::new(mesh.clone(), assignment.clone(), config);
+                for _ in 0..13 {
+                    reference.step_with_workers(1);
+                }
+                for trav in traversals {
+                    for workers in [1usize, 2, 3, 8] {
+                        let mut ranked = RankedSolver::new(
+                            mesh.clone(),
+                            assignment.clone(),
+                            SolverConfig {
+                                traversal: trav,
+                                ..config
+                            },
+                        );
+                        for _ in 0..13 {
+                            ranked.step_with_workers(workers);
+                        }
+                        assert_eq!(
+                            reference.distributions(),
+                            ranked.distributions(),
+                            "{prop:?}/{layout:?} distributions diverged under {} at {workers} workers",
+                            trav.name()
+                        );
+                        assert_eq!(
+                            reference.ledgers(),
+                            ranked.ledgers(),
+                            "{prop:?}/{layout:?} halo ledgers diverged under {} at {workers} workers",
+                            trav.name()
+                        );
+                    }
                 }
             }
         }

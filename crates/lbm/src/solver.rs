@@ -52,6 +52,7 @@ use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
 use crate::kernel::{AosIdx, KernelConfig, Layout, LayoutIdx, Propagation, SoaIdx};
 use crate::lattice::{opposite, Q19, W19};
 use crate::mesh::{FluidMesh, SOLID};
+use crate::traversal::{self, prefetch_read, TraversalConfig};
 use hemocloud_geometry::voxel::CellType;
 use hemocloud_obs::{Counter, Histogram, HistogramKind, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
@@ -79,6 +80,11 @@ pub struct SolverConfig {
     /// same value feeds the performance model's byte accounting, so
     /// modeled and executed kernels can no longer diverge silently.
     pub kernel: KernelConfig,
+    /// Traversal variant to execute: cell-visit order, cache blocking,
+    /// software prefetch, and the parallel schedule. Bit-neutral by
+    /// construction (see [`crate::traversal`]), so it can be swept freely
+    /// without invalidating any physics result.
+    pub traversal: TraversalConfig,
 }
 
 impl Default for SolverConfig {
@@ -90,6 +96,7 @@ impl Default for SolverConfig {
             parallel: true,
             parallel_threshold: PARALLEL_THRESHOLD,
             kernel: KernelConfig::harvey(),
+            traversal: TraversalConfig::natural(),
         }
     }
 }
@@ -175,41 +182,186 @@ impl SolverObs {
     }
 }
 
-/// Ascending per-kind cell index lists. `bulk` holds every cell that
+/// One kind's cells in **traversal order**, paired with each cell's
+/// traversal *position* so contiguous position ranges (the unit the
+/// parallel partition and cache blocking slice by) map back to a
+/// contiguous sub-slice of the list.
+pub(crate) struct KindList {
+    /// Cell ids, ordered by traversal position.
+    pub(crate) cells: Vec<u32>,
+    /// Traversal position of `cells[i]` — strictly ascending, so
+    /// [`KindList::in_range`] is two binary searches.
+    pub(crate) pos: Vec<u32>,
+}
+
+impl KindList {
+    /// Number of cells of this kind.
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cells whose traversal positions fall in `[first, end)`, in
+    /// traversal order.
+    pub(crate) fn in_range(&self, first: usize, end: usize) -> &[u32] {
+        let lo = self.pos.partition_point(|&p| (p as usize) < first);
+        let hi = self.pos.partition_point(|&p| (p as usize) < end);
+        &self.cells[lo..hi]
+    }
+}
+
+/// Per-kind cell lists in traversal order. `bulk` holds every cell that
 /// takes the plain BGK collide path (bulk *and* wall fluid — bounce-back
 /// is handled in the gather, exactly as the old `_ =>` match arm did);
-/// `inlet` and `outlet` hold the Dirichlet/zero-pressure cells.
+/// `inlet` and `outlet` hold the Dirichlet/zero-pressure cells. Under the
+/// natural traversal `pos == cells` and this degenerates to the historical
+/// ascending-id lists.
 pub(crate) struct KindLists {
-    pub(crate) bulk: Vec<u32>,
-    pub(crate) inlet: Vec<u32>,
-    pub(crate) outlet: Vec<u32>,
+    pub(crate) bulk: KindList,
+    pub(crate) inlet: KindList,
+    pub(crate) outlet: KindList,
 }
 
 impl KindLists {
-    pub(crate) fn build(mesh: &FluidMesh) -> Self {
-        let mut bulk = Vec::new();
-        let mut inlet = Vec::new();
-        let mut outlet = Vec::new();
-        for cell in 0..mesh.len() {
-            match mesh.cell_type(cell) {
-                CellType::Inlet => inlet.push(cell as u32),
-                CellType::Outlet => outlet.push(cell as u32),
-                _ => bulk.push(cell as u32),
-            }
+    /// Sort the mesh's cells into kind lists along `order`, where
+    /// `order[p]` is the cell visited at traversal position `p` (a
+    /// permutation of the cell ids — see [`traversal::permutation`]).
+    pub(crate) fn build(mesh: &FluidMesh, order: &[u32]) -> Self {
+        debug_assert_eq!(order.len(), mesh.len());
+        let mut lists = [(); 3].map(|_| KindList {
+            cells: Vec::new(),
+            pos: Vec::new(),
+        });
+        for (p, &cell) in order.iter().enumerate() {
+            let k = match mesh.cell_type(cell as usize) {
+                CellType::Inlet => 1,
+                CellType::Outlet => 2,
+                _ => 0,
+            };
+            lists[k].cells.push(cell);
+            lists[k].pos.push(p as u32);
         }
+        let [bulk, inlet, outlet] = lists;
         Self { bulk, inlet, outlet }
-    }
-
-    /// The sub-range of an (ascending) list falling in `[first, end)`.
-    pub(crate) fn in_range(list: &[u32], first: usize, end: usize) -> &[u32] {
-        let lo = list.partition_point(|&c| (c as usize) < first);
-        let hi = list.partition_point(|&c| (c as usize) < end);
-        &list[lo..hi]
     }
 }
 
 /// Default minimum mesh size before thread parallelism pays for itself.
 const PARALLEL_THRESHOLD: usize = 8192;
+
+/// Prefetch lookahead (in list entries) for neighbor-index rows. The row
+/// is a dependent load feeding 19 further loads, so it wants the longest
+/// lead time.
+const PF_IDX_AHEAD: usize = 24;
+/// Prefetch lookahead (in list entries) for the 19 gather/scatter
+/// distribution slots, which require the neighbor row to already be
+/// resolvable — hence the shorter distance.
+const PF_F_AHEAD: usize = 6;
+
+/// Issue software prefetches for the AB pull-gather working set of cells
+/// a few list entries ahead of `i`: the neighbor-index row at long range
+/// and the 19 gather-source slots at short range. Pure scheduling hints —
+/// no loads, no stores — so bit-neutral by construction.
+#[inline(always)]
+fn prefetch_ab_gather<L: LayoutIdx>(
+    mesh: &FluidMesh,
+    src: *const f64,
+    n: usize,
+    list: &[u32],
+    i: usize,
+) {
+    if let Some(&c) = list.get(i + PF_IDX_AHEAD) {
+        prefetch_read(mesh.neighbor_row(c as usize).as_ptr());
+    }
+    if let Some(&c) = list.get(i + PF_F_AHEAD) {
+        let cell = c as usize;
+        let row = mesh.neighbor_row(cell);
+        for q in 0..Q19 {
+            let nb = row[opposite(q)];
+            let idx = if nb == SOLID {
+                L::at(cell, opposite(q), n)
+            } else {
+                L::at(nb as usize, q, n)
+            };
+            prefetch_read(src.wrapping_add(idx));
+        }
+    }
+}
+
+/// Issue software prefetches for the AA odd-step working set of cells
+/// ahead of `i`. The odd step's scatter set equals its gather set
+/// (module docs), so one pass covers both directions of the traffic.
+#[inline(always)]
+fn prefetch_aa_odd<L: LayoutIdx>(
+    mesh: &FluidMesh,
+    f: *const f64,
+    n: usize,
+    list: &[u32],
+    i: usize,
+) {
+    if let Some(&c) = list.get(i + PF_IDX_AHEAD) {
+        prefetch_read(mesh.neighbor_row(c as usize).as_ptr());
+    }
+    if let Some(&c) = list.get(i + PF_F_AHEAD) {
+        let cell = c as usize;
+        let row = mesh.neighbor_row(cell);
+        for q in 0..Q19 {
+            let nb = row[opposite(q)];
+            let idx = if nb == SOLID {
+                L::at(cell, q, n)
+            } else {
+                L::at(nb as usize, opposite(q), n)
+            };
+            prefetch_read(f.wrapping_add(idx));
+        }
+    }
+}
+
+/// Dispatch one owner-computes job over `n` traversal positions onto
+/// either the static balanced partition or the work-stealing scheduler,
+/// per the traversal config. Both produce identical bits — the schedule
+/// only decides which worker visits which position range — and a single
+/// logical worker always takes the static path, so `RT_POOL_THREADS=1`
+/// provably bypasses stealing. Shared by [`Solver`] and
+/// [`crate::ranked::RankedSolver`].
+pub(crate) fn dispatch_owner<F>(
+    trav: &TraversalConfig,
+    data: &mut [f64],
+    n: usize,
+    workers: usize,
+    body: F,
+) where
+    F: Fn(std::ops::Range<usize>, &DisjointMut<'_, f64>) + Sync,
+{
+    if trav.stealing && workers > 1 {
+        let chunk = trav.steal_chunk_for(n, workers);
+        pool::global().par_owner_mut_stealing_workers(data, n, chunk, workers, body);
+    } else {
+        pool::global().par_owner_mut_workers(data, n, workers, body);
+    }
+}
+
+/// Run `body(first, end)` over `[positions.start, positions.end)` in
+/// cache blocks of `block` traversal positions (one call for the whole
+/// range when blocking is off). Blocking only re-cuts the iteration
+/// space — each position is still visited exactly once, in ascending
+/// order — so it is bit-neutral for the per-cell-pure kernels here.
+#[inline(always)]
+fn for_each_block(
+    positions: std::ops::Range<usize>,
+    block: usize,
+    mut body: impl FnMut(usize, usize),
+) {
+    if block == 0 {
+        body(positions.start, positions.end);
+        return;
+    }
+    let mut bs = positions.start;
+    while bs < positions.end {
+        let be = (bs + block).min(positions.end);
+        body(bs, be);
+        bs = be;
+    }
+}
 
 /// Flat index of `(cell, q)` for a runtime [`Layout`] value — the
 /// non-monomorphized twin of [`LayoutIdx::at`], for cold paths
@@ -280,8 +432,13 @@ impl Solver {
             Propagation::Aa => Vec::new(),
         };
 
+        // NOTE: the profile folds inlet centroids in ascending cell-id
+        // order; it must be computed before (and independently of) the
+        // traversal permutation, or reordering would reassociate its
+        // floating-point sums and change the boundary data bits.
         let (inlet_slot, inlet_vel) = Self::poiseuille_profile(&mesh, &config);
-        let kinds = KindLists::build(&mesh);
+        let order = traversal::permutation(&mesh, config.traversal.order);
+        let kinds = KindLists::build(&mesh, &order);
 
         Self {
             mesh,
@@ -427,12 +584,14 @@ impl Solver {
         fin
     }
 
-    /// AB update of every destination cell in `cells`: gather from `src`,
-    /// collide/apply boundary conditions, write the destination view.
-    /// Each cell's 19 values are a pure function of `src` and the write
-    /// slots of distinct cells are disjoint (`LayoutIdx::at` is injective),
-    /// so any partition of the cell range is race-free and bit-identical
-    /// to serial.
+    /// AB update of every destination cell whose traversal position falls
+    /// in `positions`: gather from `src`, collide/apply boundary
+    /// conditions, write the destination view. Each cell's 19 values are a
+    /// pure function of `src` and the write slots of distinct cells are
+    /// disjoint (`LayoutIdx::at` is injective), so any partition of the
+    /// position range is race-free and bit-identical to serial — and any
+    /// traversal permutation, blocking, or prefetch setting leaves the
+    /// bits unchanged too.
     #[allow(clippy::too_many_arguments)]
     fn ab_update_range<L: LayoutIdx>(
         mesh: &FluidMesh,
@@ -441,31 +600,39 @@ impl Solver {
         inlet_slot: &[u32],
         inlet_vel: &[[f64; 3]],
         kinds: &KindLists,
-        cells: std::ops::Range<usize>,
+        trav: &TraversalConfig,
+        positions: std::ops::Range<usize>,
         out: &DisjointMut<'_, f64>,
     ) {
         let n = mesh.len();
+        let pf = trav.prefetch;
         let write = |cell: usize, row: &[f64; Q19]| {
             for q in 0..Q19 {
                 // Safety: slot (cell, q) belongs to `cell` alone.
                 unsafe { out.write(L::at(cell, q, n), row[q]) };
             }
         };
-        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-            write(cell, &bulk_out(&fin, omega));
-        }
-        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-            write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-        }
-        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-            write(cell, &outlet_out(&fin));
-        }
+        for_each_block(positions, trav.block, |first, end| {
+            let list = kinds.bulk.in_range(first, end);
+            for (i, &cell) in list.iter().enumerate() {
+                if pf {
+                    prefetch_ab_gather::<L>(mesh, src.as_ptr(), n, list, i);
+                }
+                let cell = cell as usize;
+                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+                write(cell, &bulk_out(&fin, omega));
+            }
+            for &cell in kinds.inlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+                write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+            }
+            for &cell in kinds.outlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
+                write(cell, &outlet_out(&fin));
+            }
+        });
     }
 
     /// AA even step over `cells`: purely cell-local — read the cell's own
@@ -478,7 +645,8 @@ impl Solver {
         inlet_slot: &[u32],
         inlet_vel: &[[f64; 3]],
         kinds: &KindLists,
-        cells: std::ops::Range<usize>,
+        trav: &TraversalConfig,
+        positions: std::ops::Range<usize>,
         f: &DisjointMut<'_, f64>,
     ) {
         let n = mesh.len();
@@ -497,21 +665,26 @@ impl Solver {
                 unsafe { f.write(L::at(cell, opposite(q), n), row[q]) };
             }
         };
-        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = read_own(cell);
-            write_opposite(cell, &bulk_out(&fin, omega));
-        }
-        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = read_own(cell);
-            write_opposite(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-        }
-        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = read_own(cell);
-            write_opposite(cell, &outlet_out(&fin));
-        }
+        // No prefetch here: the even step is purely cell-local, so its
+        // access stream is the list itself — the hardware prefetcher's
+        // easiest case.
+        for_each_block(positions, trav.block, |first, end| {
+            for &cell in kinds.bulk.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = read_own(cell);
+                write_opposite(cell, &bulk_out(&fin, omega));
+            }
+            for &cell in kinds.inlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = read_own(cell);
+                write_opposite(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+            }
+            for &cell in kinds.outlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = read_own(cell);
+                write_opposite(cell, &outlet_out(&fin));
+            }
+        });
     }
 
     /// AA odd step over `cells`: gather each arriving value from the
@@ -527,10 +700,12 @@ impl Solver {
         inlet_slot: &[u32],
         inlet_vel: &[[f64; 3]],
         kinds: &KindLists,
-        cells: std::ops::Range<usize>,
+        trav: &TraversalConfig,
+        positions: std::ops::Range<usize>,
         f: &DisjointMut<'_, f64>,
     ) {
         let n = mesh.len();
+        let pf = trav.prefetch;
         let gather = |cell: usize| {
             let mut fin = [0.0f64; Q19];
             let row = mesh.neighbor_row(cell);
@@ -558,21 +733,27 @@ impl Solver {
                 }
             }
         };
-        for &cell in KindLists::in_range(&kinds.bulk, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = gather(cell);
-            scatter(cell, &bulk_out(&fin, omega));
-        }
-        for &cell in KindLists::in_range(&kinds.inlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = gather(cell);
-            scatter(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-        }
-        for &cell in KindLists::in_range(&kinds.outlet, cells.start, cells.end) {
-            let cell = cell as usize;
-            let fin = gather(cell);
-            scatter(cell, &outlet_out(&fin));
-        }
+        for_each_block(positions, trav.block, |first, end| {
+            let list = kinds.bulk.in_range(first, end);
+            for (i, &cell) in list.iter().enumerate() {
+                if pf {
+                    prefetch_aa_odd::<L>(mesh, f.as_ptr(), n, list, i);
+                }
+                let cell = cell as usize;
+                let fin = gather(cell);
+                scatter(cell, &bulk_out(&fin, omega));
+            }
+            for &cell in kinds.inlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = gather(cell);
+                scatter(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+            }
+            for &cell in kinds.outlet.in_range(first, end) {
+                let cell = cell as usize;
+                let fin = gather(cell);
+                scatter(cell, &outlet_out(&fin));
+            }
+        });
     }
 
     fn step_ab<L: LayoutIdx>(&mut self, workers: usize) {
@@ -582,9 +763,12 @@ impl Solver {
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
         let kinds = &self.kinds;
+        let trav = self.config.traversal;
         let n = mesh.len();
-        pool::global().par_owner_mut_workers(&mut self.f_tmp, n, workers, |cells, out| {
-            Self::ab_update_range::<L>(mesh, src, omega, inlet_slot, inlet_vel, kinds, cells, out);
+        dispatch_owner(&trav, &mut self.f_tmp, n, workers, |cells, out| {
+            Self::ab_update_range::<L>(
+                mesh, src, omega, inlet_slot, inlet_vel, kinds, &trav, cells, out,
+            );
         });
         std::mem::swap(&mut self.f, &mut self.f_tmp);
     }
@@ -596,12 +780,17 @@ impl Solver {
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
         let kinds = &self.kinds;
+        let trav = self.config.traversal;
         let n = mesh.len();
-        pool::global().par_owner_mut_workers(&mut self.f, n, workers, |cells, f| {
+        dispatch_owner(&trav, &mut self.f, n, workers, |cells, f| {
             if even {
-                Self::aa_even_range::<L>(mesh, omega, inlet_slot, inlet_vel, kinds, cells, f);
+                Self::aa_even_range::<L>(
+                    mesh, omega, inlet_slot, inlet_vel, kinds, &trav, cells, f,
+                );
             } else {
-                Self::aa_odd_range::<L>(mesh, omega, inlet_slot, inlet_vel, kinds, cells, f);
+                Self::aa_odd_range::<L>(
+                    mesh, omega, inlet_slot, inlet_vel, kinds, &trav, cells, f,
+                );
             }
         });
     }
@@ -1101,58 +1290,82 @@ mod tests {
         );
     }
 
-    // ---- KindLists::in_range -------------------------------------------
+    // ---- KindList::in_range --------------------------------------------
 
-    #[test]
-    fn in_range_of_empty_list_is_empty() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(KindLists::in_range(&empty, 0, 0).is_empty());
-        assert!(KindLists::in_range(&empty, 0, 100).is_empty());
-        assert!(KindLists::in_range(&empty, 50, 60).is_empty());
-    }
-
-    #[test]
-    fn in_range_splits_a_list_at_interior_boundaries() {
-        let list = [2u32, 5, 9];
-        assert_eq!(KindLists::in_range(&list, 0, 3), &[2]);
-        assert_eq!(KindLists::in_range(&list, 3, 9), &[5]);
-        assert_eq!(KindLists::in_range(&list, 9, 10), &[9]);
-        assert_eq!(KindLists::in_range(&list, 0, 10), &[2, 5, 9]);
-        assert_eq!(KindLists::in_range(&list, 5, 6), &[5]);
-        assert_eq!(KindLists::in_range(&list, 6, 9), &[] as &[u32]);
-    }
-
-    #[test]
-    fn in_range_with_first_equal_to_end_is_empty() {
-        let list = [2u32, 5, 9];
-        for at in 0..11 {
-            assert!(
-                KindLists::in_range(&list, at, at).is_empty(),
-                "[{at}, {at}) must be empty"
-            );
+    /// A kind list under the natural traversal: positions equal cell ids.
+    fn identity_list(cells: &[u32]) -> KindList {
+        KindList {
+            cells: cells.to_vec(),
+            pos: cells.to_vec(),
         }
     }
 
     #[test]
+    fn in_range_of_empty_list_is_empty() {
+        let empty = identity_list(&[]);
+        assert!(empty.in_range(0, 0).is_empty());
+        assert!(empty.in_range(0, 100).is_empty());
+        assert!(empty.in_range(50, 60).is_empty());
+    }
+
+    #[test]
+    fn in_range_splits_a_list_at_interior_boundaries() {
+        let list = identity_list(&[2, 5, 9]);
+        assert_eq!(list.in_range(0, 3), &[2]);
+        assert_eq!(list.in_range(3, 9), &[5]);
+        assert_eq!(list.in_range(9, 10), &[9]);
+        assert_eq!(list.in_range(0, 10), &[2, 5, 9]);
+        assert_eq!(list.in_range(5, 6), &[5]);
+        assert_eq!(list.in_range(6, 9), &[] as &[u32]);
+    }
+
+    #[test]
+    fn in_range_with_first_equal_to_end_is_empty() {
+        let list = identity_list(&[2, 5, 9]);
+        for at in 0..11 {
+            assert!(list.in_range(at, at).is_empty(), "[{at}, {at}) must be empty");
+        }
+    }
+
+    #[test]
+    fn in_range_slices_by_position_not_cell_id() {
+        // A permuted traversal: positions ascend while cell ids do not —
+        // in_range must cut by position and return cells in visit order.
+        let list = KindList {
+            cells: vec![9, 2, 5],
+            pos: vec![1, 4, 6],
+        };
+        assert_eq!(list.in_range(0, 2), &[9]);
+        assert_eq!(list.in_range(2, 5), &[2]);
+        assert_eq!(list.in_range(0, 7), &[9, 2, 5]);
+        assert_eq!(list.in_range(5, 100), &[5]);
+    }
+
+    #[test]
     fn in_range_subranges_partition_each_kind_list_exactly() {
-        // Property: for any random kind partition of 0..n and any random
-        // chunk partition of the cell range, concatenating the per-chunk
-        // sub-ranges reproduces each kind list exactly — the invariant the
-        // parallel sweep relies on for full, duplicate-free coverage.
+        // Property: for any random kind partition of 0..n, any random
+        // traversal permutation, and any random chunk partition of the
+        // position range, concatenating the per-chunk sub-ranges
+        // reproduces each kind list exactly — the invariant the parallel
+        // sweep relies on for full, duplicate-free coverage.
         check::run(
             "in_range_subranges_partition_each_kind_list_exactly",
             Config::cases(32),
             |rng| {
                 let n = rng.range_usize(1, 400);
-                let mut bulk = Vec::new();
-                let mut inlet = Vec::new();
-                let mut outlet = Vec::new();
-                for cell in 0..n as u32 {
-                    match rng.range_usize(0, 3) {
-                        0 => bulk.push(cell),
-                        1 => inlet.push(cell),
-                        _ => outlet.push(cell),
-                    }
+                // A random permutation as the traversal order.
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                for p in (1..n).rev() {
+                    order.swap(p, rng.range_usize(0, p + 1));
+                }
+                let mut lists = [(); 3].map(|_| KindList {
+                    cells: Vec::new(),
+                    pos: Vec::new(),
+                });
+                for (p, &cell) in order.iter().enumerate() {
+                    let k = rng.range_usize(0, 3);
+                    lists[k].cells.push(cell);
+                    lists[k].pos.push(p as u32);
                 }
                 // Random ascending chunk boundaries over [0, n].
                 let mut cuts = vec![0usize, n];
@@ -1160,14 +1373,94 @@ mod tests {
                     cuts.push(rng.range_usize(0, n + 1));
                 }
                 cuts.sort_unstable();
-                for list in [&bulk, &inlet, &outlet] {
+                for list in &lists {
                     let mut rebuilt = Vec::new();
                     for pair in cuts.windows(2) {
-                        rebuilt.extend_from_slice(KindLists::in_range(list, pair[0], pair[1]));
+                        rebuilt.extend_from_slice(list.in_range(pair[0], pair[1]));
                     }
-                    assert_eq!(&rebuilt, list, "chunked sub-ranges lost or duplicated cells");
+                    assert_eq!(rebuilt, list.cells, "chunked sub-ranges lost or duplicated cells");
                 }
             },
         );
+    }
+
+    // ---- traversal-permutation oracle ----------------------------------
+
+    #[test]
+    fn kind_lists_under_permuted_order_cover_the_mesh_in_visit_order() {
+        let mesh = cylinder_mesh();
+        let order = crate::traversal::permutation(&mesh, crate::traversal::TraversalOrder::Morton);
+        let kinds = KindLists::build(&mesh, &order);
+        assert_eq!(
+            kinds.bulk.len() + kinds.inlet.len() + kinds.outlet.len(),
+            mesh.len()
+        );
+        // Reassembling the three lists by position reproduces the order.
+        let mut by_pos = vec![u32::MAX; mesh.len()];
+        for list in [&kinds.bulk, &kinds.inlet, &kinds.outlet] {
+            for (&cell, &p) in list.cells.iter().zip(&list.pos) {
+                assert_eq!(by_pos[p as usize], u32::MAX, "position {p} claimed twice");
+                by_pos[p as usize] = cell;
+            }
+        }
+        assert_eq!(by_pos, order);
+    }
+
+    #[test]
+    fn every_traversal_config_is_bitwise_identical_to_the_default_order() {
+        // The oracle the tentpole rests on: traversal order, cache
+        // blocking, prefetch, and the stealing schedule are all
+        // bit-neutral, for every kernel config, at logical worker counts
+        // 1/2/3/8, with stealing on and off. `steal_chunk: 16` forces
+        // many chunks per worker so the stealing machinery genuinely
+        // engages on this small mesh.
+        let mesh = cylinder_mesh();
+        let traversals = [
+            TraversalConfig::natural(),
+            TraversalConfig::morton(),
+            TraversalConfig {
+                block: 64,
+                prefetch: true,
+                ..TraversalConfig::natural()
+            },
+            TraversalConfig {
+                stealing: true,
+                steal_chunk: 16,
+                ..TraversalConfig::natural()
+            },
+            TraversalConfig {
+                steal_chunk: 16,
+                ..TraversalConfig::tuned()
+            },
+        ];
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse(prop, layout);
+                let mut reference = Solver::new(mesh.clone(), config_for(kernel));
+                for _ in 0..13 {
+                    reference.step_with_workers(1);
+                }
+                for trav in traversals {
+                    for workers in [1usize, 2, 3, 8] {
+                        let mut s = Solver::new(
+                            mesh.clone(),
+                            SolverConfig {
+                                traversal: trav,
+                                ..config_for(kernel)
+                            },
+                        );
+                        for _ in 0..13 {
+                            s.step_with_workers(workers);
+                        }
+                        assert_eq!(
+                            reference.distributions(),
+                            s.distributions(),
+                            "{prop:?}/{layout:?} diverged under {} at {workers} workers",
+                            trav.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

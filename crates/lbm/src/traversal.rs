@@ -1,0 +1,294 @@
+//! Locality-aware traversal of the sparse fluid mesh.
+//!
+//! The kernels in [`crate::solver`] and [`crate::ranked`] visit fluid
+//! cells through index lists, so *storage* order and *traversal* order are
+//! independent degrees of freedom. This module owns the traversal side:
+//!
+//! * [`TraversalOrder`] — the permutation applied to the cell lists at
+//!   solver construction. `Natural` is ascending cell id (the historical
+//!   order, and the geometry builder's x-fastest raster order); `Morton`
+//!   sorts cells along a Z-order space-filling curve, so cells that are
+//!   close in 3-space become close in the traversal, which shrinks the
+//!   reuse distance of the 19-point neighbor stencil.
+//! * cache **blocking** — the per-step loop can be cut into fixed-size
+//!   position blocks, each of which visits its bulk, inlet, and outlet
+//!   cells before moving on; the block's working set (own rows + neighbor
+//!   rows) then stays resident across the three kind loops.
+//! * software **prefetch** — the gather/scatter loops can issue `T0`
+//!   prefetches for the neighbor-index rows and distribution slots a few
+//!   cells ahead, hiding the dependent-load latency of indirect
+//!   addressing.
+//! * deterministic work **stealing** — the per-step parallel loop can run
+//!   on the chunk-granular stealing scheduler
+//!   ([`hemocloud_rt::pool::Pool::par_owner_mut_stealing_workers`])
+//!   instead of the static balanced partition.
+//!
+//! **Every knob is bit-neutral.** Each kernel computes each cell purely
+//! from pre-step state, and the per-cell write sets are pairwise disjoint
+//! (the AA safety argument in [`crate::solver`]), so *any* execution order
+//! of the cells — permuted, blocked, stolen, or all three — stores exactly
+//! the same bits. The traversal-permutation oracle tests enforce this for
+//! every config combination.
+//!
+//! The one order this module must **not** touch is the inlet-profile sum
+//! in `poiseuille_profile_for`, which folds inlet centroids in ascending
+//! cell-id order at construction time; reordering that fold would
+//! reassociate floating-point adds and change the inlet velocity bits.
+//! Traversal permutations therefore apply only to the per-step loops.
+
+use crate::mesh::FluidMesh;
+
+/// The cell-visit permutation applied at solver construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraversalOrder {
+    /// Ascending cell id — the raster order the mesh builder emits.
+    #[default]
+    Natural,
+    /// Z-order (Morton) space-filling curve over the cell coordinates:
+    /// spatially adjacent cells become traversal-adjacent, improving
+    /// stencil reuse on the sparse mesh.
+    Morton,
+}
+
+/// Traversal-side configuration, the sibling of
+/// [`crate::kernel::KernelConfig`] on
+/// [`crate::solver::SolverConfig`]. All fields are bit-neutral — they
+/// change *when* each cell is visited and by *whom*, never what it
+/// computes. See the module docs for the argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraversalConfig {
+    /// Cell-visit permutation.
+    pub order: TraversalOrder,
+    /// Cache-block size in traversal positions; `0` disables blocking.
+    /// Each block runs its bulk/inlet/outlet sub-loops back to back.
+    pub block: usize,
+    /// Issue software prefetches for upcoming gather/scatter targets in
+    /// the indirect-addressed kernel loops.
+    pub prefetch: bool,
+    /// Run the per-step parallel loop on the work-stealing scheduler
+    /// instead of the static balanced partition.
+    pub stealing: bool,
+    /// Steal granularity in traversal positions; `0` picks an automatic
+    /// chunk size (several chunks per worker, floor 64) so there is
+    /// enough slack to steal without shrinking chunks into scheduler
+    /// overhead.
+    pub steal_chunk: usize,
+}
+
+impl TraversalConfig {
+    /// The historical traversal: natural order, unblocked, no prefetch,
+    /// static partition.
+    pub fn natural() -> Self {
+        Self::default()
+    }
+
+    /// Morton order only — isolates the space-filling-curve effect.
+    pub fn morton() -> Self {
+        Self {
+            order: TraversalOrder::Morton,
+            ..Self::default()
+        }
+    }
+
+    /// The full locality package: Morton order, 4096-cell blocks,
+    /// prefetch, and work stealing with automatic chunking.
+    pub fn tuned() -> Self {
+        Self {
+            order: TraversalOrder::Morton,
+            block: 4096,
+            prefetch: true,
+            stealing: true,
+            steal_chunk: 0,
+        }
+    }
+
+    /// Compact name for benchmark tables and provenance records, e.g.
+    /// `"natural"` or `"morton+block4096+pf+steal"`.
+    pub fn name(&self) -> String {
+        let mut s = match self.order {
+            TraversalOrder::Natural => "natural".to_string(),
+            TraversalOrder::Morton => "morton".to_string(),
+        };
+        if self.block > 0 {
+            s.push_str(&format!("+block{}", self.block));
+        }
+        if self.prefetch {
+            s.push_str("+pf");
+        }
+        if self.stealing {
+            s.push_str("+steal");
+            if self.steal_chunk > 0 {
+                s.push_str(&format!("{}", self.steal_chunk));
+            }
+        }
+        s
+    }
+
+    /// The steal chunk size for `n_items` positions on `workers` logical
+    /// workers: the explicit `steal_chunk` if set, else several chunks
+    /// per worker with a floor of 64 positions so chunks stay coarse
+    /// enough to amortize the CAS per chunk.
+    pub fn steal_chunk_for(&self, n_items: usize, workers: usize) -> usize {
+        if self.steal_chunk > 0 {
+            return self.steal_chunk;
+        }
+        (n_items / (8 * workers.max(1))).max(64)
+    }
+}
+
+/// The traversal permutation for `mesh` under `order`: `perm[p]` is the
+/// cell id visited at position `p`. Natural order is the identity;
+/// Morton order is a stable sort by the Z-order key of each cell's grid
+/// coordinates (ties — impossible for distinct cells, but kept for
+/// robustness — break by cell id).
+pub fn permutation(mesh: &FluidMesh, order: TraversalOrder) -> Vec<u32> {
+    let n = mesh.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    if order == TraversalOrder::Morton {
+        let mut keyed: Vec<(u64, u32)> = perm
+            .iter()
+            .map(|&cell| {
+                let (x, y, z) = mesh.coords(cell as usize);
+                (morton3(x as u64, y as u64, z as u64), cell)
+            })
+            .collect();
+        keyed.sort_unstable(); // (key, cell) pairs: ties break by cell id
+        for (p, &(_, cell)) in keyed.iter().enumerate() {
+            perm[p] = cell;
+        }
+    }
+    perm
+}
+
+/// Interleave the low 21 bits of `x`, `y`, `z` into a 63-bit Morton key
+/// (x in the least-significant position of each triple).
+pub fn morton3(x: u64, y: u64, z: u64) -> u64 {
+    spread2(x) | (spread2(y) << 1) | (spread2(z) << 2)
+}
+
+/// Spread the low 21 bits of `v` so bit `i` lands at bit `3i` — the
+/// standard parallel-prefix bit interleave.
+fn spread2(v: u64) -> u64 {
+    let mut v = v & 0x1f_ffff; // 21 bits
+    v = (v | (v << 32)) & 0x001f_0000_0000_ffff;
+    v = (v | (v << 16)) & 0x001f_0000_ff00_00ff;
+    v = (v | (v << 8)) & 0x100f_00f0_0f00_f00f;
+    v = (v | (v << 4)) & 0x10c3_0c30_c30c_30c3;
+    v = (v | (v << 2)) & 0x1249_2492_4924_9249;
+    v
+}
+
+/// Software-prefetch the cache line holding `ptr` into all cache levels.
+/// A scheduling hint only — never a memory access — so it is safe on any
+/// address and a no-op on non-x86 targets.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(ptr as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+
+    fn small_mesh() -> FluidMesh {
+        let g = CylinderSpec::default()
+            .with_dimensions(2.0, 8.0)
+            .with_resolution(6)
+            .build();
+        FluidMesh::build(&g)
+    }
+
+    #[test]
+    fn spread2_places_bit_i_at_bit_3i() {
+        for i in 0..21u32 {
+            assert_eq!(spread2(1 << i), 1u64 << (3 * i));
+        }
+        assert_eq!(spread2(0), 0);
+    }
+
+    #[test]
+    fn morton3_interleaves_axes() {
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(1, 1, 1), 0b111);
+        assert_eq!(morton3(2, 0, 0), 0b001_000);
+        // Distinct coordinates give distinct keys (injective on 21 bits).
+        assert_ne!(morton3(3, 5, 7), morton3(5, 3, 7));
+    }
+
+    #[test]
+    fn permutations_are_bijections() {
+        let mesh = small_mesh();
+        for order in [TraversalOrder::Natural, TraversalOrder::Morton] {
+            let perm = permutation(&mesh, order);
+            assert_eq!(perm.len(), mesh.len());
+            let mut seen = vec![false; mesh.len()];
+            for &cell in &perm {
+                assert!(!seen[cell as usize], "{order:?}: cell {cell} repeated");
+                seen[cell as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn natural_permutation_is_the_identity() {
+        let mesh = small_mesh();
+        let perm = permutation(&mesh, TraversalOrder::Natural);
+        assert!(perm.iter().enumerate().all(|(p, &c)| c as usize == p));
+    }
+
+    #[test]
+    fn morton_permutation_sorts_by_interleaved_key() {
+        let mesh = small_mesh();
+        let perm = permutation(&mesh, TraversalOrder::Morton);
+        let keys: Vec<u64> = perm
+            .iter()
+            .map(|&cell| {
+                let (x, y, z) = mesh.coords(cell as usize);
+                morton3(x as u64, y as u64, z as u64)
+            })
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+    }
+
+    #[test]
+    fn config_names_encode_every_knob() {
+        assert_eq!(TraversalConfig::natural().name(), "natural");
+        assert_eq!(TraversalConfig::morton().name(), "morton");
+        assert_eq!(TraversalConfig::tuned().name(), "morton+block4096+pf+steal");
+        let explicit = TraversalConfig {
+            stealing: true,
+            steal_chunk: 128,
+            ..TraversalConfig::natural()
+        };
+        assert_eq!(explicit.name(), "natural+steal128");
+    }
+
+    #[test]
+    fn auto_steal_chunk_is_coarse_and_respects_overrides() {
+        let auto = TraversalConfig::tuned();
+        assert_eq!(auto.steal_chunk_for(100_000, 8), 100_000 / 64);
+        assert_eq!(auto.steal_chunk_for(10, 8), 64, "floor keeps chunks coarse");
+        let explicit = TraversalConfig {
+            steal_chunk: 13,
+            ..TraversalConfig::tuned()
+        };
+        assert_eq!(explicit.steal_chunk_for(100_000, 8), 13);
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_hint_on_any_address() {
+        let data = [1.0f64; 8];
+        prefetch_read(data.as_ptr());
+        prefetch_read(std::ptr::null::<f64>());
+        // Reaching here is the assertion: prefetch never faults.
+    }
+}

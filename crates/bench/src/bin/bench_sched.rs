@@ -1,0 +1,343 @@
+//! Scheduler-scale record: drive a committed synthetic campaign of up to
+//! one million jobs through `hemocloud-sched` and persist the throughput
+//! numbers to `BENCH_sched.json`, so every PR carries a comparable
+//! events/sec trajectory alongside `BENCH_lbm.json` (ROADMAP item 2:
+//! "scale the campaign" needs a number to hold it to).
+//!
+//! The campaign is synthetic but exercises every subsystem at scale:
+//! four capacity-limited pools, 32 shared workloads over four vascular
+//! geometries, batched arrivals (64 jobs share each submit tick, so the
+//! batched-admission path actually batches), seeded node faults with
+//! checkpoint-rollback retries, a sprinkle of guard-killed runaways and
+//! admission-rejected doomed jobs, and bounded report logs
+//! (`max_placement_log`) so memory stays flat while the MAPE accounting
+//! stays exact.
+//!
+//! Besides timing, the binary *proves* the tentpole determinism claim on
+//! every run: a smoke-sized subset is re-run at shard counts 1, 2, and 4
+//! and the three reports must be byte-identical — the binary exits
+//! non-zero (and refuses to write a baseline) otherwise.
+//!
+//! * `SCHED_JOBS=<n>` overrides the job count (default 1,000,000; with
+//!   `RT_BENCH_FAST=1`, 20,000 so CI can smoke-run it in seconds).
+//! * `SCHED_SHARDS=<n>` sets the headline run's shard count (default 4).
+//! * `SCHED_SEED=<u64>` picks the campaign seed (default 42).
+//! * `SCHED_OUT=<path>` redirects the JSON (default `BENCH_sched.json`).
+//! * `SCHED_REPORT_OUT_PREFIX=<path>` additionally writes the per-shard
+//!   determinism reports as `<prefix>.shard<N>.json` so `scripts/verify.sh`
+//!   can `cmp` them independently.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hemocloud_bench::provenance;
+use hemocloud_cluster::exec::Overheads;
+use hemocloud_cluster::platform::Platform;
+use hemocloud_core::dashboard::Objective;
+use hemocloud_core::workload::Workload;
+use hemocloud_geometry::anatomy::{AortaSpec, CerebralSpec, CylinderSpec};
+use hemocloud_rt::rng::SplitMix64;
+use hemocloud_sched::{Campaign, CampaignConfig, CampaignReport, JobSpec, PoolSpec};
+
+fn fast_mode() -> bool {
+    std::env::var("RT_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} must be a usize")))
+        .unwrap_or(default)
+}
+
+/// The four pools the synthetic campaign runs against — wider than the
+/// demo's so a million jobs drain in reasonable virtual time.
+fn bench_pools() -> Vec<PoolSpec> {
+    vec![
+        PoolSpec {
+            platform: Platform::trc(),
+            nodes: 50,
+            overheads: Overheads::default(),
+        },
+        PoolSpec {
+            platform: Platform::csp1(),
+            nodes: 3,
+            overheads: Overheads {
+                lbm_bandwidth_efficiency: 0.80,
+                ..Overheads::default()
+            },
+        },
+        PoolSpec {
+            platform: Platform::csp2_small(),
+            nodes: 16,
+            overheads: Overheads {
+                message_software_overhead_us: 2.5,
+                ..Overheads::default()
+            },
+        },
+        PoolSpec {
+            platform: Platform::csp2(),
+            nodes: 4,
+            overheads: Overheads {
+                lbm_bandwidth_efficiency: 0.72,
+                ..Overheads::default()
+            },
+        },
+    ]
+}
+
+fn bench_config(seed: u64, shards: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        characterization_seed: 2023,
+        rank_options: vec![8, 16, 32, 36],
+        slice_steps: 800_000,
+        fault_rate_per_node_hour: 0.5,
+        retry_backoff_s: 30.0,
+        max_retry_backoff_s: 1800.0,
+        min_calibration_obs: 6,
+        prices: Default::default(),
+        shards,
+        // Bounded logs: the aggregates (MAPEs, costs, outcome counts) are
+        // exact over all jobs regardless; only the per-row logs are capped.
+        max_placement_log: 10_000,
+        max_job_reports: 10_000,
+    }
+}
+
+/// The 32 shared workloads: four geometry classes × eight step counts.
+/// Jobs hold `Arc`s into this table — a million jobs, 32 grids.
+fn bench_workloads() -> Vec<(String, Arc<Workload>)> {
+    let geoms = vec![
+        ("cyl6", CylinderSpec::default().with_resolution(6).build()),
+        ("cyl8", CylinderSpec::default().with_resolution(8).build()),
+        ("aorta6", AortaSpec::default().with_resolution(6).build()),
+        (
+            "cereb6",
+            CerebralSpec::default()
+                .with_resolution(6)
+                .with_generations(3)
+                .build(),
+        ),
+    ];
+    let mut out = Vec::with_capacity(32);
+    for (key, grid) in &geoms {
+        for s in 0..8u64 {
+            let steps = 150_000 + 50_000 * s;
+            out.push((key.to_string(), Arc::new(Workload::harvey(grid, steps))));
+        }
+    }
+    out
+}
+
+/// Deterministic synthetic job mix: honest jobs with batched arrivals,
+/// ~0.5% runaways (3× hidden steps against a tight tolerance) and ~0.2%
+/// doomed-budget jobs the admission filter must reject.
+fn bench_jobs(n: usize, seed: u64) -> Vec<JobSpec> {
+    let workloads = bench_workloads();
+    let objectives = [
+        Objective::MinCost,
+        Objective::MaxThroughput,
+        Objective::Deadline(24.0 * 3600.0),
+    ];
+    let mut sm = SplitMix64::new(seed ^ 0xBE9C_4A11);
+    let mut jobs = Vec::with_capacity(n);
+    for i in 0..n {
+        let (key, workload) = &workloads[(sm.next_u64() % workloads.len() as u64) as usize];
+        let runaway = i % 211 == 0;
+        let doomed = !runaway && i % 503 == 0;
+        jobs.push(JobSpec {
+            name: format!(
+                "{}-{i:07}-{key}",
+                if runaway {
+                    "runaway"
+                } else if doomed {
+                    "doomed"
+                } else {
+                    "job"
+                }
+            ),
+            workload: Arc::clone(workload),
+            model_key: key.clone(),
+            objective: objectives[i % objectives.len()],
+            tolerance: if runaway { 0.5 } else { 7.0 },
+            // Doomed budget: below the cheapest conceivable per-second
+            // bill for even the smallest workload, so admission must
+            // reject (a cent would actually buy these short jobs).
+            budget_dollars: if doomed { 1.0e-6 } else { 500.0 },
+            max_retries: 3,
+            checkpoint_steps: 400_000,
+            hidden_steps_factor: if runaway { 3.0 } else { 1.0 },
+            // 64 jobs share each submit tick: arrivals come in bursts the
+            // batched-admission path sweeps in one dispatch.
+            submit_s: (i / 64) as f64 * 30.0,
+        });
+    }
+    jobs
+}
+
+fn run_campaign(jobs: &[JobSpec], seed: u64, shards: usize) -> CampaignReport {
+    let mut campaign = Campaign::new(bench_config(seed, shards), bench_pools());
+    for job in jobs {
+        campaign.submit(job.clone());
+    }
+    campaign.run()
+}
+
+/// Peak resident set (VmHWM) in MiB from `/proc/self/status`; `None` off
+/// Linux.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn main() {
+    let seed: u64 = std::env::var("SCHED_SEED")
+        .ok()
+        .map(|v| v.parse().expect("SCHED_SEED must be a u64"))
+        .unwrap_or(42);
+    let default_jobs = if fast_mode() { 20_000 } else { 1_000_000 };
+    let n_jobs = env_usize("SCHED_JOBS", default_jobs);
+    let shards = env_usize("SCHED_SHARDS", 4).max(1);
+    let out = std::env::var("SCHED_OUT").unwrap_or_else(|_| "BENCH_sched.json".to_string());
+
+    // Headline run first (the biggest allocation), so the recorded VmHWM
+    // is the campaign's and the later smoke-sized determinism runs cannot
+    // raise it.
+    println!("bench_sched: {n_jobs} jobs, {shards} shards, seed {seed}");
+    let jobs = bench_jobs(n_jobs, seed);
+    let start = Instant::now();
+    let report = run_campaign(&jobs, seed, shards);
+    let elapsed = start.elapsed().as_secs_f64();
+    let events_per_sec = report.events_processed as f64 / elapsed;
+    let jobs_per_sec = report.jobs as f64 / elapsed;
+    let peak_rss = peak_rss_mib();
+    drop(jobs);
+
+    println!(
+        "  {} events in {elapsed:.2} s wall -> {:.0} events/s, {:.0} jobs/s",
+        report.events_processed, events_per_sec, jobs_per_sec
+    );
+    println!(
+        "  outcomes: {} completed, {} guard-killed, {} failed, {} rejected; {} faults / {} retries",
+        report.completed, report.guard_kills, report.failed, report.rejected, report.faults,
+        report.retries
+    );
+    println!(
+        "  makespan {:.0} virtual s, total ${:.2}, peak RSS {}",
+        report.makespan_s,
+        report.total_cost_dollars,
+        peak_rss.map_or("n/a".to_string(), |m| format!("{m:.0} MiB")),
+    );
+
+    // Determinism proof: a smoke-sized subset at shard counts 1, 2, 4
+    // must render byte-identical reports.
+    let det_jobs_n = n_jobs.min(20_000);
+    let det_jobs = bench_jobs(det_jobs_n, seed);
+    let shard_counts = [1usize, 2, 4];
+    let renders: Vec<String> = shard_counts
+        .iter()
+        .map(|&s| run_campaign(&det_jobs, seed, s).to_json())
+        .collect();
+    let identical = renders.iter().all(|r| r == &renders[0]);
+    println!(
+        "  shard determinism ({det_jobs_n} jobs @ shards {shard_counts:?}): {}",
+        if identical { "byte-identical" } else { "DIVERGED" }
+    );
+    if let Ok(prefix) = std::env::var("SCHED_REPORT_OUT_PREFIX") {
+        for (s, render) in shard_counts.iter().zip(&renders) {
+            let path = format!("{prefix}.shard{s}.json");
+            std::fs::write(&path, render).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("  wrote {path}");
+        }
+    }
+
+    let mut failures = Vec::new();
+    if !(events_per_sec.is_finite() && events_per_sec > 0.0) {
+        failures.push(format!("non-finite or non-positive events/sec {events_per_sec}"));
+    }
+    if report.events_processed == 0 {
+        failures.push("campaign processed zero events".to_string());
+    }
+    if !(report.makespan_s.is_finite() && report.makespan_s > 0.0) {
+        failures.push(format!("non-finite or non-positive makespan {}", report.makespan_s));
+    }
+    if report.completed + report.guard_kills + report.failed + report.rejected != report.jobs {
+        failures.push("job outcomes do not sum to the job count".to_string());
+    }
+    if report.completed == 0 {
+        failures.push("no job completed".to_string());
+    }
+    if n_jobs >= 1_000 {
+        // The mix plants a runaway every 211 jobs and a doomed-budget job
+        // every 503: at this scale the guard and admission paths must fire.
+        if report.guard_kills == 0 {
+            failures.push("no guard kills despite planted runaways".to_string());
+        }
+        if report.rejected == 0 {
+            failures.push("no rejections despite planted doomed-budget jobs".to_string());
+        }
+    }
+    if !identical {
+        failures.push(format!(
+            "reports diverged across shard counts {shard_counts:?}"
+        ));
+    }
+
+    let git_rev = provenance::json_escape(&provenance::git_rev());
+    let rustc = provenance::json_escape(&provenance::rustc_version());
+    let opt = |v: Option<f64>, decimals: usize| {
+        v.filter(|v| v.is_finite())
+            .map_or("null".to_string(), |v| format!("{v:.decimals$}"))
+    };
+    let mut s = String::with_capacity(2048);
+    s.push_str("{\n");
+    s.push_str("  \"report\": \"hemocloud_bench_sched\",\n");
+    s.push_str(&format!(
+        "  \"provenance\": {{\"git_rev\": \"{git_rev}\", \"rustc\": \"{rustc}\"}},\n"
+    ));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
+    s.push_str(&format!("  \"events_processed\": {},\n", report.events_processed));
+    s.push_str(&format!("  \"elapsed_s\": {elapsed:.3},\n"));
+    s.push_str(&format!("  \"events_per_sec\": {events_per_sec:.1},\n"));
+    s.push_str(&format!("  \"jobs_per_sec\": {jobs_per_sec:.1},\n"));
+    s.push_str(&format!("  \"peak_rss_mib\": {},\n", opt(peak_rss, 1)));
+    s.push_str(&format!("  \"makespan_s\": {:.3},\n", report.makespan_s));
+    s.push_str(&format!(
+        "  \"total_cost_dollars\": {:.6},\n",
+        report.total_cost_dollars
+    ));
+    s.push_str(&format!(
+        "  \"outcomes\": {{\"completed\": {}, \"guard_kills\": {}, \"failed\": {}, \"rejected\": {}}},\n",
+        report.completed, report.guard_kills, report.failed, report.rejected
+    ));
+    s.push_str(&format!(
+        "  \"faults\": {}, \"retries\": {},\n",
+        report.faults, report.retries
+    ));
+    s.push_str(&format!("  \"placements_total\": {},\n", report.placements_total));
+    s.push_str(&format!(
+        "  \"refinement\": {{\"mape_first_quartile_uncalibrated_pct\": {}, \"mape_calibrated_pct\": {}, \"error_p50_pct\": {}, \"error_p99_pct\": {}}},\n",
+        opt(report.mape_first_quartile_uncalibrated_pct, 4),
+        opt(report.mape_calibrated_pct, 4),
+        opt(report.error_p50_pct, 4),
+        opt(report.error_p99_pct, 4),
+    ));
+    s.push_str(&format!(
+        "  \"shard_determinism\": {{\"jobs\": {det_jobs_n}, \"shard_counts\": [1, 2, 4], \"reports_identical\": {identical}}}\n"
+    ));
+    s.push_str("}\n");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("BENCH_SCHED INVARIANT VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::fs::write(&out, &s).expect("write bench_sched JSON");
+    println!("  wrote {out}");
+}

@@ -64,11 +64,14 @@ fn main() {
         if report.retried_jobs_completed < 1 {
             failures.push("demo seed produced no successful fault retry".to_string());
         }
-        if !(report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct) {
-            failures.push(format!(
-                "refinement failed: calibrated MAPE {} !< uncalibrated Q1 MAPE {}",
-                report.mape_calibrated_pct, report.mape_first_quartile_uncalibrated_pct
-            ));
+        match (
+            report.mape_calibrated_pct,
+            report.mape_first_quartile_uncalibrated_pct,
+        ) {
+            (Some(cal), Some(uncal)) if cal < uncal => {}
+            (cal, uncal) => failures.push(format!(
+                "refinement failed: calibrated MAPE {cal:?} !< uncalibrated Q1 MAPE {uncal:?}"
+            )),
         }
     }
 
@@ -81,9 +84,11 @@ fn main() {
         "  faults {} / retries {} (jobs recovered: {}), makespan {:.0} s, total ${:.2}",
         report.faults, report.retries, report.retried_jobs_completed, report.makespan_s, report.total_cost_dollars
     );
+    let mape = |v: Option<f64>| v.map_or("n/a".to_string(), |v| format!("{v:.1}%"));
     println!(
-        "  placement MAPE: uncalibrated Q1 {:.1}% -> calibrated {:.1}%",
-        report.mape_first_quartile_uncalibrated_pct, report.mape_calibrated_pct
+        "  placement MAPE: uncalibrated Q1 {} -> calibrated {}",
+        mape(report.mape_first_quartile_uncalibrated_pct),
+        mape(report.mape_calibrated_pct)
     );
     println!("  wrote {out}");
 

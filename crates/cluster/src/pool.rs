@@ -18,6 +18,7 @@ pub struct NodePool {
     nodes_total: usize,
     nodes_free: usize,
     busy_node_seconds: f64,
+    peak_nodes_busy: usize,
 }
 
 impl NodePool {
@@ -34,6 +35,7 @@ impl NodePool {
             nodes_total: capped,
             nodes_free: capped,
             busy_node_seconds: 0.0,
+            peak_nodes_busy: 0,
         }
     }
 
@@ -65,7 +67,15 @@ impl NodePool {
             return false;
         }
         self.nodes_free -= nodes;
+        self.peak_nodes_busy = self.peak_nodes_busy.max(self.nodes_busy());
         true
+    }
+
+    /// High-water mark of simultaneously busy nodes over the pool's
+    /// lifetime — how much of a reserved allocation the campaign ever
+    /// actually needed at once.
+    pub fn peak_nodes_busy(&self) -> usize {
+        self.peak_nodes_busy
     }
 
     /// Return `nodes` nodes held for `held_seconds` of simulated time.
@@ -117,6 +127,18 @@ mod tests {
         pool.release(2, 100.0);
         assert_eq!(pool.nodes_free(), 3);
         assert!((pool.busy_node_seconds() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_busy_is_a_high_water_mark() {
+        let mut pool = NodePool::new(Platform::csp2(), 4);
+        assert_eq!(pool.peak_nodes_busy(), 0);
+        assert!(pool.try_alloc(1));
+        assert!(pool.try_alloc(2));
+        assert_eq!(pool.peak_nodes_busy(), 3);
+        pool.release(3, 10.0);
+        assert!(pool.try_alloc(1));
+        assert_eq!(pool.peak_nodes_busy(), 3, "peak survives release");
     }
 
     #[test]

@@ -103,20 +103,32 @@ impl Dashboard {
     /// Recommend an option under an objective. Returns `None` when no
     /// entry qualifies (e.g. an unmeetable deadline).
     pub fn recommend(&self, objective: Objective) -> Option<&DashboardEntry> {
+        self.recommend_index(objective).map(|i| &self.entries[i])
+    }
+
+    /// Index of the recommended option in [`Dashboard::entries`], or
+    /// `None` when no entry qualifies.
+    ///
+    /// This is the lookup a scheduler should carry around instead of the
+    /// entry itself: entries are plain value rows, so matching a winner
+    /// back by `==` silently resolves duplicate predictions (two pools
+    /// priced identically) to the *first* duplicate rather than the row
+    /// that actually won. The index is unambiguous. Ties on the
+    /// objective metric break toward the earliest entry, deterministic
+    /// under `total_cmp` even for NaN metrics.
+    pub fn recommend_index(&self, objective: Objective) -> Option<usize> {
+        let candidates = self.entries.iter().enumerate();
         match objective {
-            Objective::MaxThroughput => self
-                .entries
-                .iter()
-                .min_by(|a, b| a.time_to_solution_s.total_cmp(&b.time_to_solution_s)),
-            Objective::MinCost => self
-                .entries
-                .iter()
-                .min_by(|a, b| a.cost_dollars.total_cmp(&b.cost_dollars)),
-            Objective::Deadline(seconds) => self
-                .entries
-                .iter()
-                .filter(|e| e.time_to_solution_s <= seconds)
-                .min_by(|a, b| a.cost_dollars.total_cmp(&b.cost_dollars)),
+            Objective::MaxThroughput => candidates
+                .min_by(|(_, a), (_, b)| a.time_to_solution_s.total_cmp(&b.time_to_solution_s))
+                .map(|(i, _)| i),
+            Objective::MinCost => candidates
+                .min_by(|(_, a), (_, b)| a.cost_dollars.total_cmp(&b.cost_dollars))
+                .map(|(i, _)| i),
+            Objective::Deadline(seconds) => candidates
+                .filter(|(_, e)| e.time_to_solution_s <= seconds)
+                .min_by(|(_, a), (_, b)| a.cost_dollars.total_cmp(&b.cost_dollars))
+                .map(|(i, _)| i),
         }
     }
 
@@ -198,6 +210,47 @@ mod tests {
         assert!(d
             .recommend(Objective::Deadline(fastest.time_to_solution_s * 1e-6))
             .is_none());
+    }
+
+    #[test]
+    fn duplicate_predictions_resolve_to_the_winning_index() {
+        // Two pools priced *identically* except for their platform label —
+        // the duplicate-row shape that made the old match-back-by-`==`
+        // lookup ambiguous. The recommendation must be an index, it must
+        // be the first duplicate (ties break toward the earliest entry),
+        // and the caller can tell which row won even though the rows
+        // compare equal on every metric.
+        let row = |platform: &str, cost: f64| DashboardEntry {
+            platform: platform.to_string(),
+            ranks: 16,
+            nodes: 1,
+            predicted_mflups: 100.0,
+            time_to_solution_s: 500.0,
+            cost_dollars: cost,
+            updates_per_dollar: 1.0e9 / cost,
+        };
+        let d = Dashboard {
+            workload_name: "dup".into(),
+            entries: vec![row("A", 3.0), row("B", 1.0), row("C", 1.0)],
+        };
+        let i = d.recommend_index(Objective::MinCost).unwrap();
+        assert_eq!(i, 1, "earliest of the tied cheapest rows wins");
+        assert_eq!(d.recommend(Objective::MinCost).unwrap().platform, "B");
+        // Same duplicate metrics under the other objectives.
+        assert_eq!(d.recommend_index(Objective::MaxThroughput), Some(0));
+        assert_eq!(d.recommend_index(Objective::Deadline(600.0)), Some(1));
+        assert_eq!(d.recommend_index(Objective::Deadline(1.0)), None);
+        // recommend() and recommend_index() always agree on the row.
+        for obj in [
+            Objective::MinCost,
+            Objective::MaxThroughput,
+            Objective::Deadline(600.0),
+        ] {
+            assert_eq!(
+                d.recommend(obj),
+                d.recommend_index(obj).map(|i| &d.entries[i])
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! quantifies what a richer model would have to explain.
 
 use crate::composition::{Composition, Prediction};
-use hemocloud_fitting::linear::fit_proportional;
+use hemocloud_fitting::linear::ProportionalAccumulator;
 use hemocloud_fitting::metrics::mape;
 
 /// One observation: a model prediction and the measured outcome.
@@ -28,15 +28,58 @@ pub struct Observation {
 }
 
 /// A store of observations and the calibration fit over them.
-#[derive(Debug, Clone, Default)]
+///
+/// The fit itself is **incremental**: every [`ModelCalibrator::record`]
+/// folds the observation into running sums
+/// ([`ProportionalAccumulator`]), so [`correction_factor`] is O(1) no
+/// matter how many slices a campaign has recorded — and bitwise equal to
+/// refitting the whole history, because the batch fit accumulates the
+/// same sums in the same order. The observation *store* is a diagnostic
+/// window: [`ModelCalibrator::bounded`] caps it (keeping the most recent
+/// observations) so a million-slice campaign doesn't hold a million
+/// `Observation`s; the fit always covers the full history regardless.
+///
+/// [`correction_factor`]: ModelCalibrator::correction_factor
+#[derive(Debug, Clone)]
 pub struct ModelCalibrator {
     observations: Vec<Observation>,
+    /// Ring cursor into `observations` once the window is full.
+    next_slot: usize,
+    max_stored: usize,
+    total: usize,
+    fit: ProportionalAccumulator,
+}
+
+impl Default for ModelCalibrator {
+    fn default() -> Self {
+        Self {
+            observations: Vec::new(),
+            next_slot: 0,
+            max_stored: usize::MAX,
+            total: 0,
+            fit: ProportionalAccumulator::new(),
+        }
+    }
 }
 
 impl ModelCalibrator {
-    /// An empty calibrator.
+    /// An empty calibrator retaining every observation.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty calibrator retaining at most `max_stored` observations
+    /// (the most recent ones) for the diagnostic error metrics. The fit
+    /// is exact over the *full* history either way.
+    ///
+    /// # Panics
+    /// Panics on a zero window.
+    pub fn bounded(max_stored: usize) -> Self {
+        assert!(max_stored > 0, "zero-observation window");
+        Self {
+            max_stored,
+            ..Self::default()
+        }
     }
 
     /// Record an observation.
@@ -48,37 +91,47 @@ impl ModelCalibrator {
             predicted_step_s > 0.0 && measured_step_s > 0.0,
             "non-positive step time"
         );
-        self.observations.push(Observation {
+        self.total += 1;
+        self.fit.push(predicted_step_s, measured_step_s);
+        let obs = Observation {
             ranks,
             predicted_step_s,
             measured_step_s,
-        });
+        };
+        if self.observations.len() < self.max_stored {
+            self.observations.push(obs);
+        } else {
+            self.observations[self.next_slot] = obs;
+            self.next_slot = (self.next_slot + 1) % self.max_stored;
+        }
     }
 
-    /// Number of stored observations.
+    /// Number of observations **recorded** over the calibrator's lifetime
+    /// (not the retained-window size — see [`ModelCalibrator::bounded`]).
     pub fn len(&self) -> usize {
-        self.observations.len()
+        self.total
     }
 
-    /// Whether no observations are stored.
+    /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.observations.is_empty()
+        self.total == 0
     }
 
-    /// The stored observations.
+    /// The retained observation window (all observations unless the
+    /// calibrator is [`bounded`](ModelCalibrator::bounded); the ring
+    /// order is oldest-slot-overwritten, not chronological).
     pub fn observations(&self) -> &[Observation] {
         &self.observations
     }
 
-    /// The fitted efficiency factor `measured ≈ factor × predicted`.
-    /// Returns 1 (identity) with no data.
+    /// The fitted efficiency factor `measured ≈ factor × predicted`,
+    /// over the **full** recorded history in O(1). Returns 1 (identity)
+    /// with no data or a degenerate fit.
     pub fn correction_factor(&self) -> f64 {
-        if self.observations.is_empty() {
+        if self.total == 0 {
             return 1.0;
         }
-        let xs: Vec<f64> = self.observations.iter().map(|o| o.predicted_step_s).collect();
-        let ys: Vec<f64> = self.observations.iter().map(|o| o.measured_step_s).collect();
-        fit_proportional(&xs, &ys).map(|f| f.slope).unwrap_or(1.0)
+        self.fit.slope().unwrap_or(1.0)
     }
 
     /// Apply the calibration to a raw predicted step time.
@@ -113,14 +166,16 @@ impl ModelCalibrator {
         }
     }
 
-    /// MAPE (%) of the raw model over the stored observations.
+    /// MAPE (%) of the raw model over the **retained** observation
+    /// window.
     pub fn raw_error_pct(&self) -> f64 {
         let pred: Vec<f64> = self.observations.iter().map(|o| o.predicted_step_s).collect();
         let meas: Vec<f64> = self.observations.iter().map(|o| o.measured_step_s).collect();
         mape(&pred, &meas)
     }
 
-    /// MAPE (%) of the calibrated model over the stored observations.
+    /// MAPE (%) of the calibrated model over the **retained**
+    /// observation window (the factor itself covers the full history).
     pub fn calibrated_error_pct(&self) -> f64 {
         let k = self.correction_factor();
         let pred: Vec<f64> = self
@@ -206,6 +261,37 @@ mod tests {
             (cal.composition.comm_latency_s - raw.composition.comm_latency_s * 1.6).abs() < 1e-12
         );
         assert!((cal.composition.total_s() - cal.step_time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_window_caps_storage_but_not_the_fit() {
+        // Two calibrators fed the same stream: the bounded one retains a
+        // 4-observation window but its correction factor — running sums
+        // over the full history — stays bitwise equal to the unbounded
+        // one's at every step.
+        let mut full = ModelCalibrator::new();
+        let mut ring = ModelCalibrator::bounded(4);
+        for i in 1..=64usize {
+            let pred = 0.01 / i as f64;
+            let meas = pred * (1.4 + 0.3 * ((i % 5) as f64) / 5.0);
+            full.record(8, pred, meas);
+            ring.record(8, pred, meas);
+            assert_eq!(
+                full.correction_factor().to_bits(),
+                ring.correction_factor().to_bits(),
+                "factor diverged at observation {i}"
+            );
+            assert_eq!(ring.len(), i, "len() counts the full history");
+            assert!(ring.observations().len() <= 4);
+        }
+        assert_eq!(ring.observations().len(), 4);
+        assert_eq!(full.observations().len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-observation window")]
+    fn bounded_rejects_zero_window() {
+        let _ = ModelCalibrator::bounded(0);
     }
 
     #[test]

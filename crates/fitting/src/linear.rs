@@ -119,6 +119,64 @@ pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
     fit_line_fixed_intercept(xs, ys, 0.0)
 }
 
+/// Streaming proportional fit: the running-sum form of
+/// [`fit_proportional`], O(1) per observation and O(1) per slope query.
+///
+/// Feeding the same samples in the same order yields a slope **bitwise
+/// identical** to `fit_proportional` over the collected vectors, because
+/// both accumulate `sxx += x·x` and `sxy += x·y` in input order — so a
+/// caller (e.g. a campaign calibrator recording millions of slices) can
+/// switch from refit-per-observation to this accumulator without
+/// changing a single reported number.
+///
+/// Degeneracy mirrors the batch fit: the slope is `None` while no sample
+/// with `x != 0` has arrived, and `None` forever once any non-finite
+/// sample is pushed (a NaN would silently poison the sums otherwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProportionalAccumulator {
+    n: u64,
+    sxx: f64,
+    sxy: f64,
+    poisoned: bool,
+}
+
+impl ProportionalAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one `(x, y)` sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if !(x.is_finite() && y.is_finite()) {
+            self.poisoned = true;
+        }
+        self.n += 1;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    /// Samples pushed so far (including any non-finite ones).
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The fitted slope of `y = a·x`, or `None` when degenerate (no
+    /// samples, all `x` zero, or a non-finite sample was pushed).
+    pub fn slope(&self) -> Option<f64> {
+        if self.poisoned || self.sxx == 0.0 {
+            None
+        } else {
+            Some(self.sxy / self.sxx)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +272,52 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = fit_line(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_fit_bitwise() {
+        // Pseudo-random-ish but deterministic samples; the streaming slope
+        // must equal the batch slope to the last bit after every push,
+        // because both accumulate sxx/sxy in the same order.
+        let mut acc = ProportionalAccumulator::new();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut v = 0.123_f64;
+        for i in 0..257 {
+            v = (v * 1.618_033_988 + 0.271_828).fract();
+            let x = 1e-3 + v * (i as f64 + 1.0);
+            let y = x * (1.3 + v * 0.4);
+            xs.push(x);
+            ys.push(y);
+            acc.push(x, y);
+            let batch = fit_proportional(&xs, &ys).unwrap().slope;
+            assert_eq!(
+                acc.slope().unwrap().to_bits(),
+                batch.to_bits(),
+                "diverged at sample {i}"
+            );
+        }
+        assert_eq!(acc.len(), 257);
+    }
+
+    #[test]
+    fn accumulator_degeneracies_match_batch_fit() {
+        // Empty and all-zero-x: no slope, like fit_proportional's None.
+        let mut acc = ProportionalAccumulator::new();
+        assert!(acc.is_empty());
+        assert!(acc.slope().is_none());
+        acc.push(0.0, 1.0);
+        acc.push(0.0, 2.0);
+        assert!(acc.slope().is_none(), "all-zero x is unidentifiable");
+        // A non-finite sample poisons the accumulator permanently — the
+        // batch fit would return None for any vector containing it.
+        let mut poisoned = ProportionalAccumulator::new();
+        poisoned.push(1.0, 2.0);
+        assert!(poisoned.slope().is_some());
+        poisoned.push(f64::NAN, 1.0);
+        assert!(poisoned.slope().is_none());
+        poisoned.push(3.0, 6.0);
+        assert!(poisoned.slope().is_none(), "poisoning is permanent");
+        assert_eq!(poisoned.len(), 3);
     }
 }

@@ -85,6 +85,20 @@ impl Registry {
         }
     }
 
+    /// Get or create an indexed family of counters named
+    /// `{prefix}.{0}` … `{prefix}.{count-1}` — one handle per member,
+    /// fetched in one pass so hot loops can index instead of formatting
+    /// names per event (the sharded scheduler keeps one per event lane).
+    ///
+    /// # Panics
+    /// If any member name is already registered as a different
+    /// instrument type.
+    pub fn counter_family(&self, prefix: &str, count: usize) -> Vec<Arc<Counter>> {
+        (0..count)
+            .map(|i| self.counter(&format!("{prefix}.{i}")))
+            .collect()
+    }
+
     /// Get or create the gauge `name`.
     ///
     /// # Panics
@@ -234,6 +248,16 @@ mod tests {
         let outer = r.span_total("campaign", true);
         assert_eq!(outer.count(), 1);
         assert_eq!(outer.total_s(), 3.5);
+    }
+
+    #[test]
+    fn counter_family_is_indexed_and_shared() {
+        let r = Registry::new();
+        let fam = r.counter_family("sched.lane.pops", 3);
+        assert_eq!(fam.len(), 3);
+        fam[1].add(7);
+        assert_eq!(r.counter("sched.lane.pops.1").get(), 7);
+        assert_eq!(r.counter("sched.lane.pops.0").get(), 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! acceptance tests all run *this* campaign, so its invariants are pinned
 //! in one place.
 
+use std::sync::Arc;
+
 use hemocloud_cluster::exec::Overheads;
 use hemocloud_cluster::platform::Platform;
 use hemocloud_core::dashboard::Objective;
@@ -69,6 +71,9 @@ pub fn demo_config(seed: u64) -> CampaignConfig {
         max_retry_backoff_s: 3600.0,
         min_calibration_obs: 6,
         prices: Default::default(),
+        shards: 1,
+        max_placement_log: usize::MAX,
+        max_job_reports: usize::MAX,
     }
 }
 
@@ -129,7 +134,7 @@ pub fn demo_jobs() -> Vec<JobSpec> {
                     submit_s: f64| {
         jobs.push(JobSpec {
             name,
-            workload: Workload::harvey(&geom.grid, steps),
+            workload: Arc::new(Workload::harvey(&geom.grid, steps)),
             model_key: geom.key.to_string(),
             objective,
             tolerance,

@@ -1,11 +1,28 @@
 //! The discrete-event clock: a deterministic priority queue of campaign
-//! events.
+//! events, optionally sharded.
 //!
 //! Determinism is the whole point — a campaign must be byte-for-byte
-//! reproducible from its seed, so the queue orders events by simulated
-//! time with ties broken by **insertion order** (a monotone sequence
-//! number). No wall clock, no hash-order, no thread interleaving anywhere
-//! in the scheduler.
+//! reproducible from its seed **at any shard count**, the same guarantee
+//! `rt::pool` gives the LBM solver at any worker width. The total order
+//! popped by the queue is
+//!
+//! ```text
+//! (time_s  via total_cmp,  lane,  per-lane seq)
+//! ```
+//!
+//! where a *lane* is a stable logical event source (lane 0 = job intake,
+//! lanes 1..=P = one per platform pool). Each lane numbers its own events
+//! with a monotone sequence counter, so the key of an event depends only
+//! on *what produced it and in what order* — never on how lanes are
+//! interleaved into shards. Sharding (lane → `lane % shards` heaps, pop =
+//! min across shard heads) is therefore pure layout: the popped order is
+//! provably identical at 1, 2, 4, or any number of shards.
+//!
+//! The earlier single-queue design used one global seq counter; reusing
+//! that across sharded heaps would have made equal-time ordering depend
+//! on push interleaving — exactly the bug the per-lane seq space fixes.
+//! No wall clock, no hash-order, no thread interleaving anywhere in the
+//! scheduler.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -34,13 +51,16 @@ pub enum Event {
 #[derive(Debug, Clone)]
 struct Scheduled {
     time_s: f64,
+    lane: u32,
     seq: u64,
     event: Event,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.time_s.total_cmp(&other.time_s) == Ordering::Equal && self.seq == other.seq
+        self.time_s.total_cmp(&other.time_s) == Ordering::Equal
+            && self.lane == other.lane
+            && self.seq == other.seq
     }
 }
 impl Eq for Scheduled {}
@@ -53,15 +73,142 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         self.time_s
             .total_cmp(&other.time_s)
+            .then(self.lane.cmp(&other.lane))
             .then(self.seq.cmp(&other.seq))
     }
 }
 
-/// Min-queue of events ordered by `(time, insertion order)`.
-#[derive(Debug, Default)]
+/// Sharded min-queue of events totally ordered by
+/// `(time, lane, per-lane seq)`.
+///
+/// The pop order is independent of the shard count — see the module docs
+/// for the argument. `shards` only controls how many heaps share the
+/// load; each heap holds the lanes congruent to its index.
+#[derive(Debug)]
+pub struct ShardedEventQueue {
+    shards: Vec<BinaryHeap<Reverse<Scheduled>>>,
+    lane_seq: Vec<u64>,
+    len: usize,
+}
+
+impl ShardedEventQueue {
+    /// An empty queue with `lanes` event sources spread over `shards`
+    /// heaps.
+    ///
+    /// # Panics
+    /// Panics when either count is zero.
+    pub fn new(lanes: usize, shards: usize) -> Self {
+        assert!(lanes > 0, "zero lanes");
+        assert!(shards > 0, "zero shards");
+        Self {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            lane_seq: vec![0; lanes],
+            len: 0,
+        }
+    }
+
+    /// Number of shard heaps.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lane_seq.len()
+    }
+
+    /// Schedule `event` on `lane` at absolute campaign time `time_s`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative time (events like that would
+    /// silently corrupt the clock), on an out-of-range lane, and on
+    /// per-lane sequence exhaustion (2^64 events from one source — the
+    /// clock refuses to wrap and reorder rather than corrupt the total
+    /// order).
+    pub fn push(&mut self, lane: usize, time_s: f64, event: Event) {
+        assert!(
+            time_s.is_finite() && time_s >= 0.0,
+            "bad event time {time_s}"
+        );
+        let seq = self.lane_seq[lane];
+        self.lane_seq[lane] = seq.checked_add(1).expect("lane seq overflow");
+        let shard = lane % self.shards.len();
+        self.shards[shard].push(Reverse(Scheduled {
+            time_s,
+            lane: lane as u32,
+            seq,
+            event,
+        }));
+        self.len += 1;
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<f64> {
+        self.min_shard().map(|i| {
+            let Reverse(s) = self.shards[i].peek().expect("nonempty shard");
+            s.time_s
+        })
+    }
+
+    /// Pop the earliest event under `(time, lane, seq)` order, returning
+    /// the lane it was scheduled on.
+    pub fn pop(&mut self) -> Option<(f64, usize, Event)> {
+        let i = self.min_shard()?;
+        let Reverse(s) = self.shards[i].pop().expect("nonempty shard");
+        self.len -= 1;
+        Some((s.time_s, s.lane as usize, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the shard holding the globally minimal head. The scan is
+    /// O(shards); shard counts are small (≈ pool counts) so the merge
+    /// stays cheap while each heap's O(log n) operates on `1/shards` of
+    /// the events.
+    fn min_shard(&self) -> Option<usize> {
+        let mut best: Option<(usize, &Scheduled)> = None;
+        for (i, heap) in self.shards.iter().enumerate() {
+            if let Some(Reverse(head)) = heap.peek() {
+                match best {
+                    Some((_, b)) if b.cmp(head) != Ordering::Greater => {}
+                    _ => best = Some((i, head)),
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Test hook: jump a lane's sequence counter (e.g. near `u64::MAX`)
+    /// to exercise the overflow guard without 2^64 pushes.
+    #[doc(hidden)]
+    pub fn force_lane_seq(&mut self, lane: usize, seq: u64) {
+        self.lane_seq[lane] = seq;
+    }
+}
+
+/// Single-lane, single-shard min-queue of events ordered by
+/// `(time, insertion order)` — the original unsharded clock, now a thin
+/// wrapper over [`ShardedEventQueue`]. With one lane the total order
+/// `(time, 0, seq)` degenerates to the historic `(time, seq)`.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    inner: ShardedEventQueue,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            inner: ShardedEventQueue::new(1, 1),
+        }
+    }
 }
 
 impl EventQueue {
@@ -76,32 +223,22 @@ impl EventQueue {
     /// Panics on a non-finite or negative time — events like that would
     /// silently corrupt the clock.
     pub fn push(&mut self, time_s: f64, event: Event) {
-        assert!(
-            time_s.is_finite() && time_s >= 0.0,
-            "bad event time {time_s}"
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            time_s,
-            seq,
-            event,
-        }));
+        self.inner.push(0, time_s, event);
     }
 
     /// Pop the earliest event (ties in insertion order).
     pub fn pop(&mut self) -> Option<(f64, Event)> {
-        self.heap.pop().map(|Reverse(s)| (s.time_s, s.event))
+        self.inner.pop().map(|(t, _lane, e)| (t, e))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.inner.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.inner.is_empty()
     }
 }
 
@@ -150,5 +287,78 @@ mod tests {
     #[should_panic(expected = "bad event time")]
     fn rejects_nan_times() {
         EventQueue::new().push(f64::NAN, Event::Arrive { job: 0 });
+    }
+
+    /// Deterministic pseudo-random pushes drained from queues at several
+    /// shard counts must pop the identical sequence: the merge key
+    /// `(time, lane, per-lane seq)` never mentions shards.
+    #[test]
+    fn pop_order_is_shard_count_invariant() {
+        let lanes = 5;
+        let mut rng = hemocloud_rt::rng::SplitMix64::new(7);
+        let pushes: Vec<(usize, f64, usize)> = (0..4000)
+            .map(|job| {
+                let lane = (rng.next_u64() % lanes as u64) as usize;
+                // Coarse times force plenty of exact ties.
+                let t = (rng.next_u64() % 50) as f64;
+                (lane, t, job)
+            })
+            .collect();
+        let drain = |shards: usize| -> Vec<(f64, usize, usize)> {
+            let mut q = ShardedEventQueue::new(lanes, shards);
+            for &(lane, t, job) in &pushes {
+                q.push(lane, t, Event::Arrive { job });
+            }
+            std::iter::from_fn(|| {
+                q.pop().map(|(t, lane, e)| match e {
+                    Event::Arrive { job } => (t, lane, job),
+                    _ => unreachable!(),
+                })
+            })
+            .collect()
+        };
+        let reference = drain(1);
+        assert_eq!(reference.len(), pushes.len());
+        for shards in [2, 3, 4, 8] {
+            assert_eq!(drain(shards), reference, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn lane_breaks_equal_time_ties_before_seq() {
+        let mut q = ShardedEventQueue::new(3, 2);
+        // Lane 2 pushed first, then lane 0: at equal time, lane 0 pops
+        // first regardless of push order or per-lane seq values.
+        q.push(2, 1.0, Event::Arrive { job: 20 });
+        q.push(2, 1.0, Event::Arrive { job: 21 });
+        q.push(0, 1.0, Event::Arrive { job: 0 });
+        let jobs: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, _, e)| match e {
+                Event::Arrive { job } => job,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(jobs, vec![0, 20, 21]);
+    }
+
+    #[test]
+    fn next_time_tracks_global_minimum() {
+        let mut q = ShardedEventQueue::new(4, 2);
+        assert_eq!(q.next_time(), None);
+        q.push(3, 9.0, Event::Arrive { job: 3 });
+        q.push(1, 4.0, Event::Arrive { job: 1 });
+        assert_eq!(q.next_time(), Some(4.0));
+        q.pop();
+        assert_eq!(q.next_time(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane seq overflow")]
+    fn lane_seq_overflow_is_a_panic_not_a_wrap() {
+        let mut q = ShardedEventQueue::new(2, 2);
+        q.force_lane_seq(1, u64::MAX);
+        q.push(1, 0.0, Event::Arrive { job: 0 });
+        q.push(1, 0.0, Event::Arrive { job: 1 });
     }
 }

@@ -1,5 +1,7 @@
 //! Campaign jobs: what a user submits and how a run can end.
 
+use std::sync::Arc;
+
 use hemocloud_core::dashboard::Objective;
 use hemocloud_core::workload::Workload;
 
@@ -9,7 +11,12 @@ pub struct JobSpec {
     /// Human-readable name.
     pub name: String,
     /// The simulation to run: geometry, kernel and *declared* step count.
-    pub workload: Workload,
+    ///
+    /// Shared, not owned: a `Workload` embeds its whole voxel grid, so a
+    /// million-job campaign whose jobs draw from a few dozen geometries
+    /// must not clone the grid per job. Submitters build each distinct
+    /// workload once and hand every job an `Arc` to it.
+    pub workload: Arc<Workload>,
     /// Key identifying the job's geometry for model caching: jobs that
     /// share a `model_key` (same grid) share fitted [`GeneralModel`]s per
     /// platform instead of re-sweeping the decomposition.
@@ -91,7 +98,7 @@ mod tests {
         let grid = CylinderSpec::default().with_resolution(8).build();
         let spec = JobSpec {
             name: "j".into(),
-            workload: Workload::harvey(&grid, 10_000),
+            workload: Arc::new(Workload::harvey(&grid, 10_000)),
             model_key: "cyl8".into(),
             objective: Objective::MinCost,
             tolerance: 0.1,

@@ -32,9 +32,11 @@ pub mod report;
 pub mod scheduler;
 
 pub use demo::{demo_config, demo_jobs, demo_pools, run_demo, run_demo_with_obs};
-pub use events::{Event, EventQueue};
+pub use events::{Event, EventQueue, ShardedEventQueue};
 pub use job::{JobOutcome, JobSpec};
-pub use report::{placement_mape, CampaignReport, JobReport, PlacementRecord, PlatformReport};
+pub use report::{
+    percentile, placement_mape, CampaignReport, JobReport, PlacementRecord, PlatformReport,
+};
 pub use scheduler::{
     expected_faults, fault_probability, retry_backoff_s, Campaign, CampaignConfig, PoolSpec,
 };

@@ -5,7 +5,12 @@
 //!
 //! [`CampaignReport::to_json`] renders a stable, hand-rolled JSON
 //! document (the workspace is dependency-free — no serde): same campaign
-//! seed, same bytes.
+//! seed, same bytes. Statistics that have no defined value on a
+//! degenerate campaign — a MAPE with zero measured placements, a
+//! percentile over an empty error set — are `Option`s rendered as JSON
+//! `null`, never `NaN` (which is not valid JSON at all); each MAPE
+//! carries its sample count so a consumer can tell "no data" from
+//! "averaged over two placements".
 
 /// One placement decision and how reality answered it.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +60,20 @@ pub fn placement_mape(records: &[&PlacementRecord]) -> Option<f64> {
     }
 }
 
+/// Nearest-rank percentile (`pct` in (0, 100]) of an unsorted sample;
+/// `None` on an empty sample. Nearest-rank keeps the result an actual
+/// member of the sample, so a p99 over one element is that element, not
+/// an interpolation artifact.
+pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
 /// Per-platform campaign accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlatformReport {
@@ -62,6 +81,9 @@ pub struct PlatformReport {
     pub platform: String,
     /// Pool size, nodes.
     pub nodes_total: usize,
+    /// High-water mark of simultaneously busy nodes — how much of the
+    /// reserved allocation the campaign ever needed at once.
+    pub peak_nodes_busy: usize,
     /// Attempts dispatched here.
     pub attempts: usize,
     /// Node preemptions/failures injected here.
@@ -132,46 +154,102 @@ pub struct CampaignReport {
     pub slo_attained: usize,
     /// Deadline jobs total.
     pub slo_total: usize,
-    /// MAPE (%) of uncalibrated placements within the first quartile of
-    /// all placements — the "before" of the refinement loop.
-    pub mape_first_quartile_uncalibrated_pct: f64,
-    /// MAPE (%) of calibrated placements — the "after".
-    pub mape_calibrated_pct: f64,
+    /// MAPE (%) of measured uncalibrated placements within the first
+    /// quartile of all placements — the "before" of the refinement loop.
+    /// `None` when no such placement was measured (e.g. an all-rejected
+    /// campaign, or one so small calibration never engaged and nothing
+    /// finished a slice).
+    pub mape_first_quartile_uncalibrated_pct: Option<f64>,
+    /// Measured placements behind the uncalibrated MAPE.
+    pub mape_first_quartile_uncalibrated_count: usize,
+    /// MAPE (%) of measured calibrated placements — the "after". `None`
+    /// when no calibrated placement was measured.
+    pub mape_calibrated_pct: Option<f64>,
+    /// Measured placements behind the calibrated MAPE.
+    pub mape_calibrated_count: usize,
+    /// Median absolute placement error (%) over the retained placement
+    /// log, calibrated or not; `None` when nothing was measured.
+    pub error_p50_pct: Option<f64>,
+    /// 99th-percentile (nearest-rank) absolute placement error (%) over
+    /// the retained placement log; `None` when nothing was measured.
+    pub error_p99_pct: Option<f64>,
+    /// Placements dispatched over the whole campaign. May exceed
+    /// `placements.len()` when the retained log was capped
+    /// (`CampaignConfig::max_placement_log`); the MAPE fields always
+    /// cover all of them.
+    pub placements_total: usize,
+    /// Events the scheduler processed (arrivals, retries, slice ends) —
+    /// identical at any shard count.
+    pub events_processed: u64,
     /// Per-platform accounting.
     pub platforms: Vec<PlatformReport>,
-    /// Per-job accounting, submission order.
+    /// Per-job accounting, submission order (possibly capped by
+    /// `CampaignConfig::max_job_reports`).
     pub job_reports: Vec<JobReport>,
-    /// Every placement in dispatch order.
+    /// Retained placements in dispatch order (possibly capped).
     pub placements: Vec<PlacementRecord>,
 }
 
 impl CampaignReport {
-    /// Compute the refinement-trajectory MAPEs from `placements`:
-    /// the uncalibrated slice of the chronologically first quartile
-    /// versus all calibrated placements. Sets the fields and returns
+    /// Recompute the refinement-trajectory MAPEs from the *retained*
+    /// placement log: the measured uncalibrated slice of the
+    /// chronologically first quartile versus all measured calibrated
+    /// placements. Sets the MAPE and count fields and returns
     /// `(first_quartile_uncalibrated, calibrated)`.
-    pub fn compute_mapes(&mut self) -> (f64, f64) {
+    ///
+    /// The scheduler fills these fields from exact online accumulators
+    /// that cover *every* placement; calling this on a report whose log
+    /// was capped recomputes them over the retained subset only. It is a
+    /// consumer-side utility (and the cross-check the campaign tests use
+    /// on uncapped reports), not part of report construction.
+    pub fn compute_mapes(&mut self) -> (Option<f64>, Option<f64>) {
         let n = self.placements.len();
         let q1 = n.div_ceil(4);
         let first_q: Vec<&PlacementRecord> = self
             .placements
             .iter()
             .take(q1)
-            .filter(|r| !r.calibrated)
+            .filter(|r| !r.calibrated && r.measured_step_s.is_some())
             .collect();
-        let calibrated: Vec<&PlacementRecord> =
-            self.placements.iter().filter(|r| r.calibrated).collect();
-        self.mape_first_quartile_uncalibrated_pct =
-            placement_mape(&first_q).unwrap_or(f64::NAN);
-        self.mape_calibrated_pct = placement_mape(&calibrated).unwrap_or(f64::NAN);
+        let calibrated: Vec<&PlacementRecord> = self
+            .placements
+            .iter()
+            .filter(|r| r.calibrated && r.measured_step_s.is_some())
+            .collect();
+        self.mape_first_quartile_uncalibrated_pct = placement_mape(&first_q);
+        self.mape_first_quartile_uncalibrated_count = first_q.len();
+        self.mape_calibrated_pct = placement_mape(&calibrated);
+        self.mape_calibrated_count = calibrated.len();
         (
             self.mape_first_quartile_uncalibrated_pct,
             self.mape_calibrated_pct,
         )
     }
 
+    /// Compute the p50/p99 absolute-error percentiles over every measured
+    /// placement in the retained log and set the fields. `None`s (and
+    /// leaves `None`) when nothing was measured.
+    pub fn compute_error_percentiles(&mut self) {
+        let errs: Vec<f64> = self
+            .placements
+            .iter()
+            .filter_map(|r| r.abs_pct_error())
+            .collect();
+        self.error_p50_pct = percentile(&errs, 50.0);
+        self.error_p99_pct = percentile(&errs, 99.0);
+    }
+
     /// Render the report as deterministic JSON.
     pub fn to_json(&self) -> String {
+        // An undefined statistic renders as JSON null; a non-finite one
+        // would not be JSON at all, so it is defensively nulled too (the
+        // verify gate greps artifacts for nan/inf).
+        fn opt(v: Option<f64>, decimals: usize) -> String {
+            match v.filter(|v| v.is_finite()) {
+                None => "null".to_string(),
+                Some(v) => format!("{v:.decimals$}"),
+            }
+        }
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
         s.push_str("  \"report\": \"hemocloud_campaign\",\n");
@@ -198,16 +276,30 @@ impl CampaignReport {
             self.slo_attained, self.slo_total
         ));
         s.push_str(&format!(
-            "  \"refinement\": {{\"mape_first_quartile_uncalibrated_pct\": {:.4}, \"mape_calibrated_pct\": {:.4}}},\n",
-            self.mape_first_quartile_uncalibrated_pct, self.mape_calibrated_pct
+            "  \"refinement\": {{\"mape_first_quartile_uncalibrated_pct\": {}, \"mape_first_quartile_uncalibrated_count\": {}, \"mape_calibrated_pct\": {}, \"mape_calibrated_count\": {}, \"error_p50_pct\": {}, \"error_p99_pct\": {}}},\n",
+            opt(self.mape_first_quartile_uncalibrated_pct, 4),
+            self.mape_first_quartile_uncalibrated_count,
+            opt(self.mape_calibrated_pct, 4),
+            self.mape_calibrated_count,
+            opt(self.error_p50_pct, 4),
+            opt(self.error_p99_pct, 4),
+        ));
+        s.push_str(&format!(
+            "  \"placements_total\": {},\n",
+            self.placements_total
+        ));
+        s.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            self.events_processed
         ));
         s.push_str("  \"platforms\": [\n");
         for (i, p) in self.platforms.iter().enumerate() {
             let comma = if i + 1 < self.platforms.len() { "," } else { "" };
             s.push_str(&format!(
-                "    {{\"platform\": \"{}\", \"nodes_total\": {}, \"attempts\": {}, \"faults\": {}, \"guard_kills\": {}, \"cost_dollars\": {:.6}, \"busy_node_seconds\": {:.3}, \"utilization\": {:.6}}}{comma}\n",
+                "    {{\"platform\": \"{}\", \"nodes_total\": {}, \"peak_nodes_busy\": {}, \"attempts\": {}, \"faults\": {}, \"guard_kills\": {}, \"cost_dollars\": {:.6}, \"busy_node_seconds\": {:.3}, \"utilization\": {:.6}}}{comma}\n",
                 p.platform,
                 p.nodes_total,
+                p.peak_nodes_busy,
                 p.attempts,
                 p.faults,
                 p.guard_kills,
@@ -308,6 +400,36 @@ mod tests {
         }
     }
 
+    fn empty_report(placements: Vec<PlacementRecord>) -> CampaignReport {
+        CampaignReport {
+            seed: 1,
+            jobs: placements.len(),
+            completed: placements.len(),
+            guard_kills: 0,
+            failed: 0,
+            rejected: 0,
+            faults: 0,
+            retries: 0,
+            retried_jobs_completed: 0,
+            makespan_s: 8.0,
+            total_cost_dollars: 1.0,
+            wasted_steps: 0,
+            slo_attained: 0,
+            slo_total: 0,
+            mape_first_quartile_uncalibrated_pct: None,
+            mape_first_quartile_uncalibrated_count: 0,
+            mape_calibrated_pct: None,
+            mape_calibrated_count: 0,
+            error_p50_pct: None,
+            error_p99_pct: None,
+            placements_total: placements.len(),
+            events_processed: 0,
+            platforms: vec![],
+            job_reports: vec![],
+            placements,
+        }
+    }
+
     #[test]
     fn abs_pct_error_is_relative_to_measurement() {
         let r = record(0, false, 0.5, Some(1.0));
@@ -325,31 +447,63 @@ mod tests {
             let err = if calibrated { 0.9 } else { 0.5 };
             placements.push(record(i, calibrated, err, Some(1.0)));
         }
-        let mut report = CampaignReport {
-            seed: 1,
-            jobs: 8,
-            completed: 8,
-            guard_kills: 0,
-            failed: 0,
-            rejected: 0,
-            faults: 0,
-            retries: 0,
-            retried_jobs_completed: 0,
-            makespan_s: 8.0,
-            total_cost_dollars: 1.0,
-            wasted_steps: 0,
-            slo_attained: 0,
-            slo_total: 0,
-            mape_first_quartile_uncalibrated_pct: f64::NAN,
-            mape_calibrated_pct: f64::NAN,
-            platforms: vec![],
-            job_reports: vec![],
-            placements,
-        };
+        let mut report = empty_report(placements);
         let (q1, cal) = report.compute_mapes();
+        let (q1, cal) = (q1.unwrap(), cal.unwrap());
         assert!((q1 - 50.0).abs() < 1e-9, "q1 {q1}");
         assert!((cal - 10.0).abs() < 1e-9, "cal {cal}");
         assert!(cal < q1);
+        assert_eq!(report.mape_first_quartile_uncalibrated_count, 2);
+        assert_eq!(report.mape_calibrated_count, 6);
+    }
+
+    #[test]
+    fn degenerate_mapes_are_none_not_nan() {
+        // No placements at all (e.g. an all-rejected campaign).
+        let mut report = empty_report(vec![]);
+        let (q1, cal) = report.compute_mapes();
+        assert!(q1.is_none() && cal.is_none());
+        assert_eq!(report.mape_first_quartile_uncalibrated_count, 0);
+
+        // One placement that died before its first slice measured: still
+        // no NaN anywhere, and the single-entry percentile is None too.
+        let mut report = empty_report(vec![record(0, false, 0.5, None)]);
+        let (q1, cal) = report.compute_mapes();
+        assert!(q1.is_none() && cal.is_none());
+        report.compute_error_percentiles();
+        assert!(report.error_p50_pct.is_none() && report.error_p99_pct.is_none());
+
+        // The rendered JSON must carry null, never nan/inf tokens.
+        let json = report.to_json();
+        assert!(json.contains("\"mape_first_quartile_uncalibrated_pct\": null"));
+        assert!(json.contains("\"mape_calibrated_pct\": null"));
+        assert!(json.contains("\"error_p50_pct\": null"));
+        let lower = json.to_lowercase();
+        assert!(!lower.contains("nan") && !lower.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile(&[], 50.0), None);
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile(&[7.0], 50.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+        // 1..=100: pNN is exactly NN under nearest-rank.
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        // Unsorted input is handled; the result is a sample member.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+
+        let mut report = empty_report(vec![
+            record(0, false, 1.5, Some(1.0)), // 50% error
+            record(1, true, 1.1, Some(1.0)),  // 10% error
+            record(2, true, 1.2, Some(1.0)),  // 20% error
+        ]);
+        report.compute_error_percentiles();
+        assert!((report.error_p50_pct.unwrap() - 20.0).abs() < 1e-9);
+        assert!((report.error_p99_pct.unwrap() - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -369,11 +523,18 @@ mod tests {
             wasted_steps: 0,
             slo_attained: 0,
             slo_total: 0,
-            mape_first_quartile_uncalibrated_pct: f64::NAN,
-            mape_calibrated_pct: f64::NAN,
+            mape_first_quartile_uncalibrated_pct: None,
+            mape_first_quartile_uncalibrated_count: 0,
+            mape_calibrated_pct: None,
+            mape_calibrated_count: 0,
+            error_p50_pct: None,
+            error_p99_pct: None,
+            placements_total: 1,
+            events_processed: 2,
             platforms: vec![PlatformReport {
                 platform: "CSP-1".into(),
                 nodes_total: 2,
+                peak_nodes_busy: 1,
                 attempts: 1,
                 faults: 0,
                 guard_kills: 0,
@@ -395,11 +556,16 @@ mod tests {
             placements: vec![record(0, false, 0.5, Some(1.0))],
         };
         report.compute_mapes();
+        report.compute_error_percentiles();
         let a = report.to_json();
         let b = report.to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"report\": \"hemocloud_campaign\""));
         assert!(a.contains("\"slo_met\": null"));
+        assert!(a.contains("\"placements_total\": 1"));
+        assert!(a.contains("\"events_processed\": 2"));
+        assert!(a.contains("\"peak_nodes_busy\": 1"));
+        assert!(a.contains("\"mape_first_quartile_uncalibrated_pct\": 50.0000"));
         assert!(a.starts_with('{') && a.ends_with("}\n"));
 
         // Provenance prepends one object right after the opening brace and

@@ -6,8 +6,8 @@
 //!   options are priced with the generalized model, corrected by the
 //!   freshest [`ModelCalibrator`] fit, filtered to pools with free nodes
 //!   and to the job's dollar budget, and handed to
-//!   [`Dashboard::recommend`] under the job's objective. Full pools queue
-//!   the job; a job with no feasible option even on empty pools is
+//!   [`Dashboard::recommend_index`] under the job's objective. Full pools
+//!   queue the job; a job with no feasible option even on empty pools is
 //!   rejected.
 //! * **Run** — placed jobs advance in time slices through
 //!   [`PreparedRun::run_slice`], so the simulated platform noise follows
@@ -25,12 +25,47 @@
 //!   placements and guards run on the corrected predictions, which is
 //!   what drives the report's placement-MAPE trajectory down.
 //!
-//! Determinism: the only clock is the event queue ([`crate::events`]),
-//! every random draw is derived from the campaign seed via SplitMix64,
-//! and all iteration is over `Vec`/`BTreeMap` — reports are
-//! byte-for-byte reproducible per seed.
+//! # Scale: indexed state instead of per-event scans
+//!
+//! The original loop rescanned every job on every event — O(events ×
+//! jobs), fine for a 26-job demo, hopeless for the million-job campaigns
+//! ROADMAP item 2 asks for. The loop is now O(log n) per decision:
+//!
+//! * **Intake** — submissions sit in a submit-time-sorted vector behind a
+//!   cursor (they never touch the event heap), and all events sharing one
+//!   timestamp are processed as a *batch* with a single dispatch pass
+//!   after it, so a burst of simultaneous arrivals is admitted in one
+//!   sweep.
+//! * **Ready set** — newly arrived or retried jobs go into a `BTreeSet`
+//!   and are placed in job-index order.
+//! * **Wait index** — a job that must queue registers, per pool, under
+//!   the *smallest* node count any of its in-budget options needs
+//!   (`wait_buckets`). When a pool releases nodes it is marked in
+//!   `freed_pools`, and the next dispatch wakes only the lowest-indexed
+//!   eligible parked job per freed pool instead of rescanning everyone.
+//!   One deliberate semantic change rides along: a parked job is
+//!   re-evaluated when capacity frees up, not on every event, so a
+//!   placement that becomes feasible purely through calibration drift
+//!   (with no node ever released) is only discovered at the next wake.
+//! * **Model cache** — `model_key`s are interned to dense ids at submit;
+//!   per-(pool, model) raw predictions for every rank option are computed
+//!   once ([`Prediction`]s are time-invariant), decompositions are shared
+//!   via `Arc<PreparedRun>`, and the calibrators fold observations into
+//!   running sums so a correction factor is O(1) per query
+//!   ([`ModelCalibrator::bounded`] keeps their memory flat).
+//!
+//! # Determinism, sharded
+//!
+//! The only clock is the event queue ([`crate::events`]): one *lane* per
+//! pool plus an intake lane, merged by `(time, lane, per-lane seq)` — a
+//! key that never mentions how lanes are spread over shard heaps, so a
+//! campaign report is byte-identical at any
+//! [`CampaignConfig::shards`] count. Every random draw derives from the
+//! campaign seed via SplitMix64, and all iteration is over
+//! `Vec`/`BTreeMap`/`BTreeSet` — reports are byte-for-byte reproducible
+//! per seed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use hemocloud_cluster::exec::{Overheads, PreparedRun};
@@ -46,9 +81,13 @@ use hemocloud_core::refine::ModelCalibrator;
 use hemocloud_obs::{Counter, Registry, Snapshot};
 use hemocloud_rt::rng::{Rng, SplitMix64};
 
-use crate::events::{Event, EventQueue};
+use crate::events::{Event, ShardedEventQueue};
 use crate::job::{JobOutcome, JobSpec};
 use crate::report::{CampaignReport, JobReport, PlacementRecord, PlatformReport};
+
+/// Observations each calibrator retains for diagnostics; the fit itself
+/// always covers the full history (see [`ModelCalibrator::bounded`]).
+const CALIBRATOR_WINDOW: usize = 1024;
 
 /// Campaign-wide knobs.
 #[derive(Debug, Clone)]
@@ -83,6 +122,19 @@ pub struct CampaignConfig {
     pub min_calibration_obs: usize,
     /// Billing model.
     pub prices: PriceSheet,
+    /// Shard heaps for the event queue. Pure layout: the campaign report
+    /// is byte-identical at any value (the merge key is shard-free), so
+    /// pick whatever balances heap sizes. Clamped to at least 1.
+    pub shards: usize,
+    /// Placement records retained for the report (the chronologically
+    /// first this many). MAPE/percentile accounting stays exact over
+    /// *every* placement regardless; the cap only bounds report memory on
+    /// million-job campaigns.
+    pub max_placement_log: usize,
+    /// Per-job report rows retained (the first this many jobs by
+    /// submission index). Campaign-level aggregates always cover every
+    /// job.
+    pub max_job_reports: usize,
 }
 
 impl Default for CampaignConfig {
@@ -97,6 +149,9 @@ impl Default for CampaignConfig {
             max_retry_backoff_s: 3600.0,
             min_calibration_obs: 5,
             prices: PriceSheet::default(),
+            shards: 1,
+            max_placement_log: usize::MAX,
+            max_job_reports: usize::MAX,
         }
     }
 }
@@ -155,27 +210,44 @@ struct ActiveRun {
     pool_idx: usize,
     ranks: usize,
     nodes: usize,
-    prepared: PreparedRun,
+    /// Shared with the campaign's decomposition cache — repeat placements
+    /// of the same (pool, model, ranks) never rebuild or clone the RCB.
+    prepared: Arc<PreparedRun>,
     guard: JobGuard,
     /// Uncalibrated model step prediction — what the calibrator learns
     /// against.
     raw_step_pred_s: f64,
+    /// The (possibly calibrated) step prediction the placement believed —
+    /// what the MAPE accounting scores.
+    corrected_step_pred_s: f64,
+    /// Whether that prediction was calibrated.
+    calibrated: bool,
     attempt_elapsed_s: f64,
     slice_idx: u64,
-    placement_idx: usize,
+    /// Global placement ordinal (may exceed the retained placement log).
+    placement_ordinal: usize,
+    /// Whether this attempt already contributed its first measured slice
+    /// to the error accounting.
+    measured_recorded: bool,
     pending: Option<PendingSlice>,
 }
 
 #[derive(Debug)]
 struct JobState {
     spec: JobSpec,
+    /// Interned `model_key|kernel` id — the dense cache key.
+    model_id: u32,
     outcome: Option<JobOutcome>,
     waiting: bool,
+    /// Wait-index registrations: (pool, min-nodes bucket) pairs this job
+    /// currently occupies. Empty unless parked.
+    parked: Vec<(usize, usize)>,
     completed_steps: u64,
     attempts: u32,
     retries_used: u32,
     faults: u32,
-    run: Option<ActiveRun>,
+    /// Boxed: a million queued jobs must not each inline a ~200-byte run.
+    run: Option<Box<ActiveRun>>,
     cost: f64,
     prior_attempts_s: f64,
     wasted_steps: u64,
@@ -183,11 +255,13 @@ struct JobState {
 }
 
 impl JobState {
-    fn new(spec: JobSpec) -> Self {
+    fn new(spec: JobSpec, model_id: u32) -> Self {
         Self {
             spec,
+            model_id,
             outcome: None,
             waiting: false,
+            parked: Vec::new(),
             completed_steps: 0,
             attempts: 0,
             retries_used: 0,
@@ -252,21 +326,35 @@ fn derive_seed(parts: &[u64]) -> u64 {
     acc
 }
 
-/// A candidate (pool, ranks) option for one waiting job.
+/// One statically feasible (ranks, nodes) option of a (pool, model) pair:
+/// rank fits the platform and the grid, the node count fits the pool, and
+/// the raw prediction is finite. Raw predictions are time-invariant, so
+/// the whole row is computed once per (pool, model) and cached.
+#[derive(Debug, Clone, Copy)]
+struct OptionSpec {
+    ranks: usize,
+    nodes: usize,
+    raw: Prediction,
+}
+
+/// A candidate (pool, ranks) option for one waiting job, with the index
+/// context placement needs carried alongside (never re-matched by float
+/// equality — see [`Dashboard::recommend_index`]).
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
     pool_idx: usize,
     ranks: usize,
     nodes: usize,
     raw: Prediction,
-    corrected: Prediction,
     calibrated: bool,
     fits_now: bool,
-    entry: DashboardEntry,
 }
 
 enum PlaceResult {
     Placed,
-    Wait,
+    /// Queue the job; the payload is its wait-index registration — per
+    /// pool, the minimum node count among its in-budget options there.
+    Wait(Vec<(usize, usize)>),
     Reject(String),
 }
 
@@ -285,10 +373,15 @@ struct SchedObs {
     guard_kills: Arc<Counter>,
     faults: Arc<Counter>,
     retries: Arc<Counter>,
+    events: Arc<Counter>,
+    /// Pops per event lane (0 = intake, 1 + p = pool p). Lane-keyed, not
+    /// shard-keyed, so the whole snapshot stays shard-count-invariant
+    /// apart from the explicit `sched.shards` gauge.
+    lane_pops: Vec<Arc<Counter>>,
 }
 
 impl SchedObs {
-    fn new() -> Self {
+    fn new(lanes: usize) -> Self {
         let registry = Registry::new();
         Self {
             submitted: registry.counter("sched.jobs.submitted"),
@@ -298,6 +391,8 @@ impl SchedObs {
             guard_kills: registry.counter("sched.guard_kills"),
             faults: registry.counter("sched.faults"),
             retries: registry.counter("sched.retries"),
+            events: registry.counter("sched.events.processed"),
+            lane_pops: registry.counter_family("sched.lane.pops", lanes),
             registry,
         }
     }
@@ -309,16 +404,36 @@ pub struct Campaign {
     config: CampaignConfig,
     pools: Vec<PoolState>,
     jobs: Vec<JobState>,
-    events: EventQueue,
+    events: ShardedEventQueue,
     clock_s: f64,
     global_calibrator: ModelCalibrator,
-    /// `GeneralModel` cache keyed by (pool, geometry/kernel identity).
-    models: BTreeMap<(usize, String), GeneralModel>,
-    /// `PreparedRun` cache keyed by (pool, geometry/kernel identity,
-    /// ranks) — the RCB decomposition behind a placement is deterministic
-    /// per key, so repeat placements reuse it.
-    prepared: BTreeMap<(usize, String, usize), PreparedRun>,
+    /// `model_key|kernel` strings interned to dense ids at submit.
+    model_key_ids: BTreeMap<String, u32>,
+    /// Statically feasible rank options with raw predictions, per
+    /// (pool, model id) — built once, reused by every placement attempt.
+    pool_options: BTreeMap<(usize, u32), Vec<OptionSpec>>,
+    /// `PreparedRun` cache keyed by (pool, model id, ranks) — the RCB
+    /// decomposition behind a placement is deterministic per key, so
+    /// repeat placements share one `Arc`.
+    prepared: BTreeMap<(usize, u32, usize), Arc<PreparedRun>>,
+    /// Jobs that arrived (or retried) and await their first placement
+    /// attempt, tried in job-index order on the next dispatch.
+    ready: BTreeSet<usize>,
+    /// Per pool: min-required-nodes → parked job indices. The wake path
+    /// scans only buckets whose key fits the pool's free nodes.
+    wait_buckets: Vec<BTreeMap<usize, BTreeSet<usize>>>,
+    /// Pools that released nodes since the last dispatch.
+    freed_pools: BTreeSet<usize>,
+    /// Retained placement log (first `max_placement_log` placements).
     placements: Vec<PlacementRecord>,
+    placements_total: usize,
+    /// (placement ordinal, |pct error|) of every measured *uncalibrated*
+    /// placement — small, since calibration kicks in within a few slices.
+    uncal_errs: Vec<(usize, f64)>,
+    /// Running totals over every measured *calibrated* placement.
+    cal_err_sum: f64,
+    cal_err_count: usize,
+    events_processed: u64,
     retries: usize,
     obs: SchedObs,
 }
@@ -328,7 +443,7 @@ impl Campaign {
     ///
     /// # Panics
     /// Panics on an empty pool list or duplicate platform abbreviations
-    /// (placement matches recommendations back by `(platform, ranks)`).
+    /// (reports key per-platform accounting by abbreviation).
     pub fn new(config: CampaignConfig, pools: Vec<PoolSpec>) -> Self {
         assert!(!pools.is_empty(), "campaign needs at least one pool");
         let mut seen: Vec<&str> = Vec::new();
@@ -341,38 +456,51 @@ impl Campaign {
             seen.push(p.platform.abbrev);
         }
         let characterization_seed = config.characterization_seed;
-        let pools = pools
+        let pools: Vec<PoolState> = pools
             .into_iter()
             .map(|spec| PoolState {
                 character: characterize(&spec.platform, characterization_seed),
                 pool: NodePool::new(spec.platform, spec.nodes),
                 overheads: spec.overheads,
-                calibrator: ModelCalibrator::new(),
+                calibrator: ModelCalibrator::bounded(CALIBRATOR_WINDOW),
                 attempts: 0,
                 faults: 0,
                 guard_kills: 0,
                 cost: 0.0,
             })
             .collect();
+        let lanes = 1 + pools.len();
+        let shards = config.shards.max(1);
         Self {
+            events: ShardedEventQueue::new(lanes, shards),
+            wait_buckets: vec![BTreeMap::new(); pools.len()],
+            obs: SchedObs::new(lanes),
             config,
-            pools,
             jobs: Vec::new(),
-            events: EventQueue::new(),
             clock_s: 0.0,
-            global_calibrator: ModelCalibrator::new(),
-            models: BTreeMap::new(),
+            global_calibrator: ModelCalibrator::bounded(CALIBRATOR_WINDOW),
+            model_key_ids: BTreeMap::new(),
+            pool_options: BTreeMap::new(),
             prepared: BTreeMap::new(),
+            ready: BTreeSet::new(),
+            freed_pools: BTreeSet::new(),
             placements: Vec::new(),
+            placements_total: 0,
+            uncal_errs: Vec::new(),
+            cal_err_sum: 0.0,
+            cal_err_count: 0,
+            events_processed: 0,
             retries: 0,
-            obs: SchedObs::new(),
+            pools,
         }
     }
 
     /// Deterministic snapshot of the campaign's private metrics registry:
-    /// admission/guard/retry/fault counters, per-event-type virtual-time
-    /// span totals, and (after [`Campaign::run`]) calibration-error
-    /// gauges. Byte-for-byte reproducible per seed.
+    /// admission/guard/retry/fault counters, per-lane pop counters,
+    /// per-event-type virtual-time span totals, and (after
+    /// [`Campaign::run`]) calibration-error gauges. Byte-for-byte
+    /// reproducible per seed; only the `sched.shards` gauge varies with
+    /// the shard count.
     pub fn obs_snapshot(&self) -> Snapshot {
         self.obs.registry.snapshot()
     }
@@ -395,9 +523,16 @@ impl Campaign {
             spec.name
         );
         assert!(spec.workload.steps > 0, "zero-step job {}", spec.name);
+        assert!(
+            spec.submit_s.is_finite() && spec.submit_s >= 0.0,
+            "bad submit time on {}",
+            spec.name
+        );
+        let key = format!("{}|{}", spec.model_key, spec.workload.kernel.name());
+        let next_id = self.model_key_ids.len() as u32;
+        let model_id = *self.model_key_ids.entry(key).or_insert(next_id);
         let idx = self.jobs.len();
-        self.events.push(spec.submit_s, Event::Arrive { job: idx });
-        self.jobs.push(JobState::new(spec));
+        self.jobs.push(JobState::new(spec, model_id));
         self.obs.submitted.inc();
         idx
     }
@@ -408,30 +543,69 @@ impl Campaign {
     }
 
     /// Drain every event and return the campaign report.
+    ///
+    /// Events sharing one (bitwise-equal) timestamp are processed as a
+    /// batch — intake arrivals first (lane 0 outranks every pool lane at
+    /// equal time), then queued events in `(lane, seq)` order — followed
+    /// by a single dispatch pass. Events pushed *during* that dispatch at
+    /// the same time form the next batch at the same clock value, so the
+    /// loop terminates because every batch consumes events and scheduled
+    /// work strictly advances.
     pub fn run(&mut self) -> CampaignReport {
-        while let Some((t, event)) = self.events.pop() {
-            debug_assert!(t >= self.clock_s, "clock moved backwards");
-            // Attribute the virtual time between consecutive events to the
-            // event type that closes the gap — a span on the event clock,
-            // so the totals are exactly reproducible per seed.
-            let span = match &event {
-                Event::Arrive { .. } => "sched.event.arrive",
-                Event::SliceDone { .. } => "sched.event.slice_done",
-            };
-            self.obs
-                .registry
-                .record_span_s(span, (t - self.clock_s).max(0.0), true);
-            self.clock_s = t;
-            match event {
-                Event::Arrive { job } => {
-                    self.jobs[job].waiting = true;
+        self.obs
+            .registry
+            .gauge("sched.shards")
+            .set(self.events.shard_count() as f64);
+        // Intake: submission indices, stably sorted by submit time — an
+        // O(1)-per-arrival cursor instead of a heap of a million events.
+        let mut intake: Vec<usize> = (0..self.jobs.len()).collect();
+        intake.sort_by(|&a, &b| {
+            self.jobs[a]
+                .spec
+                .submit_s
+                .total_cmp(&self.jobs[b].spec.submit_s)
+        });
+        let mut cursor = 0usize;
+        loop {
+            let next_intake = intake.get(cursor).map(|&j| self.jobs[j].spec.submit_s);
+            let t = match (next_intake, self.events.next_time()) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        a
+                    } else {
+                        b
+                    }
                 }
-                Event::SliceDone { job, attempt } => self.on_slice_done(job, attempt),
+            };
+            debug_assert!(t >= self.clock_s, "clock moved backwards");
+            while cursor < intake.len() && self.jobs[intake[cursor]].spec.submit_s == t {
+                let job = intake[cursor];
+                cursor += 1;
+                self.note_event("sched.event.arrive", t, 0);
+                self.jobs[job].waiting = true;
+                self.ready.insert(job);
+            }
+            while self.events.next_time() == Some(t) {
+                let (_, lane, event) = self.events.pop().expect("peeked event");
+                match event {
+                    Event::Arrive { job } => {
+                        self.note_event("sched.event.arrive", t, lane);
+                        self.jobs[job].waiting = true;
+                        self.ready.insert(job);
+                    }
+                    Event::SliceDone { job, attempt } => {
+                        self.note_event("sched.event.slice_done", t, lane);
+                        self.on_slice_done(job, attempt);
+                    }
+                }
             }
             self.dispatch();
         }
-        // Anything still waiting can never be placed again: no running
-        // job remains to free nodes.
+        // Anything still parked can never be placed again: no running job
+        // remains to free nodes.
         for job in &mut self.jobs {
             if job.outcome.is_none() {
                 assert!(job.run.is_none(), "drained queue with a live run");
@@ -444,15 +618,41 @@ impl Campaign {
         self.build_report()
     }
 
-    // ---- placement ----------------------------------------------------
-
-    fn model_key(spec: &JobSpec) -> String {
-        format!("{}|{}", spec.model_key, spec.workload.kernel.name())
+    /// Advance the clock to `t`, attributing the virtual-time gap to the
+    /// event type that closes it (so per-type span totals sum exactly to
+    /// the makespan — later events in the same batch record zero-length
+    /// spans), and count the pop on its lane.
+    fn note_event(&mut self, span: &str, t: f64, lane: usize) {
+        self.obs
+            .registry
+            .record_span_s(span, (t - self.clock_s).max(0.0), true);
+        self.clock_s = t;
+        self.events_processed += 1;
+        self.obs.events.inc();
+        self.obs.lane_pops[lane].inc();
     }
 
-    /// Correct a raw prediction with the freshest trusted calibrator:
-    /// the pool's own if it has enough observations, else the global one,
-    /// else identity.
+    // ---- placement ----------------------------------------------------
+
+    /// The correction factor placement scoring uses for `pool_idx`, and
+    /// whether it is calibrated: the pool's own fit once it has enough
+    /// observations, else the global fit, else identity. O(1) — the
+    /// calibrators keep running sums.
+    fn correction_k(&self, pool_idx: usize) -> (f64, bool) {
+        let min = self.config.min_calibration_obs.max(1);
+        let local = &self.pools[pool_idx].calibrator;
+        if local.len() >= min {
+            (local.correction_factor(), true)
+        } else if self.global_calibrator.len() >= min {
+            (self.global_calibrator.correction_factor(), true)
+        } else {
+            (1.0, false)
+        }
+    }
+
+    /// Full corrected prediction from the same calibrator
+    /// [`Campaign::correction_k`] selected — built only for a placement
+    /// winner.
     fn corrected(&self, pool_idx: usize, raw: &Prediction) -> (Prediction, bool) {
         let min = self.config.min_calibration_obs.max(1);
         let local = &self.pools[pool_idx].calibrator;
@@ -465,22 +665,19 @@ impl Campaign {
         }
     }
 
-    fn candidates(&mut self, job_idx: usize) -> Vec<Candidate> {
-        let spec = &self.jobs[job_idx].spec;
-        let key_tail = Self::model_key(spec);
-        let mut out = Vec::new();
+    /// Build (once) the statically feasible option rows for every pool of
+    /// this job's model.
+    fn ensure_options(&mut self, job_idx: usize) {
+        let model_id = self.jobs[job_idx].model_id;
         for pool_idx in 0..self.pools.len() {
-            let key = (pool_idx, key_tail.clone());
-            if !self.models.contains_key(&key) {
-                let model = GeneralModel::from_characterization(
-                    &self.pools[pool_idx].character,
-                    &spec.workload,
-                );
-                self.models.insert(key.clone(), model);
+            if self.pool_options.contains_key(&(pool_idx, model_id)) {
+                continue;
             }
-            let model = &self.models[&key];
+            let spec = &self.jobs[job_idx].spec;
             let state = &self.pools[pool_idx];
             let platform = &state.pool.platform;
+            let model = GeneralModel::from_characterization(&state.character, &spec.workload);
+            let mut opts = Vec::new();
             for &ranks in &self.config.rank_options {
                 if ranks == 0
                     || ranks > platform.total_cores
@@ -496,76 +693,92 @@ impl Campaign {
                 if !(raw.step_time_s > 0.0) || !raw.step_time_s.is_finite() {
                     continue;
                 }
-                let (corrected, calibrated) = self.corrected(pool_idx, &raw);
-                let time = corrected.time_for_steps(spec.workload.steps);
-                let cost = self.config.prices.cost(platform, nodes, time);
-                if cost > spec.budget_dollars {
-                    continue; // admission: never offer an over-budget option
-                }
-                out.push(Candidate {
-                    pool_idx,
-                    ranks,
-                    nodes,
-                    raw,
-                    corrected,
-                    calibrated,
-                    fits_now: nodes <= state.pool.nodes_free(),
-                    entry: DashboardEntry {
-                        platform: platform.abbrev.to_string(),
-                        ranks,
-                        nodes,
-                        predicted_mflups: corrected.mflups,
-                        time_to_solution_s: time,
-                        cost_dollars: cost,
-                        updates_per_dollar: if cost > 0.0 {
-                            spec.workload.total_updates() / cost
-                        } else {
-                            f64::INFINITY
-                        },
-                    },
-                });
+                opts.push(OptionSpec { ranks, nodes, raw });
             }
+            self.pool_options.insert((pool_idx, model_id), opts);
         }
-        out
-    }
-
-    /// Run `Dashboard::recommend` over a candidate subset; returns the
-    /// winning index into `candidates`.
-    fn recommend_index(
-        &self,
-        job_idx: usize,
-        candidates: &[Candidate],
-        subset: &[usize],
-    ) -> Option<usize> {
-        if subset.is_empty() {
-            return None;
-        }
-        let dashboard = Dashboard {
-            workload_name: self.jobs[job_idx].spec.workload.name.clone(),
-            entries: subset.iter().map(|&i| candidates[i].entry.clone()).collect(),
-        };
-        let choice = dashboard.recommend(self.jobs[job_idx].spec.objective)?;
-        let pos = dashboard
-            .entries
-            .iter()
-            .position(|e| e == choice)
-            .expect("recommendation is one of the entries");
-        Some(subset[pos])
     }
 
     fn try_place(&mut self, job_idx: usize) -> PlaceResult {
-        let candidates = self.candidates(job_idx);
-        let free: Vec<usize> = (0..candidates.len())
-            .filter(|&i| candidates[i].fits_now)
-            .collect();
-        if let Some(win) = self.recommend_index(job_idx, &candidates, &free) {
-            self.place(job_idx, &candidates[win]);
+        self.ensure_options(job_idx);
+        let model_id = self.jobs[job_idx].model_id;
+        let spec = &self.jobs[job_idx].spec;
+        let steps = spec.workload.steps;
+        let updates = spec.workload.total_updates();
+        let budget = spec.budget_dollars;
+        let objective = spec.objective;
+        let workload_name = spec.workload.name.clone();
+
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut entries: Vec<DashboardEntry> = Vec::new();
+        let mut park_regs: Vec<(usize, usize)> = Vec::new();
+        for pool_idx in 0..self.pools.len() {
+            let (k, calibrated) = self.correction_k(pool_idx);
+            let state = &self.pools[pool_idx];
+            let platform = &state.pool.platform;
+            let nodes_free = state.pool.nodes_free();
+            let mut min_nodes: Option<usize> = None;
+            for opt in &self.pool_options[&(pool_idx, model_id)] {
+                // Same arithmetic the winner's corrected prediction uses:
+                // time_for_steps(steps) over a step time scaled by k.
+                let time = opt.raw.step_time_s * k * steps as f64;
+                let cost = self.config.prices.cost(platform, opt.nodes, time);
+                if cost > budget {
+                    continue; // admission: never offer an over-budget option
+                }
+                min_nodes = Some(min_nodes.map_or(opt.nodes, |m: usize| m.min(opt.nodes)));
+                cands.push(Candidate {
+                    pool_idx,
+                    ranks: opt.ranks,
+                    nodes: opt.nodes,
+                    raw: opt.raw,
+                    calibrated,
+                    fits_now: opt.nodes <= nodes_free,
+                });
+                entries.push(DashboardEntry {
+                    platform: platform.abbrev.to_string(),
+                    ranks: opt.ranks,
+                    nodes: opt.nodes,
+                    predicted_mflups: if k > 0.0 { opt.raw.mflups / k } else { 0.0 },
+                    time_to_solution_s: time,
+                    cost_dollars: cost,
+                    updates_per_dollar: if cost > 0.0 {
+                        updates / cost
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+            }
+            if let Some(n) = min_nodes {
+                park_regs.push((pool_idx, n));
+            }
+        }
+
+        // Recommend over a subset, carrying candidate indices all the way
+        // through (the old path matched the winning entry back by float
+        // equality, silently resolving duplicate predictions to the first
+        // duplicate — `recommend_index` makes the winner unambiguous).
+        let recommend = |subset: &[usize]| -> Option<usize> {
+            if subset.is_empty() {
+                return None;
+            }
+            let dashboard = Dashboard {
+                workload_name: workload_name.clone(),
+                entries: subset.iter().map(|&i| entries[i].clone()).collect(),
+            };
+            dashboard.recommend_index(objective).map(|pos| subset[pos])
+        };
+
+        let free: Vec<usize> = (0..cands.len()).filter(|&i| cands[i].fits_now).collect();
+        if let Some(win) = recommend(&free) {
+            let chosen = cands[win];
+            self.place(job_idx, &chosen);
             return PlaceResult::Placed;
         }
         // Nothing fits right now — would anything fit on an empty pool?
-        let all: Vec<usize> = (0..candidates.len()).collect();
-        if self.recommend_index(job_idx, &candidates, &all).is_some() {
-            PlaceResult::Wait
+        let all: Vec<usize> = (0..cands.len()).collect();
+        if recommend(&all).is_some() {
+            PlaceResult::Wait(park_regs)
         } else {
             PlaceResult::Reject(
                 "no (platform, ranks) option satisfies the objective and budget".into(),
@@ -574,6 +787,8 @@ impl Campaign {
     }
 
     fn place(&mut self, job_idx: usize, chosen: &Candidate) {
+        let (corrected, calibrated) = self.corrected(chosen.pool_idx, &chosen.raw);
+        debug_assert_eq!(calibrated, chosen.calibrated, "calibration flag drifted");
         let state = &mut self.pools[chosen.pool_idx];
         assert!(state.pool.try_alloc(chosen.nodes), "placement raced capacity");
         state.attempts += 1;
@@ -581,11 +796,7 @@ impl Campaign {
         let platform = state.pool.platform.clone();
         let overheads = state.overheads;
 
-        let prep_key = (
-            chosen.pool_idx,
-            Self::model_key(&self.jobs[job_idx].spec),
-            chosen.ranks,
-        );
+        let prep_key = (chosen.pool_idx, self.jobs[job_idx].model_id, chosen.ranks);
         if !self.prepared.contains_key(&prep_key) {
             let spec = &self.jobs[job_idx].spec;
             let built = PreparedRun::new(
@@ -596,67 +807,162 @@ impl Campaign {
                 &overheads,
             )
             .expect("candidate was validated feasible");
-            self.prepared.insert(prep_key.clone(), built);
+            self.prepared.insert(prep_key, Arc::new(built));
         }
-        let prepared = self.prepared[&prep_key].clone();
+        let prepared = Arc::clone(&self.prepared[&prep_key]);
+
+        let max_placement_log = self.config.max_placement_log;
+        let placement_ordinal = self.placements_total;
+        self.placements_total += 1;
 
         let job = &mut self.jobs[job_idx];
         job.waiting = false;
         job.attempts += 1;
         let spec = &job.spec;
-        let mut guard =
-            JobGuard::from_prediction(&chosen.corrected, spec.workload.steps, &platform, spec.tolerance);
+        let mut guard = JobGuard::from_prediction(
+            &corrected,
+            spec.workload.steps,
+            &platform,
+            spec.tolerance,
+        );
         guard.max_dollars = guard.max_dollars.min(spec.budget_dollars);
 
-        let placement_idx = self.placements.len();
-        self.placements.push(PlacementRecord {
-            job: job_idx,
-            job_name: spec.name.clone(),
-            attempt: job.attempts,
-            platform: platform.abbrev.to_string(),
-            ranks: chosen.ranks,
-            nodes: chosen.nodes,
-            calibrated: chosen.calibrated,
-            predicted_step_s: chosen.corrected.step_time_s,
-            measured_step_s: None,
-            time_s: self.clock_s,
-        });
-        job.run = Some(ActiveRun {
+        if self.placements.len() < max_placement_log {
+            self.placements.push(PlacementRecord {
+                job: job_idx,
+                job_name: spec.name.clone(),
+                attempt: job.attempts,
+                platform: platform.abbrev.to_string(),
+                ranks: chosen.ranks,
+                nodes: chosen.nodes,
+                calibrated,
+                predicted_step_s: corrected.step_time_s,
+                measured_step_s: None,
+                time_s: self.clock_s,
+            });
+        }
+        job.run = Some(Box::new(ActiveRun {
             pool_idx: chosen.pool_idx,
             ranks: chosen.ranks,
             nodes: chosen.nodes,
             prepared,
             guard,
             raw_step_pred_s: chosen.raw.step_time_s,
+            corrected_step_pred_s: corrected.step_time_s,
+            calibrated,
             attempt_elapsed_s: 0.0,
             slice_idx: 0,
-            placement_idx,
+            placement_ordinal,
+            measured_recorded: false,
             pending: None,
-        });
+        }));
         self.schedule_slice(job_idx);
     }
 
+    fn reject(&mut self, job_idx: usize, reason: String) {
+        let job = &mut self.jobs[job_idx];
+        job.waiting = false;
+        job.outcome = Some(JobOutcome::Rejected { reason });
+        job.finish_s = self.clock_s;
+        self.obs.rejected.inc();
+    }
+
+    /// Register a queued job in the wait index under its per-pool minimum
+    /// node requirements (refreshing any stale registration — budgets are
+    /// re-evaluated under the current calibration on every failed try).
+    fn park(&mut self, job_idx: usize, regs: Vec<(usize, usize)>) {
+        self.unpark(job_idx);
+        for &(pool_idx, nodes) in &regs {
+            self.wait_buckets[pool_idx]
+                .entry(nodes)
+                .or_default()
+                .insert(job_idx);
+        }
+        self.jobs[job_idx].parked = regs;
+    }
+
+    fn unpark(&mut self, job_idx: usize) {
+        for (pool_idx, nodes) in std::mem::take(&mut self.jobs[job_idx].parked) {
+            let bucket = self.wait_buckets[pool_idx]
+                .get_mut(&nodes)
+                .expect("parked job has a bucket");
+            bucket.remove(&job_idx);
+            if bucket.is_empty() {
+                self.wait_buckets[pool_idx].remove(&nodes);
+            }
+        }
+    }
+
+    /// Lowest-indexed parked job that `pool_idx` could currently host and
+    /// that has not already failed to place this dispatch. Scans only the
+    /// buckets whose node requirement fits the free count; within a
+    /// bucket, the first non-tried job is its minimum.
+    fn wake_candidate(
+        &self,
+        pool_idx: usize,
+        nodes_free: usize,
+        tried: &BTreeSet<usize>,
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for jobs in self.wait_buckets[pool_idx].range(..=nodes_free).map(|(_, j)| j) {
+            for &job in jobs {
+                if tried.contains(&job) {
+                    continue;
+                }
+                best = Some(best.map_or(job, |b: usize| b.min(job)));
+                break;
+            }
+        }
+        best
+    }
+
+    /// One placement pass: try every ready job in index order, then wake
+    /// parked jobs on pools that freed nodes. `tried` jobs that failed to
+    /// place are skipped for the rest of the pass — free capacity only
+    /// shrinks within a dispatch, so a failed job cannot succeed later in
+    /// the same pass.
     fn dispatch(&mut self) {
-        for job_idx in 0..self.jobs.len() {
-            let job = &self.jobs[job_idx];
-            if !job.waiting || job.outcome.is_some() || job.run.is_some() {
+        let mut tried: BTreeSet<usize> = BTreeSet::new();
+        for job_idx in std::mem::take(&mut self.ready) {
+            if self.jobs[job_idx].outcome.is_some() || self.jobs[job_idx].run.is_some() {
                 continue;
             }
             match self.try_place(job_idx) {
                 PlaceResult::Placed => {}
-                PlaceResult::Wait => {}
-                PlaceResult::Reject(reason) => {
-                    let job = &mut self.jobs[job_idx];
-                    job.waiting = false;
-                    job.outcome = Some(JobOutcome::Rejected { reason });
-                    job.finish_s = self.clock_s;
-                    self.obs.rejected.inc();
+                PlaceResult::Wait(regs) => {
+                    self.park(job_idx, regs);
+                    tried.insert(job_idx);
+                }
+                PlaceResult::Reject(reason) => self.reject(job_idx, reason),
+            }
+        }
+        while let Some(pool_idx) = self.freed_pools.pop_first() {
+            loop {
+                let nodes_free = self.pools[pool_idx].pool.nodes_free();
+                let Some(job_idx) = self.wake_candidate(pool_idx, nodes_free, &tried) else {
+                    break;
+                };
+                match self.try_place(job_idx) {
+                    PlaceResult::Placed => self.unpark(job_idx),
+                    PlaceResult::Wait(regs) => {
+                        self.park(job_idx, regs);
+                        tried.insert(job_idx);
+                    }
+                    PlaceResult::Reject(reason) => {
+                        self.unpark(job_idx);
+                        self.reject(job_idx, reason);
+                    }
                 }
             }
         }
     }
 
     // ---- execution ----------------------------------------------------
+
+    /// The event lane of pool `pool_idx` (lane 0 is intake).
+    fn pool_lane(pool_idx: usize) -> usize {
+        1 + pool_idx
+    }
 
     fn schedule_slice(&mut self, job_idx: usize) {
         let seed_base = self.config.seed;
@@ -670,7 +976,8 @@ impl Campaign {
         let remaining = job.spec.true_steps().saturating_sub(job.completed_steps);
         let steps = remaining.min(slice_cap).max(1);
 
-        let noise_seed = derive_seed(&[seed_base, job_idx as u64, attempt as u64, run.slice_idx, 0x51]);
+        let noise_seed =
+            derive_seed(&[seed_base, job_idx as u64, attempt as u64, run.slice_idx, 0x51]);
         let sim = run.prepared.run_slice(steps, noise_seed, clock / 3600.0);
 
         // Pre-draw the fault for this slice from the campaign stream.
@@ -704,11 +1011,13 @@ impl Campaign {
             dur_s,
         });
         run.slice_idx += 1;
+        let lane = Self::pool_lane(run.pool_idx);
         self.events
-            .push(clock + dur_s, Event::SliceDone { job: job_idx, attempt });
+            .push(lane, clock + dur_s, Event::SliceDone { job: job_idx, attempt });
     }
 
-    /// Close the books on the current attempt: bill it, free its nodes.
+    /// Close the books on the current attempt: bill it, free its nodes,
+    /// and mark the pool for the next dispatch's wake pass.
     fn finalize_attempt(&mut self, job_idx: usize) {
         let job = &mut self.jobs[job_idx];
         let run = job.run.take().expect("no attempt to finalize");
@@ -724,6 +1033,7 @@ impl Campaign {
         job.prior_attempts_s += attempt_s;
         state.cost += cost;
         state.pool.release(run.nodes, attempt_s);
+        self.freed_pools.insert(run.pool_idx);
     }
 
     fn on_slice_done(&mut self, job_idx: usize, attempt: u32) {
@@ -759,8 +1069,14 @@ impl Campaign {
                         self.config.max_retry_backoff_s,
                         job.retries_used,
                     );
-                    self.events
-                        .push(self.clock_s + backoff, Event::Arrive { job: job_idx });
+                    // The retry re-arrives on the faulted pool's lane: the
+                    // lane is a stable property of what produced the
+                    // event, which is what keeps the order shard-free.
+                    self.events.push(
+                        Self::pool_lane(pool_idx),
+                        self.clock_s + backoff,
+                        Event::Arrive { job: job_idx },
+                    );
                 } else {
                     let job = &mut self.jobs[job_idx];
                     job.outcome = Some(JobOutcome::Failed);
@@ -785,7 +1101,6 @@ impl Campaign {
                 let ranks = run.ranks;
                 let nodes = run.nodes;
                 let raw_pred = run.raw_step_pred_s;
-                let placement_idx = run.placement_idx;
                 let elapsed = job.prior_attempts_s + run.attempt_elapsed_s;
                 let attempt_cost = self.config.prices.attempts_cost(
                     &self.pools[pool_idx].pool.platform,
@@ -796,14 +1111,30 @@ impl Campaign {
                 let guard = run.guard;
                 let done = job.completed_steps >= job.spec.true_steps();
 
+                // First measured slice of the attempt: score the placement
+                // prediction (exact accounting even when the placement log
+                // is capped — the accumulators don't depend on it).
+                if !run.measured_recorded {
+                    run.measured_recorded = true;
+                    let ordinal = run.placement_ordinal;
+                    let err = 100.0 * (run.corrected_step_pred_s - pending.step_s).abs()
+                        / pending.step_s;
+                    if run.calibrated {
+                        self.cal_err_sum += err;
+                        self.cal_err_count += 1;
+                    } else {
+                        self.uncal_errs.push((ordinal, err));
+                    }
+                    if ordinal < self.placements.len() {
+                        self.placements[ordinal].measured_step_s = Some(pending.step_s);
+                    }
+                }
+
                 // Refinement: every completed slice feeds the calibrators.
                 self.pools[pool_idx]
                     .calibrator
                     .record(ranks, raw_pred, pending.step_s);
                 self.global_calibrator.record(ranks, raw_pred, pending.step_s);
-                if self.placements[placement_idx].measured_step_s.is_none() {
-                    self.placements[placement_idx].measured_step_s = Some(pending.step_s);
-                }
 
                 if guard.check(elapsed, spent).is_exceeded() {
                     // The dollar limit (or a boundary-exact overrun) trips
@@ -839,6 +1170,29 @@ impl Campaign {
 
     fn build_report(&mut self) -> CampaignReport {
         let makespan = self.clock_s;
+        // Refinement MAPEs from the online accumulators — exact over every
+        // placement, independent of the retained-log cap. The uncalibrated
+        // errors are summed in placement order (they arrive in measurement
+        // order) for a stable, order-independent-of-batching total.
+        let q1 = self.placements_total.div_ceil(4);
+        let mut first_q: Vec<(usize, f64)> = self
+            .uncal_errs
+            .iter()
+            .copied()
+            .filter(|&(ordinal, _)| ordinal < q1)
+            .collect();
+        first_q.sort_by_key(|&(ordinal, _)| ordinal);
+        let uncal_count = first_q.len();
+        let uncal_mape = if uncal_count == 0 {
+            None
+        } else {
+            Some(first_q.iter().map(|&(_, e)| e).sum::<f64>() / uncal_count as f64)
+        };
+        let cal_mape = if self.cal_err_count == 0 {
+            None
+        } else {
+            Some(self.cal_err_sum / self.cal_err_count as f64)
+        };
         let mut report = CampaignReport {
             seed: self.config.seed,
             jobs: self.jobs.len(),
@@ -854,12 +1208,19 @@ impl Campaign {
             wasted_steps: 0,
             slo_attained: 0,
             slo_total: 0,
-            mape_first_quartile_uncalibrated_pct: f64::NAN,
-            mape_calibrated_pct: f64::NAN,
+            mape_first_quartile_uncalibrated_pct: uncal_mape,
+            mape_first_quartile_uncalibrated_count: uncal_count,
+            mape_calibrated_pct: cal_mape,
+            mape_calibrated_count: self.cal_err_count,
+            error_p50_pct: None,
+            error_p99_pct: None,
+            placements_total: self.placements_total,
+            events_processed: self.events_processed,
             platforms: Vec::new(),
             job_reports: Vec::new(),
-            placements: self.placements.clone(),
+            placements: std::mem::take(&mut self.placements),
         };
+        let max_job_reports = self.config.max_job_reports;
         for job in &self.jobs {
             let outcome = job.outcome.clone().expect("job left without outcome");
             match &outcome {
@@ -888,22 +1249,25 @@ impl Campaign {
                 }
                 _ => None,
             };
-            report.job_reports.push(JobReport {
-                name: job.spec.name.clone(),
-                outcome: outcome.label().to_string(),
-                cost_dollars: job.cost,
-                run_seconds: job.prior_attempts_s,
-                attempts: job.attempts,
-                faults: job.faults,
-                wasted_steps: job.wasted_steps,
-                finish_s: job.finish_s,
-                slo_met,
-            });
+            if report.job_reports.len() < max_job_reports {
+                report.job_reports.push(JobReport {
+                    name: job.spec.name.clone(),
+                    outcome: outcome.label().to_string(),
+                    cost_dollars: job.cost,
+                    run_seconds: job.prior_attempts_s,
+                    attempts: job.attempts,
+                    faults: job.faults,
+                    wasted_steps: job.wasted_steps,
+                    finish_s: job.finish_s,
+                    slo_met,
+                });
+            }
         }
         for state in &self.pools {
             report.platforms.push(PlatformReport {
                 platform: state.pool.platform.abbrev.to_string(),
                 nodes_total: state.pool.nodes_total(),
+                peak_nodes_busy: state.pool.peak_nodes_busy(),
                 attempts: state.attempts,
                 faults: state.faults,
                 guard_kills: state.guard_kills,
@@ -912,14 +1276,14 @@ impl Campaign {
                 utilization: state.pool.utilization(makespan),
             });
         }
-        report.compute_mapes();
+        report.compute_error_percentiles();
         // Calibration-error gauges, set serially (hence deterministic).
-        // A campaign with too few placements leaves the MAPEs NaN; those
-        // must not leak into snapshots the verify gate greps for
-        // non-finite values, so only finite values are exported.
+        // Degenerate campaigns (no measured placements) simply omit the
+        // gauge rather than leak a non-finite value into snapshots the
+        // verify gate greps.
         let registry = &self.obs.registry;
-        let set_finite = |name: &str, v: f64| {
-            if v.is_finite() {
+        let set_finite = |name: &str, v: Option<f64>| {
+            if let Some(v) = v.filter(|v| v.is_finite()) {
                 registry.gauge(name).set(v);
             }
         };
@@ -931,7 +1295,7 @@ impl Campaign {
             "sched.calibration.mape_calibrated_pct",
             report.mape_calibrated_pct,
         );
-        set_finite("sched.makespan_s", makespan);
+        set_finite("sched.makespan_s", Some(makespan));
         registry
             .gauge("sched.calibration.observations")
             .set(self.global_calibrator.len() as f64);

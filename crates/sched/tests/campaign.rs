@@ -2,7 +2,7 @@
 //! must be byte-for-byte reproducible, show the guard and retry machinery
 //! firing, and show placement error dropping once calibration kicks in.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use hemocloud_cluster::exec::Overheads;
 use hemocloud_cluster::platform::Platform;
@@ -35,6 +35,9 @@ fn tiny_config(seed: u64, fault_rate: f64) -> CampaignConfig {
         max_retry_backoff_s: 600.0,
         min_calibration_obs: 3,
         prices: Default::default(),
+        shards: 1,
+        max_placement_log: usize::MAX,
+        max_job_reports: usize::MAX,
     }
 }
 
@@ -42,7 +45,7 @@ fn tiny_job(name: &str, steps: u64, tolerance: f64, hidden: f64, submit_s: f64) 
     let grid = CylinderSpec::default().with_resolution(8).build();
     JobSpec {
         name: name.to_string(),
-        workload: Workload::harvey(&grid, steps),
+        workload: Arc::new(Workload::harvey(&grid, steps)),
         model_key: "cyl8".to_string(),
         objective: Objective::MinCost,
         tolerance,
@@ -86,17 +89,31 @@ fn demo_campaign_meets_the_acceptance_invariants() {
     assert!(report.guard_kills >= 1, "no guard kills");
     // The refinement loop: calibrated placements must beat the
     // uncalibrated first quartile.
+    let uncal = report
+        .mape_first_quartile_uncalibrated_pct
+        .expect("uncalibrated MAPE must be measurable");
+    let cal = report
+        .mape_calibrated_pct
+        .expect("calibrated MAPE must be measurable");
+    assert!(uncal.is_finite() && cal.is_finite());
     assert!(
-        report.mape_first_quartile_uncalibrated_pct.is_finite()
-            && report.mape_calibrated_pct.is_finite(),
-        "MAPEs must be measurable"
+        cal < uncal,
+        "calibrated MAPE {cal} must beat uncalibrated first-quartile MAPE {uncal}"
     );
-    assert!(
-        report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct,
-        "calibrated MAPE {} must beat uncalibrated first-quartile MAPE {}",
-        report.mape_calibrated_pct,
-        report.mape_first_quartile_uncalibrated_pct
-    );
+    assert!(report.mape_first_quartile_uncalibrated_count >= 1);
+    assert!(report.mape_calibrated_count >= 1);
+    // The online accumulators must agree with a recount over the
+    // (uncapped) retained placement log.
+    let mut recount = report.clone();
+    let (re_uncal, re_cal) = recount.compute_mapes();
+    assert!((re_uncal.unwrap() - uncal).abs() < 1e-9, "uncal accumulator drifted");
+    assert!((re_cal.unwrap() - cal).abs() < 1e-9, "cal accumulator drifted");
+    // Error percentiles exist and are ordered on a measured campaign.
+    let p50 = report.error_p50_pct.expect("p50");
+    let p99 = report.error_p99_pct.expect("p99");
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    assert_eq!(report.placements_total, report.placements.len());
+    assert!(report.events_processed > 0);
     // Every job is accounted for exactly once.
     assert_eq!(
         report.completed + report.guard_kills + report.failed + report.rejected,
@@ -252,6 +269,70 @@ fn sixty_retry_job_rearrives_at_finite_bounded_times() {
         "makespan {} suggests an uncapped backoff",
         report.makespan_s
     );
+}
+
+#[test]
+fn report_is_byte_identical_at_any_shard_count() {
+    // The tentpole determinism guarantee: the shard count is pure event-
+    // queue layout, so the full campaign report (and its JSON) must not
+    // change by a byte across 1/2/4/8 shards — faults, contention,
+    // retries, batched same-time arrivals and all.
+    let run = |shards: usize| {
+        let mut config = tiny_config(11, 30.0);
+        config.shards = shards;
+        let mut campaign = Campaign::new(config, one_pool(2));
+        for i in 0..6 {
+            // Two jobs share each submit time to exercise same-time
+            // batching across lanes.
+            campaign.submit(tiny_job(
+                &format!("s{i}"),
+                400_000 + 100_000 * (i % 3),
+                10.0,
+                1.0,
+                (i / 2) as f64 * 120.0,
+            ));
+        }
+        campaign.run().to_json()
+    };
+    let reference = run(1);
+    for shards in [2, 4, 8] {
+        assert_eq!(
+            reference,
+            run(shards),
+            "report changed between 1 and {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn capped_logs_keep_exact_campaign_aggregates() {
+    // Cap the retained placement/job logs far below the campaign size:
+    // the retained vectors shrink, but every aggregate — MAPEs, costs,
+    // outcome counts — is computed online and must not move.
+    let run = |max_log: usize| {
+        let mut config = tiny_config(3, 0.0);
+        config.max_placement_log = max_log;
+        config.max_job_reports = max_log;
+        let mut campaign = Campaign::new(config, one_pool(2));
+        for i in 0..8 {
+            campaign.submit(tiny_job(&format!("c{i}"), 400_000, 10.0, 1.0, i as f64 * 60.0));
+        }
+        campaign.run()
+    };
+    let full = run(usize::MAX);
+    let capped = run(2);
+    assert_eq!(capped.placements.len(), 2);
+    assert_eq!(capped.job_reports.len(), 2);
+    assert_eq!(capped.placements_total, full.placements.len());
+    assert_eq!(capped.completed, full.completed);
+    assert_eq!(capped.events_processed, full.events_processed);
+    assert!((capped.total_cost_dollars - full.total_cost_dollars).abs() < 1e-9);
+    assert_eq!(
+        capped.mape_first_quartile_uncalibrated_pct,
+        full.mape_first_quartile_uncalibrated_pct
+    );
+    assert_eq!(capped.mape_calibrated_pct, full.mape_calibrated_pct);
+    assert_eq!(capped.mape_calibrated_count, full.mape_calibrated_count);
 }
 
 #[test]

@@ -79,15 +79,17 @@ fn main() {
         "Faults {} / retries {} — {} job(s) recovered; SLO {} of {} deadline jobs met.",
         report.faults, report.retries, report.retried_jobs_completed, report.slo_attained, report.slo_total
     );
+    let uncal = report
+        .mape_first_quartile_uncalibrated_pct
+        .expect("demo campaign measures uncalibrated placements");
+    let cal = report
+        .mape_calibrated_pct
+        .expect("demo campaign measures calibrated placements");
     println!(
-        "Refinement: placement MAPE {:.1}% on the uncalibrated first quartile -> {:.1}% once calibrated.",
-        report.mape_first_quartile_uncalibrated_pct, report.mape_calibrated_pct
+        "Refinement: placement MAPE {uncal:.1}% on the uncalibrated first quartile -> {cal:.1}% once calibrated."
     );
 
-    assert!(
-        report.mape_calibrated_pct < report.mape_first_quartile_uncalibrated_pct,
-        "refinement must reduce placement error"
-    );
+    assert!(cal < uncal, "refinement must reduce placement error");
     assert!(report.guard_kills >= 1, "the runaways must be killed");
     assert!(report.retried_jobs_completed >= 1, "a faulted job must recover");
 }

@@ -161,6 +161,64 @@ if ! grep -q '"measured_step_s"' "$campaign_json"; then
 fi
 echo "campaign smoke: OK ($campaign_json)"
 
+echo "== sched scale smoke: bench_sched (RT_BENCH_FAST=1)"
+# The million-job scheduler path, smoke-sized: the binary itself exits
+# non-zero on zero/non-finite events-per-sec, missing outcomes, or a
+# shard-determinism violation; the gate re-checks the artifact and
+# byte-compares the per-shard reports it wrote. Regenerate the committed
+# full-size BENCH_sched.json with a plain
+# `cargo run --release -p hemocloud-bench --bin bench_sched`.
+sched_json="target/BENCH_sched.json"
+rm -f "$sched_json" target/SCHED_det.shard*.json
+RT_BENCH_FAST=1 SCHED_OUT="$sched_json" SCHED_REPORT_OUT_PREFIX="target/SCHED_det" \
+  cargo run -q --release --offline -p hemocloud-bench --bin bench_sched
+
+if [ ! -f "$sched_json" ]; then
+  echo "ERROR: sched smoke did not produce $sched_json" >&2
+  exit 1
+fi
+if grep -qiE ': *-?(nan|inf)' "$sched_json"; then
+  echo "ERROR: non-finite values in $sched_json:" >&2
+  grep -iE ': *-?(nan|inf)' "$sched_json" >&2
+  exit 1
+fi
+if ! grep -oE '"events_per_sec": *[0-9.eE+-]+' "$sched_json" \
+    | awk -F': *' '{ if ($2 + 0 <= 0) exit 1; n = 1 } END { exit !n }'; then
+  echo "ERROR: zero/missing events_per_sec in $sched_json" >&2
+  exit 1
+fi
+if ! grep -q '"reports_identical": true' "$sched_json"; then
+  echo "ERROR: shard determinism flag not set in $sched_json" >&2
+  exit 1
+fi
+# Independent byte-diff of the reports the determinism pass rendered at
+# shard counts 1 and 4 (and 2): the tentpole guarantee, enforced outside
+# the binary that claims it.
+for s in 2 4; do
+  if ! cmp -s target/SCHED_det.shard1.json "target/SCHED_det.shard${s}.json"; then
+    echo "ERROR: campaign report differs between 1 and ${s} event shards:" >&2
+    diff "target/SCHED_det.shard1.json" "target/SCHED_det.shard${s}.json" | head >&2
+    exit 1
+  fi
+done
+if grep -qiE ': *-?(nan|inf)' target/SCHED_det.shard1.json; then
+  echo "ERROR: non-finite values in the sharded campaign report:" >&2
+  grep -iE ': *-?(nan|inf)' target/SCHED_det.shard1.json >&2
+  exit 1
+fi
+echo "sched scale smoke: OK ($sched_json; shard reports byte-identical)"
+
+# The committed full-size scale record must exist and carry the same
+# witness flag — a PR cannot claim the million-job path without it.
+if [ ! -f "BENCH_sched.json" ]; then
+  echo "ERROR: committed BENCH_sched.json missing" >&2
+  exit 1
+fi
+if ! grep -q '"reports_identical": true' "BENCH_sched.json"; then
+  echo "ERROR: committed BENCH_sched.json lacks the shard-determinism witness" >&2
+  exit 1
+fi
+
 echo "== obs smoke: deterministic metrics snapshots"
 # The observability layer's contract: two identical seeded runs render
 # byte-identical snapshots (Render::Deterministic demotes wall-clock

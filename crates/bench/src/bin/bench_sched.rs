@@ -58,6 +58,7 @@ fn bench_pools() -> Vec<PoolSpec> {
             platform: Platform::trc(),
             nodes: 50,
             overheads: Overheads::default(),
+            topology: None,
         },
         PoolSpec {
             platform: Platform::csp1(),
@@ -66,6 +67,7 @@ fn bench_pools() -> Vec<PoolSpec> {
                 lbm_bandwidth_efficiency: 0.80,
                 ..Overheads::default()
             },
+            topology: None,
         },
         PoolSpec {
             platform: Platform::csp2_small(),
@@ -74,6 +76,7 @@ fn bench_pools() -> Vec<PoolSpec> {
                 message_software_overhead_us: 2.5,
                 ..Overheads::default()
             },
+            topology: None,
         },
         PoolSpec {
             platform: Platform::csp2(),
@@ -82,6 +85,7 @@ fn bench_pools() -> Vec<PoolSpec> {
                 lbm_bandwidth_efficiency: 0.72,
                 ..Overheads::default()
             },
+            topology: None,
         },
     ]
 }

@@ -24,7 +24,9 @@ use crate::memory;
 use crate::network::{message_time_s, LinkKind};
 use crate::noise::NoiseProcess;
 use crate::platform::Platform;
+use crate::topology::{build_topology, routed_task_comm, CommModel, PlatformTopology};
 use hemocloud_decomp::halo::{bytes_per_task, DecompAnalysis};
+use hemocloud_fabric::Flow;
 use hemocloud_decomp::placement::Placement;
 use hemocloud_decomp::rcb::RcbPartition;
 use hemocloud_geometry::voxel::VoxelGrid;
@@ -154,6 +156,23 @@ pub fn simulate(
     seed: u64,
     time_h: f64,
 ) -> SimulatedRun {
+    simulate_with_comm(platform, workload, overheads, seed, time_h, None)
+}
+
+/// [`simulate`] with an optional routed-fabric override for the
+/// internodal term: when `inter_override` is `Some`, task `t`'s
+/// internodal communication time is `inter_override[t]` (computed by
+/// `topology::routed_task_comm`) instead of the scalar Eq. 12/13
+/// serialized sum. Memory, intranodal and sync terms are identical in
+/// both modes.
+fn simulate_with_comm(
+    platform: &Platform,
+    workload: &WorkloadTiming<'_>,
+    overheads: &Overheads,
+    seed: u64,
+    time_h: f64,
+    inter_override: Option<&[f64]>,
+) -> SimulatedRun {
     let n_tasks = workload.analysis.n_tasks;
     assert_eq!(workload.task_bytes.len(), n_tasks, "task_bytes length");
     assert_eq!(workload.placement.n_tasks(), n_tasks, "placement size");
@@ -194,6 +213,9 @@ pub fn simulate(
             } else {
                 LinkKind::Intranodal
             };
+            if kind == LinkKind::Internodal && inter_override.is_some() {
+                continue; // priced by the fabric below
+            }
             // Send and matching receive, serialized per task (the paper's
             // factor of two in Eq. 13).
             let t = 2.0 * message_time_s(
@@ -206,6 +228,9 @@ pub fn simulate(
                 LinkKind::Intranodal => t_intra += t,
                 LinkKind::Internodal => t_inter += t,
             }
+        }
+        if let Some(inter) = inter_override {
+            t_inter = inter[task];
         }
 
         let total = t_mem + t_intra + t_inter;
@@ -259,12 +284,20 @@ pub struct PreparedRun {
     /// Effective overheads with the kernel variant's CPU efficiency
     /// already folded in.
     overheads: Overheads,
+    comm: CommModel,
+    /// Own-topology instance for standalone routed runs (identity node
+    /// map, sized to this run's node count).
+    topology: Option<PlatformTopology>,
+    /// Cached isolated per-task internodal comm seconds (routed mode).
+    routed_inter_s: Option<Vec<f64>>,
 }
 
 impl PreparedRun {
     /// Decompose `grid` into `ranks` fluid-balanced RCB subdomains at one
     /// rank per core (HARVEY's load-balancing style) and derive byte
-    /// counts from the kernel's access profile.
+    /// counts from the kernel's access profile. Communication is priced
+    /// with the scalar Eq. 12 model; see [`PreparedRun::new_with_comm`]
+    /// for the fabric-backed path.
     ///
     /// Returns `None` when the rank count is zero, exceeds the platform's
     /// cores, or exceeds the geometry's fluid-point count.
@@ -274,6 +307,23 @@ impl PreparedRun {
         config: &KernelConfig,
         ranks: usize,
         overheads: &Overheads,
+    ) -> Option<Self> {
+        Self::new_with_comm(platform, grid, config, ranks, overheads, CommModel::Scalar)
+    }
+
+    /// [`PreparedRun::new`] with an explicit communication model. With
+    /// [`CommModel::Routed`], the run owns a topology of `variant` sized
+    /// to its own node count (identity node map) and caches its isolated
+    /// per-task internodal comm; a campaign that wants cross-job
+    /// contention instead calls [`PreparedRun::run_slice_contended`]
+    /// against a shared pool topology.
+    pub fn new_with_comm(
+        platform: &Platform,
+        grid: &VoxelGrid,
+        config: &KernelConfig,
+        ranks: usize,
+        overheads: &Overheads,
+        comm: CommModel,
     ) -> Option<Self> {
         if ranks == 0 || ranks > platform.total_cores || ranks > grid.fluid_count() {
             return None;
@@ -285,17 +335,38 @@ impl PreparedRun {
         let profile = AccessProfile::for_kernel(config, avg_links);
         let task_bytes =
             bytes_per_task(grid, &partition, profile.bulk_bytes, profile.wall_bytes);
+        let overheads = Overheads {
+            lbm_bandwidth_efficiency: overheads.lbm_bandwidth_efficiency
+                * kernel_cpu_efficiency(config),
+            ..*overheads
+        };
+        let (topology, routed_inter_s) = match comm {
+            CommModel::Scalar => (None, None),
+            CommModel::Routed(variant) => {
+                let topology = build_topology(platform, variant, placement.n_nodes());
+                let node_map: Vec<usize> = (0..placement.n_nodes()).collect();
+                let routed = routed_task_comm(
+                    &topology,
+                    &analysis,
+                    &placement,
+                    &node_map,
+                    profile.boundary_point_bytes,
+                    overheads.message_software_overhead_us,
+                    &[],
+                );
+                (Some(topology), Some(routed.per_task_inter_s))
+            }
+        };
         Some(Self {
             platform: platform.clone(),
             analysis,
             placement,
             task_bytes,
             comm_bytes_per_point: profile.boundary_point_bytes,
-            overheads: Overheads {
-                lbm_bandwidth_efficiency: overheads.lbm_bandwidth_efficiency
-                    * kernel_cpu_efficiency(config),
-                ..*overheads
-            },
+            overheads,
+            comm,
+            topology,
+            routed_inter_s,
         })
     }
 
@@ -314,6 +385,31 @@ impl PreparedRun {
         self.analysis.total_points
     }
 
+    /// The communication model this run prices messages with.
+    pub fn comm_model(&self) -> CommModel {
+        self.comm
+    }
+
+    /// The run's own topology instance (routed mode only): the fabric its
+    /// isolated comm cache was computed against.
+    pub fn topology(&self) -> Option<&PlatformTopology> {
+        self.topology.as_ref()
+    }
+
+    /// The Eq. 9 internodal message graph as fabric flows with local
+    /// nodes mapped onto physical nodes via `node_map` — what a campaign
+    /// injects as *background* traffic when other jobs share the pool
+    /// fabric.
+    pub fn flows(&self, node_map: &[usize], tag_base: u64) -> Vec<Flow> {
+        crate::topology::job_flows(
+            &self.analysis,
+            &self.placement,
+            node_map,
+            self.comm_bytes_per_point,
+            tag_base,
+        )
+    }
+
     /// Time a window of `steps` timesteps starting at wall-clock hour
     /// `time_h`. Slices of the same prepared run are independent noise
     /// draws (`seed` picks the stream; `time_h` moves the temporally
@@ -327,7 +423,61 @@ impl PreparedRun {
             comm_bytes_per_point: self.comm_bytes_per_point,
             steps,
         };
-        simulate(&self.platform, &workload, &self.overheads, seed, time_h)
+        simulate_with_comm(
+            &self.platform,
+            &workload,
+            &self.overheads,
+            seed,
+            time_h,
+            self.routed_inter_s.as_deref(),
+        )
+    }
+
+    /// [`PreparedRun::run_slice`] against a *shared* pool topology with
+    /// other jobs' traffic in flight: this run's ranks live on physical
+    /// nodes `node_map` of `topology`, and `background` carries the
+    /// concurrent jobs' flows (their [`PreparedRun::flows`] mapped
+    /// through their own node sets). The internodal term is recomputed
+    /// under fair-share contention; memory, intranodal and sync terms
+    /// are untouched. Requires a routed run (panics on a scalar one —
+    /// the scalar model has no links to contend on).
+    pub fn run_slice_contended(
+        &self,
+        steps: u64,
+        seed: u64,
+        time_h: f64,
+        topology: &PlatformTopology,
+        node_map: &[usize],
+        background: &[Flow],
+    ) -> SimulatedRun {
+        assert!(
+            matches!(self.comm, CommModel::Routed(_)),
+            "run_slice_contended requires CommModel::Routed"
+        );
+        let routed = routed_task_comm(
+            topology,
+            &self.analysis,
+            &self.placement,
+            node_map,
+            self.comm_bytes_per_point,
+            self.overheads.message_software_overhead_us,
+            background,
+        );
+        let workload = WorkloadTiming {
+            analysis: &self.analysis,
+            placement: &self.placement,
+            task_bytes: &self.task_bytes,
+            comm_bytes_per_point: self.comm_bytes_per_point,
+            steps,
+        };
+        simulate_with_comm(
+            &self.platform,
+            &workload,
+            &self.overheads,
+            seed,
+            time_h,
+            Some(&routed.per_task_inter_s),
+        )
     }
 }
 
@@ -654,7 +804,12 @@ mod tests {
         let whole = prepared.run_slice(100, 5, 2.0);
         let a = prepared.run_slice(60, 5, 2.0);
         let b = prepared.run_slice(40, 5, 2.0);
-        assert!((a.total_time_s + b.total_time_s - whole.total_time_s).abs() < 1e-12);
+        hemocloud_rt::float::assert_close(
+            a.total_time_s + b.total_time_s,
+            whole.total_time_s,
+            0.0,
+            4,
+        );
         // Advancing the clock moves the correlated noise: a later slice
         // times differently.
         let later = prepared.run_slice(40, 5, 8.0);
@@ -668,5 +823,112 @@ mod tests {
         let cfg = KernelConfig::harvey();
         assert!(PreparedRun::new(&Platform::csp1(), &g, &cfg, 0, &oh).is_none());
         assert!(PreparedRun::new(&Platform::csp1(), &g, &cfg, 4096, &oh).is_none());
+    }
+
+    #[test]
+    fn scalar_comm_model_is_the_plain_constructor() {
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let plain = PreparedRun::new(&p, &g, &cfg, 72, &oh).unwrap();
+        let scalar =
+            PreparedRun::new_with_comm(&p, &g, &cfg, 72, &oh, CommModel::Scalar).unwrap();
+        assert_eq!(
+            plain.run_slice(10, 1, 0.0),
+            scalar.run_slice(10, 1, 0.0),
+            "explicit Scalar must be the default path"
+        );
+        assert!(scalar.topology().is_none());
+        assert_eq!(scalar.comm_model().name(), "scalar");
+    }
+
+    #[test]
+    fn routed_comm_is_deterministic_and_repriced() {
+        use crate::topology::TopologyVariant;
+        let g = cylinder();
+        let p = Platform::csp2();
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let comm = CommModel::Routed(TopologyVariant::default_for(&p));
+        let routed = PreparedRun::new_with_comm(&p, &g, &cfg, 72, &oh, comm).unwrap();
+        assert!(routed.topology().is_some());
+        let a = routed.run_slice(10, 1, 0.0);
+        let b = routed.run_slice(10, 1, 0.0);
+        assert_eq!(a, b, "routed slices must be bit-identical across reruns");
+        // The fabric prices internodal comm hop-by-hop, so on a 2-node
+        // run it lands at a different (still finite, positive) figure
+        // than the scalar Eq. 12 model — the gap calibration absorbs.
+        let scalar = PreparedRun::new(&p, &g, &cfg, 72, &oh).unwrap().run_slice(10, 1, 0.0);
+        assert!(a.critical_inter_s > 0.0 && a.critical_inter_s.is_finite());
+        assert_ne!(a.critical_inter_s, scalar.critical_inter_s);
+        // Memory and intranodal terms are untouched by the comm model;
+        // repricing inter may hand "critical" to a near-identical
+        // fluid-balanced twin task, hence ULP closeness, not equality.
+        hemocloud_rt::float::assert_close(a.critical_mem_s, scalar.critical_mem_s, 0.0, 64);
+        hemocloud_rt::float::assert_close(
+            a.critical_intra_s,
+            scalar.critical_intra_s,
+            0.0,
+            64,
+        );
+    }
+
+    #[test]
+    fn background_flows_slow_a_contended_slice() {
+        use crate::topology::TopologyVariant;
+        let g = cylinder();
+        let p = Platform::csp1(); // 16 cores/node -> 32 ranks = 2 nodes
+        let cfg = KernelConfig::harvey();
+        let oh = Overheads::default();
+        let comm = CommModel::Routed(TopologyVariant::Spread);
+        let job = PreparedRun::new_with_comm(&p, &g, &cfg, 32, &oh, comm).unwrap();
+        let tenant = PreparedRun::new_with_comm(&p, &g, &cfg, 32, &oh, comm).unwrap();
+        // A shared 4-node spread pool: the job on physical nodes {0, 1},
+        // the tenant on {2, 3}. rack_of = id % 2, so both jobs straddle
+        // the same two racks and share the trunk links.
+        let pool_topo = build_topology(&p, TopologyVariant::Spread, 4);
+        let background = tenant.flows(&[2, 3], 1 << 32);
+        assert!(!background.is_empty());
+        let isolated = job.run_slice_contended(10, 1, 0.0, &pool_topo, &[0, 1], &[]);
+        let contended =
+            job.run_slice_contended(10, 1, 0.0, &pool_topo, &[0, 1], &background);
+        assert!(
+            contended.critical_inter_s > isolated.critical_inter_s,
+            "contended inter {} !> isolated {}",
+            contended.critical_inter_s,
+            isolated.critical_inter_s
+        );
+        assert!(contended.mflups < isolated.mflups);
+        // Contention touches only the internodal term (the critical task
+        // may shift to a fluid-balanced twin, hence ULP closeness).
+        hemocloud_rt::float::assert_close(
+            contended.critical_mem_s,
+            isolated.critical_mem_s,
+            0.0,
+            64,
+        );
+        hemocloud_rt::float::assert_close(
+            contended.critical_intra_s,
+            isolated.critical_intra_s,
+            0.0,
+            64,
+        );
+        // And the contended slice is itself reproducible.
+        let again =
+            job.run_slice_contended(10, 1, 0.0, &pool_topo, &[0, 1], &background);
+        assert_eq!(contended, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires CommModel::Routed")]
+    fn contended_slice_rejects_scalar_runs() {
+        let g = cylinder();
+        let p = Platform::csp1();
+        let run =
+            PreparedRun::new(&p, &g, &KernelConfig::harvey(), 32, &Overheads::default())
+                .unwrap();
+        let topo = build_topology(&p, crate::topology::TopologyVariant::Spread, 4);
+        run.run_slice_contended(10, 1, 0.0, &topo, &[0, 1], &[]);
     }
 }

@@ -26,8 +26,10 @@ pub mod platform;
 pub mod pool;
 pub mod pricing;
 pub mod stream_bench;
+pub mod topology;
 
 pub use exec::{PreparedRun, SimulatedRun, WorkloadTiming};
 pub use platform::Platform;
 pub use pool::NodePool;
 pub use pricing::PriceSheet;
+pub use topology::{build_topology, CommModel, PlatformTopology, TopologyVariant};

@@ -28,13 +28,33 @@ pub fn link_of(platform: &Platform, kind: LinkKind) -> &LinkTruth {
 /// kind, including a per-message software overhead (MPI stack costs beyond
 /// wire latency — one of the deliberately unmodeled terms; see
 /// [`crate::exec`]).
+///
+/// Non-finite or negative `bytes`/`software_overhead_us` are a caller bug
+/// (the same hygiene rule as the fitting pipeline's non-finite guards):
+/// debug builds assert, release builds clamp to 0 so a poisoned byte
+/// count degrades to a latency-only message instead of propagating NaN
+/// into step times and reports.
 pub fn message_time_s(
     platform: &Platform,
     kind: LinkKind,
     bytes: f64,
     software_overhead_us: f64,
 ) -> f64 {
-    (link_of(platform, kind).transfer_time_us(bytes) + software_overhead_us) * 1e-6
+    debug_assert!(
+        bytes.is_finite() && bytes >= 0.0,
+        "message bytes must be finite and non-negative, got {bytes}"
+    );
+    debug_assert!(
+        software_overhead_us.is_finite() && software_overhead_us >= 0.0,
+        "software overhead must be finite and non-negative, got {software_overhead_us}"
+    );
+    let bytes = if bytes.is_finite() { bytes.max(0.0) } else { 0.0 };
+    let overhead_us = if software_overhead_us.is_finite() {
+        software_overhead_us.max(0.0)
+    } else {
+        0.0
+    };
+    (link_of(platform, kind).transfer_time_us(bytes) + overhead_us) * 1e-6
 }
 
 #[cfg(test)]
@@ -58,7 +78,38 @@ mod tests {
         let p = Platform::trc();
         let base = message_time_s(&p, LinkKind::Internodal, 1000.0, 0.0);
         let with = message_time_s(&p, LinkKind::Internodal, 1000.0, 1.5);
-        assert!((with - base - 1.5e-6).abs() < 1e-15);
+        // The difference is ~1.5e-6 s, where an ad-hoc 1e-15 absolute pin
+        // was really a ~4-ULP bound in disguise; say so explicitly.
+        hemocloud_rt::float::assert_close(with - base, 1.5e-6, 0.0, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "message bytes must be finite")]
+    fn non_finite_bytes_assert_in_debug() {
+        message_time_s(&Platform::trc(), LinkKind::Internodal, f64::NAN, 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "software overhead must be finite")]
+    fn negative_overhead_asserts_in_debug() {
+        message_time_s(&Platform::trc(), LinkKind::Internodal, 1.0, -2.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn poisoned_inputs_clamp_in_release() {
+        let p = Platform::trc();
+        let clean = message_time_s(&p, LinkKind::Internodal, 0.0, 0.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -10.0] {
+            let t = message_time_s(&p, LinkKind::Internodal, bad, 0.0);
+            assert!(t.is_finite(), "bytes = {bad}");
+            assert_eq!(t, clean, "bad bytes must degrade to a zero-byte message");
+            let t = message_time_s(&p, LinkKind::Internodal, 0.0, bad);
+            assert!(t.is_finite(), "overhead = {bad}");
+            assert_eq!(t, clean, "bad overhead must degrade to none");
+        }
     }
 
     #[test]

@@ -9,14 +9,26 @@
 //! utilization.
 
 use crate::platform::Platform;
+use std::collections::BTreeSet;
 
 /// A bounded allocation of whole nodes on one platform.
+///
+/// Nodes carry stable *physical ids* `0..nodes_total` so a route-aware
+/// fabric can map a job's ranks onto concrete topology nodes: the
+/// id-based [`NodePool::try_alloc_ids`]/[`NodePool::release_ids`] pair
+/// hands out the lowest free ids first (deterministic across reruns and
+/// shard counts), while the count-based [`NodePool::try_alloc`]/
+/// [`NodePool::release`] pair keeps the original anonymous interface for
+/// callers that never look at the topology.
 #[derive(Debug, Clone)]
 pub struct NodePool {
     /// The platform the nodes belong to.
     pub platform: Platform,
     nodes_total: usize,
-    nodes_free: usize,
+    free: BTreeSet<usize>,
+    /// Ids handed out through the anonymous count-based interface, in
+    /// allocation order (released LIFO).
+    anon_busy: Vec<usize>,
     busy_node_seconds: f64,
     peak_nodes_busy: usize,
 }
@@ -33,7 +45,8 @@ impl NodePool {
         Self {
             platform,
             nodes_total: capped,
-            nodes_free: capped,
+            free: (0..capped).collect(),
+            anon_busy: Vec::new(),
             busy_node_seconds: 0.0,
             peak_nodes_busy: 0,
         }
@@ -46,12 +59,12 @@ impl NodePool {
 
     /// Nodes currently free.
     pub fn nodes_free(&self) -> usize {
-        self.nodes_free
+        self.free.len()
     }
 
     /// Nodes currently allocated to jobs.
     pub fn nodes_busy(&self) -> usize {
-        self.nodes_total - self.nodes_free
+        self.nodes_total - self.free.len()
     }
 
     /// Whether `nodes` nodes could ever fit in this pool (ignoring the
@@ -60,15 +73,31 @@ impl NodePool {
         nodes > 0 && nodes <= self.nodes_total
     }
 
-    /// Try to allocate `nodes` nodes now. Returns `false` (and changes
-    /// nothing) when fewer are free.
-    pub fn try_alloc(&mut self, nodes: usize) -> bool {
-        if nodes == 0 || nodes > self.nodes_free {
-            return false;
+    /// Try to allocate `nodes` specific physical nodes now, lowest free
+    /// ids first. Returns `None` (and changes nothing) when fewer are
+    /// free. The returned ids are sorted ascending.
+    pub fn try_alloc_ids(&mut self, nodes: usize) -> Option<Vec<usize>> {
+        if nodes == 0 || nodes > self.free.len() {
+            return None;
         }
-        self.nodes_free -= nodes;
+        let ids: Vec<usize> = self.free.iter().take(nodes).copied().collect();
+        for id in &ids {
+            self.free.remove(id);
+        }
         self.peak_nodes_busy = self.peak_nodes_busy.max(self.nodes_busy());
-        true
+        Some(ids)
+    }
+
+    /// Try to allocate `nodes` anonymous nodes now. Returns `false` (and
+    /// changes nothing) when fewer are free.
+    pub fn try_alloc(&mut self, nodes: usize) -> bool {
+        match self.try_alloc_ids(nodes) {
+            Some(ids) => {
+                self.anon_busy.extend(ids);
+                true
+            }
+            None => false,
+        }
     }
 
     /// High-water mark of simultaneously busy nodes over the pool's
@@ -78,21 +107,41 @@ impl NodePool {
         self.peak_nodes_busy
     }
 
-    /// Return `nodes` nodes held for `held_seconds` of simulated time.
+    /// Return specific physical nodes held for `held_seconds` of
+    /// simulated time.
+    ///
+    /// # Panics
+    /// Panics when an id is already free (double release) or on a
+    /// negative hold time.
+    pub fn release_ids(&mut self, ids: &[usize], held_seconds: f64) {
+        assert!(held_seconds >= 0.0, "negative hold time");
+        for &id in ids {
+            assert!(id < self.nodes_total, "node id {id} out of range");
+            assert!(
+                self.free.insert(id),
+                "releasing node {id} twice on {}",
+                self.platform.abbrev
+            );
+        }
+        self.busy_node_seconds += ids.len() as f64 * held_seconds;
+    }
+
+    /// Return `nodes` anonymously allocated nodes held for
+    /// `held_seconds` of simulated time.
     ///
     /// # Panics
     /// Panics when releasing more nodes than are busy or on a negative
     /// hold time.
     pub fn release(&mut self, nodes: usize, held_seconds: f64) {
         assert!(
-            nodes <= self.nodes_busy(),
+            nodes <= self.anon_busy.len(),
             "releasing {nodes} nodes, only {} busy on {}",
-            self.nodes_busy(),
+            self.anon_busy.len(),
             self.platform.abbrev
         );
-        assert!(held_seconds >= 0.0, "negative hold time");
-        self.nodes_free += nodes;
-        self.busy_node_seconds += nodes as f64 * held_seconds;
+        let at = self.anon_busy.len() - nodes;
+        let ids: Vec<usize> = self.anon_busy.split_off(at);
+        self.release_ids(&ids, held_seconds);
     }
 
     /// Accumulated busy node-seconds over every completed allocation.
@@ -126,7 +175,7 @@ mod tests {
         assert!(!pool.try_alloc(2), "only one node free");
         pool.release(2, 100.0);
         assert_eq!(pool.nodes_free(), 3);
-        assert!((pool.busy_node_seconds() - 200.0).abs() < 1e-12);
+        hemocloud_rt::float::assert_close(pool.busy_node_seconds(), 200.0, 0.0, 2);
     }
 
     #[test]
@@ -157,7 +206,7 @@ mod tests {
         assert!(pool.try_alloc(1));
         pool.release(1, 50.0);
         // 50 node-seconds of 2 nodes × 100 s capacity.
-        assert!((pool.utilization(100.0) - 0.25).abs() < 1e-12);
+        hemocloud_rt::float::assert_close(pool.utilization(100.0), 0.25, 0.0, 2);
         assert_eq!(pool.utilization(0.0), 0.0);
     }
 
@@ -173,5 +222,41 @@ mod tests {
     fn over_release_panics() {
         let mut pool = NodePool::new(Platform::csp1(), 2);
         pool.release(1, 0.0);
+    }
+
+    #[test]
+    fn id_allocation_hands_out_lowest_free_ids_first() {
+        let mut pool = NodePool::new(Platform::csp2_small(), 6);
+        let a = pool.try_alloc_ids(2).unwrap();
+        assert_eq!(a, vec![0, 1]);
+        let b = pool.try_alloc_ids(3).unwrap();
+        assert_eq!(b, vec![2, 3, 4]);
+        // Releasing A makes its ids the lowest free again.
+        pool.release_ids(&a, 10.0);
+        let c = pool.try_alloc_ids(3).unwrap();
+        assert_eq!(c, vec![0, 1, 5]);
+        assert_eq!(pool.nodes_busy(), 6);
+        assert!(pool.try_alloc_ids(1).is_none());
+        hemocloud_rt::float::assert_close(pool.busy_node_seconds(), 20.0, 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_release_of_an_id_panics() {
+        let mut pool = NodePool::new(Platform::csp1(), 2);
+        let ids = pool.try_alloc_ids(1).unwrap();
+        pool.release_ids(&ids, 0.0);
+        pool.release_ids(&ids, 0.0);
+    }
+
+    #[test]
+    fn anonymous_and_id_allocations_share_the_pool() {
+        let mut pool = NodePool::new(Platform::csp2_small(), 4);
+        assert!(pool.try_alloc(2)); // takes ids 0, 1 anonymously
+        let ids = pool.try_alloc_ids(2).unwrap();
+        assert_eq!(ids, vec![2, 3]);
+        pool.release(2, 5.0);
+        assert_eq!(pool.nodes_free(), 2);
+        assert_eq!(pool.peak_nodes_busy(), 4);
     }
 }

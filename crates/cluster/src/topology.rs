@@ -1,0 +1,397 @@
+//! Platform-level topology selection and the routed communication path.
+//!
+//! This module is the bridge between the abstract interconnect shapes in
+//! `hemocloud-fabric` and the paper's platforms: it decides which
+//! topology variant a platform runs ([`TopologyVariant`]), instantiates
+//! it from the platform's measured link ground truth
+//! ([`build_topology`]), converts the Eq. 9 halo message graph into
+//! fabric [`Flow`]s with physical node endpoints ([`job_flows`]), and
+//! reduces a fabric exchange back into the per-task internodal
+//! communication seconds the timing engine consumes
+//! ([`routed_task_comm`]).
+//!
+//! The scalar Eq. 12 model stays the default and the calibration
+//! baseline; [`CommModel::Routed`] is the opt-in fabric-backed path (see
+//! `exec::PreparedRun::new_with_comm`).
+//!
+//! Rate mapping: every node-facing link runs at the platform's measured
+//! internodal bandwidth, and per-hop latency is half the measured
+//! internodal latency — so a placement-group route (2 hops) reproduces
+//! the scalar zero-byte latency exactly, while deeper routes (fat-tree
+//! cross-leaf, spread cross-rack) pay proportionally more. Serialization
+//! is store-and-forward per hop, which the scalar model has no concept
+//! of — one of the effects `ModelCalibrator` gets to discover.
+
+use crate::platform::Platform;
+use hemocloud_decomp::halo::DecompAnalysis;
+use hemocloud_decomp::placement::Placement;
+use hemocloud_fabric::{
+    exchange, FatTree, Flow, Link, LinkId, LinkRates, NodeId, PlacementGroup, Spread, Topology,
+};
+
+/// Which interconnect shape a pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyVariant {
+    /// Full-bisection Clos — the TRC InfiniBand fabric.
+    FatTree,
+    /// One non-blocking switch — the CSP cluster-placement-group
+    /// guarantee (best latency, priced accordingly).
+    PlacementGroup,
+    /// Racks behind 2:1-oversubscribed trunks — CSP spread placement
+    /// (cheap, availability-first, slow across racks).
+    Spread,
+}
+
+impl TopologyVariant {
+    /// Stable name used in dashboards, reports and JSON artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyVariant::FatTree => "fat-tree",
+            TopologyVariant::PlacementGroup => "placement-group",
+            TopologyVariant::Spread => "spread",
+        }
+    }
+
+    /// The variant a platform's hardware implies: fat-tree for the
+    /// traditional cluster, placement group for cloud instances (the
+    /// paper's CSP runs used HPC instance types with placement
+    /// guarantees).
+    pub fn default_for(platform: &Platform) -> Self {
+        if platform.abbrev == "TRC" {
+            TopologyVariant::FatTree
+        } else {
+            TopologyVariant::PlacementGroup
+        }
+    }
+}
+
+/// How `PreparedRun` prices communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommModel {
+    /// The paper's scalar Eq. 12 latency/bandwidth model — the default
+    /// and the calibration baseline.
+    #[default]
+    Scalar,
+    /// Route messages through an explicit topology with per-link
+    /// fair-share contention.
+    Routed(TopologyVariant),
+}
+
+impl CommModel {
+    /// Stable name for reports: "scalar" or the routed variant's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommModel::Scalar => "scalar",
+            CommModel::Routed(v) => v.name(),
+        }
+    }
+}
+
+/// A concrete platform topology (enum so pools and prepared runs can
+/// clone and store it without trait objects).
+#[derive(Debug, Clone)]
+pub enum PlatformTopology {
+    /// See [`FatTree`].
+    FatTree(FatTree),
+    /// See [`PlacementGroup`].
+    PlacementGroup(PlacementGroup),
+    /// See [`Spread`].
+    Spread(Spread),
+}
+
+impl Topology for PlatformTopology {
+    fn n_nodes(&self) -> usize {
+        match self {
+            PlatformTopology::FatTree(t) => t.n_nodes(),
+            PlatformTopology::PlacementGroup(t) => t.n_nodes(),
+            PlatformTopology::Spread(t) => t.n_nodes(),
+        }
+    }
+    fn links(&self) -> &[Link] {
+        match self {
+            PlatformTopology::FatTree(t) => t.links(),
+            PlatformTopology::PlacementGroup(t) => t.links(),
+            PlatformTopology::Spread(t) => t.links(),
+        }
+    }
+    fn get_route(&self, from: NodeId, to: NodeId) -> &[LinkId] {
+        match self {
+            PlatformTopology::FatTree(t) => t.get_route(from, to),
+            PlatformTopology::PlacementGroup(t) => t.get_route(from, to),
+            PlatformTopology::Spread(t) => t.get_route(from, to),
+        }
+    }
+    fn name(&self) -> &'static str {
+        match self {
+            PlatformTopology::FatTree(t) => t.name(),
+            PlatformTopology::PlacementGroup(t) => t.name(),
+            PlatformTopology::Spread(t) => t.name(),
+        }
+    }
+}
+
+/// Fat-tree switch radix used for platform fabrics (8 nodes per leaf,
+/// 8 spines — comfortably covers the TRC's 50-node allocation in two
+/// tiers).
+pub const FAT_TREE_RADIX: usize = 16;
+
+/// Trunk capacity of spread placement relative to node bandwidth (2:1
+/// oversubscription).
+pub const SPREAD_TRUNK_CAPACITY: f64 = 0.5;
+
+/// Instantiate `variant` over `n_nodes` nodes of `platform`, mapping the
+/// platform's measured internodal link truth onto per-link rates (see
+/// the module docs for the mapping).
+pub fn build_topology(
+    platform: &Platform,
+    variant: TopologyVariant,
+    n_nodes: usize,
+) -> PlatformTopology {
+    let rates = LinkRates {
+        bandwidth_mb_s: platform.internodal.bandwidth_mb_s,
+        hop_latency_us: platform.internodal.latency_us / 2.0,
+    };
+    match variant {
+        TopologyVariant::FatTree => {
+            PlatformTopology::FatTree(FatTree::new(n_nodes, FAT_TREE_RADIX, 2, rates))
+        }
+        TopologyVariant::PlacementGroup => {
+            PlatformTopology::PlacementGroup(PlacementGroup::new(n_nodes, rates))
+        }
+        TopologyVariant::Spread => {
+            // Half as many racks as nodes (min 2): spread scatters
+            // consecutive allocations across racks, so two co-scheduled
+            // jobs land rack-interleaved and share trunk links.
+            let racks = (n_nodes / 2).max(2);
+            PlatformTopology::Spread(Spread::new(n_nodes, racks, SPREAD_TRUNK_CAPACITY, rates))
+        }
+    }
+}
+
+/// The Eq. 9 *internodal* halo message graph of one job as fabric flows,
+/// with local nodes mapped to physical topology nodes through
+/// `node_map` (`node_map[local] = physical`). Flow order is
+/// deterministic: by sending task, then by receiving peer (the
+/// `BTreeMap` order of the message graph). `tag_base` is folded into
+/// each flow's tag so concurrent jobs' flows stay distinguishable in
+/// debugging dumps; the fabric itself never reads tags.
+///
+/// Intranodal messages (same node) stay out of the fabric — they ride
+/// the scalar shared-memory link exactly as before.
+pub fn job_flows(
+    analysis: &DecompAnalysis,
+    placement: &Placement,
+    node_map: &[usize],
+    comm_bytes_per_point: f64,
+    tag_base: u64,
+) -> Vec<Flow> {
+    assert_eq!(
+        node_map.len(),
+        placement.n_nodes(),
+        "node map must cover the placement's nodes"
+    );
+    let mut flows = Vec::new();
+    for task in 0..analysis.n_tasks {
+        let src = placement.physical_node_of(task, node_map);
+        for (&peer, &points) in &analysis.messages[task] {
+            let dst = placement.physical_node_of(peer, node_map);
+            if src == dst {
+                continue;
+            }
+            flows.push(Flow {
+                src,
+                dst,
+                bytes: points as f64 * comm_bytes_per_point,
+                tag: tag_base + flows.len() as u64,
+            });
+        }
+    }
+    flows
+}
+
+/// Result of routing one job's exchange through a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedComm {
+    /// Internodal communication seconds per task per step: the delivery
+    /// time of the task's last sent or received message, plus the
+    /// per-message software overhead for every message it touches.
+    pub per_task_inter_s: Vec<f64>,
+    /// Completion time of the whole exchange (before software overhead).
+    pub span_s: f64,
+    /// Internodal bytes this job pushes through the fabric per step.
+    pub bytes_per_step: f64,
+}
+
+/// Route one step's halo exchange of a job through `topology`, sharing
+/// links with `background` flows (other concurrent jobs' exchanges),
+/// and reduce to per-task internodal comm seconds.
+///
+/// A task's exchange completes when its last sent *and* received message
+/// is delivered; on top of that wire time each message charges the
+/// scalar model's per-message software overhead to both endpoints
+/// (CPU-side cost the fabric does not model). Background flow delivery
+/// times are computed but not reported — they only shape contention.
+#[allow(clippy::too_many_arguments)] // the timing engine's free variables
+pub fn routed_task_comm(
+    topology: &PlatformTopology,
+    analysis: &DecompAnalysis,
+    placement: &Placement,
+    node_map: &[usize],
+    comm_bytes_per_point: f64,
+    software_overhead_us: f64,
+    background: &[Flow],
+) -> RoutedComm {
+    // Own flows first (so delivery indexes line up), background after.
+    let mut endpoints: Vec<(usize, usize)> = Vec::new();
+    let mut flows = Vec::new();
+    for task in 0..analysis.n_tasks {
+        let src = placement.physical_node_of(task, node_map);
+        for (&peer, &points) in &analysis.messages[task] {
+            let dst = placement.physical_node_of(peer, node_map);
+            if src == dst {
+                continue;
+            }
+            endpoints.push((task, peer));
+            flows.push(Flow {
+                src,
+                dst,
+                bytes: points as f64 * comm_bytes_per_point,
+                tag: flows.len() as u64,
+            });
+        }
+    }
+    let n_own = flows.len();
+    let bytes_per_step: f64 = flows.iter().map(|f| f.bytes).sum();
+    flows.extend_from_slice(background);
+
+    let outcome = exchange(topology, &flows);
+
+    let mut per_task_inter_s = vec![0.0f64; analysis.n_tasks];
+    let mut messages = vec![0usize; analysis.n_tasks];
+    for (i, &(sender, receiver)) in endpoints.iter().enumerate().take(n_own) {
+        let t = outcome.delivery_s[i];
+        per_task_inter_s[sender] = per_task_inter_s[sender].max(t);
+        per_task_inter_s[receiver] = per_task_inter_s[receiver].max(t);
+        messages[sender] += 1;
+        messages[receiver] += 1;
+    }
+    let overhead_s = software_overhead_us * 1e-6;
+    let mut span_s = 0.0f64;
+    for i in 0..n_own {
+        span_s = span_s.max(outcome.delivery_s[i]);
+    }
+    for task in 0..analysis.n_tasks {
+        per_task_inter_s[task] += messages[task] as f64 * overhead_s;
+    }
+    RoutedComm {
+        per_task_inter_s,
+        span_s,
+        bytes_per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemocloud_decomp::rcb::RcbPartition;
+    use hemocloud_geometry::anatomy::CylinderSpec;
+
+    fn analysis_and_placement(ranks: usize, per_node: usize) -> (DecompAnalysis, Placement) {
+        let grid = CylinderSpec::default().with_resolution(10).build();
+        let partition = RcbPartition::new(&grid, ranks);
+        let analysis = DecompAnalysis::analyze(&grid, &partition);
+        let placement = Placement::contiguous(ranks, per_node);
+        (analysis, placement)
+    }
+
+    #[test]
+    fn default_variants_follow_the_hardware() {
+        assert_eq!(
+            TopologyVariant::default_for(&Platform::trc()),
+            TopologyVariant::FatTree
+        );
+        assert_eq!(
+            TopologyVariant::default_for(&Platform::csp2()),
+            TopologyVariant::PlacementGroup
+        );
+        assert_eq!(CommModel::default(), CommModel::Scalar);
+        assert_eq!(CommModel::Routed(TopologyVariant::Spread).name(), "spread");
+    }
+
+    #[test]
+    fn placement_group_route_reproduces_scalar_latency() {
+        let p = Platform::csp2();
+        let topo = build_topology(&p, TopologyVariant::PlacementGroup, 4);
+        let route = topo.get_route(0, 3);
+        let total_latency_us: f64 = route.iter().map(|&l| topo.links()[l].latency_us).sum();
+        hemocloud_rt::float::assert_close(total_latency_us, p.internodal.latency_us, 0.0, 2);
+    }
+
+    #[test]
+    fn job_flows_cover_exactly_the_internodal_graph() {
+        let (analysis, placement) = analysis_and_placement(16, 4);
+        let bpp = 152.0;
+        let node_map: Vec<usize> = (0..placement.n_nodes()).collect();
+        let flows = job_flows(&analysis, &placement, &node_map, bpp, 0);
+        let mut expect = 0.0;
+        for task in 0..analysis.n_tasks {
+            for (&peer, &points) in &analysis.messages[task] {
+                if placement.is_internodal(task, peer) {
+                    expect += points as f64 * bpp;
+                }
+            }
+        }
+        assert_eq!(flows.iter().map(|f| f.bytes).sum::<f64>(), expect);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn node_map_moves_flows_onto_physical_nodes() {
+        let (analysis, placement) = analysis_and_placement(8, 4);
+        assert_eq!(placement.n_nodes(), 2);
+        let flows = job_flows(&analysis, &placement, &[5, 9], 152.0, 0);
+        assert!(!flows.is_empty());
+        for f in &flows {
+            assert!(f.src == 5 || f.src == 9);
+            assert!(f.dst == 5 || f.dst == 9);
+        }
+    }
+
+    #[test]
+    fn background_traffic_slows_routed_comm() {
+        let p = Platform::csp2();
+        let (analysis, placement) = analysis_and_placement(8, 4);
+        // Pool of 4 nodes, spread across 2 racks; our job on physical
+        // nodes {0, 1} (different racks), the background tenant on
+        // {2, 3} (the same racks — shares both trunks).
+        let topo = build_topology(&p, TopologyVariant::Spread, 4);
+        let node_map = [0usize, 1];
+        let isolated =
+            routed_task_comm(&topo, &analysis, &placement, &node_map, 152.0, 1.5, &[]);
+        let tenant = job_flows(&analysis, &placement, &[2, 3], 152.0, 1 << 32);
+        let contended =
+            routed_task_comm(&topo, &analysis, &placement, &node_map, 152.0, 1.5, &tenant);
+        assert!(contended.span_s > isolated.span_s);
+        assert_eq!(contended.bytes_per_step, isolated.bytes_per_step);
+        let worst_iso = isolated
+            .per_task_inter_s
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let worst_con = contended
+            .per_task_inter_s
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(worst_con > worst_iso, "{worst_con} !> {worst_iso}");
+    }
+
+    #[test]
+    fn routed_comm_is_deterministic() {
+        let p = Platform::trc();
+        let (analysis, placement) = analysis_and_placement(80, 40);
+        let topo = build_topology(&p, TopologyVariant::FatTree, 2);
+        let node_map: Vec<usize> = (0..placement.n_nodes()).collect();
+        let a = routed_task_comm(&topo, &analysis, &placement, &node_map, 152.0, 1.5, &[]);
+        let b = routed_task_comm(&topo, &analysis, &placement, &node_map, 152.0, 1.5, &[]);
+        assert_eq!(a, b);
+    }
+}

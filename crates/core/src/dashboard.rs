@@ -8,9 +8,15 @@
 //! them and define an appropriate cost metric to fit".
 
 use crate::characterize::PlatformCharacterization;
+use crate::composition::{Composition, Prediction};
 use crate::general::GeneralModel;
 use crate::workload::Workload;
+use hemocloud_cluster::platform::Platform;
 use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud_cluster::topology::{build_topology, routed_task_comm, TopologyVariant};
+use hemocloud_decomp::halo::DecompAnalysis;
+use hemocloud_decomp::placement::Placement;
+use hemocloud_decomp::rcb::RcbPartition;
 
 /// The user's optimization objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +46,11 @@ pub struct DashboardEntry {
     pub cost_dollars: f64,
     /// Work per dollar: fluid-point updates per dollar.
     pub updates_per_dollar: f64,
+    /// Communication pricing behind this row: `"scalar"` for the Eq. 12
+    /// model, or the routed topology variant (`"fat-tree"`,
+    /// `"placement-group"`, `"spread"`) whose fabric repriced the
+    /// internodal term.
+    pub topology: String,
 }
 
 /// The dashboard: all options for one workload.
@@ -64,6 +75,25 @@ impl Dashboard {
         rank_options: &[usize],
         prices: &PriceSheet,
     ) -> Self {
+        Self::build_routed(characterizations, workload, rank_options, prices, &[])
+    }
+
+    /// [`Dashboard::build`] with a topology axis: besides the scalar row,
+    /// each feasible `(platform, ranks)` cell contributes one row per
+    /// requested topology variant, its internodal term repriced by
+    /// routing the workload's exact Eq. 9 halo messages through that
+    /// variant's fabric (store-and-forward, per-link serialization, no
+    /// cross-job traffic — the dashboard prices one job in isolation).
+    /// Multi-hop variants on oversubscribed fabrics cost more than a
+    /// placement group, so `recommend` now trades topology against
+    /// platform and rank count in one pass.
+    pub fn build_routed(
+        characterizations: &[PlatformCharacterization],
+        workload: &Workload,
+        rank_options: &[usize],
+        prices: &PriceSheet,
+        variants: &[TopologyVariant],
+    ) -> Self {
         let mut entries = Vec::new();
         for character in characterizations {
             let platform = &character.platform;
@@ -76,28 +106,70 @@ impl Dashboard {
                 if prediction.mflups <= 0.0 {
                     continue;
                 }
-                let time = prediction.time_for_steps(workload.steps);
                 let nodes = platform.nodes_for_ranks(ranks);
-                let cost = prices.cost(platform, nodes, time);
-                entries.push(DashboardEntry {
-                    platform: platform.abbrev.to_string(),
-                    ranks,
-                    nodes,
-                    predicted_mflups: prediction.mflups,
-                    time_to_solution_s: time,
-                    cost_dollars: cost,
-                    updates_per_dollar: if cost > 0.0 {
-                        workload.total_updates() / cost
-                    } else {
-                        f64::INFINITY
-                    },
-                });
+                let mut push = |prediction: &Prediction, topology: &str| {
+                    let time = prediction.time_for_steps(workload.steps);
+                    let cost = prices.cost(platform, nodes, time);
+                    entries.push(DashboardEntry {
+                        platform: platform.abbrev.to_string(),
+                        ranks,
+                        nodes,
+                        predicted_mflups: prediction.mflups,
+                        time_to_solution_s: time,
+                        cost_dollars: cost,
+                        updates_per_dollar: if cost > 0.0 {
+                            workload.total_updates() / cost
+                        } else {
+                            f64::INFINITY
+                        },
+                        topology: topology.to_string(),
+                    });
+                };
+                push(&prediction, "scalar");
+                for &variant in variants {
+                    if let Some(routed) =
+                        routed_prediction(platform, workload, ranks, &prediction, variant)
+                    {
+                        push(&routed, variant.name());
+                    }
+                }
             }
         }
         Self {
             workload_name: workload.name.clone(),
             entries,
         }
+    }
+
+    /// Render the dashboard as deterministic JSON: fixed key order, fixed
+    /// float precision, entries in build order. Byte-identical across
+    /// reruns, thread counts and machines.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024 + 256 * self.entries.len());
+        s.push_str("{\n");
+        s.push_str("  \"report\": \"hemocloud_dashboard\",\n");
+        s.push_str(&format!(
+            "  \"workload\": {:?},\n",
+            self.workload_name
+        ));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"platform\": {:?}, \"topology\": {:?}, \"ranks\": {}, \"nodes\": {}, \"predicted_mflups\": {:.6}, \"time_to_solution_s\": {:.6}, \"cost_dollars\": {:.6}, \"updates_per_dollar\": {:.3}}}{comma}\n",
+                e.platform,
+                e.topology,
+                e.ranks,
+                e.nodes,
+                e.predicted_mflups,
+                e.time_to_solution_s,
+                e.cost_dollars,
+                e.updates_per_dollar,
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
     }
 
     /// Recommend an option under an objective. Returns `None` when no
@@ -142,6 +214,55 @@ impl Dashboard {
         v.sort_by_key(|e| e.ranks);
         v
     }
+}
+
+/// Reprice `base`'s communication under a routed fabric: decompose the
+/// workload's retained grid exactly (the direct model's Eq. 9 analysis),
+/// route every internodal halo message through `variant`'s topology, and
+/// substitute the resulting worst-task delivery time for the general
+/// model's Eq. 13-16 comm terms. The memory side is untouched. `None`
+/// when the grid cannot host `ranks` subdomains (the scaled-census
+/// workloads keep their original grid, so they fall back to scalar rows
+/// once ranks outgrow it).
+fn routed_prediction(
+    platform: &Platform,
+    workload: &Workload,
+    ranks: usize,
+    base: &Prediction,
+    variant: TopologyVariant,
+) -> Option<Prediction> {
+    if ranks > workload.grid.fluid_count() {
+        return None;
+    }
+    let partition = RcbPartition::new(&workload.grid, ranks);
+    let analysis = DecompAnalysis::analyze(&workload.grid, &partition);
+    let placement = Placement::contiguous(ranks, platform.cores_per_node);
+    let topology = build_topology(platform, variant, placement.n_nodes());
+    let node_map: Vec<usize> = (0..placement.n_nodes()).collect();
+    let routed = routed_task_comm(
+        &topology,
+        &analysis,
+        &placement,
+        &node_map,
+        workload.profile.boundary_point_bytes,
+        0.0,
+        &[],
+    );
+    let inter_s = routed
+        .per_task_inter_s
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b));
+    let composition = Composition {
+        inter_s,
+        comm_bandwidth_s: 0.0,
+        comm_latency_s: 0.0,
+        ..base.composition
+    };
+    Some(Prediction::from_composition(
+        ranks,
+        workload.points(),
+        composition,
+    ))
 }
 
 #[cfg(test)]
@@ -228,6 +349,7 @@ mod tests {
             time_to_solution_s: 500.0,
             cost_dollars: cost,
             updates_per_dollar: 1.0e9 / cost,
+            topology: "scalar".to_string(),
         };
         let d = Dashboard {
             workload_name: "dup".into(),
@@ -260,6 +382,82 @@ mod tests {
             assert!(e.cost_dollars > 0.0);
             assert!(e.updates_per_dollar.is_finite());
             assert!(e.nodes >= 1);
+            assert_eq!(e.topology, "scalar", "plain build prices scalar comm");
         }
+    }
+
+    fn routed_dashboard() -> Dashboard {
+        use hemocloud_cluster::topology::TopologyVariant;
+        let grid = CylinderSpec::default().with_resolution(12).build();
+        let workload = Workload::harvey(&grid, 10_000);
+        let characterizations: Vec<_> = [Platform::csp2(), Platform::csp2_small()]
+            .iter()
+            .map(|p| characterize(p, 42))
+            .collect();
+        Dashboard::build_routed(
+            &characterizations,
+            &workload,
+            &[16, 32, 64, 128],
+            &PriceSheet::default(),
+            &[TopologyVariant::PlacementGroup, TopologyVariant::Spread],
+        )
+    }
+
+    #[test]
+    fn topology_axis_multiplies_candidates_and_orders_variants() {
+        let d = routed_dashboard();
+        // Every (platform, ranks) cell carries a scalar row plus one row
+        // per variant (the cylinder grid hosts all these rank counts).
+        for topo in ["scalar", "placement-group", "spread"] {
+            assert!(
+                d.entries.iter().any(|e| e.topology == topo),
+                "missing {topo} rows"
+            );
+        }
+        // On multi-node cells, the oversubscribed spread fabric is never
+        // faster than the one-hop placement group at the same cell.
+        for e in d.entries.iter().filter(|e| e.topology == "spread") {
+            if e.nodes < 2 {
+                continue;
+            }
+            let pg = d
+                .entries
+                .iter()
+                .find(|o| {
+                    o.platform == e.platform
+                        && o.ranks == e.ranks
+                        && o.topology == "placement-group"
+                })
+                .expect("matching placement-group row");
+            assert!(
+                e.time_to_solution_s >= pg.time_to_solution_s,
+                "{} ranks {}: spread {} faster than placement group {}",
+                e.platform,
+                e.ranks,
+                e.time_to_solution_s,
+                pg.time_to_solution_s
+            );
+        }
+        // recommend() now picks across the topology axis too: the winner
+        // carries a topology tag, and it is never an oversubscribed
+        // variant when a same-cell placement-group row beats it.
+        let best = d.recommend(Objective::MaxThroughput).unwrap();
+        assert!(!best.topology.is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_tagged() {
+        let d = routed_dashboard();
+        let a = d.to_json();
+        let b = d.to_json();
+        assert_eq!(a, b, "rendering must be deterministic");
+        assert!(a.contains("\"topology\": \"spread\""));
+        assert!(a.contains("\"topology\": \"scalar\""));
+        assert!(a.contains("\"report\": \"hemocloud_dashboard\""));
+        assert!(!a.to_lowercase().contains("nan"));
+        assert!(!a.to_lowercase().contains("inf"));
+        // Entry count: one line per entry between the brackets.
+        let rows = a.matches("\"platform\": ").count();
+        assert_eq!(rows, d.entries.len());
     }
 }

@@ -59,6 +59,26 @@ impl Placement {
         self.node_of[a] != self.node_of[b]
     }
 
+    /// Physical node of a task, given a map from this placement's local
+    /// node indices (`0..n_nodes`) to physical node ids on a shared pool
+    /// — e.g. the ids a `NodePool` allocation handed out. A route-aware
+    /// fabric addresses endpoints by physical id, so internodal messages
+    /// go through this map before they become flows.
+    ///
+    /// # Panics
+    /// Panics when `node_map` has fewer entries than the placement has
+    /// nodes.
+    #[inline]
+    pub fn physical_node_of(&self, task: usize, node_map: &[usize]) -> usize {
+        assert!(
+            node_map.len() >= self.n_nodes,
+            "node map covers {} nodes, placement uses {}",
+            node_map.len(),
+            self.n_nodes
+        );
+        node_map[self.node_of[task]]
+    }
+
     /// Tasks resident on each node.
     pub fn tasks_per_node(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.n_nodes];
@@ -104,5 +124,23 @@ mod tests {
         let p = Placement::contiguous(8, 4);
         assert_eq!(p.n_nodes(), 2);
         assert_eq!(p.n_tasks(), 8);
+    }
+
+    #[test]
+    fn physical_node_mapping_relabels_local_nodes() {
+        let p = Placement::contiguous(8, 4);
+        // Local nodes {0, 1} allocated physical ids {5, 9} on a pool.
+        assert_eq!(p.physical_node_of(0, &[5, 9]), 5);
+        assert_eq!(p.physical_node_of(3, &[5, 9]), 5);
+        assert_eq!(p.physical_node_of(4, &[5, 9]), 9);
+        // A longer map is fine; only the first n_nodes entries are used.
+        assert_eq!(p.physical_node_of(7, &[5, 9, 11]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "node map covers")]
+    fn short_node_map_panics() {
+        let p = Placement::contiguous(8, 4);
+        p.physical_node_of(0, &[3]);
     }
 }

@@ -1,0 +1,189 @@
+//! Property tests for topology routing and the fabric engine, in the
+//! style of the PR 7 event-lane properties: seeded generation via
+//! `rt::check`, replayable with `RT_CHECK_SEED`.
+
+use hemocloud_fabric::{exchange, FatTree, Flow, LinkRates, PlacementGroup, Spread, Topology};
+use hemocloud_rt::rng::Rng;
+use hemocloud_rt::{check, float};
+
+fn rates(rng: &mut Rng) -> LinkRates {
+    LinkRates {
+        bandwidth_mb_s: rng.range_f64(100.0, 10_000.0),
+        hop_latency_us: rng.range_f64(0.1, 30.0),
+    }
+}
+
+/// Random topology of a random variant, plus its node count.
+fn random_topology(rng: &mut Rng) -> Box<dyn Topology> {
+    let n_nodes = rng.range_usize(1, 24);
+    match rng.range_usize(0, 4) {
+        0 => Box::new(PlacementGroup::new(n_nodes, rates(rng))),
+        1 => {
+            let radix = 2 * rng.range_usize(1, 5);
+            Box::new(FatTree::new(n_nodes, radix, 2, rates(rng)))
+        }
+        2 => {
+            let radix = 2 * rng.range_usize(1, 5);
+            Box::new(FatTree::new(n_nodes, radix, 3, rates(rng)))
+        }
+        _ => {
+            let racks = rng.range_usize(1, 6);
+            let capacity = rng.range_f64(0.25, 2.0);
+            Box::new(Spread::new(n_nodes, racks, capacity, rates(rng)))
+        }
+    }
+}
+
+#[test]
+fn routes_connect_endpoints_without_repeats() {
+    check::run(
+        "routes_connect_endpoints_without_repeats",
+        check::Config::cases(16),
+        |rng| {
+            let topo = random_topology(rng);
+            let links = topo.links();
+            for a in 0..topo.n_nodes() {
+                for b in 0..topo.n_nodes() {
+                    let route = topo.get_route(a, b);
+                    if a == b {
+                        assert!(route.is_empty(), "{}: self-route not empty", topo.name());
+                        continue;
+                    }
+                    assert!(!route.is_empty(), "{}: {a}->{b} unconnected", topo.name());
+                    assert_eq!(links[route[0]].from, a, "{}: route must leave src", topo.name());
+                    assert_eq!(
+                        links[*route.last().unwrap()].to,
+                        b,
+                        "{}: route must reach dst",
+                        topo.name()
+                    );
+                    for w in route.windows(2) {
+                        assert_eq!(
+                            links[w[0]].to, links[w[1]].from,
+                            "{}: route must chain hop-to-hop",
+                            topo.name()
+                        );
+                    }
+                    let mut seen = std::collections::BTreeSet::new();
+                    for &l in route {
+                        assert!(seen.insert(l), "{}: repeated link on route", topo.name());
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn route_lengths_are_symmetric() {
+    check::run(
+        "route_lengths_are_symmetric",
+        check::Config::cases(16),
+        |rng| {
+            let topo = random_topology(rng);
+            for a in 0..topo.n_nodes() {
+                for b in 0..topo.n_nodes() {
+                    assert_eq!(
+                        topo.get_route(a, b).len(),
+                        topo.get_route(b, a).len(),
+                        "{}: asymmetric route length {a}<->{b}",
+                        topo.name()
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn exchange_conserves_bytes_and_is_deterministic() {
+    check::run(
+        "exchange_conserves_bytes_and_is_deterministic",
+        check::Config::cases(16),
+        |rng| {
+            let topo = random_topology(rng);
+            let n = topo.n_nodes();
+            let n_flows = rng.range_usize(0, 40);
+            // Integral byte payloads so float sums are exact.
+            let flows: Vec<Flow> = (0..n_flows)
+                .map(|i| Flow {
+                    src: rng.range_usize(0, n),
+                    dst: rng.range_usize(0, n),
+                    bytes: rng.range_usize(0, 1 << 22) as f64,
+                    tag: i as u64,
+                })
+                .collect();
+            let out = exchange(topo.as_ref(), &flows);
+
+            // Delivered bytes across links sum exactly to the injected
+            // internode bytes (the Eq. 9 cross-check shape).
+            let injected: f64 = flows
+                .iter()
+                .filter(|f| f.src != f.dst)
+                .map(|f| f.bytes)
+                .sum();
+            assert_eq!(out.link_delivered_bytes.iter().sum::<f64>(), injected);
+
+            // Forwarded bytes per link match the route table exactly.
+            let mut expect = vec![0.0; topo.links().len()];
+            for f in &flows {
+                for &l in topo.get_route(f.src, f.dst) {
+                    expect[l] += f.bytes;
+                }
+            }
+            assert_eq!(out.link_forwarded_bytes, expect);
+
+            // Deliveries are finite, non-negative, and bounded by span.
+            for &d in &out.delivery_s {
+                assert!(d.is_finite() && d >= 0.0 && d <= out.span_s);
+            }
+
+            // Bit-identical on rerun.
+            assert_eq!(out, exchange(topo.as_ref(), &flows));
+        },
+    );
+}
+
+#[test]
+fn extra_tenants_never_speed_up_a_lone_flow_pair_on_shared_trunks() {
+    // Focused monotonicity check on the contention surface the demo
+    // uses: a spread topology where a second tenant's cross-rack flows
+    // share the victim's trunk links.
+    check::run(
+        "extra_tenants_never_speed_up_a_lone_flow_pair_on_shared_trunks",
+        check::Config::cases(16),
+        |rng| {
+            let n_nodes = 4;
+            let topo = Spread::new(n_nodes, 2, rng.range_f64(0.25, 1.5), rates(rng));
+            let b = rng.range_usize(1, 1 << 22) as f64;
+            let victim = [
+                Flow { src: 0, dst: 1, bytes: b, tag: 0 },
+                Flow { src: 1, dst: 0, bytes: b, tag: 1 },
+            ];
+            let isolated = exchange(&topo, &victim);
+            let mut crowded = victim.to_vec();
+            for i in 0..rng.range_usize(1, 4) {
+                crowded.push(Flow {
+                    src: 2,
+                    dst: 3,
+                    bytes: rng.range_usize(1, 1 << 22) as f64,
+                    tag: 10 + i as u64,
+                });
+            }
+            let contended = exchange(&topo, &crowded);
+            for i in 0..victim.len() {
+                // Extra events subdivide the remaining-bytes arithmetic
+                // differently, so a flow untouched by the tenants can
+                // drift by a few ULPs — anything beyond that would be a
+                // genuine (impossible) speedup.
+                assert!(
+                    contended.delivery_s[i] >= isolated.delivery_s[i]
+                        || float::approx_eq_ulps(contended.delivery_s[i], isolated.delivery_s[i], 8),
+                    "tenant traffic sped up the victim: {} < {}",
+                    contended.delivery_s[i],
+                    isolated.delivery_s[i]
+                );
+            }
+        },
+    );
+}

@@ -1,0 +1,127 @@
+//! Explicit float-comparison helpers for tests and invariant checks.
+//!
+//! Scattered ad-hoc pins like `(a - b).abs() < 1e-15` encode two silent
+//! assumptions: that the values are O(1) so an absolute tolerance means
+//! anything, and that `1e-15` is "one ULP-ish" — which is false the moment
+//! the compared quantity is `1e-6` seconds or `1e9` bytes. These helpers
+//! make the tolerance model explicit: either an *absolute* bound chosen
+//! for the unit at hand, or a *ULP* bound that scales with the magnitude
+//! of the values being compared.
+//!
+//! Everything here is total: NaN compares unequal under every predicate
+//! (distance is `u64::MAX`), infinities are equal only to themselves.
+
+/// Number of representable `f64` values between `a` and `b`.
+///
+/// Maps each float onto the lexicographically ordered integer line
+/// (sign-magnitude → offset binary) and returns the absolute difference.
+/// `0.0` and `-0.0` are 0 apart; any comparison involving NaN returns
+/// `u64::MAX`; `ulps_between(MAX, INFINITY)` is 1 (they are adjacent
+/// representable values).
+pub fn ulps_between(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Order-preserving map from f64 bit patterns to u64: positives land
+    // at 2^63 + magnitude, negatives at 2^63 - magnitude, so the integer
+    // order matches the float order and +0.0 coincides with -0.0.
+    fn ordered(x: f64) -> u64 {
+        let bits = x.to_bits();
+        let magnitude = bits & !(1u64 << 63);
+        if bits >> 63 == 1 {
+            (1u64 << 63) - magnitude
+        } else {
+            (1u64 << 63) | magnitude
+        }
+    }
+    let (a, b) = (ordered(a), ordered(b));
+    a.max(b) - a.min(b)
+}
+
+/// True when `a` and `b` are within `max_ulps` representable values of
+/// each other. NaN is never close to anything, including itself.
+pub fn approx_eq_ulps(a: f64, b: f64, max_ulps: u64) -> bool {
+    ulps_between(a, b) <= max_ulps
+}
+
+/// True when `|a - b| <= tol`. NaN is never close to anything; equal
+/// infinities are close (their difference is 0 via exact equality).
+pub fn approx_eq_abs(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities, where a - b would be NaN
+    }
+    (a - b).abs() <= tol
+}
+
+/// Combined predicate: absolute tolerance for values near zero, ULP
+/// tolerance for everything else. This is the right default for "these
+/// two computations should agree to rounding error" pins regardless of
+/// the magnitude of the quantity under test.
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, max_ulps: u64) -> bool {
+    approx_eq_abs(a, b, abs_tol) || approx_eq_ulps(a, b, max_ulps)
+}
+
+/// Panics with a diagnostic unless [`approx_eq`] holds. For tests.
+#[track_caller]
+pub fn assert_close(a: f64, b: f64, abs_tol: f64, max_ulps: u64) {
+    assert!(
+        approx_eq(a, b, abs_tol, max_ulps),
+        "floats not close: {a:?} vs {b:?} (|diff| = {:e}, {} ULPs; allowed abs {abs_tol:e}, {max_ulps} ULPs)",
+        (a - b).abs(),
+        ulps_between(a, b),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulps_distance_basics() {
+        assert_eq!(ulps_between(1.0, 1.0), 0);
+        assert_eq!(ulps_between(0.0, -0.0), 0);
+        assert_eq!(ulps_between(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        // Across zero: smallest positive to smallest negative subnormal is 2.
+        let tiny = f64::from_bits(1);
+        assert_eq!(ulps_between(tiny, -tiny), 2);
+        assert_eq!(ulps_between(f64::MAX, f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn nan_is_never_close() {
+        assert_eq!(ulps_between(f64::NAN, f64::NAN), u64::MAX);
+        assert!(!approx_eq_ulps(f64::NAN, 1.0, u64::MAX - 1));
+        assert!(!approx_eq_abs(f64::NAN, f64::NAN, f64::INFINITY));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0, 1000));
+    }
+
+    #[test]
+    fn infinities_equal_only_themselves() {
+        assert!(approx_eq_abs(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq_abs(f64::INFINITY, f64::NEG_INFINITY, f64::MAX));
+        assert_eq!(ulps_between(f64::INFINITY, f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn ulp_tolerance_scales_with_magnitude() {
+        // 1e-15 absolute slop is ~5 ULPs at 1.0 but ~4.5e9 ULPs at 1e-6·1e-9
+        // scales; a 4-ULP bound holds at any magnitude.
+        for scale in [1e-12, 1e-6, 1.0, 1e6, 1e12] {
+            let a = scale * (0.1 + 0.2);
+            let b = scale * 0.3;
+            assert!(approx_eq_ulps(a, b, 4), "scale {scale:e}");
+        }
+    }
+
+    #[test]
+    fn assert_close_accepts_rounding_error() {
+        assert_close(0.1 + 0.2, 0.3, 0.0, 1);
+        assert_close(1.0e-30, 0.0, 1e-20, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floats not close")]
+    fn assert_close_rejects_real_differences() {
+        assert_close(1.0, 1.0001, 1e-9, 16);
+    }
+}

@@ -19,9 +19,12 @@
 //!   generation and failing-seed replay (replaces `proptest`).
 //! * [`mod@bench`] — a tiny timing harness with warmup, sampling and
 //!   median/min/throughput reporting (replaces `criterion`).
+//! * [`float`] — explicit absolute/ULP float-comparison helpers so test
+//!   pins state their tolerance model instead of ad-hoc `1e-15` literals.
 
 pub mod bench;
 pub mod check;
+pub mod float;
 pub mod par;
 pub mod pool;
 pub mod rng;

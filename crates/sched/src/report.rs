@@ -37,6 +37,9 @@ pub struct PlacementRecord {
     pub measured_step_s: Option<f64>,
     /// Campaign clock at dispatch, seconds.
     pub time_s: f64,
+    /// Communication pricing of the chosen pool: `"scalar"` or the
+    /// routed topology variant the job's messages were forwarded over.
+    pub topology: String,
 }
 
 impl PlacementRecord {
@@ -337,11 +340,12 @@ impl CampaignReport {
                 Some(m) => format!("{m:.9}"),
             };
             s.push_str(&format!(
-                "    {{\"job\": {}, \"name\": \"{}\", \"attempt\": {}, \"platform\": \"{}\", \"ranks\": {}, \"nodes\": {}, \"calibrated\": {}, \"predicted_step_s\": {:.9}, \"measured_step_s\": {measured}, \"time_s\": {:.3}}}{comma}\n",
+                "    {{\"job\": {}, \"name\": \"{}\", \"attempt\": {}, \"platform\": \"{}\", \"topology\": \"{}\", \"ranks\": {}, \"nodes\": {}, \"calibrated\": {}, \"predicted_step_s\": {:.9}, \"measured_step_s\": {measured}, \"time_s\": {:.3}}}{comma}\n",
                 r.job,
                 r.job_name,
                 r.attempt,
                 r.platform,
+                r.topology,
                 r.ranks,
                 r.nodes,
                 r.calibrated,
@@ -397,6 +401,7 @@ mod tests {
             predicted_step_s: pred,
             measured_step_s: meas,
             time_s: order as f64,
+            topology: "scalar".into(),
         }
     }
 

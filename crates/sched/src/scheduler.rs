@@ -72,6 +72,8 @@ use hemocloud_cluster::exec::{Overheads, PreparedRun};
 use hemocloud_cluster::platform::Platform;
 use hemocloud_cluster::pool::NodePool;
 use hemocloud_cluster::pricing::PriceSheet;
+use hemocloud_cluster::topology::{build_topology, CommModel, PlatformTopology, TopologyVariant};
+use hemocloud_fabric::{Flow, Topology};
 use hemocloud_core::characterize::{characterize, PlatformCharacterization};
 use hemocloud_core::composition::Prediction;
 use hemocloud_core::dashboard::{Dashboard, DashboardEntry};
@@ -168,6 +170,11 @@ pub struct PoolSpec {
     /// overheads the performance model will consistently miss until the
     /// calibrator learns them.
     pub overheads: Overheads,
+    /// `Some(variant)` prices this pool's internodal traffic through a
+    /// shared route-aware fabric sized to the whole pool: co-scheduled
+    /// jobs contend for the same links. `None` keeps the scalar Eq. 12
+    /// model (the calibration baseline).
+    pub topology: Option<TopologyVariant>,
 }
 
 #[derive(Debug)]
@@ -176,10 +183,27 @@ struct PoolState {
     overheads: Overheads,
     character: PlatformCharacterization,
     calibrator: ModelCalibrator,
+    /// The pool-wide shared fabric for routed pools — every job placed
+    /// here routes its Eq. 9 messages over these links, so concurrent
+    /// jobs' flows fair-share bandwidth.
+    topology: Option<(TopologyVariant, PlatformTopology)>,
+    /// Jobs with an active run on this pool, in job-index order — the
+    /// deterministic background-traffic set for contended slices.
+    active_jobs: BTreeSet<usize>,
     attempts: usize,
     faults: usize,
     guard_kills: usize,
     cost: f64,
+}
+
+impl PoolState {
+    /// The comm-model tag reports and dashboard rows carry for this pool.
+    fn comm_name(&self) -> &'static str {
+        match &self.topology {
+            Some((variant, _)) => variant.name(),
+            None => "scalar",
+        }
+    }
 }
 
 /// Why the current slice's end event fires.
@@ -210,6 +234,13 @@ struct ActiveRun {
     pool_idx: usize,
     ranks: usize,
     nodes: usize,
+    /// Physical node ids of the allocation (lowest-free-first, so
+    /// deterministic). On routed pools these address the pool fabric.
+    node_ids: Vec<usize>,
+    /// Cached Eq. 9 internodal flows mapped onto `node_ids` (empty on
+    /// scalar pools) — this run's contribution to pool contention and
+    /// the per-link obs byte accounting.
+    flows: Vec<Flow>,
     /// Shared with the campaign's decomposition cache — repeat placements
     /// of the same (pool, model, ranks) never rebuild or clone the RCB.
     prepared: Arc<PreparedRun>,
@@ -378,10 +409,16 @@ struct SchedObs {
     /// shard-keyed, so the whole snapshot stays shard-count-invariant
     /// apart from the explicit `sched.shards` gauge.
     lane_pops: Vec<Arc<Counter>>,
+    /// Per pool, per link: bytes forwarded over the link by completed
+    /// slices (every hop of every route counts). Empty for scalar pools.
+    fabric_forwarded: Vec<Vec<Arc<Counter>>>,
+    /// Per pool, per link: bytes delivered at the link (final hop only),
+    /// so the family sum equals the Eq. 9 message-graph bytes exactly.
+    fabric_delivered: Vec<Vec<Arc<Counter>>>,
 }
 
 impl SchedObs {
-    fn new(lanes: usize) -> Self {
+    fn new(lanes: usize, pool_links: &[usize]) -> Self {
         let registry = Registry::new();
         Self {
             submitted: registry.counter("sched.jobs.submitted"),
@@ -393,6 +430,20 @@ impl SchedObs {
             retries: registry.counter("sched.retries"),
             events: registry.counter("sched.events.processed"),
             lane_pops: registry.counter_family("sched.lane.pops", lanes),
+            fabric_forwarded: pool_links
+                .iter()
+                .enumerate()
+                .map(|(p, &n)| {
+                    registry.counter_family(&format!("fabric.pool{p}.link.forwarded_bytes"), n)
+                })
+                .collect(),
+            fabric_delivered: pool_links
+                .iter()
+                .enumerate()
+                .map(|(p, &n)| {
+                    registry.counter_family(&format!("fabric.pool{p}.link.delivered_bytes"), n)
+                })
+                .collect(),
             registry,
         }
     }
@@ -458,23 +509,39 @@ impl Campaign {
         let characterization_seed = config.characterization_seed;
         let pools: Vec<PoolState> = pools
             .into_iter()
-            .map(|spec| PoolState {
-                character: characterize(&spec.platform, characterization_seed),
-                pool: NodePool::new(spec.platform, spec.nodes),
-                overheads: spec.overheads,
-                calibrator: ModelCalibrator::bounded(CALIBRATOR_WINDOW),
-                attempts: 0,
-                faults: 0,
-                guard_kills: 0,
-                cost: 0.0,
+            .map(|spec| {
+                let character = characterize(&spec.platform, characterization_seed);
+                let pool = NodePool::new(spec.platform, spec.nodes);
+                // The shared fabric spans the whole pool allocation (after
+                // the platform cap), so every placement's node ids address
+                // valid fabric nodes.
+                let topology = spec
+                    .topology
+                    .map(|v| (v, build_topology(&pool.platform, v, pool.nodes_total())));
+                PoolState {
+                    character,
+                    pool,
+                    overheads: spec.overheads,
+                    calibrator: ModelCalibrator::bounded(CALIBRATOR_WINDOW),
+                    topology,
+                    active_jobs: BTreeSet::new(),
+                    attempts: 0,
+                    faults: 0,
+                    guard_kills: 0,
+                    cost: 0.0,
+                }
             })
             .collect();
         let lanes = 1 + pools.len();
         let shards = config.shards.max(1);
+        let pool_links: Vec<usize> = pools
+            .iter()
+            .map(|s| s.topology.as_ref().map_or(0, |(_, t)| t.links().len()))
+            .collect();
         Self {
             events: ShardedEventQueue::new(lanes, shards),
             wait_buckets: vec![BTreeMap::new(); pools.len()],
-            obs: SchedObs::new(lanes),
+            obs: SchedObs::new(lanes, &pool_links),
             config,
             jobs: Vec::new(),
             clock_s: 0.0,
@@ -747,6 +814,7 @@ impl Campaign {
                     } else {
                         f64::INFINITY
                     },
+                    topology: state.comm_name().to_string(),
                 });
             }
             if let Some(n) = min_nodes {
@@ -790,26 +858,43 @@ impl Campaign {
         let (corrected, calibrated) = self.corrected(chosen.pool_idx, &chosen.raw);
         debug_assert_eq!(calibrated, chosen.calibrated, "calibration flag drifted");
         let state = &mut self.pools[chosen.pool_idx];
-        assert!(state.pool.try_alloc(chosen.nodes), "placement raced capacity");
+        let node_ids = state
+            .pool
+            .try_alloc_ids(chosen.nodes)
+            .expect("placement raced capacity");
         state.attempts += 1;
+        state.active_jobs.insert(job_idx);
         self.obs.admitted.inc();
         let platform = state.pool.platform.clone();
         let overheads = state.overheads;
+        let comm = match &state.topology {
+            Some((variant, _)) => CommModel::Routed(*variant),
+            None => CommModel::Scalar,
+        };
+        let topology_name = state.comm_name();
 
         let prep_key = (chosen.pool_idx, self.jobs[job_idx].model_id, chosen.ranks);
         if !self.prepared.contains_key(&prep_key) {
             let spec = &self.jobs[job_idx].spec;
-            let built = PreparedRun::new(
+            let built = PreparedRun::new_with_comm(
                 &platform,
                 &spec.workload.grid,
                 &spec.workload.kernel,
                 chosen.ranks,
                 &overheads,
+                comm,
             )
             .expect("candidate was validated feasible");
             self.prepared.insert(prep_key, Arc::new(built));
         }
         let prepared = Arc::clone(&self.prepared[&prep_key]);
+        // The run's contention footprint: its Eq. 9 flows on its physical
+        // nodes. Tagged by job so fabric traces stay attributable.
+        let flows = if matches!(comm, CommModel::Routed(_)) {
+            prepared.flows(&node_ids, (job_idx as u64) << 32)
+        } else {
+            Vec::new()
+        };
 
         let max_placement_log = self.config.max_placement_log;
         let placement_ordinal = self.placements_total;
@@ -839,12 +924,15 @@ impl Campaign {
                 predicted_step_s: corrected.step_time_s,
                 measured_step_s: None,
                 time_s: self.clock_s,
+                topology: topology_name.to_string(),
             });
         }
         job.run = Some(Box::new(ActiveRun {
             pool_idx: chosen.pool_idx,
             ranks: chosen.ranks,
             nodes: chosen.nodes,
+            node_ids,
+            flows,
             prepared,
             guard,
             raw_step_pred_s: chosen.raw.step_time_s,
@@ -970,6 +1058,33 @@ impl Campaign {
         let slice_cap = self.config.slice_steps.max(1);
         let clock = self.clock_s;
 
+        // Contention context first (immutable pass): on a routed pool,
+        // every *other* active job's cached flows become background
+        // traffic on the shared fabric. Job-index order via the pool's
+        // `active_jobs` set keeps the flow list — and therefore the
+        // fair-share arithmetic — identical at any shard count.
+        let pool_idx = self.jobs[job_idx]
+            .run
+            .as_ref()
+            .expect("slice for idle job")
+            .pool_idx;
+        let background: Vec<Flow> = match &self.pools[pool_idx].topology {
+            Some(_) => self.pools[pool_idx]
+                .active_jobs
+                .iter()
+                .filter(|&&j| j != job_idx)
+                .flat_map(|&j| {
+                    self.jobs[j]
+                        .run
+                        .as_ref()
+                        .map_or(&[][..], |r| r.flows.as_slice())
+                        .iter()
+                        .copied()
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+
         let job = &mut self.jobs[job_idx];
         let attempt = job.attempts;
         let run = job.run.as_mut().expect("slice for idle job");
@@ -978,7 +1093,17 @@ impl Campaign {
 
         let noise_seed =
             derive_seed(&[seed_base, job_idx as u64, attempt as u64, run.slice_idx, 0x51]);
-        let sim = run.prepared.run_slice(steps, noise_seed, clock / 3600.0);
+        let sim = match &self.pools[pool_idx].topology {
+            Some((_, topology)) => run.prepared.run_slice_contended(
+                steps,
+                noise_seed,
+                clock / 3600.0,
+                topology,
+                &run.node_ids,
+                &background,
+            ),
+            None => run.prepared.run_slice(steps, noise_seed, clock / 3600.0),
+        };
 
         // Pre-draw the fault for this slice from the campaign stream.
         let mut rng = Rng::new(derive_seed(&[
@@ -1032,7 +1157,8 @@ impl Campaign {
         job.cost += cost;
         job.prior_attempts_s += attempt_s;
         state.cost += cost;
-        state.pool.release(run.nodes, attempt_s);
+        state.pool.release_ids(&run.node_ids, attempt_s);
+        state.active_jobs.remove(&job_idx);
         self.freed_pools.insert(run.pool_idx);
     }
 
@@ -1098,6 +1224,27 @@ impl Campaign {
             SliceEnd::Ran => {
                 job.completed_steps += pending.steps;
                 let pool_idx = run.pool_idx;
+                // Per-link byte accounting for completed slices: each
+                // flow's bytes cross every link of its route once per
+                // step (forwarded) and arrive at the final link
+                // (delivered). Comm bytes are integral (points × 152),
+                // so the u64 arithmetic is exact and the delivered
+                // family sums to the Eq. 9 graph total exactly.
+                if let Some((_, topology)) = &self.pools[pool_idx].topology {
+                    let forwarded = &self.obs.fabric_forwarded[pool_idx];
+                    let delivered = &self.obs.fabric_delivered[pool_idx];
+                    for flow in &run.flows {
+                        debug_assert_eq!(flow.bytes.fract(), 0.0, "non-integral comm bytes");
+                        let bytes = (flow.bytes as u64) * pending.steps;
+                        let route = topology.get_route(flow.src, flow.dst);
+                        for &link in route {
+                            forwarded[link].add(bytes);
+                        }
+                        if let Some(&last) = route.last() {
+                            delivered[last].add(bytes);
+                        }
+                    }
+                }
                 let ranks = run.ranks;
                 let nodes = run.nodes;
                 let raw_pred = run.raw_step_pred_s;
@@ -1299,6 +1446,31 @@ impl Campaign {
         registry
             .gauge("sched.calibration.observations")
             .set(self.global_calibrator.len() as f64);
+        // Per-link utilization gauges for routed pools: forwarded bytes
+        // over the link's byte capacity across the makespan. Set serially
+        // from the counters, so deterministic; degenerate (zero-makespan)
+        // campaigns omit them rather than leak non-finite values.
+        for (p, state) in self.pools.iter().enumerate() {
+            let Some((_, topology)) = &state.topology else {
+                continue;
+            };
+            let links = topology.links();
+            let mut delivered_total = 0u64;
+            for counter in &self.obs.fabric_delivered[p] {
+                delivered_total += counter.get();
+            }
+            registry
+                .gauge(&format!("fabric.pool{p}.delivered_bytes_total"))
+                .set(delivered_total as f64);
+            if makespan > 0.0 {
+                for (i, counter) in self.obs.fabric_forwarded[p].iter().enumerate() {
+                    let util = counter.get() as f64 / (links[i].bytes_per_s() * makespan);
+                    registry
+                        .gauge(&format!("fabric.pool{p}.link.utilization.{i}"))
+                        .set(util);
+                }
+            }
+        }
         report
     }
 }

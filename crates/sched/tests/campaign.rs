@@ -62,6 +62,7 @@ fn one_pool(nodes: usize) -> Vec<PoolSpec> {
         platform: Platform::csp1(),
         nodes,
         overheads: Overheads::default(),
+        topology: None,
     }]
 }
 

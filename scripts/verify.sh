@@ -161,6 +161,65 @@ if ! grep -q '"measured_step_s"' "$campaign_json"; then
 fi
 echo "campaign smoke: OK ($campaign_json)"
 
+echo "== fabric smoke: routed contention demo at the committed seed"
+# The routed-fabric demo: ten 2-node jobs contending pairwise on a
+# spread topology's oversubscribed trunks. The binary itself exits
+# non-zero unless the per-link delivered bytes reconcile *exactly*
+# against the Eq. 9 message graph, the report is byte-identical across
+# 1/2/4 event shards, a co-scheduled job is measurably slower than the
+# same job isolated, and calibration closes the contention gap. The gate
+# additionally proves worker-count independence: run 1 pins
+# RT_POOL_THREADS=1, run 2 pins 8, and both the report and the obs
+# snapshot (per-link byte counters included) must not differ by a byte.
+for run in 1 2; do
+  threads=1; [ "$run" -eq 2 ] && threads=8
+  FABRIC_SEED=42 RT_POOL_THREADS="$threads" \
+    FABRIC_OUT="target/CAMPAIGN_fabric_${run}.json" \
+    OBS_OUT="target/OBS_fabric_${run}.json" \
+    cargo run -q --release --offline -p hemocloud-bench --bin fabric_demo > /dev/null
+done
+for f in target/CAMPAIGN_fabric_1.json target/OBS_fabric_1.json; do
+  if grep -qiE ': *-?(nan|inf)' "$f"; then
+    echo "ERROR: non-finite values in $f:" >&2
+    grep -iE ': *-?(nan|inf)' "$f" >&2
+    exit 1
+  fi
+done
+if ! cmp -s target/CAMPAIGN_fabric_1.json target/CAMPAIGN_fabric_2.json; then
+  echo "ERROR: fabric campaign report differs across worker counts 1 and 8:" >&2
+  diff target/CAMPAIGN_fabric_1.json target/CAMPAIGN_fabric_2.json | head >&2
+  exit 1
+fi
+if ! cmp -s target/OBS_fabric_1.json target/OBS_fabric_2.json; then
+  echo "ERROR: fabric obs snapshot differs across worker counts 1 and 8:" >&2
+  diff target/OBS_fabric_1.json target/OBS_fabric_2.json | head >&2
+  exit 1
+fi
+if ! grep -q '"topology": "spread"' target/CAMPAIGN_fabric_1.json; then
+  echo "ERROR: fabric placements not routed on the spread topology" >&2
+  exit 1
+fi
+# The committed record must exist and carry the same witnesses: exact
+# byte reconciliation and a real (>1%) contention slowdown.
+if [ ! -f "CAMPAIGN_fabric.json" ]; then
+  echo "ERROR: committed CAMPAIGN_fabric.json missing" >&2
+  exit 1
+fi
+eq9=$(grep -oE '"fabric_eq9_bytes": *"[0-9]+"' CAMPAIGN_fabric.json \
+  | grep -oE '[0-9]+"' | tr -d '"')
+got=$(grep -oE '"fabric_delivered_bytes": *"[0-9]+"' CAMPAIGN_fabric.json \
+  | grep -oE '[0-9]+"' | tr -d '"')
+if [ -z "$eq9" ] || [ "$eq9" != "$got" ]; then
+  echo "ERROR: committed CAMPAIGN_fabric.json delivered bytes '$got' != Eq. 9 total '$eq9'" >&2
+  exit 1
+fi
+if ! grep -oE '"fabric_contention_slowdown": *"[0-9.]+"' CAMPAIGN_fabric.json \
+    | grep -oE '[0-9.]+"' | tr -d '"' | awk '{ exit !($1 > 1.01) }'; then
+  echo "ERROR: committed CAMPAIGN_fabric.json lacks a measurable contention slowdown" >&2
+  exit 1
+fi
+echo "fabric smoke: OK (delivered bytes == Eq. 9 total $eq9; worker-count invariant)"
+
 echo "== sched scale smoke: bench_sched (RT_BENCH_FAST=1)"
 # The million-job scheduler path, smoke-sized: the binary itself exits
 # non-zero on zero/non-finite events-per-sec, missing outcomes, or a

@@ -20,9 +20,13 @@
 //! * [`core`] — the paper's contribution: direct and generalized
 //!   performance models, the CSP Option Dashboard, cost optimizers, job
 //!   guards and the iterative refinement loop.
+//! * [`fabric`] — the route-aware interconnect fabric: fat-tree,
+//!   placement-group, and spread topologies with per-link bandwidth and
+//!   deterministic fair-share contention for the Eq. 9 halo traffic.
 //! * [`sched`] — the discrete-event campaign scheduler that runs the
 //!   predict → run → guard → refine loop end-to-end over many jobs on
-//!   capacity-limited platform pools.
+//!   capacity-limited platform pools (with shared-fabric cross-job
+//!   contention on routed pools).
 //! * [`obs`] — the deterministic metrics + tracing layer the runtime,
 //!   solver, and scheduler record into (byte-reproducible snapshots).
 //!
@@ -48,6 +52,7 @@
 pub use hemocloud_cluster as cluster;
 pub use hemocloud_core as core;
 pub use hemocloud_decomp as decomp;
+pub use hemocloud_fabric as fabric;
 pub use hemocloud_fitting as fitting;
 pub use hemocloud_geometry as geometry;
 pub use hemocloud_lbm as lbm;
@@ -58,8 +63,12 @@ pub use hemocloud_sched as sched;
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
     pub use hemocloud_cluster::{
-        exec::SimulatedRun, platform::Platform, pricing::PriceSheet,
+        exec::SimulatedRun,
+        platform::Platform,
+        pricing::PriceSheet,
+        topology::{build_topology, CommModel, PlatformTopology, TopologyVariant},
     };
+    pub use hemocloud_fabric::{exchange, ExchangeOutcome, Flow, LinkId, Topology};
     pub use hemocloud_core::{
         characterize::{characterize, PlatformCharacterization},
         dashboard::{Dashboard, DashboardEntry, Objective},

@@ -7,17 +7,24 @@
 //! Beyond the headline solver number, the baseline now sweeps every
 //! runtime kernel configuration of the sparse solver (AB/AA × AoS/SoA)
 //! crossed with three traversal configurations (natural, morton, tuned)
-//! and records, per row: measured MFLUPS, the Eq. 9 *modeled* bytes per
-//! update, the *implied* bytes per update (measured update time × the
-//! STREAM bandwidth whose shape matches the propagation pattern — Triad
-//! for AB pull, the Copy/Triad mean for AA's alternating pair), and their
-//! ratio `measured_over_modeled`, computed once and reused everywhere —
-//! so the committed JSON shows the AB→AA speedup, the traversal effect,
-//! and how tight the byte model tracks the machine. It also runs the
-//! AA/AB moment-equivalence smoke (AA natural-order moments vs AB
-//! post-stream moments) plus a bitwise default-vs-tuned-traversal
-//! equality check, and refuses to write a baseline where either
-//! disagrees.
+//! at f64, plus the four f32-storage configs at natural order, and
+//! records, per row: the resolved SIMD instruction path (`"avx2"`,
+//! `"scalar-lanes"`, or `"scalar"` — `RT_SIMD` overrides it
+//! process-wide), best-of-3 measured MFLUPS, the Eq. 9 *modeled* bytes
+//! per update, the *implied* bytes per update (measured update time ×
+//! the STREAM bandwidth whose shape matches the propagation pattern —
+//! Triad for AB pull, the Copy/Triad mean for AA's alternating pair),
+//! and their ratio `measured_over_modeled`, computed once and reused
+//! everywhere — so the committed JSON shows the AB→AA speedup, the
+//! traversal effect, the vectorization effect, and how tight the byte
+//! model tracks the machine (`"best"` ranks the f64 rows only, keeping
+//! the headline comparable across baselines). It also runs the AA/AB
+//! moment-equivalence smoke (AA natural-order moments vs AB post-stream
+//! moments), a bitwise default-vs-tuned-traversal equality check, a
+//! bitwise forced-scalar-vs-forced-vector equality check over every
+//! kernel config, an f32-vs-f64 macroscopic accuracy bound, and a
+//! `KernelSelect::Auto` provenance sweep — and refuses to write a
+//! baseline where any disagrees.
 //!
 //! * `RT_BENCH_FAST=1` shrinks the mesh, array sizes, and sample counts
 //!   so CI can smoke-run it in seconds (`scripts/verify.sh` does).
@@ -37,10 +44,12 @@ use hemocloud_bench::provenance;
 use hemocloud_geometry::anatomy::CylinderSpec;
 use hemocloud_geometry::stats::GeometryStats;
 use hemocloud_lbm::access_profile::{average_solid_links, AccessProfile};
-use hemocloud_lbm::kernel::{KernelConfig, Layout, Propagation, StreamReference};
+use hemocloud_lbm::kernel::{
+    KernelConfig, KernelSelect, Layout, Precision, Propagation, SimdPath, StreamReference,
+};
 use hemocloud_lbm::mesh::FluidMesh;
 use hemocloud_lbm::ranked::{RankAssignment, RankedSolver};
-use hemocloud_lbm::solver::{Solver, SolverConfig};
+use hemocloud_lbm::solver::{AutotuneReport, Solver, SolverConfig};
 use hemocloud_lbm::traversal::TraversalConfig;
 use hemocloud_microbench::stream::{stream_kernel, StreamKernel, StreamMeasurement};
 use hemocloud_rt::bench::sample_stats;
@@ -54,6 +63,10 @@ fn fast_mode() -> bool {
 struct KernelRow {
     config: KernelConfig,
     traversal: TraversalConfig,
+    /// Instruction path the dispatcher resolved for this row
+    /// (`"avx2"`, `"scalar-lanes"`, or `"scalar"`) — provenance for the
+    /// committed numbers; overridable process-wide via `RT_SIMD`.
+    simd: &'static str,
     mflups: f64,
     ns_per_update: f64,
     /// Eq. 9 bytes per fluid-point update for this config on this mesh.
@@ -83,6 +96,18 @@ struct Baseline {
     /// stealing) produced bit-identical distributions to the default
     /// natural-order solver over the instrumented pass.
     traversal_bitwise_equal: bool,
+    /// Whether the forced-vector solver produced bit-identical f64
+    /// distributions to the forced-scalar solver, for every kernel
+    /// configuration — the vectorization contract, witnessed in the
+    /// committed record and grep-gated by `scripts/verify.sh`.
+    simd_bitwise_equal: bool,
+    /// Max macroscopic-moment difference between the f32-storage solver
+    /// and its f64 twin after the fixed check run — the single-precision
+    /// accuracy witness.
+    f32_f64_moment_max_diff: f64,
+    /// Construction-time autotune sweep of the default kernel
+    /// (`KernelSelect::Auto`): every timed candidate plus the winner.
+    autotune: Option<AutotuneReport>,
     pool_spawned: usize,
     pool_jobs: u64,
     /// Global-registry snapshot captured after the fixed-step instrumented
@@ -122,6 +147,64 @@ fn aa_ab_moment_max_diff(mesh: &FluidMesh, steps: u64) -> f64 {
     for cell in 0..mesh.len() {
         let (r0, x0, y0, z0) = ab.post_stream_macroscopics(cell);
         let (r1, x1, y1, z1) = aa.macroscopics(cell);
+        for d in [r0 - r1, x0 - x1, y0 - y1, z0 - z1] {
+            max_diff = max_diff.max(d.abs());
+        }
+    }
+    max_diff
+}
+
+/// `true` iff, for every kernel configuration, `steps` (even) steps under
+/// `SimdPath::Vector` produce bit-identical f64 distributions to the same
+/// run under `SimdPath::Scalar` — the tentpole guarantee of the explicit
+/// vectorization, checked here on the real bench geometry so the committed
+/// JSON is a durable witness.
+fn simd_bitwise_equal(mesh: &FluidMesh, steps: u64) -> bool {
+    assert!(steps % 2 == 0, "AA comparison needs an even step count");
+    sparse_configs().iter().all(|&kernel| {
+        let run = |simd: SimdPath| {
+            let mut s = Solver::new(
+                mesh.clone(),
+                SolverConfig {
+                    kernel,
+                    simd,
+                    ..Default::default()
+                },
+            );
+            s.run(steps);
+            s
+        };
+        let scalar = run(SimdPath::Scalar);
+        let vector = run(SimdPath::Vector);
+        scalar.distributions() == vector.distributions()
+    })
+}
+
+/// Max component-wise macroscopic difference between an f32-storage solver
+/// and its f64 twin (same AB/SoA kernel, same steps) — the accuracy bound
+/// single precision must hold to earn its halved resident footprint.
+fn f32_f64_moment_max_diff(mesh: &FluidMesh, steps: u64) -> f64 {
+    let run = |precision: Precision| {
+        let mut s = Solver::new(
+            mesh.clone(),
+            SolverConfig {
+                kernel: KernelConfig::sparse_with_precision(
+                    Propagation::Ab,
+                    Layout::Soa,
+                    precision,
+                ),
+                ..Default::default()
+            },
+        );
+        s.run(steps);
+        s
+    };
+    let double = run(Precision::Double);
+    let single = run(Precision::Single);
+    let mut max_diff = 0.0f64;
+    for cell in 0..mesh.len() {
+        let (r0, x0, y0, z0) = double.macroscopics(cell);
+        let (r1, x1, y1, z1) = single.macroscopics(cell);
         for d in [r0 - r1, x0 - x1, y0 - y1, z0 - z1] {
             max_diff = max_diff.max(d.abs());
         }
@@ -199,52 +282,77 @@ fn measure() -> Baseline {
     let copy_gb_s = stream[0].bandwidth_mb_s / 1e3;
     let triad_gb_s = stream[1].bandwidth_mb_s / 1e3;
 
-    // Sweep every runtime kernel config × three traversal configs. Steps
-    // are timed in pairs so AA (whose even/odd steps do different work and
-    // must end in natural order) is measured over a full cycle, and AB
-    // identically for fairness. Row 0 stays the HARVEY default
-    // (AB/AoS/natural) so the headline is comparable across baselines.
+    // Sweep every runtime kernel config × three traversal configs at f64,
+    // plus the four f32-storage configs at natural order. Steps are timed
+    // in pairs so AA (whose even/odd steps do different work and must end
+    // in natural order) is measured over a full cycle, and AB identically
+    // for fairness. Each row is best-of-3: after the warm-up pass, the
+    // timed sampling repeats three times and the fastest attempt wins —
+    // the minimum is the attempt least disturbed by the host, which is
+    // the right statistic for a bandwidth-bound kernel on a shared box.
+    // Row 0 stays the HARVEY default (AB/AoS/natural) so the headline is
+    // comparable across baselines.
     let traversals = [
         TraversalConfig::natural(),
         TraversalConfig::morton(),
         TraversalConfig::tuned(),
     ];
-    let samples = if fast { 6 } else { 10 };
-    let mut kernels: Vec<KernelRow> = Vec::new();
+    let mut rows: Vec<(KernelConfig, TraversalConfig)> = Vec::new();
     for config in sparse_configs() {
         for traversal in traversals {
-            let mut solver = Solver::new(
-                mesh.clone(),
-                SolverConfig {
-                    kernel: config,
-                    traversal,
-                    ..Default::default()
-                },
-            );
-            solver.run(2); // warm: touch every resident array
+            rows.push((config, traversal));
+        }
+    }
+    for config in sparse_configs() {
+        rows.push((
+            KernelConfig::sparse_with_precision(
+                config.propagation,
+                config.layout,
+                Precision::Single,
+            ),
+            TraversalConfig::natural(),
+        ));
+    }
+    let attempts = 3; // best-of-3 per row
+    let samples = if fast { 2 } else { 4 };
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for (config, traversal) in rows {
+        let mut solver = Solver::new(
+            mesh.clone(),
+            SolverConfig {
+                kernel: config,
+                traversal,
+                ..Default::default()
+            },
+        );
+        let simd = solver.simd_label();
+        solver.run(2); // warm: touch every resident array
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..attempts {
             let st = sample_stats(samples, |b| {
                 b.iter(|| {
                     solver.step();
                     solver.step();
                 })
             });
-            let ns_per_update = st.median_ns / 2.0 / mesh_cells as f64;
-            let profile = AccessProfile::for_kernel(&config, avg_links);
-            let modeled_bytes_per_update = profile.bytes_per_point(&stats);
-            let stream_ref = config.propagation.stream_reference();
-            let implied_bytes_per_update =
-                stream_ref.gb_s(copy_gb_s, triad_gb_s) * ns_per_update;
-            kernels.push(KernelRow {
-                config,
-                traversal,
-                mflups: 1e3 / ns_per_update,
-                ns_per_update,
-                modeled_bytes_per_update,
-                stream_ref,
-                implied_bytes_per_update,
-                measured_over_modeled: implied_bytes_per_update / modeled_bytes_per_update,
-            });
+            best_ns = best_ns.min(st.median_ns);
         }
+        let ns_per_update = best_ns / 2.0 / mesh_cells as f64;
+        let profile = AccessProfile::for_kernel(&config, avg_links);
+        let modeled_bytes_per_update = profile.bytes_per_point(&stats);
+        let stream_ref = config.propagation.stream_reference();
+        let implied_bytes_per_update = stream_ref.gb_s(copy_gb_s, triad_gb_s) * ns_per_update;
+        kernels.push(KernelRow {
+            config,
+            traversal,
+            simd,
+            mflups: 1e3 / ns_per_update,
+            ns_per_update,
+            modeled_bytes_per_update,
+            stream_ref,
+            implied_bytes_per_update,
+            measured_over_modeled: implied_bytes_per_update / modeled_bytes_per_update,
+        });
     }
 
     // Headline solver numbers = the HARVEY default config's row.
@@ -253,6 +361,22 @@ fn measure() -> Baseline {
     let ns_per_step = ab_row.ns_per_update * mesh_cells as f64;
 
     let moment_diff = aa_ab_moment_max_diff(&mesh, 8);
+    let simd_equal = simd_bitwise_equal(&mesh, if fast { 6 } else { 12 });
+    let f32_diff = f32_f64_moment_max_diff(&mesh, if fast { 20 } else { 50 });
+
+    // Autotune provenance: a `KernelSelect::Auto` construction on the
+    // default kernel, recording every timed `simd × traversal` candidate
+    // and the winner. The choice is wall-clock only — all candidates
+    // compute identical bits — so this is provenance, not physics.
+    let autotune = Solver::new(
+        mesh.clone(),
+        SolverConfig {
+            select: KernelSelect::Auto,
+            ..Default::default()
+        },
+    )
+    .autotune_report()
+    .cloned();
 
     let pool = pool::global();
     Baseline {
@@ -264,6 +388,9 @@ fn measure() -> Baseline {
         kernels,
         aa_ab_moment_max_diff: moment_diff,
         traversal_bitwise_equal,
+        simd_bitwise_equal: simd_equal,
+        f32_f64_moment_max_diff: f32_diff,
+        autotune,
         pool_spawned: pool.spawned_threads(),
         pool_jobs: pool.jobs_run(),
         obs,
@@ -291,9 +418,10 @@ fn to_json(b: &Baseline) -> String {
     for (i, k) in b.kernels.iter().enumerate() {
         let comma = if i + 1 < b.kernels.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"config\": \"{}\", \"traversal\": \"{}\", \"mflups\": {:.3}, \"ns_per_update\": {:.3}, \"modeled_bytes_per_update\": {:.3}, \"stream_ref\": \"{}\", \"implied_bytes_per_update\": {:.3}, \"measured_over_modeled\": {:.4}}}{comma}\n",
+            "    {{\"config\": \"{}\", \"traversal\": \"{}\", \"simd\": \"{}\", \"mflups\": {:.3}, \"ns_per_update\": {:.3}, \"modeled_bytes_per_update\": {:.3}, \"stream_ref\": \"{}\", \"implied_bytes_per_update\": {:.3}, \"measured_over_modeled\": {:.4}}}{comma}\n",
             k.config.name(),
             k.traversal.name(),
+            k.simd,
             k.mflups,
             k.ns_per_update,
             k.modeled_bytes_per_update,
@@ -303,23 +431,60 @@ fn to_json(b: &Baseline) -> String {
         ));
     }
     s.push_str("  ],\n");
-    if let Some(best) = b.kernels.iter().max_by(|a, c| a.mflups.total_cmp(&c.mflups)) {
+    // `best` ranks the f64 rows only: the f32 rows trade precision for
+    // bandwidth and would otherwise win by construction, breaking the
+    // cross-baseline comparability of the headline ratio.
+    if let Some(best) = b
+        .kernels
+        .iter()
+        .filter(|k| k.config.precision == Precision::Double)
+        .max_by(|a, c| a.mflups.total_cmp(&c.mflups))
+    {
         s.push_str(&format!(
-            "  \"best\": {{\"config\": \"{}\", \"traversal\": \"{}\", \"stealing\": {}, \"mflups\": {:.3}, \"measured_over_modeled\": {:.4}}},\n",
+            "  \"best\": {{\"config\": \"{}\", \"traversal\": \"{}\", \"simd\": \"{}\", \"stealing\": {}, \"mflups\": {:.3}, \"measured_over_modeled\": {:.4}}},\n",
             best.config.name(),
             best.traversal.name(),
+            best.simd,
             best.traversal.stealing,
             best.mflups,
             best.measured_over_modeled,
         ));
+    }
+    if let Some(auto) = &b.autotune {
+        s.push_str("  \"autotune\": {\n");
+        s.push_str(&format!(
+            "    \"simd\": \"{}\", \"traversal\": \"{}\",\n",
+            auto.simd.label(),
+            auto.traversal.name(),
+        ));
+        s.push_str("    \"candidates\": [\n");
+        for (i, c) in auto.candidates.iter().enumerate() {
+            let comma = if i + 1 < auto.candidates.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"simd\": \"{}\", \"traversal\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
+                c.simd.label(),
+                c.traversal,
+                c.seconds,
+            ));
+        }
+        s.push_str("    ]\n");
+        s.push_str("  },\n");
     }
     s.push_str(&format!(
         "  \"traversal_bitwise_equal\": {},\n",
         b.traversal_bitwise_equal
     ));
     s.push_str(&format!(
+        "  \"simd_bitwise_equal\": {},\n",
+        b.simd_bitwise_equal
+    ));
+    s.push_str(&format!(
         "  \"aa_ab_moment_max_diff\": {:e},\n",
         b.aa_ab_moment_max_diff
+    ));
+    s.push_str(&format!(
+        "  \"f32_f64_moment_max_diff\": {:e},\n",
+        b.f32_f64_moment_max_diff
     ));
     s.push_str("  \"stream\": [\n");
     for (i, m) in b.stream.iter().enumerate() {
@@ -377,6 +542,25 @@ fn main() {
             "tuned traversal diverged bitwise from the default-order solver".to_string(),
         );
     }
+    if !baseline.simd_bitwise_equal {
+        failures.push(
+            "vectorized solver diverged bitwise from the scalar solver".to_string(),
+        );
+    }
+    if !(baseline.f32_f64_moment_max_diff <= 1e-3) {
+        failures.push(format!(
+            "f32 storage diverged from f64 by {} (bound 1e-3)",
+            baseline.f32_f64_moment_max_diff
+        ));
+    }
+    match &baseline.autotune {
+        Some(auto) if auto.candidates.len() >= 4 => {}
+        Some(auto) => failures.push(format!(
+            "autotune sweep timed only {} candidates",
+            auto.candidates.len()
+        )),
+        None => failures.push("autotune sweep produced no report".to_string()),
+    }
 
     let json = to_json(&baseline);
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_lbm.json".to_string());
@@ -396,9 +580,10 @@ fn main() {
     );
     for k in &baseline.kernels {
         println!(
-            "bench_baseline: {:<22} {:<24} {:>8.2} MFLUPS  modeled {:>6.1} B/update  implied {:>6.1} B/update vs {} (x{:.2})",
+            "bench_baseline: {:<22} {:<24} {:<12} {:>8.2} MFLUPS  modeled {:>6.1} B/update  implied {:>6.1} B/update vs {} (x{:.2})",
             k.config.name(),
             k.traversal.name(),
+            k.simd,
             k.mflups,
             k.modeled_bytes_per_update,
             k.implied_bytes_per_update,
@@ -406,9 +591,21 @@ fn main() {
             k.measured_over_modeled,
         );
     }
+    if let Some(auto) = &baseline.autotune {
+        println!(
+            "bench_baseline: autotune picked {} / {} from {} candidates",
+            auto.simd.label(),
+            auto.traversal.name(),
+            auto.candidates.len(),
+        );
+    }
     println!(
         "bench_baseline: AA/AB moment max diff {:.2e}; tuned traversal bitwise equal: {}",
         baseline.aa_ab_moment_max_diff, baseline.traversal_bitwise_equal
+    );
+    println!(
+        "bench_baseline: SIMD bitwise equal: {}; f32 vs f64 moment max diff {:.2e}",
+        baseline.simd_bitwise_equal, baseline.f32_f64_moment_max_diff
     );
     println!("bench_baseline: wrote {path}");
 

@@ -187,6 +187,38 @@ mod tests {
     }
 
     #[test]
+    fn for_solver_prices_single_precision_end_to_end() {
+        use hemocloud_lbm::kernel::Precision;
+        use hemocloud_lbm::solver::SolverConfig;
+        let g = CylinderSpec::default().with_resolution(8).build();
+        let f32_cfg = SolverConfig {
+            kernel: KernelConfig::sparse_with_precision(
+                Propagation::Ab,
+                Layout::Soa,
+                Precision::Single,
+            ),
+            ..Default::default()
+        };
+        let f64_cfg = SolverConfig {
+            kernel: KernelConfig::sparse(Propagation::Ab, Layout::Soa),
+            ..Default::default()
+        };
+        let single = Workload::for_solver(&g, &f32_cfg, 10);
+        let double = Workload::for_solver(&g, &f64_cfg, 10);
+        // Pinned resident footprints: AB f32 = 2×19×4 + 19×4 = 228 B/point
+        // (exactly AA f64), AB f64 = 380 B/point.
+        assert_eq!(single.kernel.resident_bytes_per_point(), 228.0);
+        assert_eq!(double.kernel.resident_bytes_per_point(), 380.0);
+        // Distribution traffic halves; index traffic (19 × 4 B per bulk
+        // point, both reads) does not — so per-step bytes shrink by
+        // exactly 19 × 8 × points' worth on bulk cells.
+        assert!(single.serial_bytes < double.serial_bytes);
+        let bulk_delta = double.profile.bulk_bytes - single.profile.bulk_bytes;
+        assert!((bulk_delta - 19.0 * 8.0).abs() < 1e-12);
+        assert_eq!(single.profile.boundary_point_bytes, 20.0);
+    }
+
+    #[test]
     fn aa_workload_reads_fewer_bytes_than_ab() {
         let g = CylinderSpec::default().with_resolution(8).build();
         let ab = Workload::proxy(

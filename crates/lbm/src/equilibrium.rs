@@ -16,55 +16,97 @@
 //! permutations) are unaffected; only the fixed association itself differs
 //! from the historical left-to-right fold.
 
-use crate::lattice::{CXF, CYF, CZF, Q19, W19};
+use crate::lattice::Q19;
+use crate::real::Real;
+use hemocloud_rt::simd::Lane;
 
-/// Fixed-tree sum of 19 values: pairwise over the first 16, a small tree
-/// over the 3-element tail, one combining add. Deterministic association,
-/// ~4x shorter floating-point dependency chain than a left fold.
+/// Fixed-tree sum of 19 lane values: pairwise over the first 16, a small
+/// tree over the 3-element tail, one combining add. Deterministic
+/// association, ~4x shorter floating-point dependency chain than a left
+/// fold. Lane-generic: instantiated at `V = f64` this *is* the historical
+/// scalar tree; at a wide lane it runs the same tree per lane, so each
+/// lane's bits equal the scalar result.
 #[inline(always)]
-fn sum19(v: &[f64; Q19]) -> f64 {
+pub(crate) fn sum19_v<R: Real, V: Lane<R>>(v: &[V; Q19]) -> V {
     let a = ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
     let b = ((v[8] + v[9]) + (v[10] + v[11])) + ((v[12] + v[13]) + (v[14] + v[15]));
     let c = (v[16] + v[17]) + v[18];
     (a + b) + c
 }
 
-/// Compute `f_i^eq` for all 19 directions into `out`.
+/// Lane-generic `f_i^eq`: the exact expression tree of the scalar
+/// [`equilibrium_d3q19`], evaluated elementwise per lane (no FMA, no
+/// reassociation — the constants are splatted, every op is `Lane`'s
+/// IEEE elementwise arithmetic).
+#[inline(always)]
+pub(crate) fn equilibrium_v<R: Real, V: Lane<R>>(rho: V, ux: V, uy: V, uz: V, out: &mut [V; Q19]) {
+    let usq = V::splat(R::from_f64(1.5)) * (ux * ux + uy * uy + uz * uz);
+    let one = V::splat(R::ONE);
+    let three = V::splat(R::from_f64(3.0));
+    let c45 = V::splat(R::from_f64(4.5));
+    for q in 0..Q19 {
+        let cu = V::splat(R::CXF[q]) * ux + V::splat(R::CYF[q]) * uy + V::splat(R::CZF[q]) * uz;
+        out[q] = V::splat(R::W19[q]) * rho * (one + three * cu + c45 * cu * cu - usq);
+    }
+}
+
+/// Lane-generic density and momentum moments: `(ρ, ρu_x, ρu_y, ρu_z)`.
+#[inline(always)]
+pub(crate) fn moments_v<R: Real, V: Lane<R>>(f: &[V; Q19]) -> (V, V, V, V) {
+    let mut tx = [V::splat(R::ZERO); Q19];
+    let mut ty = [V::splat(R::ZERO); Q19];
+    let mut tz = [V::splat(R::ZERO); Q19];
+    for q in 0..Q19 {
+        let v = f[q];
+        tx[q] = v * V::splat(R::CXF[q]);
+        ty[q] = v * V::splat(R::CYF[q]);
+        tz[q] = v * V::splat(R::CZF[q]);
+    }
+    (
+        sum19_v::<R, V>(f),
+        sum19_v::<R, V>(&tx),
+        sum19_v::<R, V>(&ty),
+        sum19_v::<R, V>(&tz),
+    )
+}
+
+/// Lane-generic density and velocity: `(ρ, u_x, u_y, u_z)`.
+#[inline(always)]
+pub(crate) fn macroscopics_v<R: Real, V: Lane<R>>(f: &[V; Q19]) -> (V, V, V, V) {
+    let (rho, jx, jy, jz) = moments_v::<R, V>(f);
+    let inv = V::splat(R::ONE) / rho;
+    (rho, jx * inv, jy * inv, jz * inv)
+}
+
+/// Compute `f_i^eq` for all 19 directions into `out`. (The `V = f64`
+/// instantiation of `equilibrium_v` — same expression tree, same bits,
+/// as the pinned tests below verify against literal transcriptions.)
 #[inline]
 pub fn equilibrium_d3q19(rho: f64, ux: f64, uy: f64, uz: f64, out: &mut [f64; Q19]) {
-    let usq = 1.5 * (ux * ux + uy * uy + uz * uz);
-    for q in 0..Q19 {
-        let cu = CXF[q] * ux + CYF[q] * uy + CZF[q] * uz;
-        out[q] = W19[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq);
-    }
+    equilibrium_v::<f64, f64>(rho, ux, uy, uz, out);
 }
 
 /// Density and momentum moments of a distribution: `(ρ, ρu_x, ρu_y, ρu_z)`.
 #[inline]
 pub fn moments_d3q19(f: &[f64; Q19]) -> (f64, f64, f64, f64) {
-    let mut tx = [0.0f64; Q19];
-    let mut ty = [0.0f64; Q19];
-    let mut tz = [0.0f64; Q19];
-    for q in 0..Q19 {
-        let v = f[q];
-        tx[q] = v * CXF[q];
-        ty[q] = v * CYF[q];
-        tz[q] = v * CZF[q];
-    }
-    (sum19(f), sum19(&tx), sum19(&ty), sum19(&tz))
+    moments_v::<f64, f64>(f)
 }
 
 /// Density and velocity of a distribution: `(ρ, u_x, u_y, u_z)`.
 #[inline]
 pub fn macroscopics_d3q19(f: &[f64; Q19]) -> (f64, f64, f64, f64) {
-    let (rho, jx, jy, jz) = moments_d3q19(f);
-    let inv = 1.0 / rho;
-    (rho, jx * inv, jy * inv, jz * inv)
+    macroscopics_v::<f64, f64>(f)
+}
+
+#[cfg(test)]
+fn sum19(v: &[f64; Q19]) -> f64 {
+    sum19_v::<f64, f64>(v)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lattice::W19;
 
     #[test]
     fn equilibrium_conserves_mass_and_momentum() {
@@ -123,5 +165,78 @@ mod tests {
         let tree = sum19(&f);
         assert!((fold - tree).abs() < 1e-13 * fold.abs());
         assert_eq!(tree.to_bits(), sum19(&f).to_bits());
+    }
+
+    #[test]
+    fn generic_f64_instantiation_matches_literal_transcription_bitwise() {
+        // Pin the lane-generic bodies against a literal re-transcription of
+        // the historical scalar expressions: if a refactor ever changes an
+        // association or introduces a fused op, this catches it at V = f64.
+        use crate::lattice::{CXF, CYF, CZF, W19};
+        let (rho, ux, uy, uz) = (1.0734f64, 0.0451, -0.0212, 0.0333);
+        let mut out = [0.0f64; Q19];
+        equilibrium_d3q19(rho, ux, uy, uz, &mut out);
+        let usq = 1.5 * (ux * ux + uy * uy + uz * uz);
+        for q in 0..Q19 {
+            let cu = CXF[q] * ux + CYF[q] * uy + CZF[q] * uz;
+            let want = W19[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq);
+            assert_eq!(out[q].to_bits(), want.to_bits(), "q={q}");
+        }
+        let (r, jx, jy, jz) = moments_d3q19(&out);
+        let mut tx = [0.0f64; Q19];
+        let mut ty = [0.0f64; Q19];
+        let mut tz = [0.0f64; Q19];
+        for q in 0..Q19 {
+            tx[q] = out[q] * CXF[q];
+            ty[q] = out[q] * CYF[q];
+            tz[q] = out[q] * CZF[q];
+        }
+        assert_eq!(r.to_bits(), sum19(&out).to_bits());
+        assert_eq!(jx.to_bits(), sum19(&tx).to_bits());
+        assert_eq!(jy.to_bits(), sum19(&ty).to_bits());
+        assert_eq!(jz.to_bits(), sum19(&tz).to_bits());
+        let (r2, vx, _, _) = macroscopics_d3q19(&out);
+        assert_eq!(r2.to_bits(), r.to_bits());
+        assert_eq!(vx.to_bits(), (jx * (1.0 / r)).to_bits());
+    }
+
+    #[test]
+    fn wide_lanes_match_scalar_bitwise_per_lane() {
+        // Four cells with different states through the vector equilibrium +
+        // moments: each lane must carry exactly the scalar result — for the
+        // portable array lane AND the accelerated lane.
+        use hemocloud_rt::simd::{ArrLane, F64x4};
+        let rho = [1.0f64, 1.05, 0.97, 1.101];
+        let ux = [0.01f64, -0.03, 0.05, 0.0];
+        let uy = [0.0f64, 0.02, -0.01, 0.04];
+        let uz = [0.03f64, 0.0, 0.01, -0.02];
+
+        fn check<V: Lane<f64>>(rho: &[f64], ux: &[f64], uy: &[f64], uz: &[f64]) {
+            let mut veq = [V::splat(0.0); Q19];
+            equilibrium_v::<f64, V>(
+                V::load(rho),
+                V::load(ux),
+                V::load(uy),
+                V::load(uz),
+                &mut veq,
+            );
+            let (vr, vx, vy, vz) = macroscopics_v::<f64, V>(&veq);
+            let mut buf = [0.0f64; 4];
+            for lane in 0..V::WIDTH {
+                let mut seq = [0.0f64; Q19];
+                equilibrium_d3q19(rho[lane], ux[lane], uy[lane], uz[lane], &mut seq);
+                for q in 0..Q19 {
+                    veq[q].store(&mut buf);
+                    assert_eq!(buf[lane].to_bits(), seq[q].to_bits(), "lane {lane} q {q}");
+                }
+                let (sr, sx, sy, sz) = macroscopics_d3q19(&seq);
+                for (v, s) in [(vr, sr), (vx, sx), (vy, sy), (vz, sz)] {
+                    v.store(&mut buf);
+                    assert_eq!(buf[lane].to_bits(), s.to_bits(), "lane {lane}");
+                }
+            }
+        }
+        check::<ArrLane<f64, 4>>(&rho, &ux, &uy, &uz);
+        check::<F64x4>(&rho, &ux, &uy, &uz);
     }
 }

@@ -149,6 +149,56 @@ impl LayoutIdx for AosIdx {
     }
 }
 
+/// Whether the sparse solvers run the explicitly vectorized collide-stream
+/// path or the one-cell-at-a-time scalar loop. Both produce bitwise
+/// identical distributions (the vector path runs the exact per-cell
+/// expression tree, one cell per lane); the knob exists for A/B timing,
+/// for the benchmark's equivalence oracle, and as the autotuner's search
+/// axis. The `RT_SIMD` environment variable further selects *which* lane
+/// backend the vector path uses (AVX2 vs portable arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimdPath {
+    /// One cell at a time through the scalar kernel body.
+    Scalar,
+    /// Lane-width cells at a time through the fused vector kernel.
+    #[default]
+    Vector,
+}
+
+impl SimdPath {
+    /// Short label for provenance, e.g. `"vector"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Vector => "vector",
+        }
+    }
+}
+
+/// How the solver picks its execution strategy at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelSelect {
+    /// Run exactly what the config says ([`SimdPath`] + traversal).
+    #[default]
+    Fixed,
+    /// Time a short calibration burst over `simd × traversal` candidates
+    /// at construction and keep the fastest. Deterministic in *results*
+    /// (every candidate computes identical bits) but not in wall-clock,
+    /// so the choice is recorded in the solver's observability registry
+    /// and benchmark provenance rather than silently applied.
+    Auto,
+}
+
+impl KernelSelect {
+    /// Short label for provenance, e.g. `"auto"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelSelect::Fixed => "fixed",
+            KernelSelect::Auto => "auto",
+        }
+    }
+}
+
 /// Addressing scheme: dense grids use constant strides; sparse (HARVEY)
 /// meshes read a per-cell neighbor index row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -204,10 +254,21 @@ impl KernelConfig {
     /// (`propagation × layout`; [`Self::harvey`] is
     /// `sparse(Ab, Aos)`).
     pub fn sparse(propagation: Propagation, layout: Layout) -> Self {
+        Self::sparse_with_precision(propagation, layout, Precision::Double)
+    }
+
+    /// [`Self::sparse`] at an explicit storage precision. The runtime
+    /// solvers execute `Single` (f32 distributions) and `Double`; `Quad`
+    /// remains model-only.
+    pub fn sparse_with_precision(
+        propagation: Propagation,
+        layout: Layout,
+        precision: Precision,
+    ) -> Self {
         Self {
             layout,
             propagation,
-            precision: Precision::Double,
+            precision,
             addressing: Addressing::Indirect,
             unrolled: true,
         }
@@ -350,6 +411,43 @@ mod tests {
         // Dense proxy configs carry no index row.
         let dense = KernelConfig::proxy(Layout::Soa, Propagation::Aa, true);
         assert_eq!(dense.resident_bytes_per_point(), 152.0);
+    }
+
+    #[test]
+    fn single_precision_byte_model_is_pinned_end_to_end() {
+        // f32 halves only the distribution term; the u32 index row is
+        // precision-independent. AB f32: 2×19×4 + 76 = 228 (same resident
+        // footprint as AA f64); AA f32: 19×4 + 76 = 152 — below AA f64's
+        // 228 B/point, the headline of the Precision::Single path.
+        let ab32 = KernelConfig::sparse_with_precision(
+            Propagation::Ab,
+            Layout::Aos,
+            Precision::Single,
+        );
+        let aa32 = KernelConfig::sparse_with_precision(
+            Propagation::Aa,
+            Layout::Soa,
+            Precision::Single,
+        );
+        assert_eq!(ab32.resident_bytes_per_point(), 228.0);
+        assert_eq!(aa32.resident_bytes_per_point(), 152.0);
+        assert_eq!(ab32.name(), "AB/AOS/indirect/f32");
+        assert_eq!(aa32.name(), "AA/SOA/indirect/f32");
+        // Double-precision sparse constructor is unchanged by the refactor.
+        assert_eq!(
+            KernelConfig::sparse_with_precision(Propagation::Ab, Layout::Aos, Precision::Double),
+            KernelConfig::harvey()
+        );
+    }
+
+    #[test]
+    fn simd_and_select_labels() {
+        assert_eq!(SimdPath::default(), SimdPath::Vector);
+        assert_eq!(KernelSelect::default(), KernelSelect::Fixed);
+        assert_eq!(SimdPath::Scalar.label(), "scalar");
+        assert_eq!(SimdPath::Vector.label(), "vector");
+        assert_eq!(KernelSelect::Fixed.label(), "fixed");
+        assert_eq!(KernelSelect::Auto.label(), "auto");
     }
 
     #[test]

@@ -82,6 +82,26 @@ const fn c19_component(axis: usize) -> [f64; Q19] {
     a
 }
 
+/// [`W19`] narrowed to f32 (round-to-nearest once per weight) — the
+/// quadrature table the single-precision kernels use.
+pub const W19_F32: [f32; Q19] = narrow19(W19);
+/// [`CXF`] as f32 (exact: components are -1/0/1).
+pub const CXF32: [f32; Q19] = narrow19(CXF);
+/// [`CYF`] as f32 (exact).
+pub const CYF32: [f32; Q19] = narrow19(CYF);
+/// [`CZF`] as f32 (exact).
+pub const CZF32: [f32; Q19] = narrow19(CZF);
+
+const fn narrow19(a: [f64; Q19]) -> [f32; Q19] {
+    let mut out = [0.0f32; Q19];
+    let mut q = 0;
+    while q < Q19 {
+        out[q] = a[q] as f32;
+        q += 1;
+    }
+    out
+}
+
 /// Index of the direction opposite to `q` in [`C19`].
 #[inline]
 pub const fn opposite(q: usize) -> usize {

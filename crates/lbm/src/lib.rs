@@ -24,11 +24,13 @@ pub mod lattice;
 pub mod mesh;
 pub mod proxy;
 pub mod ranked;
+pub mod real;
 pub mod solver;
 pub mod traversal;
 
 pub use access_profile::AccessProfile;
-pub use kernel::{KernelConfig, Layout, Precision, Propagation, StreamReference};
+pub use kernel::{KernelConfig, KernelSelect, Layout, Precision, Propagation, SimdPath, StreamReference};
+pub use real::Real;
 pub use mesh::FluidMesh;
 pub use proxy::ProxyApp;
 pub use solver::{RunStats, Solver, SolverConfig};

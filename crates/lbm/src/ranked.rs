@@ -26,14 +26,18 @@
 //! [`crate::solver::Solver`]; the equivalence tests at the bottom are the
 //! core integration check between the LBM and decomposition machinery.
 
-use crate::kernel::{AosIdx, Layout, LayoutIdx, Propagation, SoaIdx};
+use crate::kernel::{AosIdx, Layout, LayoutIdx, Precision, Propagation, SoaIdx};
 use crate::lattice::{opposite, Q19};
 use crate::mesh::{FluidMesh, SOLID};
-use crate::solver::{bulk_out, dispatch_owner, flat_index, inlet_out, outlet_out, rest_distributions};
+use crate::solver::{
+    bulk_out, collide_bulk_group, dispatch_owner, flat_index, inlet_out, outlet_out, resolve_exec,
+    rest_distributions, ExecKind, VEC_MAXW,
+};
 use crate::traversal::{self, TraversalConfig};
 use hemocloud_geometry::voxel::CellType;
 use hemocloud_obs::{Counter, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
+use hemocloud_rt::simd::{Element, Lane};
 use std::sync::Arc;
 
 /// Assignment of fluid cells to ranks: `owner[cell]` is the rank index.
@@ -110,6 +114,9 @@ pub struct RankedSolver {
     parallel_threshold: usize,
     kernel: crate::kernel::KernelConfig,
     traversal: TraversalConfig,
+    /// Resolved execution strategy (scalar / portable lanes / AVX2 lanes),
+    /// same resolution as the global solver; bit-neutral either way.
+    exec: ExecKind,
     /// Traversal permutation: `order[p]` is the cell visited at position
     /// `p`. The per-rank sweep iterates positions, so ranks inherit the
     /// configured space-filling-curve order; the exchange schedule (and
@@ -138,6 +145,10 @@ impl RankedSolver {
     ) -> Self {
         assert_eq!(assignment.owner.len(), mesh.len(), "assignment size");
         assert!(config.tau > 0.5, "tau must exceed 1/2 for stability");
+        assert!(
+            config.kernel.precision == Precision::Double,
+            "ranked execution stores f64; other precisions are supported by the global Solver only"
+        );
         let n = mesh.len();
         let f = rest_distributions(config.kernel.layout, n);
         let f_tmp = match config.kernel.propagation {
@@ -192,6 +203,7 @@ impl RankedSolver {
             parallel_threshold: config.parallel_threshold,
             kernel: config.kernel,
             traversal: config.traversal,
+            exec: resolve_exec(config.simd),
             order,
             steps_taken: 0,
             ledgers,
@@ -242,22 +254,16 @@ impl RankedSolver {
         }
     }
 
-    /// One AB pull-scheme update for destination cell `cell`, reading
-    /// remote neighbors only from the halo snapshot. Pure in its inputs,
-    /// so the serial and pool-parallel sweeps are bit-identical.
-    #[allow(clippy::too_many_arguments)]
+    /// AB pull-scheme gather for destination cell `cell`, reading remote
+    /// neighbors only from the halo snapshot.
     #[inline]
-    fn ab_update_cell<L: LayoutIdx>(
+    fn ab_gather<L: LayoutIdx>(
         mesh: &FluidMesh,
         owner: &[u32],
         src: &[f64],
         halo: &[f64],
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
         cell: usize,
-        out: &DisjointMut<'_, f64>,
-    ) {
+    ) -> [f64; Q19] {
         let n = mesh.len();
         let me = owner[cell];
         let mut fin = [0.0f64; Q19];
@@ -272,6 +278,26 @@ impl RankedSolver {
                 src[L::at(nb as usize, q, n)]
             };
         }
+        fin
+    }
+
+    /// One AB pull-scheme update for destination cell `cell`. Pure in its
+    /// inputs, so the serial and pool-parallel sweeps are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn ab_update_cell<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        src: &[f64],
+        halo: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        out: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let fin = Self::ab_gather::<L>(mesh, owner, src, halo, cell);
         let fout = match mesh.cell_type(cell) {
             CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
             CellType::Outlet => outlet_out(&fin),
@@ -281,6 +307,72 @@ impl RankedSolver {
             // Safety: slot (cell, q) of the destination array belongs to
             // `cell` alone.
             unsafe { out.write(L::at(cell, q, n), fout[q]) };
+        }
+    }
+
+    /// Vectorized AB sweep over a position range: bulk cells buffer into
+    /// lane groups for the fused collide ([`collide_bulk_group`]);
+    /// inlet/outlet cells and the trailing partial group run scalar.
+    /// Deferring a buffered cell's write is safe — AB writes only the
+    /// destination array, which no gather reads — and bit-neutral: each
+    /// lane computes exactly the scalar expression tree.
+    #[allow(clippy::too_many_arguments)]
+    fn ab_range_vec<L: LayoutIdx, V: Lane<f64>>(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        src: &[f64],
+        halo: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        order: &[u32],
+        positions: std::ops::Range<usize>,
+        out: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let w = V::WIDTH;
+        debug_assert!(w <= VEC_MAXW);
+        let mut cells = [0usize; VEC_MAXW];
+        let mut fin = [[0.0f64; VEC_MAXW]; Q19];
+        let mut filled = 0usize;
+        for p in positions {
+            let cell = order[p] as usize;
+            match mesh.cell_type(cell) {
+                CellType::Inlet | CellType::Outlet => {
+                    Self::ab_update_cell::<L>(
+                        mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
+                    );
+                }
+                _ => {
+                    let g = Self::ab_gather::<L>(mesh, owner, src, halo, cell);
+                    for q in 0..Q19 {
+                        fin[q][filled] = g[q];
+                    }
+                    cells[filled] = cell;
+                    filled += 1;
+                    if filled == w {
+                        let rows = collide_bulk_group::<f64, V>(&fin, omega);
+                        for (lane, &cell) in cells.iter().enumerate().take(w) {
+                            for q in 0..Q19 {
+                                // Safety: slot (cell, q) belongs to `cell`.
+                                unsafe { out.write(L::at(cell, q, n), rows[q][lane]) };
+                            }
+                        }
+                        filled = 0;
+                    }
+                }
+            }
+        }
+        for lane in 0..filled {
+            let mut row = [0.0f64; Q19];
+            for q in 0..Q19 {
+                row[q] = fin[q][lane];
+            }
+            let fout = bulk_out(&row, omega);
+            for q in 0..Q19 {
+                // Safety: slot (cells[lane], q) belongs to that cell.
+                unsafe { out.write(L::at(cells[lane], q, n), fout[q]) };
+            }
         }
     }
 
@@ -312,23 +404,16 @@ impl RankedSolver {
         }
     }
 
-    /// One AA odd-step update: gather arriving values from `-c_q`
-    /// neighbors' opposite slots (remote neighbors via the halo snapshot),
-    /// collide, scatter forward into `+c_q` neighbors' slots — including
-    /// remote ones, the push half of the exchange. The touched slot set is
-    /// exactly this cell's AA-odd set, disjoint from every other cell's.
-    #[allow(clippy::too_many_arguments)]
+    /// AA odd-step gather: arriving values from `-c_q` neighbors' opposite
+    /// slots (remote neighbors via the halo snapshot).
     #[inline]
-    fn aa_odd_cell<L: LayoutIdx>(
+    fn aa_odd_gather<L: LayoutIdx>(
         mesh: &FluidMesh,
         owner: &[u32],
         halo: &[f64],
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
         cell: usize,
         f: &DisjointMut<'_, f64>,
-    ) {
+    ) -> [f64; Q19] {
         let n = mesh.len();
         let me = owner[cell];
         let row = mesh.neighbor_row(cell);
@@ -346,11 +431,22 @@ impl RankedSolver {
                 unsafe { f.read(L::at(nb as usize, opposite(q), n)) }
             };
         }
-        let fout = match mesh.cell_type(cell) {
-            CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
-            CellType::Outlet => outlet_out(&fin),
-            _ => bulk_out(&fin, omega),
-        };
+        fin
+    }
+
+    /// AA odd-step scatter: forward into `+c_q` neighbors' slots —
+    /// including remote ones, the push half of the exchange. The touched
+    /// slot set is exactly this cell's AA-odd set, disjoint from every
+    /// other cell's.
+    #[inline]
+    fn aa_odd_scatter<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        cell: usize,
+        fout: &[f64; Q19],
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let row = mesh.neighbor_row(cell);
         for q in 0..Q19 {
             let nb = row[q];
             // Safety: identical slot set as the gather, read before write.
@@ -359,6 +455,117 @@ impl RankedSolver {
             } else {
                 unsafe { f.write(L::at(nb as usize, q, n), fout[q]) };
             }
+        }
+    }
+
+    /// One AA odd-step update: gather, collide, scatter.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn aa_odd_cell<L: LayoutIdx>(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        halo: &[f64],
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        cell: usize,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let fin = Self::aa_odd_gather::<L>(mesh, owner, halo, cell, f);
+        let fout = match mesh.cell_type(cell) {
+            CellType::Inlet => inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            CellType::Outlet => outlet_out(&fin),
+            _ => bulk_out(&fin, omega),
+        };
+        Self::aa_odd_scatter::<L>(mesh, cell, &fout, f);
+    }
+
+    /// Vectorized AA sweep (either parity) over a position range: bulk
+    /// cells buffer into lane groups, boundary cells and the trailing
+    /// partial group run scalar. Deferring a buffered cell's writes past
+    /// later cells' gathers is safe because distinct cells' AA slot sets
+    /// are pairwise disjoint (solver module docs) — no gather can observe
+    /// a deferred write. Bit-neutral for the same reason as the global
+    /// solver's vector path.
+    #[allow(clippy::too_many_arguments)]
+    fn aa_range_vec<L: LayoutIdx, V: Lane<f64>>(
+        mesh: &FluidMesh,
+        owner: &[u32],
+        halo: &[f64],
+        even: bool,
+        omega: f64,
+        inlet_slot: &[u32],
+        inlet_vel: &[[f64; 3]],
+        order: &[u32],
+        positions: std::ops::Range<usize>,
+        f: &DisjointMut<'_, f64>,
+    ) {
+        let n = mesh.len();
+        let w = V::WIDTH;
+        debug_assert!(w <= VEC_MAXW);
+        let gather = |cell: usize| -> [f64; Q19] {
+            if even {
+                let mut fin = [0.0f64; Q19];
+                for (q, v) in fin.iter_mut().enumerate() {
+                    // Safety: slot (cell, q) belongs to `cell` this step.
+                    *v = unsafe { f.read(L::at(cell, q, n)) };
+                }
+                fin
+            } else {
+                Self::aa_odd_gather::<L>(mesh, owner, halo, cell, f)
+            }
+        };
+        let scatter = |cell: usize, fout: &[f64; Q19]| {
+            if even {
+                for q in 0..Q19 {
+                    // Safety: same per-cell slot set the reads used.
+                    unsafe { f.write(L::at(cell, opposite(q), n), fout[q]) };
+                }
+            } else {
+                Self::aa_odd_scatter::<L>(mesh, cell, fout, f);
+            }
+        };
+        let mut cells = [0usize; VEC_MAXW];
+        let mut fin = [[0.0f64; VEC_MAXW]; Q19];
+        let mut filled = 0usize;
+        for p in positions {
+            let cell = order[p] as usize;
+            match mesh.cell_type(cell) {
+                CellType::Inlet => {
+                    let g = gather(cell);
+                    scatter(cell, &inlet_out(&g, inlet_vel[inlet_slot[cell] as usize]));
+                }
+                CellType::Outlet => {
+                    let g = gather(cell);
+                    scatter(cell, &outlet_out(&g));
+                }
+                _ => {
+                    let g = gather(cell);
+                    for q in 0..Q19 {
+                        fin[q][filled] = g[q];
+                    }
+                    cells[filled] = cell;
+                    filled += 1;
+                    if filled == w {
+                        let rows = collide_bulk_group::<f64, V>(&fin, omega);
+                        for (lane, &cell) in cells.iter().enumerate().take(w) {
+                            let mut fout = [0.0f64; Q19];
+                            for q in 0..Q19 {
+                                fout[q] = rows[q][lane];
+                            }
+                            scatter(cell, &fout);
+                        }
+                        filled = 0;
+                    }
+                }
+            }
+        }
+        for lane in 0..filled {
+            let mut row = [0.0f64; Q19];
+            for q in 0..Q19 {
+                row[q] = fin[q][lane];
+            }
+            scatter(cells[lane], &bulk_out(&row, omega));
         }
     }
 
@@ -380,13 +587,24 @@ impl RankedSolver {
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
         let order = &self.order;
+        let exec = self.exec;
         let n = mesh.len();
         dispatch_owner(&trav, &mut self.f_tmp, n, workers, |positions, out| {
-            for p in positions {
-                let cell = order[p] as usize;
-                Self::ab_update_cell::<L>(
-                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
-                );
+            match exec {
+                ExecKind::Scalar => {
+                    for p in positions {
+                        let cell = order[p] as usize;
+                        Self::ab_update_cell::<L>(
+                            mesh, owner, src, halo, omega, inlet_slot, inlet_vel, cell, out,
+                        );
+                    }
+                }
+                ExecKind::VectorWide => Self::ab_range_vec::<L, <f64 as Element>::Wide>(
+                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, order, positions, out,
+                ),
+                ExecKind::VectorAccel => Self::ab_range_vec::<L, <f64 as Element>::Accel>(
+                    mesh, owner, src, halo, omega, inlet_slot, inlet_vel, order, positions, out,
+                ),
             }
         });
         std::mem::swap(&mut self.f, &mut self.f_tmp);
@@ -401,17 +619,28 @@ impl RankedSolver {
         let inlet_slot = &self.inlet_slot;
         let inlet_vel = &self.inlet_vel;
         let order = &self.order;
+        let exec = self.exec;
         let n = mesh.len();
         dispatch_owner(&trav, &mut self.f, n, workers, |positions, f| {
-            for p in positions {
-                let cell = order[p] as usize;
-                if even {
-                    Self::aa_even_cell::<L>(mesh, omega, inlet_slot, inlet_vel, cell, f);
-                } else {
-                    Self::aa_odd_cell::<L>(
-                        mesh, owner, halo, omega, inlet_slot, inlet_vel, cell, f,
-                    );
+            match exec {
+                ExecKind::Scalar => {
+                    for p in positions {
+                        let cell = order[p] as usize;
+                        if even {
+                            Self::aa_even_cell::<L>(mesh, omega, inlet_slot, inlet_vel, cell, f);
+                        } else {
+                            Self::aa_odd_cell::<L>(
+                                mesh, owner, halo, omega, inlet_slot, inlet_vel, cell, f,
+                            );
+                        }
+                    }
                 }
+                ExecKind::VectorWide => Self::aa_range_vec::<L, <f64 as Element>::Wide>(
+                    mesh, owner, halo, even, omega, inlet_slot, inlet_vel, order, positions, f,
+                ),
+                ExecKind::VectorAccel => Self::aa_range_vec::<L, <f64 as Element>::Accel>(
+                    mesh, owner, halo, even, omega, inlet_slot, inlet_vel, order, positions, f,
+                ),
             }
         });
     }
@@ -468,6 +697,13 @@ impl RankedSolver {
     /// The ownership assignment.
     pub fn assignment(&self) -> &RankAssignment {
         &self.assignment
+    }
+
+    /// The instruction path the per-rank sweeps execute (`"scalar"`,
+    /// `"scalar-lanes"`, or `"avx2"`) — same labels as
+    /// [`crate::solver::Solver::simd_label`].
+    pub fn simd_label(&self) -> &'static str {
+        self.exec.label()
     }
 
     /// Bytes resident in distribution arrays (`f` plus `f_tmp` when
@@ -666,6 +902,74 @@ mod tests {
                 assert_eq!(a, b, "pool-path ranked update diverged from serial");
             }
         }
+    }
+
+    #[test]
+    fn ranked_vector_path_is_bitwise_identical_to_scalar_for_every_kernel_config() {
+        // The ranked half of the vectorization oracle: buffered lane-group
+        // execution with halo-mediated gathers must reproduce the scalar
+        // per-cell sweep bit for bit — 13 steps covers both AA parities,
+        // multiple worker counts exercise partial groups at range edges.
+        use crate::kernel::SimdPath;
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse(prop, layout);
+                let assignment = slab_assignment(mesh.len(), 4);
+                let mut scalar = RankedSolver::new(
+                    mesh.clone(),
+                    assignment.clone(),
+                    SolverConfig {
+                        parallel: false,
+                        simd: SimdPath::Scalar,
+                        kernel,
+                        ..Default::default()
+                    },
+                );
+                for _ in 0..13 {
+                    scalar.step_with_workers(1);
+                }
+                for workers in [1usize, 2, 8] {
+                    let mut vector = RankedSolver::new(
+                        mesh.clone(),
+                        assignment.clone(),
+                        SolverConfig {
+                            parallel: false,
+                            simd: SimdPath::Vector,
+                            kernel,
+                            ..Default::default()
+                        },
+                    );
+                    for _ in 0..13 {
+                        vector.step_with_workers(workers);
+                    }
+                    assert_eq!(
+                        scalar.distributions(),
+                        vector.distributions(),
+                        "{prop:?}/{layout:?} ranked vector diverged at {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranked execution stores f64")]
+    fn single_precision_ranked_is_rejected() {
+        let mesh = cylinder_mesh();
+        let assignment = slab_assignment(mesh.len(), 2);
+        let _ = RankedSolver::new(
+            mesh,
+            assignment,
+            SolverConfig {
+                kernel: KernelConfig::sparse_with_precision(
+                    Propagation::Ab,
+                    Layout::Soa,
+                    Precision::Single,
+                ),
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! ## Kernel configurations
 //!
 //! [`SolverConfig::kernel`] selects the point in the paper's kernel space
-//! the solver actually executes — `propagation × layout` (precision is
-//! always f64 at runtime; `Single`/`Quad` remain model-only):
+//! the solver actually executes — `propagation × layout × precision`
+//! (`Double` stores f64 distributions, `Single` stores f32 and halves
+//! resident bytes; `Quad` remains model-only):
 //!
 //! * **AB** ([`Propagation::Ab`]): two distribution arrays, pull-stream
 //!   from `f` into `f_tmp`, swap. Every step reads the full streaming
@@ -47,15 +48,45 @@
 //! ascending order and each cell's arithmetic is a pure function of the
 //! pre-step state, so parallel and serial steps are bit-identical at any
 //! logical worker count.
+//!
+//! ## Explicit vectorization (and why it is bit-neutral too)
+//!
+//! [`SolverConfig::simd`] selects between the historical one-cell-at-a-time
+//! scalar loop and a fused gather–collide–scatter vector path that packs
+//! `WIDTH` consecutive bulk cells of the per-kind index list into the lanes
+//! of a [`hemocloud_rt::simd::Lane`] (4 × f64 or 8 × f32 under AVX2,
+//! portable arrays elsewhere; `RT_SIMD` overrides the backend). The vector
+//! path is **bitwise identical** to the scalar kernel by construction:
+//!
+//! 1. each cell's update is a pure function of its own gathered row, so
+//!    which lane (or loop iteration) computes it cannot matter;
+//! 2. the lane ops map 1:1 onto scalar IEEE-754 ops (`vaddpd` rounds each
+//!    lane exactly like scalar `addsd`; no FMA contraction, no
+//!    reassociation — the lane layer exposes only `+ - * /`);
+//! 3. the collision body is the *same lane-generic code*
+//!    (`equilibrium_v` and friends in [`crate::equilibrium`]) instantiated at
+//!    `V = f64` for the scalar path and a wide `V` for the vector path —
+//!    there is no second transcription to drift;
+//! 4. gathering lanes into buffers and scattering them back is pure data
+//!    movement.
+//!
+//! Remainder cells (list length mod `WIDTH`) and the few inlet/outlet
+//! cells fall through to the scalar loop. The equivalence is enforced by
+//! oracle tests over every kernel config × traversal × worker count.
 
-use crate::equilibrium::{equilibrium_d3q19, macroscopics_d3q19};
-use crate::kernel::{AosIdx, KernelConfig, Layout, LayoutIdx, Propagation, SoaIdx};
-use crate::lattice::{opposite, Q19, W19};
+use crate::equilibrium::{equilibrium_v, macroscopics_d3q19, macroscopics_v};
+use crate::kernel::{
+    AosIdx, KernelConfig, KernelSelect, Layout, LayoutIdx, Precision, Propagation, SimdPath,
+    SoaIdx,
+};
+use crate::lattice::{opposite, Q19};
 use crate::mesh::{FluidMesh, SOLID};
+use crate::real::Real;
 use crate::traversal::{self, prefetch_read, TraversalConfig};
 use hemocloud_geometry::voxel::CellType;
 use hemocloud_obs::{Counter, Histogram, HistogramKind, Registry};
 use hemocloud_rt::pool::{self, DisjointMut};
+use hemocloud_rt::simd::{Backend, Lane};
 use std::sync::Arc;
 
 /// Tunable parameters of a simulation.
@@ -74,17 +105,24 @@ pub struct SolverConfig {
     /// Minimum mesh size before parallelism pays for itself. Lower it to
     /// force the parallel path on small meshes (equivalence tests do).
     pub parallel_threshold: usize,
-    /// Kernel variant to execute: `propagation` and `layout` are honored
-    /// at runtime (`addressing` is always indirect on the sparse mesh and
-    /// distributions are stored in f64 regardless of `precision`). The
-    /// same value feeds the performance model's byte accounting, so
-    /// modeled and executed kernels can no longer diverge silently.
+    /// Kernel variant to execute: `propagation`, `layout`, and `precision`
+    /// are honored at runtime (`addressing` is always indirect on the
+    /// sparse mesh; `Precision::Single` stores f32 distributions, `Quad`
+    /// is model-only and rejected at construction). The same value feeds
+    /// the performance model's byte accounting, so modeled and executed
+    /// kernels can no longer diverge silently.
     pub kernel: KernelConfig,
     /// Traversal variant to execute: cell-visit order, cache blocking,
     /// software prefetch, and the parallel schedule. Bit-neutral by
     /// construction (see [`crate::traversal`]), so it can be swept freely
     /// without invalidating any physics result.
     pub traversal: TraversalConfig,
+    /// Scalar loop vs explicitly vectorized collide-stream (module docs).
+    /// Bit-neutral by construction, so the default is the fast path.
+    pub simd: SimdPath,
+    /// Fixed execution vs a construction-time autotune over
+    /// `simd × traversal` candidates (see [`Solver::autotune_report`]).
+    pub select: KernelSelect,
 }
 
 impl Default for SolverConfig {
@@ -97,6 +135,8 @@ impl Default for SolverConfig {
             parallel_threshold: PARALLEL_THRESHOLD,
             kernel: KernelConfig::harvey(),
             traversal: TraversalConfig::natural(),
+            simd: SimdPath::default(),
+            select: KernelSelect::default(),
         }
     }
 }
@@ -112,23 +152,105 @@ pub struct RunStats {
     pub mflups: f64,
 }
 
+/// Distribution storage at the configured [`Precision`]: one concrete
+/// array pair per runtime precision. `f_tmp` is allocated for AB only; AA
+/// runs in place and it stays empty (half the resident solver memory).
+enum Store {
+    F64 { f: Vec<f64>, f_tmp: Vec<f64> },
+    F32 { f: Vec<f32>, f_tmp: Vec<f32> },
+}
+
+impl Store {
+    /// Total distribution values held (both arrays).
+    fn len(&self) -> usize {
+        match self {
+            Store::F64 { f, f_tmp } => f.len() + f_tmp.len(),
+            Store::F32 { f, f_tmp } => f.len() + f_tmp.len(),
+        }
+    }
+}
+
+/// The execution strategy resolved once at construction from
+/// [`SolverConfig::simd`] and the process-wide lane backend
+/// ([`hemocloud_rt::simd::backend`], overridable via `RT_SIMD`). All three
+/// produce identical bits; they differ only in instruction selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecKind {
+    /// One cell at a time, `V = R` (the historical loop).
+    Scalar,
+    /// Lane-grouped cells through the portable array lanes.
+    VectorWide,
+    /// Lane-grouped cells through the AVX2-accelerated lanes.
+    VectorAccel,
+}
+
+pub(crate) fn resolve_exec(simd: SimdPath) -> ExecKind {
+    match simd {
+        SimdPath::Scalar => ExecKind::Scalar,
+        SimdPath::Vector => match hemocloud_rt::simd::backend() {
+            Backend::Avx2 => ExecKind::VectorAccel,
+            Backend::Scalar => ExecKind::VectorWide,
+        },
+    }
+}
+
+impl ExecKind {
+    /// Provenance label: which instruction path actually runs.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            ExecKind::Scalar => "scalar",
+            ExecKind::VectorWide => "scalar-lanes",
+            ExecKind::VectorAccel => "avx2",
+        }
+    }
+}
+
+/// One timed candidate from the construction-time autotune sweep.
+#[derive(Debug, Clone)]
+pub struct AutotuneCandidate {
+    /// The SIMD path the candidate ran.
+    pub simd: SimdPath,
+    /// The traversal the candidate ran ([`TraversalConfig::name`]).
+    pub traversal: String,
+    /// Wall-clock seconds for the timed burst (lower is better).
+    pub seconds: f64,
+}
+
+/// Outcome of [`KernelSelect::Auto`]: every candidate timed, plus the
+/// winning combination the solver was configured with. The choice affects
+/// wall-clock only — every candidate computes identical bits — so the
+/// report is provenance, not physics.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    /// All timed candidates, in sweep order.
+    pub candidates: Vec<AutotuneCandidate>,
+    /// Winning SIMD path.
+    pub simd: SimdPath,
+    /// Winning traversal.
+    pub traversal: TraversalConfig,
+}
+
 /// The flow solver.
 pub struct Solver {
     mesh: FluidMesh,
-    f: Vec<f64>,
-    /// Second distribution array — allocated for AB only; AA runs in
-    /// place and this stays empty (half the resident solver memory).
-    f_tmp: Vec<f64>,
+    /// Distribution arrays at the configured precision.
+    store: Store,
     omega: f64,
     config: SolverConfig,
+    /// Resolved execution strategy (scalar / portable lanes / AVX2 lanes).
+    exec: ExecKind,
     /// Per-cell slot into `inlet_vel` (`u32::MAX` for non-inlet cells).
     inlet_slot: Vec<u32>,
-    /// Prescribed velocity for each inlet cell.
+    /// Prescribed velocity for each inlet cell (f64 master copy).
     inlet_vel: Vec<[f64; 3]>,
+    /// `inlet_vel` rounded once to f32 for the single-precision kernels.
+    inlet_vel_f32: Vec<[f32; 3]>,
     /// Cells sorted by update kind, precomputed once so the hot loop does
     /// not re-dispatch on `mesh.cell_type(cell)` every step.
     kinds: KindLists,
     steps_taken: u64,
+    /// Present when construction ran the [`KernelSelect::Auto`] sweep.
+    autotune: Option<AutotuneReport>,
     obs: SolverObs,
 }
 
@@ -262,9 +384,9 @@ const PF_F_AHEAD: usize = 6;
 /// and the 19 gather-source slots at short range. Pure scheduling hints —
 /// no loads, no stores — so bit-neutral by construction.
 #[inline(always)]
-fn prefetch_ab_gather<L: LayoutIdx>(
+fn prefetch_ab_gather<L: LayoutIdx, R>(
     mesh: &FluidMesh,
-    src: *const f64,
+    src: *const R,
     n: usize,
     list: &[u32],
     i: usize,
@@ -291,9 +413,9 @@ fn prefetch_ab_gather<L: LayoutIdx>(
 /// ahead of `i`. The odd step's scatter set equals its gather set
 /// (module docs), so one pass covers both directions of the traffic.
 #[inline(always)]
-fn prefetch_aa_odd<L: LayoutIdx>(
+fn prefetch_aa_odd<L: LayoutIdx, R>(
     mesh: &FluidMesh,
-    f: *const f64,
+    f: *const R,
     n: usize,
     list: &[u32],
     i: usize,
@@ -323,14 +445,15 @@ fn prefetch_aa_odd<L: LayoutIdx>(
 /// logical worker always takes the static path, so `RT_POOL_THREADS=1`
 /// provably bypasses stealing. Shared by [`Solver`] and
 /// [`crate::ranked::RankedSolver`].
-pub(crate) fn dispatch_owner<F>(
+pub(crate) fn dispatch_owner<T, F>(
     trav: &TraversalConfig,
-    data: &mut [f64],
+    data: &mut [T],
     n: usize,
     workers: usize,
     body: F,
 ) where
-    F: Fn(std::ops::Range<usize>, &DisjointMut<'_, f64>) + Sync,
+    T: Copy + Send,
+    F: Fn(std::ops::Range<usize>, &DisjointMut<'_, T>) + Sync,
 {
     if trav.stealing && workers > 1 {
         let chunk = trav.steal_chunk_for(n, workers);
@@ -375,82 +498,176 @@ pub(crate) fn flat_index(layout: Layout, cell: usize, q: usize, n: usize) -> usi
 }
 
 /// Rest-equilibrium initial distributions for an `n`-cell mesh in the
-/// given layout.
-pub(crate) fn rest_distributions(layout: Layout, n: usize) -> Vec<f64> {
-    let mut f = vec![0.0; n * Q19];
+/// given layout, at the element precision (f32 rests are the once-rounded
+/// weights).
+pub(crate) fn rest_distributions<R: Real>(layout: Layout, n: usize) -> Vec<R> {
+    let mut f = vec![R::ZERO; n * Q19];
     for cell in 0..n {
         for q in 0..Q19 {
-            f[flat_index(layout, cell, q, n)] = W19[q];
+            f[flat_index(layout, cell, q, n)] = R::W19[q];
         }
     }
     f
 }
 
-/// Post-collision row of a bulk (or wall) fluid cell: plain BGK.
-#[inline]
-pub(crate) fn bulk_out(fin: &[f64; Q19], omega: f64) -> [f64; Q19] {
-    let (rho, ux, uy, uz) = macroscopics_d3q19(fin);
-    let mut feq = [0.0f64; Q19];
-    equilibrium_d3q19(rho, ux, uy, uz, &mut feq);
-    let mut out = [0.0f64; Q19];
+/// Lane-generic post-collision row of a bulk (or wall) fluid cell: plain
+/// BGK, the exact expression tree of the historical scalar kernel per
+/// lane. This is the *only* collision body — the scalar path is its
+/// `V = R` instantiation, so scalar and vector cannot drift.
+#[inline(always)]
+pub(crate) fn bulk_out_v<R: Real, V: Lane<R>>(fin: &[V; Q19], omega: V) -> [V; Q19] {
+    let (rho, ux, uy, uz) = macroscopics_v::<R, V>(fin);
+    let mut feq = [V::splat(R::ZERO); Q19];
+    equilibrium_v::<R, V>(rho, ux, uy, uz, &mut feq);
+    let mut out = [V::splat(R::ZERO); Q19];
     for q in 0..Q19 {
         out[q] = fin[q] - omega * (fin[q] - feq[q]);
     }
     out
 }
 
+/// Post-collision row of a bulk (or wall) fluid cell: plain BGK.
+#[inline]
+pub(crate) fn bulk_out<R: Real>(fin: &[R; Q19], omega: R) -> [R; Q19] {
+    bulk_out_v::<R, R>(fin, omega)
+}
+
 /// Post-update row of a Dirichlet velocity inlet: equilibrium at the
 /// prescribed profile velocity and the gathered density.
 #[inline]
-pub(crate) fn inlet_out(fin: &[f64; Q19], v: [f64; 3]) -> [f64; Q19] {
-    let (rho, _, _, _) = macroscopics_d3q19(fin);
-    let mut feq = [0.0f64; Q19];
-    equilibrium_d3q19(rho, v[0], v[1], v[2], &mut feq);
+pub(crate) fn inlet_out<R: Real>(fin: &[R; Q19], v: [R; 3]) -> [R; Q19] {
+    let (rho, _, _, _) = macroscopics_v::<R, R>(fin);
+    let mut feq = [R::ZERO; Q19];
+    equilibrium_v::<R, R>(rho, v[0], v[1], v[2], &mut feq);
     feq
 }
 
 /// Post-update row of a zero-pressure outlet: equilibrium at unit density
 /// and the gathered velocity.
 #[inline]
-pub(crate) fn outlet_out(fin: &[f64; Q19]) -> [f64; Q19] {
-    let (_, ux, uy, uz) = macroscopics_d3q19(fin);
-    let mut feq = [0.0f64; Q19];
-    equilibrium_d3q19(1.0, ux, uy, uz, &mut feq);
+pub(crate) fn outlet_out<R: Real>(fin: &[R; Q19]) -> [R; Q19] {
+    let (_, ux, uy, uz) = macroscopics_v::<R, R>(fin);
+    let mut feq = [R::ZERO; Q19];
+    equilibrium_v::<R, R>(R::ONE, ux, uy, uz, &mut feq);
     feq
+}
+
+/// Widest lane any element exposes (f32 × AVX2 = 8); the lane staging
+/// buffers are sized to it and vector loops use the first `V::WIDTH`
+/// entries.
+pub(crate) const VEC_MAXW: usize = 8;
+
+/// Fused vector collision of up to [`VEC_MAXW`] bulk cells staged
+/// lane-outer in `fin` (`fin[q][lane]` is lane `lane`'s direction `q`):
+/// load each direction across lanes, run the lane-generic BGK body once,
+/// store back. The staging moves bytes, never arithmetic, so each lane's
+/// result is bitwise the scalar [`bulk_out`] of that cell.
+#[inline(always)]
+pub(crate) fn collide_bulk_group<R: Real, V: Lane<R>>(
+    fin: &[[R; VEC_MAXW]; Q19],
+    omega: R,
+) -> [[R; VEC_MAXW]; Q19] {
+    let mut vin = [V::splat(R::ZERO); Q19];
+    for q in 0..Q19 {
+        vin[q] = V::load(&fin[q]);
+    }
+    let vout = bulk_out_v::<R, V>(&vin, V::splat(omega));
+    let mut rows = [[R::ZERO; VEC_MAXW]; Q19];
+    for q in 0..Q19 {
+        vout[q].store(&mut rows[q]);
+    }
+    rows
 }
 
 impl Solver {
     /// Initialize the solver at rest (`ρ = 1`, `u = 0`) and precompute the
-    /// inlet Poiseuille profile.
+    /// inlet Poiseuille profile. Metrics bind to the global registry; use
+    /// [`Solver::new_in`] to bind elsewhere (and to keep the
+    /// [`KernelSelect::Auto`] calibration burst out of the global
+    /// counters).
     pub fn new(mesh: FluidMesh, config: SolverConfig) -> Self {
+        Self::new_in(mesh, config, hemocloud_obs::global())
+    }
+
+    /// [`Solver::new`] with an explicit metrics registry. When
+    /// [`SolverConfig::select`] is [`KernelSelect::Auto`], a short
+    /// calibration burst is timed here (on scratch solvers bound to a
+    /// private registry, so no calibration steps leak into `registry`) and
+    /// the winning `simd × traversal` combination replaces the configured
+    /// one; the full sweep is kept in [`Solver::autotune_report`].
+    pub fn new_in(mesh: FluidMesh, config: SolverConfig, registry: &Registry) -> Self {
         assert!(config.tau > 0.5, "tau must exceed 1/2 for stability");
+        assert!(
+            config.kernel.precision != Precision::Quad,
+            "Quad precision is model-only; runtime storage is f32 or f64"
+        );
+        let (config, autotune) = if config.select == KernelSelect::Auto {
+            let report = autotune_sweep(&mesh, &config);
+            // Record the choice: a counter keyed by the winning combo, so
+            // a snapshot shows *what* was selected, not just that a sweep
+            // ran. The key is wall-clock-dependent (that is the point of
+            // autotuning) — deterministic-snapshot consumers construct
+            // `Auto` solvers outside their capture window, as
+            // `bench_baseline` does.
+            registry
+                .counter(&format!(
+                    "lbm.autotune.selected.{}.{}",
+                    report.simd.label(),
+                    report.traversal.name()
+                ))
+                .inc();
+            let tuned = SolverConfig {
+                simd: report.simd,
+                traversal: report.traversal,
+                select: KernelSelect::Fixed,
+                ..config
+            };
+            (tuned, Some(report))
+        } else {
+            (config, None)
+        };
         let n = mesh.len();
-        let f = rest_distributions(config.kernel.layout, n);
         // AA streams in place: the scratch array is never allocated.
-        let f_tmp = match config.kernel.propagation {
-            Propagation::Ab => f.clone(),
-            Propagation::Aa => Vec::new(),
+        let ab = matches!(config.kernel.propagation, Propagation::Ab);
+        let store = match config.kernel.precision {
+            Precision::Single => {
+                let f = rest_distributions::<f32>(config.kernel.layout, n);
+                let f_tmp = if ab { f.clone() } else { Vec::new() };
+                Store::F32 { f, f_tmp }
+            }
+            _ => {
+                let f = rest_distributions::<f64>(config.kernel.layout, n);
+                let f_tmp = if ab { f.clone() } else { Vec::new() };
+                Store::F64 { f, f_tmp }
+            }
         };
 
         // NOTE: the profile folds inlet centroids in ascending cell-id
         // order; it must be computed before (and independently of) the
         // traversal permutation, or reordering would reassociate its
-        // floating-point sums and change the boundary data bits.
+        // floating-point sums and change the boundary data bits. The f32
+        // copy is the f64 profile rounded once, not a re-derivation.
         let (inlet_slot, inlet_vel) = Self::poiseuille_profile(&mesh, &config);
+        let inlet_vel_f32 = inlet_vel
+            .iter()
+            .map(|v| [v[0] as f32, v[1] as f32, v[2] as f32])
+            .collect();
         let order = traversal::permutation(&mesh, config.traversal.order);
         let kinds = KindLists::build(&mesh, &order);
 
         Self {
             mesh,
-            f,
-            f_tmp,
+            store,
             omega: 1.0 / config.tau,
+            exec: resolve_exec(config.simd),
             config,
             inlet_slot,
             inlet_vel,
+            inlet_vel_f32,
             kinds,
             steps_taken: 0,
-            obs: SolverObs::from_registry(hemocloud_obs::global()),
+            autotune,
+            obs: SolverObs::from_registry(registry),
         }
     }
 
@@ -466,6 +683,67 @@ impl Solver {
     /// direction.
     fn poiseuille_profile(mesh: &FluidMesh, config: &SolverConfig) -> (Vec<u32>, Vec<[f64; 3]>) {
         poiseuille_profile_for(mesh, config)
+    }
+}
+
+/// The [`KernelSelect::Auto`] calibration sweep: time each
+/// `simd × traversal` candidate on a scratch solver (warmup then a short
+/// timed burst) and keep the fastest. Candidates compute identical bits —
+/// only wall-clock differs — and the scratch solvers bind to a throwaway
+/// registry, so the sweep perturbs neither physics nor the caller's
+/// metrics. The winner is decided by strict `<` in sweep order, making
+/// tie-breaks deterministic even if the timings are not.
+fn autotune_sweep(mesh: &FluidMesh, config: &SolverConfig) -> AutotuneReport {
+    const WARMUP_STEPS: u64 = 2;
+    const TIMED_STEPS: u64 = 4;
+    let mut traversals: Vec<TraversalConfig> = Vec::new();
+    for cand in [
+        config.traversal,
+        TraversalConfig::natural(),
+        TraversalConfig::tuned(),
+    ] {
+        if traversals.iter().all(|t| t.name() != cand.name()) {
+            traversals.push(cand);
+        }
+    }
+    let scratch = Registry::new();
+    let mut candidates = Vec::new();
+    let mut best: Option<(f64, SimdPath, TraversalConfig)> = None;
+    for simd in [SimdPath::Scalar, SimdPath::Vector] {
+        for &trav in &traversals {
+            let mut s = Solver::new_in(
+                mesh.clone(),
+                SolverConfig {
+                    simd,
+                    traversal: trav,
+                    select: KernelSelect::Fixed,
+                    ..*config
+                },
+                &scratch,
+            );
+            for _ in 0..WARMUP_STEPS {
+                s.step();
+            }
+            let t0 = std::time::Instant::now();
+            for _ in 0..TIMED_STEPS {
+                s.step();
+            }
+            let seconds = t0.elapsed().as_secs_f64();
+            candidates.push(AutotuneCandidate {
+                simd,
+                traversal: trav.name(),
+                seconds,
+            });
+            if best.is_none_or(|(b, _, _)| seconds < b) {
+                best = Some((seconds, simd, trav));
+            }
+        }
+    }
+    let (_, simd, traversal) = best.expect("autotune sweep has at least one candidate");
+    AutotuneReport {
+        candidates,
+        simd,
+        traversal,
     }
 }
 
@@ -532,6 +810,530 @@ pub fn poiseuille_profile_for(
     }
 }
 
+/// AB pull-scheme gather: the value arriving along `q` comes from the
+/// neighbor opposite `q`; a solid link reflects this cell's own
+/// opposite-direction value from the previous step.
+#[inline]
+fn gather_ab<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    src: &[R],
+    n: usize,
+    cell: usize,
+) -> [R; Q19] {
+    let mut fin = [R::ZERO; Q19];
+    let row = mesh.neighbor_row(cell);
+    for q in 0..Q19 {
+        let nb = row[opposite(q)];
+        fin[q] = if nb == SOLID {
+            src[L::at(cell, opposite(q), n)]
+        } else {
+            src[L::at(nb as usize, q, n)]
+        };
+    }
+    fin
+}
+
+/// AA even-step read: the cell's own row, in place.
+#[inline]
+fn read_own_row<L: LayoutIdx, R: Real>(f: &DisjointMut<'_, R>, n: usize, cell: usize) -> [R; Q19] {
+    let mut fin = [R::ZERO; Q19];
+    for (q, v) in fin.iter_mut().enumerate() {
+        // Safety: slot (cell, q) belongs to `cell` alone this step.
+        *v = unsafe { f.read(L::at(cell, q, n)) };
+    }
+    fin
+}
+
+/// AA even-step write: the cell's opposite slots, in place. The row was
+/// fully read before the first write.
+#[inline]
+fn write_opposite_row<L: LayoutIdx, R: Real>(
+    f: &DisjointMut<'_, R>,
+    n: usize,
+    cell: usize,
+    row: &[R; Q19],
+) {
+    for q in 0..Q19 {
+        // Safety: same per-cell slot set the reads used.
+        unsafe { f.write(L::at(cell, opposite(q), n), row[q]) };
+    }
+}
+
+/// AA odd-step gather: each arriving value from the `-c_q` neighbor's
+/// opposite slot; bounce-back folds onto the cell's own slot.
+#[inline]
+fn gather_aa_odd<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    f: &DisjointMut<'_, R>,
+    n: usize,
+    cell: usize,
+) -> [R; Q19] {
+    let mut fin = [R::ZERO; Q19];
+    let row = mesh.neighbor_row(cell);
+    for q in 0..Q19 {
+        let nb = row[opposite(q)];
+        // Safety: slot belongs to `cell`'s AA-odd slot set.
+        fin[q] = if nb == SOLID {
+            unsafe { f.read(L::at(cell, q, n)) }
+        } else {
+            unsafe { f.read(L::at(nb as usize, opposite(q), n)) }
+        };
+    }
+    fin
+}
+
+/// AA odd-step scatter: forward into the `+c_q` neighbors' slots — the
+/// identical slot set the gather read, fully read before the first write.
+#[inline]
+fn scatter_aa_odd<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    f: &DisjointMut<'_, R>,
+    n: usize,
+    cell: usize,
+    out: &[R; Q19],
+) {
+    let row = mesh.neighbor_row(cell);
+    for q in 0..Q19 {
+        let nb = row[q];
+        // Safety: identical slot set as the gather above.
+        if nb == SOLID {
+            unsafe { f.write(L::at(cell, opposite(q), n), out[q]) };
+        } else {
+            unsafe { f.write(L::at(nb as usize, q, n), out[q]) };
+        }
+    }
+}
+
+/// AB update of every destination cell whose traversal position falls
+/// in `positions`: gather from `src`, collide/apply boundary
+/// conditions, write the destination view. Each cell's 19 values are a
+/// pure function of `src` and the write slots of distinct cells are
+/// disjoint (`LayoutIdx::at` is injective), so any partition of the
+/// position range is race-free and bit-identical to serial — and any
+/// traversal permutation, blocking, or prefetch setting leaves the
+/// bits unchanged too.
+#[allow(clippy::too_many_arguments)]
+fn ab_update_range<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    src: &[R],
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    out: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    let pf = trav.prefetch;
+    let write = |cell: usize, row: &[R; Q19]| {
+        for q in 0..Q19 {
+            // Safety: slot (cell, q) belongs to `cell` alone.
+            unsafe { out.write(L::at(cell, q, n), row[q]) };
+        }
+    };
+    for_each_block(positions, trav.block, |first, end| {
+        let list = kinds.bulk.in_range(first, end);
+        for (i, &cell) in list.iter().enumerate() {
+            if pf {
+                prefetch_ab_gather::<L, R>(mesh, src.as_ptr(), n, list, i);
+            }
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// Vectorized AB update: lane-width groups of bulk cells go through the
+/// fused gather–collide–scatter ([`collide_bulk_group`]); remainder
+/// lanes and the few inlet/outlet cells fall through to the scalar
+/// path. Bitwise identical to [`ab_update_range`] — module docs.
+#[allow(clippy::too_many_arguments)]
+fn ab_update_range_vec<L: LayoutIdx, R: Real, V: Lane<R>>(
+    mesh: &FluidMesh,
+    src: &[R],
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    out: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    let pf = trav.prefetch;
+    let w = V::WIDTH;
+    debug_assert!(w <= VEC_MAXW);
+    let write = |cell: usize, row: &[R; Q19]| {
+        for q in 0..Q19 {
+            // Safety: slot (cell, q) belongs to `cell` alone.
+            unsafe { out.write(L::at(cell, q, n), row[q]) };
+        }
+    };
+    for_each_block(positions, trav.block, |first, end| {
+        let list = kinds.bulk.in_range(first, end);
+        let mut i = 0;
+        while i + w <= list.len() {
+            let mut fin = [[R::ZERO; VEC_MAXW]; Q19];
+            for lane in 0..w {
+                if pf {
+                    prefetch_ab_gather::<L, R>(mesh, src.as_ptr(), n, list, i + lane);
+                }
+                let g = gather_ab::<L, R>(mesh, src, n, list[i + lane] as usize);
+                for q in 0..Q19 {
+                    fin[q][lane] = g[q];
+                }
+            }
+            let rows = collide_bulk_group::<R, V>(&fin, omega);
+            for lane in 0..w {
+                let cell = list[i + lane] as usize;
+                for q in 0..Q19 {
+                    // Safety: slot (cell, q) belongs to `cell` alone.
+                    unsafe { out.write(L::at(cell, q, n), rows[q][lane]) };
+                }
+            }
+            i += w;
+        }
+        for (j, &cell) in list.iter().enumerate().skip(i) {
+            if pf {
+                prefetch_ab_gather::<L, R>(mesh, src.as_ptr(), n, list, j);
+            }
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_ab::<L, R>(mesh, src, n, cell);
+            write(cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// AA even step over `cells`: purely cell-local — read the cell's own
+/// row, collide, write the opposite slots in place. No streaming-index
+/// traffic, no scratch array.
+#[allow(clippy::too_many_arguments)]
+fn aa_even_range<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    f: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    // No prefetch here: the even step is purely cell-local, so its
+    // access stream is the list itself — the hardware prefetcher's
+    // easiest case.
+    for_each_block(positions, trav.block, |first, end| {
+        for &cell in kinds.bulk.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(f, n, cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(
+                f,
+                n,
+                cell,
+                &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            );
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(f, n, cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// Vectorized AA even step: lane-width groups of bulk cells through the
+/// fused in-place collide; remainder and boundary cells scalar. Bitwise
+/// identical to [`aa_even_range`].
+#[allow(clippy::too_many_arguments)]
+fn aa_even_range_vec<L: LayoutIdx, R: Real, V: Lane<R>>(
+    mesh: &FluidMesh,
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    f: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    let w = V::WIDTH;
+    debug_assert!(w <= VEC_MAXW);
+    for_each_block(positions, trav.block, |first, end| {
+        let list = kinds.bulk.in_range(first, end);
+        let mut i = 0;
+        while i + w <= list.len() {
+            let mut fin = [[R::ZERO; VEC_MAXW]; Q19];
+            for lane in 0..w {
+                let g = read_own_row::<L, R>(f, n, list[i + lane] as usize);
+                for q in 0..Q19 {
+                    fin[q][lane] = g[q];
+                }
+            }
+            let rows = collide_bulk_group::<R, V>(&fin, omega);
+            for lane in 0..w {
+                let cell = list[i + lane] as usize;
+                for q in 0..Q19 {
+                    // Safety: same per-cell slot set the reads used.
+                    unsafe { f.write(L::at(cell, opposite(q), n), rows[q][lane]) };
+                }
+            }
+            i += w;
+        }
+        for &cell in &list[i..] {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(f, n, cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(
+                f,
+                n,
+                cell,
+                &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            );
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = read_own_row::<L, R>(f, n, cell);
+            write_opposite_row::<L, R>(f, n, cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// AA odd step over `cells`: gather each arriving value from the
+/// `-c_q` neighbor's opposite slot (bounce-back folds onto the cell's
+/// own slot), collide, scatter forward into the `+c_q` neighbors'
+/// slots. Per cell the write set equals the read set and the sets of
+/// distinct cells are disjoint (module docs), so the scattered writes
+/// are race-free under any cell partition.
+#[allow(clippy::too_many_arguments)]
+fn aa_odd_range<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    f: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    let pf = trav.prefetch;
+    for_each_block(positions, trav.block, |first, end| {
+        let list = kinds.bulk.in_range(first, end);
+        for (i, &cell) in list.iter().enumerate() {
+            if pf {
+                prefetch_aa_odd::<L, R>(mesh, f.as_ptr(), n, list, i);
+            }
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(mesh, f, n, cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(
+                mesh,
+                f,
+                n,
+                cell,
+                &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            );
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(mesh, f, n, cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// Vectorized AA odd step: lane-width groups of bulk cells through the
+/// fused gather–collide–scatter; remainder and boundary cells scalar.
+/// Grouping is safe because distinct cells' AA-odd slot sets are
+/// pairwise disjoint (module docs) — deferring a lane's scatter past
+/// another lane's gather cannot change what either observes. Bitwise
+/// identical to [`aa_odd_range`].
+#[allow(clippy::too_many_arguments)]
+fn aa_odd_range_vec<L: LayoutIdx, R: Real, V: Lane<R>>(
+    mesh: &FluidMesh,
+    omega: R,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    positions: std::ops::Range<usize>,
+    f: &DisjointMut<'_, R>,
+) {
+    let n = mesh.len();
+    let pf = trav.prefetch;
+    let w = V::WIDTH;
+    debug_assert!(w <= VEC_MAXW);
+    for_each_block(positions, trav.block, |first, end| {
+        let list = kinds.bulk.in_range(first, end);
+        let mut i = 0;
+        while i + w <= list.len() {
+            let mut fin = [[R::ZERO; VEC_MAXW]; Q19];
+            for lane in 0..w {
+                if pf {
+                    prefetch_aa_odd::<L, R>(mesh, f.as_ptr(), n, list, i + lane);
+                }
+                let g = gather_aa_odd::<L, R>(mesh, f, n, list[i + lane] as usize);
+                for q in 0..Q19 {
+                    fin[q][lane] = g[q];
+                }
+            }
+            let rows = collide_bulk_group::<R, V>(&fin, omega);
+            for lane in 0..w {
+                let cell = list[i + lane] as usize;
+                let mut out = [R::ZERO; Q19];
+                for q in 0..Q19 {
+                    out[q] = rows[q][lane];
+                }
+                scatter_aa_odd::<L, R>(mesh, f, n, cell, &out);
+            }
+            i += w;
+        }
+        for (j, &cell) in list.iter().enumerate().skip(i) {
+            if pf {
+                prefetch_aa_odd::<L, R>(mesh, f.as_ptr(), n, list, j);
+            }
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(mesh, f, n, cell, &bulk_out(&fin, omega));
+        }
+        for &cell in kinds.inlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(
+                mesh,
+                f,
+                n,
+                cell,
+                &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]),
+            );
+        }
+        for &cell in kinds.outlet.in_range(first, end) {
+            let cell = cell as usize;
+            let fin = gather_aa_odd::<L, R>(mesh, f, n, cell);
+            scatter_aa_odd::<L, R>(mesh, f, n, cell, &outlet_out(&fin));
+        }
+    });
+}
+
+/// One AB step at element precision `R`, dispatching the resolved
+/// execution strategy onto the owner-computes scheduler.
+#[allow(clippy::too_many_arguments)]
+fn run_ab<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    src: &[R],
+    dst: &mut [R],
+    omega: f64,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    exec: ExecKind,
+    workers: usize,
+) {
+    let n = mesh.len();
+    let om = R::from_f64(omega);
+    match exec {
+        ExecKind::Scalar => dispatch_owner(trav, dst, n, workers, |cells, out| {
+            ab_update_range::<L, R>(mesh, src, om, inlet_slot, inlet_vel, kinds, trav, cells, out)
+        }),
+        ExecKind::VectorWide => dispatch_owner(trav, dst, n, workers, |cells, out| {
+            ab_update_range_vec::<L, R, R::Wide>(
+                mesh, src, om, inlet_slot, inlet_vel, kinds, trav, cells, out,
+            )
+        }),
+        ExecKind::VectorAccel => dispatch_owner(trav, dst, n, workers, |cells, out| {
+            ab_update_range_vec::<L, R, R::Accel>(
+                mesh, src, om, inlet_slot, inlet_vel, kinds, trav, cells, out,
+            )
+        }),
+    }
+}
+
+/// One AA step (either parity) at element precision `R`, dispatching
+/// the resolved execution strategy onto the owner-computes scheduler.
+#[allow(clippy::too_many_arguments)]
+fn run_aa<L: LayoutIdx, R: Real>(
+    mesh: &FluidMesh,
+    f: &mut [R],
+    even: bool,
+    omega: f64,
+    inlet_slot: &[u32],
+    inlet_vel: &[[R; 3]],
+    kinds: &KindLists,
+    trav: &TraversalConfig,
+    exec: ExecKind,
+    workers: usize,
+) {
+    let n = mesh.len();
+    let om = R::from_f64(omega);
+    match exec {
+        ExecKind::Scalar => dispatch_owner(trav, f, n, workers, |cells, f| {
+            if even {
+                aa_even_range::<L, R>(mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f);
+            } else {
+                aa_odd_range::<L, R>(mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f);
+            }
+        }),
+        ExecKind::VectorWide => dispatch_owner(trav, f, n, workers, |cells, f| {
+            if even {
+                aa_even_range_vec::<L, R, R::Wide>(
+                    mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f,
+                );
+            } else {
+                aa_odd_range_vec::<L, R, R::Wide>(
+                    mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f,
+                );
+            }
+        }),
+        ExecKind::VectorAccel => dispatch_owner(trav, f, n, workers, |cells, f| {
+            if even {
+                aa_even_range_vec::<L, R, R::Accel>(
+                    mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f,
+                );
+            } else {
+                aa_odd_range_vec::<L, R, R::Accel>(
+                    mesh, om, inlet_slot, inlet_vel, kinds, trav, cells, f,
+                );
+            }
+        }),
+    }
+}
+
 impl Solver {
     /// The mesh being simulated.
     pub fn mesh(&self) -> &FluidMesh {
@@ -559,218 +1361,66 @@ impl Solver {
     }
 
     /// Bytes resident in distribution arrays (`f` plus `f_tmp` when the
-    /// propagation pattern allocates it). AA configs hold exactly one
-    /// array — the "halved solver memory" the per-task accounting in
+    /// propagation pattern allocates it), at the configured storage
+    /// precision. AA configs hold exactly one array — the "halved solver
+    /// memory" the per-task accounting in
     /// `hemocloud_decomp::halo::resident_bytes_per_task` prices.
     pub fn distribution_bytes(&self) -> usize {
-        (self.f.len() + self.f_tmp.len()) * std::mem::size_of::<f64>()
+        self.store.len() * self.config.kernel.precision.bytes()
     }
 
-    /// AB pull-scheme gather: the value arriving along `q` comes from the
-    /// neighbor opposite `q`; a solid link reflects this cell's own
-    /// opposite-direction value from the previous step.
-    #[inline]
-    fn gather_ab<L: LayoutIdx>(mesh: &FluidMesh, src: &[f64], n: usize, cell: usize) -> [f64; Q19] {
-        let mut fin = [0.0f64; Q19];
-        let row = mesh.neighbor_row(cell);
-        for q in 0..Q19 {
-            let nb = row[opposite(q)];
-            fin[q] = if nb == SOLID {
-                src[L::at(cell, opposite(q), n)]
-            } else {
-                src[L::at(nb as usize, q, n)]
-            };
-        }
-        fin
+    /// The instruction path the hot loops execute: `"scalar"`,
+    /// `"scalar-lanes"` (vector structure on the portable array lanes),
+    /// or `"avx2"`. Benchmark provenance records this per row.
+    pub fn simd_label(&self) -> &'static str {
+        self.exec.label()
     }
 
-    /// AB update of every destination cell whose traversal position falls
-    /// in `positions`: gather from `src`, collide/apply boundary
-    /// conditions, write the destination view. Each cell's 19 values are a
-    /// pure function of `src` and the write slots of distinct cells are
-    /// disjoint (`LayoutIdx::at` is injective), so any partition of the
-    /// position range is race-free and bit-identical to serial — and any
-    /// traversal permutation, blocking, or prefetch setting leaves the
-    /// bits unchanged too.
-    #[allow(clippy::too_many_arguments)]
-    fn ab_update_range<L: LayoutIdx>(
-        mesh: &FluidMesh,
-        src: &[f64],
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
-        kinds: &KindLists,
-        trav: &TraversalConfig,
-        positions: std::ops::Range<usize>,
-        out: &DisjointMut<'_, f64>,
-    ) {
-        let n = mesh.len();
-        let pf = trav.prefetch;
-        let write = |cell: usize, row: &[f64; Q19]| {
-            for q in 0..Q19 {
-                // Safety: slot (cell, q) belongs to `cell` alone.
-                unsafe { out.write(L::at(cell, q, n), row[q]) };
-            }
-        };
-        for_each_block(positions, trav.block, |first, end| {
-            let list = kinds.bulk.in_range(first, end);
-            for (i, &cell) in list.iter().enumerate() {
-                if pf {
-                    prefetch_ab_gather::<L>(mesh, src.as_ptr(), n, list, i);
-                }
-                let cell = cell as usize;
-                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-                write(cell, &bulk_out(&fin, omega));
-            }
-            for &cell in kinds.inlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-                write(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-            }
-            for &cell in kinds.outlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = Self::gather_ab::<L>(mesh, src, n, cell);
-                write(cell, &outlet_out(&fin));
-            }
-        });
-    }
-
-    /// AA even step over `cells`: purely cell-local — read the cell's own
-    /// row, collide, write the opposite slots in place. No streaming-index
-    /// traffic, no scratch array.
-    #[allow(clippy::too_many_arguments)]
-    fn aa_even_range<L: LayoutIdx>(
-        mesh: &FluidMesh,
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
-        kinds: &KindLists,
-        trav: &TraversalConfig,
-        positions: std::ops::Range<usize>,
-        f: &DisjointMut<'_, f64>,
-    ) {
-        let n = mesh.len();
-        let read_own = |cell: usize| {
-            let mut fin = [0.0f64; Q19];
-            for q in 0..Q19 {
-                // Safety: slot (cell, q) belongs to `cell` alone this step.
-                fin[q] = unsafe { f.read(L::at(cell, q, n)) };
-            }
-            fin
-        };
-        let write_opposite = |cell: usize, row: &[f64; Q19]| {
-            for q in 0..Q19 {
-                // Safety: same per-cell slot set the reads used; `row` was
-                // fully gathered before the first write.
-                unsafe { f.write(L::at(cell, opposite(q), n), row[q]) };
-            }
-        };
-        // No prefetch here: the even step is purely cell-local, so its
-        // access stream is the list itself — the hardware prefetcher's
-        // easiest case.
-        for_each_block(positions, trav.block, |first, end| {
-            for &cell in kinds.bulk.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = read_own(cell);
-                write_opposite(cell, &bulk_out(&fin, omega));
-            }
-            for &cell in kinds.inlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = read_own(cell);
-                write_opposite(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-            }
-            for &cell in kinds.outlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = read_own(cell);
-                write_opposite(cell, &outlet_out(&fin));
-            }
-        });
-    }
-
-    /// AA odd step over `cells`: gather each arriving value from the
-    /// `-c_q` neighbor's opposite slot (bounce-back folds onto the cell's
-    /// own slot), collide, scatter forward into the `+c_q` neighbors'
-    /// slots. Per cell the write set equals the read set and the sets of
-    /// distinct cells are disjoint (module docs), so the scattered writes
-    /// are race-free under any cell partition.
-    #[allow(clippy::too_many_arguments)]
-    fn aa_odd_range<L: LayoutIdx>(
-        mesh: &FluidMesh,
-        omega: f64,
-        inlet_slot: &[u32],
-        inlet_vel: &[[f64; 3]],
-        kinds: &KindLists,
-        trav: &TraversalConfig,
-        positions: std::ops::Range<usize>,
-        f: &DisjointMut<'_, f64>,
-    ) {
-        let n = mesh.len();
-        let pf = trav.prefetch;
-        let gather = |cell: usize| {
-            let mut fin = [0.0f64; Q19];
-            let row = mesh.neighbor_row(cell);
-            for q in 0..Q19 {
-                let nb = row[opposite(q)];
-                // Safety: slot belongs to `cell`'s AA-odd slot set.
-                fin[q] = if nb == SOLID {
-                    unsafe { f.read(L::at(cell, q, n)) }
-                } else {
-                    unsafe { f.read(L::at(nb as usize, opposite(q), n)) }
-                };
-            }
-            fin
-        };
-        let scatter = |cell: usize, out: &[f64; Q19]| {
-            let row = mesh.neighbor_row(cell);
-            for q in 0..Q19 {
-                let nb = row[q];
-                // Safety: identical slot set as the gather above, fully
-                // read before the first write.
-                if nb == SOLID {
-                    unsafe { f.write(L::at(cell, opposite(q), n), out[q]) };
-                } else {
-                    unsafe { f.write(L::at(nb as usize, q, n), out[q]) };
-                }
-            }
-        };
-        for_each_block(positions, trav.block, |first, end| {
-            let list = kinds.bulk.in_range(first, end);
-            for (i, &cell) in list.iter().enumerate() {
-                if pf {
-                    prefetch_aa_odd::<L>(mesh, f.as_ptr(), n, list, i);
-                }
-                let cell = cell as usize;
-                let fin = gather(cell);
-                scatter(cell, &bulk_out(&fin, omega));
-            }
-            for &cell in kinds.inlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = gather(cell);
-                scatter(cell, &inlet_out(&fin, inlet_vel[inlet_slot[cell] as usize]));
-            }
-            for &cell in kinds.outlet.in_range(first, end) {
-                let cell = cell as usize;
-                let fin = gather(cell);
-                scatter(cell, &outlet_out(&fin));
-            }
-        });
+    /// The calibration sweep report, when this solver was built with
+    /// [`KernelSelect::Auto`].
+    pub fn autotune_report(&self) -> Option<&AutotuneReport> {
+        self.autotune.as_ref()
     }
 
     fn step_ab<L: LayoutIdx>(&mut self, workers: usize) {
         let mesh = &self.mesh;
-        let src = &self.f;
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
-        let inlet_vel = &self.inlet_vel;
         let kinds = &self.kinds;
         let trav = self.config.traversal;
-        let n = mesh.len();
-        dispatch_owner(&trav, &mut self.f_tmp, n, workers, |cells, out| {
-            Self::ab_update_range::<L>(
-                mesh, src, omega, inlet_slot, inlet_vel, kinds, &trav, cells, out,
-            );
-        });
-        std::mem::swap(&mut self.f, &mut self.f_tmp);
+        let exec = self.exec;
+        match &mut self.store {
+            Store::F64 { f, f_tmp } => {
+                run_ab::<L, f64>(
+                    mesh,
+                    f,
+                    f_tmp,
+                    omega,
+                    inlet_slot,
+                    &self.inlet_vel,
+                    kinds,
+                    &trav,
+                    exec,
+                    workers,
+                );
+                std::mem::swap(f, f_tmp);
+            }
+            Store::F32 { f, f_tmp } => {
+                run_ab::<L, f32>(
+                    mesh,
+                    f,
+                    f_tmp,
+                    omega,
+                    inlet_slot,
+                    &self.inlet_vel_f32,
+                    kinds,
+                    &trav,
+                    exec,
+                    workers,
+                );
+                std::mem::swap(f, f_tmp);
+            }
+        }
     }
 
     fn step_aa<L: LayoutIdx>(&mut self, workers: usize) {
@@ -778,21 +1428,35 @@ impl Solver {
         let mesh = &self.mesh;
         let omega = self.omega;
         let inlet_slot = &self.inlet_slot;
-        let inlet_vel = &self.inlet_vel;
         let kinds = &self.kinds;
         let trav = self.config.traversal;
-        let n = mesh.len();
-        dispatch_owner(&trav, &mut self.f, n, workers, |cells, f| {
-            if even {
-                Self::aa_even_range::<L>(
-                    mesh, omega, inlet_slot, inlet_vel, kinds, &trav, cells, f,
-                );
-            } else {
-                Self::aa_odd_range::<L>(
-                    mesh, omega, inlet_slot, inlet_vel, kinds, &trav, cells, f,
-                );
-            }
-        });
+        let exec = self.exec;
+        match &mut self.store {
+            Store::F64 { f, .. } => run_aa::<L, f64>(
+                mesh,
+                f,
+                even,
+                omega,
+                inlet_slot,
+                &self.inlet_vel,
+                kinds,
+                &trav,
+                exec,
+                workers,
+            ),
+            Store::F32 { f, .. } => run_aa::<L, f32>(
+                mesh,
+                f,
+                even,
+                omega,
+                inlet_slot,
+                &self.inlet_vel_f32,
+                kinds,
+                &trav,
+                exec,
+                workers,
+            ),
+        }
     }
 
     /// Advance one timestep.
@@ -853,11 +1517,23 @@ impl Solver {
         );
         let n = self.mesh.len();
         let layout = self.config.kernel.layout;
-        let mut f = [0.0; Q19];
-        for (q, v) in f.iter_mut().enumerate() {
-            *v = self.f[flat_index(layout, cell, q, n)];
+        let mut row = [0.0f64; Q19];
+        match &self.store {
+            Store::F64 { f, .. } => {
+                for (q, v) in row.iter_mut().enumerate() {
+                    *v = f[flat_index(layout, cell, q, n)];
+                }
+            }
+            Store::F32 { f, .. } => {
+                // Widen the stored f32 row once; the moment arithmetic then
+                // runs in f64 so readout roundoff never stacks on storage
+                // roundoff.
+                for (q, v) in row.iter_mut().enumerate() {
+                    *v = f[flat_index(layout, cell, q, n)] as f64;
+                }
+            }
         }
-        macroscopics_d3q19(&f)
+        macroscopics_d3q19(&row)
     }
 
     /// Density and velocity of the *post-stream* state at a cell: moments
@@ -880,16 +1556,10 @@ impl Solver {
         );
         let n = self.mesh.len();
         let layout = self.config.kernel.layout;
-        let row = self.mesh.neighbor_row(cell);
-        let mut fin = [0.0; Q19];
-        for (q, v) in fin.iter_mut().enumerate() {
-            let nb = row[opposite(q)];
-            *v = if nb == SOLID {
-                self.f[flat_index(layout, cell, opposite(q), n)]
-            } else {
-                self.f[flat_index(layout, nb as usize, q, n)]
-            };
-        }
+        let fin = match &self.store {
+            Store::F64 { f, .. } => widen_gather(&self.mesh, f, layout, cell, n),
+            Store::F32 { f, .. } => widen_gather(&self.mesh, f, layout, cell, n),
+        };
         macroscopics_d3q19(&fin)
     }
 
@@ -911,8 +1581,31 @@ impl Solver {
     /// Raw distribution access for checkpoint/equivalence tests (storage
     /// order: the configured layout; natural direction order only when
     /// [`Solver::in_natural_order`]).
+    ///
+    /// # Panics
+    /// Panics for [`Precision::Single`] solvers — use
+    /// [`Solver::distributions_f32`].
     pub fn distributions(&self) -> &[f64] {
-        &self.f
+        match &self.store {
+            Store::F64 { f, .. } => f,
+            Store::F32 { .. } => {
+                panic!("distributions() is f64; this solver stores f32 — use distributions_f32()")
+            }
+        }
+    }
+
+    /// Raw f32 distribution access — the [`Precision::Single`] counterpart
+    /// of [`Solver::distributions`].
+    ///
+    /// # Panics
+    /// Panics for f64 solvers.
+    pub fn distributions_f32(&self) -> &[f32] {
+        match &self.store {
+            Store::F32 { f, .. } => f,
+            Store::F64 { .. } => {
+                panic!("distributions_f32() is f32; this solver stores f64 — use distributions()")
+            }
+        }
     }
 
     /// Add `delta` to the rest population of the first fluid cell — a
@@ -924,8 +1617,33 @@ impl Solver {
             self.in_natural_order(),
             "AA state is only writable after an even number of steps"
         );
-        self.f[0] += delta;
+        match &mut self.store {
+            Store::F64 { f, .. } => f[0] += delta,
+            Store::F32 { f, .. } => f[0] += delta as f32,
+        }
     }
+}
+
+/// Post-stream gather of one cell's row, widened to f64 for readout.
+fn widen_gather<R: Real>(
+    mesh: &FluidMesh,
+    f: &[R],
+    layout: Layout,
+    cell: usize,
+    n: usize,
+) -> [f64; Q19] {
+    let row = mesh.neighbor_row(cell);
+    let mut fin = [0.0f64; Q19];
+    for (q, v) in fin.iter_mut().enumerate() {
+        let nb = row[opposite(q)];
+        *v = if nb == SOLID {
+            f[flat_index(layout, cell, opposite(q), n)]
+        } else {
+            f[flat_index(layout, nb as usize, q, n)]
+        }
+        .to_f64();
+    }
+    fin
 }
 
 #[cfg(test)]
@@ -1051,7 +1769,7 @@ mod tests {
     #[test]
     fn perturbation_decays_in_closed_box() {
         let mut s = closed_box_solver();
-        s.f[0] += 0.01;
+        s.bump_first_cell(0.01);
         for _ in 0..300 {
             s.step();
         }
@@ -1462,5 +2180,257 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- explicit-vectorization oracles --------------------------------
+
+    #[test]
+    fn vector_path_is_bitwise_identical_to_scalar_for_every_kernel_config() {
+        // The tentpole's acceptance oracle: the fused vector collide-stream
+        // must reproduce the scalar kernel bit for bit, for every
+        // propagation × layout, across traversals and worker counts —
+        // including mid-pair (odd) AA states, hence 13 steps.
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse(prop, layout);
+                let mut scalar = Solver::new(
+                    mesh.clone(),
+                    SolverConfig {
+                        simd: SimdPath::Scalar,
+                        ..config_for(kernel)
+                    },
+                );
+                for _ in 0..13 {
+                    scalar.step_with_workers(1);
+                }
+                for trav in [TraversalConfig::natural(), TraversalConfig::tuned()] {
+                    for workers in [1usize, 2, 8] {
+                        let mut v = Solver::new(
+                            mesh.clone(),
+                            SolverConfig {
+                                simd: SimdPath::Vector,
+                                traversal: trav,
+                                ..config_for(kernel)
+                            },
+                        );
+                        for _ in 0..13 {
+                            v.step_with_workers(workers);
+                        }
+                        assert_eq!(
+                            scalar.distributions(),
+                            v.distributions(),
+                            "{prop:?}/{layout:?} vector diverged under {} at {workers} workers",
+                            trav.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_remainder_lanes_match_scalar_on_awkward_mesh_sizes() {
+        // Meshes whose bulk lists are not multiples of the lane width (4
+        // for f64, 8 for f32 on AVX2) exercise the scalar remainder loop
+        // after every lane group. Perturb so the fields are not at rest.
+        for (nx, ny, nz) in [(3usize, 3, 3), (4, 3, 5), (5, 5, 2), (6, 5, 4)] {
+            let mut g = VoxelGrid::filled(nx, ny, nz, 1.0, CellType::Bulk);
+            classify_walls(&mut g);
+            let mesh = FluidMesh::build(&g);
+            for prop in [Propagation::Ab, Propagation::Aa] {
+                let kernel = KernelConfig::sparse(prop, Layout::Soa);
+                let mut scalar = Solver::new(
+                    mesh.clone(),
+                    SolverConfig {
+                        simd: SimdPath::Scalar,
+                        ..config_for(kernel)
+                    },
+                );
+                let mut vector = Solver::new(mesh.clone(), config_for(kernel));
+                scalar.bump_first_cell(0.01);
+                vector.bump_first_cell(0.01);
+                for _ in 0..6 {
+                    scalar.step();
+                    vector.step();
+                }
+                assert_eq!(
+                    scalar.distributions(),
+                    vector.distributions(),
+                    "{prop:?} remainder diverged on {nx}x{ny}x{nz}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_vector_path_is_bitwise_identical_to_f32_scalar() {
+        // Same oracle at single precision: 8 f32 lanes per AVX2 vector,
+        // same lane-op-equals-scalar-op argument.
+        let mesh = cylinder_mesh();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let kernel = KernelConfig::sparse_with_precision(prop, layout, Precision::Single);
+                let mut scalar = Solver::new(
+                    mesh.clone(),
+                    SolverConfig {
+                        simd: SimdPath::Scalar,
+                        ..config_for(kernel)
+                    },
+                );
+                let mut vector = Solver::new(mesh.clone(), config_for(kernel));
+                for _ in 0..13 {
+                    scalar.step();
+                    vector.step_with_workers(2);
+                }
+                assert_eq!(
+                    scalar.distributions_f32(),
+                    vector.distributions_f32(),
+                    "{prop:?}/{layout:?} f32 vector diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_cylinder_flow_tracks_f64_within_tolerance() {
+        // The accuracy oracle that pins Precision::Single: the developing
+        // Poiseuille inlet flow at f32 storage must track the f64 solution
+        // to single-precision roundoff accumulation, not just stay finite.
+        let mesh = cylinder_mesh();
+        let mut d = Solver::new(mesh.clone(), config_for(KernelConfig::harvey()));
+        let mut s = Solver::new(
+            mesh.clone(),
+            config_for(KernelConfig::sparse_with_precision(
+                Propagation::Ab,
+                Layout::Soa,
+                Precision::Single,
+            )),
+        );
+        for _ in 0..100 {
+            d.step();
+            s.step();
+        }
+        let mut max_drho = 0.0f64;
+        let mut max_du = 0.0f64;
+        for cell in 0..mesh.len() {
+            let (r64, x64, y64, z64) = d.macroscopics(cell);
+            let (r32, x32, y32, z32) = s.macroscopics(cell);
+            assert!(r32.is_finite() && x32.is_finite());
+            max_drho = max_drho.max((r64 - r32).abs());
+            max_du = max_du
+                .max((x64 - x32).abs())
+                .max((y64 - y32).abs())
+                .max((z64 - z32).abs());
+        }
+        assert!(max_drho < 1e-3, "density drift {max_drho} exceeds budget");
+        assert!(max_du < 1e-4, "velocity drift {max_du} exceeds budget");
+        assert!(d.max_velocity() > 1e-3, "flow failed to develop");
+    }
+
+    #[test]
+    fn single_precision_halves_distribution_bytes() {
+        let mesh = cylinder_mesh();
+        let n = mesh.len();
+        for prop in [Propagation::Ab, Propagation::Aa] {
+            let arrays = if matches!(prop, Propagation::Ab) { 2 } else { 1 };
+            let f64b = Solver::new(
+                mesh.clone(),
+                config_for(KernelConfig::sparse(prop, Layout::Soa)),
+            )
+            .distribution_bytes();
+            let f32b = Solver::new(
+                mesh.clone(),
+                config_for(KernelConfig::sparse_with_precision(
+                    prop,
+                    Layout::Soa,
+                    Precision::Single,
+                )),
+            )
+            .distribution_bytes();
+            assert_eq!(f64b, arrays * n * Q19 * 8, "{prop:?} f64");
+            assert_eq!(f32b, arrays * n * Q19 * 4, "{prop:?} f32");
+            assert_eq!(f64b, 2 * f32b, "{prop:?} halving");
+        }
+    }
+
+    #[test]
+    fn autotune_picks_a_candidate_and_preserves_bits() {
+        // KernelSelect::Auto may pick any simd × traversal combination —
+        // all compute identical bits, so the tuned solver must match the
+        // fixed scalar reference exactly, and the report must cover the
+        // full sweep (2 simd paths × deduplicated traversal candidates).
+        let mesh = cylinder_mesh();
+        let reg = Registry::new();
+        let mut auto = Solver::new_in(
+            mesh.clone(),
+            SolverConfig {
+                select: KernelSelect::Auto,
+                ..config_for(KernelConfig::harvey())
+            },
+            &reg,
+        );
+        let report = auto.autotune_report().expect("auto solver keeps a report");
+        assert!(report.candidates.len() >= 4, "sweep too small");
+        // The choice lands in the registry as a combo-keyed counter.
+        let selected = format!(
+            "lbm.autotune.selected.{}.{}",
+            report.simd.label(),
+            report.traversal.name()
+        );
+        assert_eq!(reg.snapshot().counter(&selected), Some(1));
+        assert_eq!(auto.config().select, KernelSelect::Fixed);
+        assert_eq!(auto.config().simd, report.simd);
+        assert_eq!(auto.steps_taken(), 0, "calibration must not advance state");
+        let mut fixed = Solver::new(
+            mesh,
+            SolverConfig {
+                simd: SimdPath::Scalar,
+                ..config_for(KernelConfig::harvey())
+            },
+        );
+        for _ in 0..10 {
+            auto.step();
+            fixed.step();
+        }
+        assert_eq!(auto.distributions(), fixed.distributions());
+    }
+
+    #[test]
+    #[should_panic(expected = "use distributions_f32()")]
+    fn f64_readout_of_f32_storage_panics() {
+        let mut g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
+        classify_walls(&mut g);
+        let s = Solver::new(
+            FluidMesh::build(&g),
+            config_for(KernelConfig::sparse_with_precision(
+                Propagation::Ab,
+                Layout::Soa,
+                Precision::Single,
+            )),
+        );
+        let _ = s.distributions();
+    }
+
+    #[test]
+    #[should_panic(expected = "use distributions()")]
+    fn f32_readout_of_f64_storage_panics() {
+        let s = closed_box_solver();
+        let _ = s.distributions_f32();
+    }
+
+    #[test]
+    #[should_panic(expected = "Quad precision is model-only")]
+    fn quad_precision_storage_is_rejected() {
+        let mut g = VoxelGrid::filled(4, 4, 4, 1.0, CellType::Bulk);
+        classify_walls(&mut g);
+        let _ = Solver::new(
+            FluidMesh::build(&g),
+            config_for(KernelConfig::sparse_with_precision(
+                Propagation::Ab,
+                Layout::Soa,
+                Precision::Quad,
+            )),
+        );
     }
 }

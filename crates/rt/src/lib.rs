@@ -21,6 +21,9 @@
 //!   median/min/throughput reporting (replaces `criterion`).
 //! * [`float`] — explicit absolute/ULP float-comparison helpers so test
 //!   pins state their tolerance model instead of ad-hoc `1e-15` literals.
+//! * [`simd`] — a portable explicit-SIMD lane layer (AVX2 register lanes
+//!   with a plain-array fallback, selected once per process) whose
+//!   elementwise ops are bit-identical to scalar arithmetic per lane.
 
 pub mod bench;
 pub mod check;
@@ -28,3 +31,4 @@ pub mod float;
 pub mod par;
 pub mod pool;
 pub mod rng;
+pub mod simd;

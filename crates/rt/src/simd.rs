@@ -1,0 +1,461 @@
+//! Portable explicit-SIMD lane layer for the vectorized LBM kernels.
+//!
+//! The fused collide-stream is vectorized **across cells** — one cell per
+//! lane — so the only arithmetic the lane types need is elementwise
+//! add/sub/mul/div. Those four operations are IEEE-754 correctly rounded
+//! *per lane* on every backend here (`vaddpd`/`vsubpd`/`vmulpd`/`vdivpd`
+//! round exactly like their scalar counterparts, and the plain-array
+//! fallback literally is the scalar operation), and nothing in this module
+//! ever emits a fused multiply-add or reassociates a sum. A kernel written
+//! against [`Lane`] therefore computes, lane by lane, the *bit-identical*
+//! result of the scalar kernel — the property the solver's
+//! SIMD-vs-scalar oracles pin.
+//!
+//! Three implementations of [`Lane`] exist:
+//!
+//! * the scalar floats themselves (`f32`/`f64`, `WIDTH = 1`) — so a
+//!   lane-generic kernel instantiated at `V = f64` *is* the scalar kernel;
+//! * [`ArrLane`], a plain fixed-size array that compiles on every target
+//!   (LLVM usually auto-vectorizes its elementwise loops);
+//! * [`F64x4`]/[`F32x8`], `core::arch::x86_64` AVX2 register types —
+//!   compiled only when the build target enables AVX2 (e.g. under the
+//!   workspace's pinned `-C target-cpu=native`), aliased to [`ArrLane`]
+//!   otherwise.
+//!
+//! Which lane type the solvers pick at runtime is decided **once** per
+//! process by [`backend`]: the `RT_SIMD` environment variable
+//! (`scalar | avx2 | auto`, mirroring `RT_POOL_THREADS`) if set, else
+//! `is_x86_feature_detected!("avx2")`. Requesting `avx2` on a host (or a
+//! build) without AVX2 falls back to the portable backend instead of
+//! failing, so verify scripts can force either path anywhere.
+
+use std::sync::OnceLock;
+
+/// A pack of `WIDTH` elements of `T` supporting elementwise arithmetic.
+///
+/// Contract (what the bit-identity argument rests on):
+///
+/// * `+ - * /` are elementwise and IEEE-754 correctly rounded per lane —
+///   lane `i` of `a + b` is bitwise `a[i] + b[i]` as scalars;
+/// * no implementation fuses, reassociates, or reorders operations;
+/// * `load`/`store` move bits verbatim from/to the first `WIDTH` slots.
+pub trait Lane<T: Copy>:
+    Copy
+    + Send
+    + Sync
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+{
+    /// Number of elements per lane value.
+    const WIDTH: usize;
+    /// Broadcast one element to every lane.
+    fn splat(v: T) -> Self;
+    /// Load lanes from `src[..WIDTH]` (panics if shorter).
+    fn load(src: &[T]) -> Self;
+    /// Store lanes to `dst[..WIDTH]` (panics if shorter).
+    fn store(self, dst: &mut [T]);
+}
+
+/// A float type the vector kernels can be instantiated over, naming its
+/// portable and accelerated lane types. The element is itself a
+/// `WIDTH = 1` [`Lane`], so scalar kernels are the `V = Self`
+/// instantiation of the same generic code.
+pub trait Element: Copy + Send + Sync + Lane<Self> + 'static {
+    /// Natural vector width on a 256-bit register (4 for f64, 8 for f32).
+    const LANES: usize;
+    /// Portable plain-array lane — compiles on every target.
+    type Wide: Lane<Self>;
+    /// Accelerated lane: AVX2-backed when the build target has AVX2,
+    /// otherwise an alias of [`Element::Wide`].
+    type Accel: Lane<Self>;
+}
+
+macro_rules! scalar_lane {
+    ($t:ty) => {
+        impl Lane<$t> for $t {
+            const WIDTH: usize = 1;
+            #[inline(always)]
+            fn splat(v: $t) -> Self {
+                v
+            }
+            #[inline(always)]
+            fn load(src: &[$t]) -> Self {
+                src[0]
+            }
+            #[inline(always)]
+            fn store(self, dst: &mut [$t]) {
+                dst[0] = self;
+            }
+        }
+    };
+}
+
+scalar_lane!(f32);
+scalar_lane!(f64);
+
+impl Element for f64 {
+    const LANES: usize = 4;
+    type Wide = ArrLane<f64, 4>;
+    type Accel = F64x4;
+}
+
+impl Element for f32 {
+    const LANES: usize = 8;
+    type Wide = ArrLane<f32, 8>;
+    type Accel = F32x8;
+}
+
+/// Plain-array lane: `W` elements updated by elementwise scalar ops. The
+/// portable fallback — correct (and bit-identical to scalar) everywhere,
+/// and usually auto-vectorized by LLVM on targets with vector units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrLane<T, const W: usize>(pub [T; W]);
+
+macro_rules! arr_lane_op {
+    ($trait:ident, $method:ident) => {
+        impl<T, const W: usize> std::ops::$trait for ArrLane<T, W>
+        where
+            T: Copy + std::ops::$trait<Output = T>,
+        {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                Self(std::array::from_fn(|i| self.0[i].$method(rhs.0[i])))
+            }
+        }
+    };
+}
+
+arr_lane_op!(Add, add);
+arr_lane_op!(Sub, sub);
+arr_lane_op!(Mul, mul);
+arr_lane_op!(Div, div);
+
+impl<T, const W: usize> Lane<T> for ArrLane<T, W>
+where
+    T: Copy
+        + Send
+        + Sync
+        + std::ops::Add<Output = T>
+        + std::ops::Sub<Output = T>
+        + std::ops::Mul<Output = T>
+        + std::ops::Div<Output = T>,
+{
+    const WIDTH: usize = W;
+    #[inline(always)]
+    fn splat(v: T) -> Self {
+        Self([v; W])
+    }
+    #[inline(always)]
+    fn load(src: &[T]) -> Self {
+        Self(std::array::from_fn(|i| src[i]))
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [T]) {
+        dst[..W].copy_from_slice(&self.0);
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2_lanes {
+    use super::Lane;
+    use core::arch::x86_64::*;
+
+    /// Four f64 lanes in one AVX ymm register. Only built when the target
+    /// statically enables AVX2, so the intrinsic calls are safe; runtime
+    /// selection via [`super::backend`] keeps them off unsupported hosts.
+    /// Only `vaddpd`/`vsubpd`/`vmulpd`/`vdivpd` are used — per-lane IEEE
+    /// rounding, no FMA contraction — so each lane computes scalar bits.
+    #[derive(Clone, Copy)]
+    pub struct F64x4(__m256d);
+
+    impl std::ops::Add for F64x4 {
+        type Output = Self;
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_add_pd(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Sub for F64x4 {
+        type Output = Self;
+        #[inline(always)]
+        fn sub(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_sub_pd(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Mul for F64x4 {
+        type Output = Self;
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_mul_pd(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Div for F64x4 {
+        type Output = Self;
+        #[inline(always)]
+        fn div(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_div_pd(self.0, rhs.0) })
+        }
+    }
+
+    impl Lane<f64> for F64x4 {
+        const WIDTH: usize = 4;
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Self(unsafe { _mm256_set1_pd(v) })
+        }
+        #[inline(always)]
+        fn load(src: &[f64]) -> Self {
+            assert!(src.len() >= 4);
+            // Safety: bounds just checked; unaligned load is permitted.
+            Self(unsafe { _mm256_loadu_pd(src.as_ptr()) })
+        }
+        #[inline(always)]
+        fn store(self, dst: &mut [f64]) {
+            assert!(dst.len() >= 4);
+            // Safety: bounds just checked; unaligned store is permitted.
+            unsafe { _mm256_storeu_pd(dst.as_mut_ptr(), self.0) }
+        }
+    }
+
+    /// Eight f32 lanes in one AVX ymm register — same contract as
+    /// [`F64x4`].
+    #[derive(Clone, Copy)]
+    pub struct F32x8(__m256);
+
+    impl std::ops::Add for F32x8 {
+        type Output = Self;
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_add_ps(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Sub for F32x8 {
+        type Output = Self;
+        #[inline(always)]
+        fn sub(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_sub_ps(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Mul for F32x8 {
+        type Output = Self;
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_mul_ps(self.0, rhs.0) })
+        }
+    }
+    impl std::ops::Div for F32x8 {
+        type Output = Self;
+        #[inline(always)]
+        fn div(self, rhs: Self) -> Self {
+            Self(unsafe { _mm256_div_ps(self.0, rhs.0) })
+        }
+    }
+
+    impl Lane<f32> for F32x8 {
+        const WIDTH: usize = 8;
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            Self(unsafe { _mm256_set1_ps(v) })
+        }
+        #[inline(always)]
+        fn load(src: &[f32]) -> Self {
+            assert!(src.len() >= 8);
+            // Safety: bounds just checked; unaligned load is permitted.
+            Self(unsafe { _mm256_loadu_ps(src.as_ptr()) })
+        }
+        #[inline(always)]
+        fn store(self, dst: &mut [f32]) {
+            assert!(dst.len() >= 8);
+            // Safety: bounds just checked; unaligned store is permitted.
+            unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), self.0) }
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+pub use avx2_lanes::{F32x8, F64x4};
+
+/// Without compile-time AVX2 the accelerated lanes alias the portable
+/// arrays, and [`backend`] never reports [`Backend::Avx2`].
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+pub type F64x4 = ArrLane<f64, 4>;
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+pub type F32x8 = ArrLane<f32, 8>;
+
+/// Which lane implementation backs the vector kernels this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable plain-array lanes ([`ArrLane`]).
+    Scalar,
+    /// AVX2 register lanes ([`F64x4`]/[`F32x8`]).
+    Avx2,
+}
+
+impl Backend {
+    /// Short label for benchmark/observability provenance.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Parse an `RT_SIMD` override. `None` means auto-detect.
+///
+/// # Panics
+/// On any value other than `scalar`, `avx2`, or `auto`.
+fn parse_override(v: &str) -> Option<Backend> {
+    match v {
+        "scalar" => Some(Backend::Scalar),
+        "avx2" => Some(Backend::Avx2),
+        "auto" => None,
+        other => panic!("RT_SIMD must be scalar|avx2|auto, got {other:?}"),
+    }
+}
+
+/// What the hardware (and this build) can actually run.
+fn detect() -> Backend {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Scalar
+}
+
+/// The process-wide SIMD backend, selected once (then cached): the
+/// `RT_SIMD` env override if set, else AVX2 when both the build target and
+/// the running CPU support it. An `avx2` request that detection (or the
+/// build) cannot honor degrades to [`Backend::Scalar`] so forcing either
+/// path works on any host.
+///
+/// # Panics
+/// If `RT_SIMD` is set to anything but `scalar`, `avx2`, or `auto`.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| match std::env::var("RT_SIMD") {
+        Ok(v) => match parse_override(&v) {
+            Some(Backend::Scalar) => Backend::Scalar,
+            // Honor the request only as far as the hardware allows.
+            Some(Backend::Avx2) | None => detect(),
+        },
+        Err(_) => detect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_cases() -> Vec<f64> {
+        vec![0.0, -0.0, 1.0, -1.5, 1.0 / 3.0, 1e-300, 1e300, 0.1234567890123]
+    }
+
+    #[test]
+    fn scalar_lane_is_the_identity_wrapper() {
+        assert_eq!(<f64 as Lane<f64>>::WIDTH, 1);
+        let v = <f64 as Lane<f64>>::splat(2.5);
+        assert_eq!(v, 2.5);
+        let mut out = [0.0f64];
+        (v * v + v).store(&mut out);
+        assert_eq!(out[0], 2.5 * 2.5 + 2.5);
+    }
+
+    #[test]
+    fn arr_lane_ops_match_scalar_bitwise() {
+        let xs = f64_cases();
+        for (i, &a) in xs.iter().enumerate() {
+            for &b in &xs[i..] {
+                let va = ArrLane::<f64, 4>::splat(a);
+                let vb = ArrLane::<f64, 4>::splat(b);
+                let mut out = [0.0f64; 4];
+                for (op, scalar) in [
+                    (va + vb, a + b),
+                    (va - vb, a - b),
+                    (va * vb, a * b),
+                    (va / vb, a / b),
+                ] {
+                    op.store(&mut out);
+                    for &o in &out {
+                        assert_eq!(o.to_bits(), scalar.to_bits(), "{a} ? {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accel_lane_ops_match_scalar_bitwise_per_lane() {
+        // The foundation of the vector kernels' bit-identity claim: each
+        // lane of an accelerated op carries exactly the scalar result.
+        let src = [0.1, 1.0 / 3.0, -7.25, 1e-12];
+        let other = [3.0, -0.5, 1e3, 0.7];
+        let a = F64x4::load(&src);
+        let b = F64x4::load(&other);
+        let mut out = [0.0f64; 4];
+        ((a + b) * a - b / a).store(&mut out);
+        for i in 0..4 {
+            let want = (src[i] + other[i]) * src[i] - other[i] / src[i];
+            assert_eq!(out[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+
+        let src8: [f32; 8] = [0.1, 0.25, -3.5, 1e-6, 9.0, -0.125, 2.5, 1.0 / 3.0];
+        let a = F32x8::load(&src8);
+        let b = F32x8::splat(1.5f32);
+        let mut out8 = [0.0f32; 8];
+        ((a * b) + (a - b) / b).store(&mut out8);
+        for i in 0..8 {
+            let want = (src8[i] * 1.5f32) + (src8[i] - 1.5f32) / 1.5f32;
+            assert_eq!(out8[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_moves_bits_verbatim() {
+        let src = [f64::MIN_POSITIVE, -0.0, f64::MAX, 42.0];
+        let mut dst = [0.0f64; 4];
+        F64x4::load(&src).store(&mut dst);
+        for i in 0..4 {
+            assert_eq!(src[i].to_bits(), dst[i].to_bits());
+        }
+        let w = ArrLane::<f32, 8>::splat(-0.0f32);
+        let mut out = [1.0f32; 8];
+        w.store(&mut out);
+        assert!(out.iter().all(|v| v.to_bits() == (-0.0f32).to_bits()));
+    }
+
+    #[test]
+    fn element_widths_are_consistent() {
+        assert_eq!(<f64 as Element>::LANES, 4);
+        assert_eq!(<f32 as Element>::LANES, 8);
+        assert_eq!(<<f64 as Element>::Wide as Lane<f64>>::WIDTH, 4);
+        assert_eq!(<<f32 as Element>::Wide as Lane<f32>>::WIDTH, 8);
+        assert_eq!(<<f64 as Element>::Accel as Lane<f64>>::WIDTH, 4);
+        assert_eq!(<<f32 as Element>::Accel as Lane<f32>>::WIDTH, 8);
+    }
+
+    #[test]
+    fn override_parser_accepts_the_documented_values() {
+        assert_eq!(parse_override("scalar"), Some(Backend::Scalar));
+        assert_eq!(parse_override("avx2"), Some(Backend::Avx2));
+        assert_eq!(parse_override("auto"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "RT_SIMD must be")]
+    fn override_parser_rejects_garbage() {
+        let _ = parse_override("sse9");
+    }
+
+    #[test]
+    fn backend_is_stable_and_labeled() {
+        let b = backend();
+        assert_eq!(b, backend(), "backend must be selected once");
+        assert!(matches!(b.label(), "scalar" | "avx2"));
+    }
+}

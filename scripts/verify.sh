@@ -52,7 +52,44 @@ if ! grep -q '"traversal_bitwise_equal": true' "$smoke_json"; then
   echo "ERROR: tuned traversal is not bitwise equal to default order in $smoke_json" >&2
   exit 1
 fi
+# The explicitly vectorized collide-stream must have produced bit-identical
+# f64 distributions to the scalar loop for every kernel config (the binary
+# compares forced-scalar vs forced-vector solvers and records the verdict).
+if ! grep -q '"simd_bitwise_equal": true' "$smoke_json"; then
+  echo "ERROR: vector solver is not bitwise equal to scalar in $smoke_json" >&2
+  exit 1
+fi
+# Single-precision storage rows must be present (the nan/inf grep above
+# covers them) and the accuracy witness must be recorded.
+if ! grep -q '"config": "AA/SOA/indirect/f32"' "$smoke_json"; then
+  echo "ERROR: no f32 kernel rows in $smoke_json" >&2
+  exit 1
+fi
+if ! grep -q '"f32_f64_moment_max_diff"' "$smoke_json"; then
+  echo "ERROR: no f32 accuracy witness in $smoke_json" >&2
+  exit 1
+fi
 echo "bench smoke: OK ($smoke_json)"
+
+echo "== SIMD determinism smoke: RT_SIMD=scalar forced backend"
+# Force the portable lane backend process-wide: every row must report the
+# "scalar-lanes" instruction path, and the in-binary forced-scalar vs
+# forced-vector comparison now pits the portable wide lanes against the
+# plain scalar loop — so between this run and the default (avx2) run
+# above, all three instruction paths are proven bit-identical for f64.
+simd_json="target/BENCH_simd_scalar.json"
+rm -f "$simd_json"
+RT_SIMD=scalar RT_BENCH_FAST=1 BENCH_OUT="$simd_json" \
+  cargo run -q --release --offline -p hemocloud-bench --bin bench_baseline > /dev/null
+if ! grep -q '"simd_bitwise_equal": true' "$simd_json"; then
+  echo "ERROR: portable wide lanes are not bitwise equal to scalar in $simd_json" >&2
+  exit 1
+fi
+if grep -q '"simd": "avx2"' "$simd_json"; then
+  echo "ERROR: RT_SIMD=scalar did not force the portable backend in $simd_json" >&2
+  exit 1
+fi
+echo "SIMD determinism smoke: OK ($simd_json)"
 
 echo "== perf regression gate: fresh fast-mode vs committed BENCH_lbm.json"
 # The committed baseline is full-size and the smoke run is the fast mesh,
@@ -88,9 +125,11 @@ if [ -f "$committed_json" ]; then
   # The committed baseline must carry the kernel-config sweep, and its
   # best AA row must be at least as fast as the AB/AoS (HARVEY) row —
   # the AB->AA speedup is the point of recording the sweep.
-  ab_mflups=$(grep -oE '\{"config": "AB/AOS[^}]*' "$committed_json" \
-    | grep -oE '"mflups": [0-9.]+' | grep -oE '[0-9.]+')
-  best_aa_mflups=$(grep -oE '\{"config": "AA/[^}]*' "$committed_json" \
+  # f64 rows only: the f32 rows are faster by construction and must not
+  # stand in for the double-precision AB->AA comparison.
+  ab_mflups=$(grep -oE '\{"config": "AB/AOS/indirect/f64[^}]*' "$committed_json" \
+    | grep -oE '"mflups": [0-9.]+' | grep -oE '[0-9.]+' | head -1)
+  best_aa_mflups=$(grep -oE '\{"config": "AA/(AOS|SOA)/indirect/f64[^}]*' "$committed_json" \
     | grep -oE '"mflups": [0-9.]+' | grep -oE '[0-9.]+' | sort -g | tail -1)
   if [ -z "$ab_mflups" ] || [ -z "$best_aa_mflups" ]; then
     echo "ERROR: committed $committed_json lacks AB/AA kernel rows" >&2

@@ -1,0 +1,167 @@
+//! Campaign evaluation sweep: run the scheduler across the full grid of
+//! seeds × geometries × platform mixes × fault rates × kernel
+//! configurations with every invariant checker armed (DESIGN.md §17),
+//! and persist the aggregated [`SweepReport`] as `EVAL_campaign.json` —
+//! the committed evidence that the control loop's budget, SLO, billing,
+//! guard and Eq. 9 promises hold everywhere in the swept space.
+//!
+//! * `EVAL_OUT=<path>` redirects the JSON (default: `EVAL_campaign.json`
+//!   in the current directory).
+//! * `RT_BENCH_FAST=1` runs the 16-cell smoke grid instead of the full
+//!   120-cell grid — the CI gate; the committed artifact uses the full
+//!   grid.
+//!
+//! The binary exits non-zero unless every acceptance property holds:
+//!
+//! 1. zero invariant violations across every cell (budget ceilings, SLO
+//!    books, billed ≥ busy, guard-kill exactness, Eq. 9 byte equality,
+//!    outcome conservation, finite statistics);
+//! 2. the grid floor: ≥ 48 cells on the full grid, ≥ 2 seeds,
+//!    ≥ 4 geometries (including stenosis and aneurysm), ≥ 2 mixes and
+//!    ≥ 2 fault rates;
+//! 3. the Eq. 9 reconciliation and the guard-exactness rebuild both
+//!    actually ran (non-vacuous evaluation);
+//! 4. the headline statistics — p50/p99 placement error, mean cost
+//!    regret vs the noise-free oracle, utilization — exist and are
+//!    finite;
+//! 5. the rendered JSON carries no `nan`/`inf` token anywhere.
+//!
+//! [`SweepReport`]: hemocloud_sched::SweepReport
+
+use hemocloud_bench::provenance;
+use hemocloud_sched::{run_sweep, SweepGrid};
+
+fn main() {
+    let fast = std::env::var("RT_BENCH_FAST").is_ok();
+    let out = std::env::var("EVAL_OUT").unwrap_or_else(|_| "EVAL_campaign.json".to_string());
+    let (grid, grid_name) = if fast {
+        (SweepGrid::smoke(), "smoke")
+    } else {
+        (SweepGrid::full(), "full")
+    };
+
+    let report = run_sweep(&grid);
+    let mut failures = Vec::new();
+
+    // 1. Zero violations, with each one surfaced for the log.
+    for v in &report.violations {
+        failures.push(format!("invariant violation: {v}"));
+    }
+
+    // 2. Grid floor (the full grid must stay a real sweep).
+    if report.cells.len() != grid.cell_count() {
+        failures.push(format!(
+            "ran {} cells, grid declares {}",
+            report.cells.len(),
+            grid.cell_count()
+        ));
+    }
+    if !fast {
+        if report.cells.len() < 48 {
+            failures.push(format!("full grid shrank to {} cells (< 48)", report.cells.len()));
+        }
+        if grid.seeds.len() < 2 || grid.geometries.len() < 4 || grid.mixes.len() < 2 {
+            failures.push("full grid lost an axis (seeds/geometries/mixes floor)".to_string());
+        }
+        for required in ["sten8", "aneu8"] {
+            if !grid.geometries.iter().any(|g| g.key == required) {
+                failures.push(format!("full grid dropped required geometry {required}"));
+            }
+        }
+    }
+    if grid.fault_rates.len() < 2 {
+        failures.push("grid needs at least two fault rates".to_string());
+    }
+
+    // 3. Non-vacuous checkers.
+    if report.eq9_cells_checked == 0 {
+        failures.push("Eq. 9 reconciliation never armed".to_string());
+    }
+    if report.guard_exact_checks == 0 {
+        failures.push("guard-exactness rebuild never ran".to_string());
+    }
+
+    // 4. Headline statistics exist and are finite.
+    let headline = [
+        ("error_p50_pct", report.overall.error_p50_pct),
+        ("error_p99_pct", report.overall.error_p99_pct),
+        ("mean_regret_pct", report.overall.mean_regret_pct),
+        ("mean_utilization", Some(report.overall.mean_utilization)),
+    ];
+    for (name, v) in headline {
+        match v {
+            Some(v) if v.is_finite() => {}
+            other => failures.push(format!("overall {name} is {other:?}")),
+        }
+    }
+    for a in &report.by_axis {
+        for (name, v) in [
+            ("error_p50_pct", a.error_p50_pct),
+            ("error_p99_pct", a.error_p99_pct),
+            ("mean_regret_pct", a.mean_regret_pct),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() {
+                    failures.push(format!("axis {}={} {name} non-finite", a.axis, a.value));
+                }
+            }
+        }
+    }
+
+    let git_rev = provenance::json_escape(&provenance::git_rev());
+    let rustc = provenance::json_escape(&provenance::rustc_version());
+    let fmt_opt = |v: Option<f64>| v.map_or("n/a".to_string(), |v| format!("{v:.4}"));
+    let json = report.to_json_with_provenance(&[
+        ("git_rev", &git_rev),
+        ("rustc", &rustc),
+        ("grid", grid_name),
+        ("cells", &report.cells.len().to_string()),
+        ("violations", &report.violations.len().to_string()),
+        ("eq9_cells_checked", &report.eq9_cells_checked.to_string()),
+        ("guard_exact_checks", &report.guard_exact_checks.to_string()),
+        ("overall_error_p50_pct", &fmt_opt(report.overall.error_p50_pct)),
+        ("overall_error_p99_pct", &fmt_opt(report.overall.error_p99_pct)),
+        ("overall_mean_regret_pct", &fmt_opt(report.overall.mean_regret_pct)),
+        (
+            "overall_mean_utilization",
+            &format!("{:.6}", report.overall.mean_utilization),
+        ),
+    ]);
+
+    // 5. The artifact itself must be nan/inf-free.
+    let lower = json.to_lowercase();
+    for token in [": nan", ": -nan", ": inf", ": -inf"] {
+        if lower.contains(token) {
+            failures.push(format!("artifact contains '{token}'"));
+        }
+    }
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+
+    println!(
+        "eval campaign ({grid_name} grid): {} cells, {} jobs, {} completed, {} violations",
+        report.cells.len(),
+        report.overall.jobs,
+        report.overall.completed,
+        report.violations.len()
+    );
+    println!(
+        "  placement |error| p50 {} / p99 {} %, mean cost regret vs oracle {} %, mean utilization {:.3}",
+        fmt_opt(report.overall.error_p50_pct),
+        fmt_opt(report.overall.error_p99_pct),
+        fmt_opt(report.overall.mean_regret_pct),
+        report.overall.mean_utilization
+    );
+    println!(
+        "  Eq. 9 reconciled on {} cells, guard limits rebuilt for {} kills",
+        report.eq9_cells_checked, report.guard_exact_checks
+    );
+    println!("  wrote {out}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("EVAL INVARIANT VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -114,7 +114,10 @@ impl NodePool {
     /// Panics when an id is already free (double release) or on a
     /// negative hold time.
     pub fn release_ids(&mut self, ids: &[usize], held_seconds: f64) {
-        assert!(held_seconds >= 0.0, "negative hold time");
+        assert!(
+            held_seconds >= 0.0 && held_seconds.is_finite(),
+            "bad hold time {held_seconds}"
+        );
         for &id in ids {
             assert!(id < self.nodes_total, "node id {id} out of range");
             assert!(

@@ -74,6 +74,51 @@ impl PriceSheet {
             .sum()
     }
 
+    /// Whole seconds billed for one attempt of `seconds` wall-seconds on
+    /// **one** node — the integer second counter the sweep harness
+    /// reconciles against busy time ("billed ≥ busy").
+    ///
+    /// Providers meter whole seconds, so a partial second rounds up; under
+    /// [`Billing::PerHour`] the attempt rounds up to whole hours with a
+    /// one-hour minimum (matching [`PriceSheet::cost`]). All arithmetic is
+    /// checked/saturating: an attempt longer than `u64::MAX` seconds (a
+    /// synthetic-campaign extreme, ~585 billion years) pins to `u64::MAX`
+    /// instead of wrapping, so very long campaigns can never under-bill
+    /// through integer overflow.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative `seconds`.
+    pub fn billed_seconds(&self, seconds: f64) -> u64 {
+        assert!(seconds >= 0.0, "bad attempt seconds {seconds}");
+        let whole = if seconds >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            seconds.ceil() as u64
+        };
+        match self.billing {
+            Billing::PerSecond => whole,
+            Billing::PerHour => whole
+                .div_ceil(3600)
+                .max(1)
+                .checked_mul(3600)
+                .unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Total billed node-seconds of a job split into several attempts on
+    /// `nodes` nodes: each attempt rounds up independently (the same
+    /// per-attempt metering as [`PriceSheet::attempts_cost`]), zero-length
+    /// attempts are not billed, and the node multiply and running sum
+    /// saturate at `u64::MAX` rather than wrapping.
+    pub fn attempts_billed_node_seconds(&self, nodes: usize, attempt_seconds: &[f64]) -> u64 {
+        attempt_seconds
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .fold(0u64, |acc, &s| {
+                acc.saturating_add(self.billed_seconds(s).saturating_mul(nodes as u64))
+            })
+    }
+
     /// Throughput per dollar: MFLUPS-seconds of work per dollar spent —
     /// the paper's "flops/dollar"-style decision metric.
     pub fn updates_per_dollar(&self, platform: &Platform, run: &SimulatedRun) -> f64 {
@@ -189,5 +234,61 @@ mod tests {
         assert_eq!(sheet.attempts_cost(&p, 1, &[0.0, 0.0]), 0.0);
         assert!((sheet.attempts_cost(&p, 1, &[0.0, 60.0]) - p.price_per_node_hour).abs() < 1e-9);
         assert_eq!(sheet.attempts_cost(&p, 1, &[]), 0.0);
+    }
+
+    #[test]
+    fn billed_seconds_round_up_per_attempt() {
+        let per_second = PriceSheet::default();
+        // Partial seconds round up; whole seconds bill exactly.
+        assert_eq!(per_second.billed_seconds(0.4), 1);
+        assert_eq!(per_second.billed_seconds(1.0), 1);
+        assert_eq!(per_second.billed_seconds(1800.5), 1801);
+        assert_eq!(per_second.billed_seconds(0.0), 0);
+        // Two sub-second attempts bill two seconds, not one.
+        assert_eq!(per_second.attempts_billed_node_seconds(1, &[0.4, 0.6]), 2);
+
+        let per_hour = PriceSheet { billing: Billing::PerHour };
+        // One-hour minimum, whole-hour round-up — matching cost().
+        assert_eq!(per_hour.billed_seconds(0.0), 3600);
+        assert_eq!(per_hour.billed_seconds(1800.0), 3600);
+        assert_eq!(per_hour.billed_seconds(3600.0), 3600);
+        assert_eq!(per_hour.billed_seconds(3660.0), 7200);
+        // Two half-hour attempts bill two node-hours on 2 nodes each.
+        assert_eq!(per_hour.attempts_billed_node_seconds(2, &[1800.0, 1800.0]), 4 * 3600);
+        // Zero-length attempts never acquired usable time.
+        assert_eq!(per_hour.attempts_billed_node_seconds(4, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn billed_seconds_saturate_at_the_u64_boundary() {
+        let per_second = PriceSheet::default();
+        let per_hour = PriceSheet { billing: Billing::PerHour };
+        // An attempt past u64::MAX seconds pins to the boundary (for both
+        // granularities), never wraps to a tiny bill.
+        for sheet in [&per_second, &per_hour] {
+            assert_eq!(sheet.billed_seconds(2e19), u64::MAX);
+            assert_eq!(sheet.billed_seconds(f64::MAX), u64::MAX);
+            assert_eq!(sheet.billed_seconds(f64::INFINITY), u64::MAX);
+        }
+        // Exactly at the boundary the per-hour round-up must not overflow:
+        // ceil(u64::MAX / 3600) hours still fits in u64 seconds.
+        let at_max = per_hour.billed_seconds(u64::MAX as f64);
+        assert!(at_max >= u64::MAX - 3600 && at_max >= per_second.billed_seconds(u64::MAX as f64) - 3600);
+        // The node multiply and the running sum saturate instead of
+        // wrapping: a wrap here would report a near-zero bill for the
+        // longest campaigns — exactly the silent failure the sweep's
+        // "billed ≥ busy" invariant exists to catch.
+        assert_eq!(per_second.attempts_billed_node_seconds(8, &[1e19]), u64::MAX);
+        assert_eq!(per_second.attempts_billed_node_seconds(1, &[1e19, 1e19, 1e19]), u64::MAX);
+        // Monotonicity survives saturation.
+        let a = per_second.attempts_billed_node_seconds(1, &[1e18]);
+        let b = per_second.attempts_billed_node_seconds(1, &[1e18, 1e18]);
+        assert!(b >= a);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad attempt seconds")]
+    fn billed_seconds_reject_nan() {
+        PriceSheet::default().billed_seconds(f64::NAN);
     }
 }

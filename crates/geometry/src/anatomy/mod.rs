@@ -11,18 +11,24 @@
 //! | [`CylinderSpec`] | high (dense cross-sections) | easy | few |
 //! | [`AortaSpec`] | typical | typical | moderate |
 //! | [`CerebralSpec`] | low (thin spread-out vessels) | typical | many |
+//! | [`StenosisSpec`] | high away from the throat | skewed by the lesion | throat-concentrated |
+//! | [`AneurysmSpec`] | low in the sac | dome-skewed | dome-heavy |
 //!
 //! Each spec has anatomically plausible default dimensions (mm) and a
 //! `resolution` knob — the number of voxels across the inlet diameter —
 //! that controls problem size without changing shape.
 
+mod aneurysm;
 mod aorta;
 mod cerebral;
 mod cylinder;
+mod stenosis;
 
+pub use aneurysm::AneurysmSpec;
 pub use aorta::AortaSpec;
 pub use cerebral::CerebralSpec;
 pub use cylinder::CylinderSpec;
+pub use stenosis::StenosisSpec;
 
 /// A tiny deterministic linear congruential generator used for the
 /// pseudo-random (but reproducible) branching angles of the cerebral tree.

@@ -1,0 +1,197 @@
+//! Stenosed vessel: a straight tube with a tapered throat.
+//!
+//! A focal narrowing (by default 50% by diameter) in the middle of an
+//! otherwise idealized cylindrical vessel. The throat concentrates wall
+//! points and shrinks the cross-section the decomposer has to cut through,
+//! so the geometry sits between the cylinder (dense, bulk-heavy) and the
+//! cerebral tree (sparse, wall-heavy) — a distinct point in scenario space
+//! for the sweep harness, and the canonical clinical target for
+//! hemodynamic simulation (fractional flow reserve).
+
+use crate::shapes::Vec3;
+use crate::tube::{Tube, VesselNetwork};
+use crate::voxel::VoxelGrid;
+
+/// Parameters of the stenosed vessel. Lengths in millimetres.
+#[derive(Debug, Clone, Copy)]
+pub struct StenosisSpec {
+    /// Healthy lumen radius away from the lesion.
+    pub radius_mm: f64,
+    /// Total vessel length.
+    pub length_mm: f64,
+    /// Diameter reduction at the throat, in `[0, 1)`. 0.5 means the throat
+    /// diameter is half the healthy diameter (a "50% stenosis").
+    pub severity: f64,
+    /// Axial extent of the tapered lesion (shoulder to shoulder).
+    pub lesion_length_mm: f64,
+    /// Voxels across the healthy diameter.
+    pub resolution: usize,
+}
+
+impl Default for StenosisSpec {
+    fn default() -> Self {
+        Self {
+            radius_mm: 5.0,
+            length_mm: 60.0,
+            severity: 0.5,
+            lesion_length_mm: 20.0,
+            resolution: 20,
+        }
+    }
+}
+
+impl StenosisSpec {
+    /// Set the number of voxels across the healthy diameter.
+    pub fn with_resolution(mut self, resolution: usize) -> Self {
+        assert!(resolution >= 6, "resolution below 6 voxels is degenerate");
+        self.resolution = resolution;
+        self
+    }
+
+    /// Set the diameter reduction at the throat.
+    pub fn with_severity(mut self, severity: f64) -> Self {
+        assert!(
+            (0.0..0.9).contains(&severity),
+            "severity {severity} outside [0, 0.9): the throat must keep a lumen"
+        );
+        self.severity = severity;
+        self
+    }
+
+    /// Radius at the narrowest point of the throat.
+    pub fn throat_radius_mm(&self) -> f64 {
+        self.radius_mm * (1.0 - self.severity)
+    }
+
+    /// Voxel spacing implied by the resolution.
+    pub fn dx_mm(&self) -> f64 {
+        2.0 * self.radius_mm / self.resolution as f64
+    }
+
+    /// The vessel network: one polyline tube along +z whose per-point radii
+    /// dip to the throat value at mid-vessel, with caps at both ends.
+    pub fn network(&self) -> VesselNetwork {
+        let mut net = VesselNetwork::new();
+        let half_lesion = (self.lesion_length_mm * 0.5).min(self.length_mm * 0.4);
+        let mid = self.length_mm * 0.5;
+        let z = |v: f64| Vec3::new(0.0, 0.0, v);
+        let points = vec![
+            z(0.0),
+            z(mid - half_lesion),
+            z(mid),
+            z(mid + half_lesion),
+            z(self.length_mm),
+        ];
+        let radii = vec![
+            self.radius_mm,
+            self.radius_mm,
+            self.throat_radius_mm(),
+            self.radius_mm,
+            self.radius_mm,
+        ];
+        net.add_tube(Tube::new(points, radii));
+        let cap = self.radius_mm * 1.2;
+        net.add_inlet(Vec3::new(0.0, 0.0, 0.0), cap);
+        net.add_outlet(Vec3::new(0.0, 0.0, self.length_mm), cap);
+        net
+    }
+
+    /// Voxelize at the spec's resolution.
+    pub fn build(&self) -> VoxelGrid {
+        self.network().voxelize(self.dx_mm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GeometryStats;
+    use crate::voxel::CellType;
+
+    #[test]
+    fn default_stenosis_builds_with_all_roles() {
+        let g = StenosisSpec::default().with_resolution(12).build();
+        let s = GeometryStats::measure(&g);
+        assert!(s.bulk_points > 0);
+        assert!(s.wall_points > 0);
+        assert!(s.inlet_points > 0);
+        assert!(s.outlet_points > 0);
+    }
+
+    #[test]
+    fn throat_narrows_mid_vessel_cross_section() {
+        // Fluid cells per z-slab: the mid slab must hold markedly fewer
+        // cells than the end slabs, in roughly the (1-severity)^2 area
+        // ratio.
+        let spec = StenosisSpec::default().with_resolution(16);
+        let g = spec.build();
+        let (nx, ny, nz) = g.dims();
+        let slab = |z: usize| {
+            let mut n = 0usize;
+            for y in 0..ny {
+                for x in 0..nx {
+                    if g.get(x, y, z).is_fluid() {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let mid = slab(nz / 2);
+        let end = slab(nz / 5);
+        assert!(mid > 0, "throat pinched shut");
+        let ratio = mid as f64 / end as f64;
+        let expect = (1.0 - spec.severity).powi(2);
+        assert!(
+            (ratio - expect).abs() < 0.2,
+            "mid/end area ratio {ratio:.3} vs expected {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn severity_zero_matches_plain_cylinder_census() {
+        let sten = StenosisSpec::default().with_severity(0.0).with_resolution(10).build();
+        let cyl = crate::anatomy::CylinderSpec::default().with_resolution(10).build();
+        assert_eq!(sten.fluid_count(), cyl.fluid_count());
+    }
+
+    #[test]
+    fn higher_severity_raises_wall_share() {
+        let mild = GeometryStats::measure(
+            &StenosisSpec::default().with_severity(0.2).with_resolution(12).build(),
+        );
+        let severe = GeometryStats::measure(
+            &StenosisSpec::default().with_severity(0.7).with_resolution(12).build(),
+        );
+        assert!(
+            severe.wall_fraction() > mild.wall_fraction(),
+            "severe {} vs mild {}",
+            severe.wall_fraction(),
+            mild.wall_fraction()
+        );
+    }
+
+    #[test]
+    fn caps_are_at_opposite_ends() {
+        let g = StenosisSpec::default().with_resolution(10).build();
+        let (_, _, nz) = g.dims();
+        let mean_z = |ct: CellType| {
+            let (mut sum, mut n) = (0usize, 0usize);
+            for (_, _, z, c) in g.iter_cells() {
+                if c == ct {
+                    sum += z;
+                    n += 1;
+                }
+            }
+            sum as f64 / n as f64
+        };
+        assert!(mean_z(CellType::Inlet) < nz as f64 * 0.3);
+        assert!(mean_z(CellType::Outlet) > nz as f64 * 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn occlusive_severity_rejected() {
+        let _ = StenosisSpec::default().with_severity(0.95);
+    }
+}

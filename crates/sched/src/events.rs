@@ -361,4 +361,42 @@ mod tests {
         q.push(1, 0.0, Event::Arrive { job: 0 });
         q.push(1, 0.0, Event::Arrive { job: 1 });
     }
+
+    /// `PartialOrd` is derived from `Ord` (`Some(self.cmp(other))`), so the
+    /// two orders can never diverge — a divergence would silently break the
+    /// shard-invariant pop order, since `BinaryHeap` uses `Ord` while any
+    /// future comparison through `PartialOrd` would disagree. Pinned on
+    /// random keys including the `total_cmp` specials (NaN, ±0.0, ±inf);
+    /// `push` rejects non-finite times, but the key type itself must stay
+    /// total regardless of how it is constructed.
+    #[test]
+    fn partial_cmp_always_agrees_with_cmp() {
+        use hemocloud_rt::check::{self, Config};
+        let specials = [f64::NAN, -f64::NAN, 0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY];
+        check::run("partial_cmp_always_agrees_with_cmp", Config::cases(16), |rng| {
+            let draw = |rng: &mut hemocloud_rt::rng::Rng| {
+                let time_s = if rng.next_u64() % 4 == 0 {
+                    specials[(rng.next_u64() % specials.len() as u64) as usize]
+                } else {
+                    // Coarse grid so exact time ties exercise the lane/seq arms.
+                    (rng.next_u64() % 8) as f64 - 3.0
+                };
+                Scheduled {
+                    time_s,
+                    lane: (rng.next_u64() % 3) as u32,
+                    seq: rng.next_u64() % 4,
+                    event: Event::Arrive { job: 0 },
+                }
+            };
+            for _ in 0..256 {
+                let a = draw(rng);
+                let b = draw(rng);
+                assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+                assert_eq!(b.partial_cmp(&a), Some(b.cmp(&a)));
+                assert_eq!(a.partial_cmp(&a), Some(std::cmp::Ordering::Equal));
+                // PartialEq must match the Equal arm of the same key.
+                assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+            }
+        });
+    }
 }

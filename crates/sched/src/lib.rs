@@ -22,6 +22,10 @@
 //!   refinement trajectory, with deterministic JSON output.
 //! * [`demo`] — the seeded reference campaign the bench driver, example,
 //!   and acceptance tests all share.
+//! * [`sweep`] — the scenario-sweep evaluation harness: the campaign run
+//!   across seeds × geometries × platform mixes × fault rates × kernel
+//!   configurations with budget/SLO/billing/Eq. 9/guard invariants
+//!   armed, aggregated into one deterministic JSON report.
 //!
 //! Everything is reproducible: same seed, same report, byte for byte.
 
@@ -30,6 +34,7 @@ pub mod events;
 pub mod job;
 pub mod report;
 pub mod scheduler;
+pub mod sweep;
 
 pub use demo::{
     demo_config, demo_jobs, demo_pools, fabric_demo_config, fabric_demo_jobs, fabric_demo_pools,
@@ -42,4 +47,8 @@ pub use report::{
 };
 pub use scheduler::{
     expected_faults, fault_probability, retry_backoff_s, Campaign, CampaignConfig, PoolSpec,
+};
+pub use sweep::{
+    cell_config, cell_jobs, mix_pools, run_sweep, AxisAggregate, CellResult, GeometryCase,
+    SweepGrid, SweepReport, WorkloadCase,
 };

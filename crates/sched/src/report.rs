@@ -97,6 +97,11 @@ pub struct PlatformReport {
     pub cost_dollars: f64,
     /// Busy node-seconds accumulated.
     pub busy_node_seconds: f64,
+    /// Integer billed node-seconds: every attempt's occupancy rounded up
+    /// to the billing granularity independently (saturating at
+    /// `u64::MAX`). Per-attempt round-up makes this ≥ `busy_node_seconds`
+    /// always — an invariant the sweep harness checks per cell.
+    pub billed_node_seconds: u64,
     /// busy node-seconds / (nodes × makespan).
     pub utilization: f64,
 }
@@ -299,7 +304,7 @@ impl CampaignReport {
         for (i, p) in self.platforms.iter().enumerate() {
             let comma = if i + 1 < self.platforms.len() { "," } else { "" };
             s.push_str(&format!(
-                "    {{\"platform\": \"{}\", \"nodes_total\": {}, \"peak_nodes_busy\": {}, \"attempts\": {}, \"faults\": {}, \"guard_kills\": {}, \"cost_dollars\": {:.6}, \"busy_node_seconds\": {:.3}, \"utilization\": {:.6}}}{comma}\n",
+                "    {{\"platform\": \"{}\", \"nodes_total\": {}, \"peak_nodes_busy\": {}, \"attempts\": {}, \"faults\": {}, \"guard_kills\": {}, \"cost_dollars\": {:.6}, \"busy_node_seconds\": {:.3}, \"billed_node_seconds\": {}, \"utilization\": {:.6}}}{comma}\n",
                 p.platform,
                 p.nodes_total,
                 p.peak_nodes_busy,
@@ -308,6 +313,7 @@ impl CampaignReport {
                 p.guard_kills,
                 p.cost_dollars,
                 p.busy_node_seconds,
+                p.billed_node_seconds,
                 p.utilization,
             ));
         }
@@ -545,6 +551,7 @@ mod tests {
                 guard_kills: 0,
                 cost_dollars: 0.5,
                 busy_node_seconds: 10.0,
+                billed_node_seconds: 10,
                 utilization: 0.5,
             }],
             job_reports: vec![JobReport {

@@ -194,6 +194,9 @@ struct PoolState {
     faults: usize,
     guard_kills: usize,
     cost: f64,
+    /// Integer billed node-seconds (per-attempt round-up, saturating) —
+    /// the counter the sweep harness reconciles against busy time.
+    billed_node_seconds: u64,
 }
 
 impl PoolState {
@@ -310,15 +313,38 @@ impl JobState {
 /// seconds at `rate_per_node_hour` faults per node-hour (the unit of
 /// [`CampaignConfig::fault_rate_per_node_hour`]):
 /// `λ = rate × nodes × dur_s / 3600`.
+///
+/// Total by construction: a zero-duration slice has zero expected faults
+/// at *any* rate (including `inf`, where the naive product would be
+/// `inf × 0 = NaN`), and non-finite or negative inputs clamp to the
+/// nearest meaningful value instead of poisoning downstream probability
+/// math. The sweep harness runs fault-rate extremes on purpose.
 pub fn expected_faults(rate_per_node_hour: f64, nodes: usize, dur_s: f64) -> f64 {
-    rate_per_node_hour * nodes as f64 * (dur_s / 3600.0)
+    let rate = if rate_per_node_hour.is_nan() {
+        0.0
+    } else {
+        rate_per_node_hour.max(0.0)
+    };
+    let dur = if dur_s.is_nan() { 0.0 } else { dur_s.max(0.0) };
+    if rate == 0.0 || dur == 0.0 || nodes == 0 {
+        return 0.0;
+    }
+    rate * nodes as f64 * (dur / 3600.0)
 }
 
 /// Probability that at least one fault lands in a window whose expected
 /// fault count is `lambda`, under Poisson arrivals: `1 − e^(−λ)`.
-/// Computed via `exp_m1` so tiny rates keep full precision.
+/// Computed via `exp_m1` so tiny rates keep full precision. The result is
+/// always in `[0, 1]`: negative or NaN `λ` counts as 0 (no exposure),
+/// huge or infinite `λ` saturates at 1 — never NaN, never outside the
+/// unit interval, so `rng.next_f64() < fault_probability(λ)` stays a
+/// well-defined Bernoulli draw at every sweep extreme.
 pub fn fault_probability(lambda: f64) -> f64 {
-    -(-lambda).exp_m1()
+    let lambda = if lambda.is_nan() { 0.0 } else { lambda.max(0.0) };
+    if lambda == f64::INFINITY {
+        return 1.0;
+    }
+    (-(-lambda).exp_m1()).clamp(0.0, 1.0)
 }
 
 /// Bounded exponential retry backoff: `base_s × 2^(retry−1)` for the
@@ -529,6 +555,7 @@ impl Campaign {
                     faults: 0,
                     guard_kills: 0,
                     cost: 0.0,
+                    billed_node_seconds: 0,
                 }
             })
             .collect();
@@ -1157,6 +1184,11 @@ impl Campaign {
         job.cost += cost;
         job.prior_attempts_s += attempt_s;
         state.cost += cost;
+        state.billed_node_seconds = state.billed_node_seconds.saturating_add(
+            self.config
+                .prices
+                .attempts_billed_node_seconds(run.nodes, &[attempt_s]),
+        );
         state.pool.release_ids(&run.node_ids, attempt_s);
         state.active_jobs.remove(&job_idx);
         self.freed_pools.insert(run.pool_idx);
@@ -1420,6 +1452,7 @@ impl Campaign {
                 guard_kills: state.guard_kills,
                 cost_dollars: state.cost,
                 busy_node_seconds: state.pool.busy_node_seconds(),
+                billed_node_seconds: state.billed_node_seconds,
                 utilization: state.pool.utilization(makespan),
             });
         }
@@ -1496,6 +1529,43 @@ mod tests {
         // The demo rate: 0.15 per node-hour, 2 nodes, 30 minutes.
         let demo = fault_probability(expected_faults(0.15, 2, 1800.0));
         assert!((demo - 0.139_292_023_574_942_34).abs() < 1e-15, "{demo}");
+    }
+
+    /// Fault-rate extremes the sweep harness runs on purpose: every λ and
+    /// every probability must stay finite and inside `[0, 1]` — a NaN
+    /// here would poison an entire scenario cell's report.
+    #[test]
+    fn fault_helpers_are_total_at_extremes() {
+        // inf × 0 corners: zero-duration slices and zero-node windows at
+        // an infinite rate are "no exposure", not NaN.
+        assert_eq!(expected_faults(f64::INFINITY, 8, 0.0), 0.0);
+        assert_eq!(expected_faults(f64::INFINITY, 0, 3600.0), 0.0);
+        assert_eq!(expected_faults(0.0, 8, f64::INFINITY), 0.0);
+        // Hostile inputs clamp instead of propagating.
+        assert_eq!(expected_faults(f64::NAN, 4, 100.0), 0.0);
+        assert_eq!(expected_faults(-0.5, 4, 100.0), 0.0);
+        assert_eq!(expected_faults(0.5, 4, f64::NAN), 0.0);
+        assert_eq!(expected_faults(0.5, 4, -100.0), 0.0);
+        // λ → 0⁺ keeps full precision through exp_m1: p ≈ λ.
+        let tiny = fault_probability(1e-300);
+        assert!(tiny > 0.0 && (tiny - 1e-300).abs() < 1e-315, "{tiny}");
+        // λ huge / infinite saturates at exactly 1.
+        assert_eq!(fault_probability(1e9), 1.0);
+        assert_eq!(fault_probability(f64::MAX), 1.0);
+        assert_eq!(fault_probability(f64::INFINITY), 1.0);
+        // Negative / NaN λ count as no exposure.
+        assert_eq!(fault_probability(-3.0), 0.0);
+        assert_eq!(fault_probability(f64::NAN), 0.0);
+        assert_eq!(fault_probability(f64::NEG_INFINITY), 0.0);
+        // Random sweep: the composition is always a probability.
+        let mut rng = hemocloud_rt::rng::Rng::new(0xFA);
+        for _ in 0..10_000 {
+            let rate = (rng.next_f64() - 0.25) * 1e6;
+            let dur = (rng.next_f64() - 0.25) * 1e9;
+            let nodes = (rng.next_u64() % 1000) as usize;
+            let p = fault_probability(expected_faults(rate, nodes, dur));
+            assert!((0.0..=1.0).contains(&p), "p = {p} at rate {rate} dur {dur}");
+        }
     }
 
     #[test]

@@ -376,6 +376,79 @@ done
 obs_diff "campaign seed 42" "target/OBS_campaign_1.json" "target/OBS_campaign_2.json"
 echo "obs smoke: OK"
 
+echo "== eval sweep smoke: eval_campaign (RT_BENCH_FAST=1)"
+# The scenario-sweep evaluation harness: the smoke grid (16 cells) with
+# every invariant checker armed. The binary exits non-zero on any
+# violation (budget overruns, SLO drift, billed < busy, inexact guard
+# kills, Eq. 9 byte mismatches, non-finite statistics); the gate
+# re-checks the artifact and proves worker-count independence by
+# byte-comparing RT_POOL_THREADS=1 vs =8 runs. Regenerate the committed
+# full-grid EVAL_campaign.json with a plain
+# `cargo run --release -p hemocloud-bench --bin eval_campaign`.
+for run in 1 2; do
+  threads=1; [ "$run" -eq 2 ] && threads=8
+  RT_BENCH_FAST=1 RT_POOL_THREADS="$threads" \
+    EVAL_OUT="target/EVAL_campaign_${run}.json" \
+    cargo run -q --release --offline -p hemocloud-bench --bin eval_campaign > /dev/null
+done
+if [ ! -f target/EVAL_campaign_1.json ]; then
+  echo "ERROR: eval sweep smoke did not produce target/EVAL_campaign_1.json" >&2
+  exit 1
+fi
+if grep -qiE ': *-?(nan|inf)' target/EVAL_campaign_1.json; then
+  echo "ERROR: non-finite values in target/EVAL_campaign_1.json:" >&2
+  grep -iE ': *-?(nan|inf)' target/EVAL_campaign_1.json >&2
+  exit 1
+fi
+if ! cmp -s target/EVAL_campaign_1.json target/EVAL_campaign_2.json; then
+  echo "ERROR: eval sweep report differs across worker counts 1 and 8:" >&2
+  diff target/EVAL_campaign_1.json target/EVAL_campaign_2.json | head >&2
+  exit 1
+fi
+if ! grep -q '"violations": 0,' target/EVAL_campaign_1.json; then
+  echo "ERROR: eval sweep smoke recorded violations:" >&2
+  grep -A4 '"violation_list"' target/EVAL_campaign_1.json | head >&2
+  exit 1
+fi
+# The committed full-grid record must exist and carry the witnesses: the
+# full grid, zero violations, the >=48-cell floor, both new anatomies
+# swept, and non-vacuous Eq. 9 / guard-exactness checkers.
+if [ ! -f "EVAL_campaign.json" ]; then
+  echo "ERROR: committed EVAL_campaign.json missing" >&2
+  exit 1
+fi
+if grep -qiE ': *-?(nan|inf)' EVAL_campaign.json; then
+  echo "ERROR: non-finite values in committed EVAL_campaign.json" >&2
+  exit 1
+fi
+if ! grep -q '"grid": "full"' EVAL_campaign.json; then
+  echo "ERROR: committed EVAL_campaign.json was not produced by the full grid" >&2
+  exit 1
+fi
+if ! grep -q '"violations": "0"' EVAL_campaign.json; then
+  echo "ERROR: committed EVAL_campaign.json carries invariant violations" >&2
+  exit 1
+fi
+eval_cells=$(grep -oE '"cells": *"[0-9]+"' EVAL_campaign.json | grep -oE '[0-9]+' | head -1)
+if [ -z "$eval_cells" ] || [ "$eval_cells" -lt 48 ]; then
+  echo "ERROR: committed EVAL_campaign.json swept only '$eval_cells' cells (< 48)" >&2
+  exit 1
+fi
+for geom in sten8 aneu8; do
+  if ! grep -q "\"axis\": \"geometry\", \"value\": \"$geom\"" EVAL_campaign.json; then
+    echo "ERROR: committed EVAL_campaign.json lacks the $geom geometry axis" >&2
+    exit 1
+  fi
+done
+for witness in eq9_cells_checked guard_exact_checks; do
+  n=$(grep -oE "\"$witness\": *\"[0-9]+\"" EVAL_campaign.json | grep -oE '[0-9]+' | head -1)
+  if [ -z "$n" ] || [ "$n" -eq 0 ]; then
+    echo "ERROR: committed EVAL_campaign.json: $witness is '$n' (vacuous evaluation)" >&2
+    exit 1
+  fi
+done
+echo "eval sweep smoke: OK ($eval_cells committed cells, zero violations, worker-count invariant)"
+
 echo "== cargo doc --no-deps --offline"
 # The API docs must build cleanly: the AA safety argument and the kernel
 # accounting live in doc comments, so broken intra-doc links or bad
